@@ -1,0 +1,130 @@
+"""Figure 1: the paper's headline comparison.
+
+Two real user queries (from the video-analytics warehouse of Section 6.4)
+and one logistic-regression iteration, Shark vs Hive/Hadoop on 100 nodes.
+Paper bars (seconds): Query 1 — Shark 1.0 vs Hive ~80; Query 2 — Shark
+0.96 vs Hive ~55; logistic regression — Shark 0.96 vs Hadoop ~110.
+"""
+
+import numpy as np
+import pytest
+
+from harness import (
+    Figure,
+    PAPER_NODES,
+    assert_same_rows,
+    hive_cluster_seconds,
+    make_hive,
+    make_shark,
+    shark_cluster_seconds,
+)
+from repro.baselines import HadoopLogisticRegression
+from repro.columnar.serde import TextSerde
+from repro.costmodel import ClusterSimulator, SHARK_MEM
+from repro.costmodel.bridge import stages_from_jobs, stages_from_profiles
+from repro.costmodel.constants import replace
+from repro.ml import LabeledPoint, LogisticRegression
+from repro.storage import DistributedFileStore
+from repro.workloads import mlgen, warehouse
+
+ML_SHARK = replace(SHARK_MEM, cpu_per_record_us=0.7)
+ML_HADOOP = replace(
+    __import__("repro.costmodel", fromlist=["HADOOP_TEXT"]).HADOOP_TEXT,
+    cpu_per_record_us=90.0,
+)
+
+
+@pytest.fixture(scope="module")
+def warehouse_systems():
+    data = warehouse.generate_sessions(num_days=30, rows_per_day=60)
+    shark = make_shark(
+        {"sessions": data}, cached=True, partitions_per_table=30
+    )
+    disk = make_shark(
+        {"sessions": data}, cached=False, partitions_per_table=30
+    )
+    hive = make_hive(disk)
+    return data, shark, hive
+
+
+class TestFigure01:
+    def test_user_queries(self, warehouse_systems, benchmark):
+        data, shark, hive = warehouse_systems
+        queries = warehouse.representative_queries(customer="cust2", day=20)
+        scale = data.scale_factor
+
+        benchmark.pedantic(
+            lambda: shark.sql(queries["q1"]), rounds=2, iterations=1
+        )
+
+        figure = Figure(
+            "Figure 1 (queries): Shark vs Hive on two real user queries",
+            "Query 1: Shark 1.0 s vs Hive ~80 s; Query 2: 0.96 s vs ~55 s",
+        )
+        for label, name in (("Query 1", "q1"), ("Query 2", "q2")):
+            shark_s, shark_rows = shark_cluster_seconds(
+                shark, queries[name], scale, SHARK_MEM
+            )
+            hive_s, hive_rows = hive_cluster_seconds(
+                hive, queries[name], scale, reduce_tasks=400
+            )
+            assert_same_rows(shark_rows, hive_rows, name)
+            figure.add(f"{label} Shark", shark_s)
+            figure.add(f"{label} Hive", hive_s)
+        figure.show()
+        assert figure.ratio("Query 1 Hive", "Query 1 Shark") > 25
+        assert figure.ratio("Query 2 Hive", "Query 2 Shark") > 25
+
+    def test_logistic_regression_iteration(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        data = mlgen.generate_points(2500, seed=31)
+        scale = data.row_scale_factor
+
+        shark = make_shark({"points": data}, cached=True)
+        features = shark.sql2rdd(
+            "SELECT label, f0, f1, f2, f3, f4, f5, f6, f7, f8, f9 "
+            "FROM points"
+        ).map_rows(
+            lambda row: LabeledPoint(
+                float(row.get_int("label")),
+                np.array([row.get_double(f"f{i}") for i in range(10)]),
+            )
+        ).cache()
+        features.count()
+        shark.engine.reset_profiles()
+        iterations = 4
+        LogisticRegression(
+            iterations=iterations, learning_rate=0.05, seed=2
+        ).fit(features)
+        shark_s = (
+            ClusterSimulator(PAPER_NODES, ML_SHARK)
+            .simulate(stages_from_profiles(shark.engine.profiles, scale))
+            .total_seconds
+            / iterations
+        )
+
+        store = DistributedFileStore()
+        serde = TextSerde(data.schema)
+        store.write_file(
+            "/f1/points.txt",
+            [serde.encode(data.rows[i::8]) for i in range(8)],
+            format="text",
+        )
+        __, trace = HadoopLogisticRegression(
+            store, "/f1/points.txt", data.schema, format="text"
+        ).fit(iterations=iterations, learning_rate=0.05, seed=2)
+        hadoop_s = (
+            ClusterSimulator(PAPER_NODES, ML_HADOOP)
+            .simulate(stages_from_jobs(trace.jobs, scale))
+            .total_seconds
+            / iterations
+        )
+
+        figure = Figure(
+            "Figure 1 (ML): one logistic-regression iteration",
+            "Shark 0.96 s vs Hadoop ~110 s",
+        )
+        figure.add("Shark", shark_s)
+        figure.add("Hadoop", hadoop_s)
+        figure.show()
+        assert figure.ratio("Hadoop", "Shark") > 20

@@ -1,0 +1,130 @@
+"""Figure 5: Pavlo et al. selection and aggregation queries.
+
+Paper result (100 nodes; rankings 100 GB, uservisits 2 TB):
+
+* Selection:            Shark 1.1 s   vs Hive ~90 s   (~80x; 5x from disk)
+* Aggregation 2.5M grp: Shark 147 s   vs Hive ~2300 s
+* Aggregation 1K grp:   Shark 32 s    vs Hive ~550 s
+
+Each bar is reproduced by executing the query locally on the same data in
+all three configurations (Shark memstore / Shark-on-disk / Hive-on-MapReduce)
+and modelling the measured volumes at paper scale.
+"""
+
+import pytest
+
+from harness import (
+    Figure,
+    PAPER_NODES,
+    assert_same_rows,
+    hand_tuned_reducers,
+    hive_cluster_seconds,
+    make_hive,
+    make_shark,
+    shark_cluster_seconds,
+)
+from repro.costmodel import SHARK_DISK, SHARK_MEM
+from repro.workloads import pavlo
+
+RANKINGS_ROWS = 3000
+VISITS_ROWS = 12000
+
+
+@pytest.fixture(scope="module")
+def systems():
+    rankings = pavlo.generate_rankings(RANKINGS_ROWS)
+    visits = pavlo.generate_uservisits(VISITS_ROWS, num_pages=RANKINGS_ROWS)
+    datasets = {"rankings": rankings, "uservisits": visits}
+    shark_mem = make_shark(datasets, cached=True)
+    shark_disk = make_shark(datasets, cached=False)
+    hive = make_hive(shark_disk)
+    return datasets, shark_mem, shark_disk, hive
+
+
+def _three_way(systems, query, dataset_name, reduce_scale_bytes=None):
+    datasets, shark_mem, shark_disk, hive = systems
+    scale = datasets[dataset_name].scale_factor
+    reducers = (
+        hand_tuned_reducers(reduce_scale_bytes)
+        if reduce_scale_bytes
+        else None
+    )
+    mem_s, mem_rows = shark_cluster_seconds(
+        shark_mem, query, scale, SHARK_MEM
+    )
+    disk_s, disk_rows = shark_cluster_seconds(
+        shark_disk, query, scale, SHARK_DISK
+    )
+    hive_s, hive_rows = hive_cluster_seconds(
+        hive, query, scale, reduce_tasks=reducers
+    )
+    assert_same_rows(mem_rows, hive_rows, query)
+    assert_same_rows(mem_rows, disk_rows, query)
+    return mem_s, disk_s, hive_s, mem_rows
+
+
+class TestFigure05:
+    def test_selection(self, systems, benchmark):
+        __, shark_mem, ___, ____ = systems
+        query = pavlo.SELECTION_QUERY.format(cutoff=90)
+        benchmark.pedantic(
+            lambda: shark_mem.sql(query), rounds=3, iterations=1
+        )
+        mem_s, disk_s, hive_s, rows = _three_way(
+            systems, query, "rankings"
+        )
+        figure = Figure(
+            "Figure 5a: selection on rankings (100 GB)",
+            "Shark 1.1 s / Shark(disk) mid / Hive ~90 s",
+        )
+        figure.add("Shark", mem_s)
+        figure.add("Shark (disk)", disk_s)
+        figure.add("Hive", hive_s)
+        figure.show()
+        assert mem_s < disk_s < hive_s
+        assert figure.ratio("Hive", "Shark") > 20
+        assert len(rows) > 0
+
+    def test_aggregation_many_groups(self, systems, benchmark):
+        __, shark_mem, ___, ____ = systems
+        query = pavlo.AGGREGATION_FULL_QUERY
+        benchmark.pedantic(
+            lambda: shark_mem.sql(query), rounds=3, iterations=1
+        )
+        datasets = systems[0]
+        mem_s, disk_s, hive_s, rows = _three_way(
+            systems, query, "uservisits",
+            reduce_scale_bytes=datasets["uservisits"].represented_bytes / 20,
+        )
+        figure = Figure(
+            "Figure 5b: aggregation, ~2.5M groups (uservisits 2 TB)",
+            "Shark 147 s / Hive ~2300 s",
+        )
+        figure.add("Shark", mem_s)
+        figure.add("Shark (disk)", disk_s)
+        figure.add("Hive", hive_s)
+        figure.show()
+        assert mem_s < hive_s
+        assert figure.ratio("Hive", "Shark") > 3
+
+    def test_aggregation_few_groups(self, systems, benchmark):
+        __, shark_mem, ___, ____ = systems
+        query = pavlo.AGGREGATION_SUBSTR_QUERY
+        benchmark.pedantic(
+            lambda: shark_mem.sql(query), rounds=3, iterations=1
+        )
+        datasets = systems[0]
+        mem_s, disk_s, hive_s, rows = _three_way(
+            systems, query, "uservisits",
+            reduce_scale_bytes=datasets["uservisits"].represented_bytes / 200,
+        )
+        figure = Figure(
+            "Figure 5c: aggregation, ~1K groups (SUBSTR(sourceIP,1,7))",
+            "Shark 32 s / Hive ~550 s",
+        )
+        figure.add("Shark", mem_s)
+        figure.add("Shark (disk)", disk_s)
+        figure.add("Hive", hive_s)
+        figure.show()
+        assert mem_s < hive_s
+        assert figure.ratio("Hive", "Shark") > 5

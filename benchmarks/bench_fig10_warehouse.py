@@ -1,0 +1,102 @@
+"""Figure 10: real Hive warehouse queries (Section 6.4).
+
+Paper result (1.7 TB of 103-column video-session data, 100 nodes): Shark
+answers Q1-Q4 in 0.7-1.1 s (sub-second for three of four) while Hive
+takes 40-100x longer; map pruning cuts data scanned ~30x thanks to the
+logs' natural (day, country) clustering.
+"""
+
+import pytest
+
+from harness import (
+    Figure,
+    assert_same_rows,
+    hive_cluster_seconds,
+    make_hive,
+    make_shark,
+    shark_cluster_seconds,
+)
+from repro.costmodel import SHARK_DISK, SHARK_MEM
+from repro.workloads import warehouse
+
+NUM_DAYS = 30
+ROWS_PER_DAY = 60
+
+
+@pytest.fixture(scope="module")
+def systems():
+    data = warehouse.generate_sessions(
+        num_days=NUM_DAYS, rows_per_day=ROWS_PER_DAY
+    )
+    datasets = {"sessions": data}
+    shark_mem = make_shark(
+        datasets, cached=True, partitions_per_table=NUM_DAYS
+    )
+    shark_disk = make_shark(
+        datasets, cached=False, partitions_per_table=NUM_DAYS
+    )
+    hive = make_hive(shark_disk)
+    return data, shark_mem, shark_disk, hive
+
+
+QUERIES = warehouse.representative_queries(customer="cust3", day=12)
+
+
+@pytest.mark.parametrize("name", ["q1", "q2", "q3", "q4"])
+class TestFigure10:
+    def test_query(self, systems, benchmark, name):
+        data, shark_mem, shark_disk, hive = systems
+        query = QUERIES[name]
+        scale = data.scale_factor
+
+        benchmark.pedantic(
+            lambda: shark_mem.sql(query), rounds=2, iterations=1
+        )
+
+        mem_s, mem_rows = shark_cluster_seconds(
+            shark_mem, query, scale, SHARK_MEM
+        )
+        pruning = shark_mem.last_report
+        disk_s, disk_rows = shark_cluster_seconds(
+            shark_disk, query, scale, SHARK_DISK
+        )
+        hive_s, hive_rows = hive_cluster_seconds(
+            hive, query, scale, reduce_tasks=400
+        )
+        if "ORDER BY" not in query:
+            assert_same_rows(mem_rows, hive_rows, name)
+            assert_same_rows(mem_rows, disk_rows, name)
+        else:
+            assert len(mem_rows) == len(hive_rows)
+
+        scanned = pruning.scanned_partitions
+        considered = scanned + pruning.pruned_partitions
+        detail = (
+            f"scanned {scanned}/{considered} partitions"
+            if considered
+            else "no pruning applicable"
+        )
+        figure = Figure(
+            f"Figure 10 {name}: real warehouse query",
+            "Shark 0.7-1.1 s vs Hive 40-100x slower; ~30x scan reduction",
+        )
+        figure.add("Shark", mem_s, detail)
+        figure.add("Shark (disk)", disk_s)
+        figure.add("Hive", hive_s)
+        figure.show()
+
+        assert mem_s < hive_s / 8
+        assert mem_s <= disk_s
+
+    def test_pruning_factor(self, systems, benchmark, name):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        data, shark_mem, __, ___ = systems
+        shark_mem.sql(QUERIES[name])
+        report = shark_mem.last_report
+        if name in ("q1", "q4"):
+            # Single-day predicates prune to one of 30 partitions.
+            assert report.scanned_partitions == 1
+            assert report.pruned_partitions == NUM_DAYS - 1
+        if name == "q2":
+            # A 7-day window scans 7 of 30 partitions.
+            assert report.scanned_partitions == 7

@@ -1,0 +1,130 @@
+"""Section 3.5 / 6.4: map pruning effectiveness.
+
+Paper numbers: 3277 of 3833 warehouse-trace queries carried predicates
+usable for map pruning, and on the four representative queries pruning
+reduced the data scanned by an average factor of ~30.
+"""
+
+import random
+
+import pytest
+
+from harness import Figure, make_shark
+from repro.workloads import warehouse
+
+NUM_DAYS = 30
+ROWS_PER_DAY = 100
+#: Logs land per data center (geography) per day (Section 3.5): one
+#: partition per (day, country-range).  Ten countries per day gives
+#: partitions whose country statistics are (near-)single-valued, so even
+#: inequality predicates (Q3's ``country <> 'US'``) can prune.
+PARTITIONS = NUM_DAYS * 10
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    data = warehouse.generate_sessions(
+        num_days=NUM_DAYS, rows_per_day=ROWS_PER_DAY
+    )
+    shark = make_shark(
+        {"sessions": data}, cached=True, partitions_per_table=PARTITIONS
+    )
+    return shark, data
+
+
+def _trace_queries(seed: int = 3, count: int = 60):
+    """A synthetic query trace shaped like the paper's: most queries carry
+    day/country predicates (prunable), a minority scan everything."""
+    rng = random.Random(seed)
+    queries = []
+    for __ in range(count):
+        roll = rng.random()
+        if roll < 0.55:
+            day = rng.randint(0, NUM_DAYS - 1)
+            queries.append(
+                ("prunable",
+                 f"SELECT COUNT(*) FROM sessions WHERE day = {day}")
+            )
+        elif roll < 0.85:
+            low = rng.randint(0, NUM_DAYS - 8)
+            queries.append(
+                ("prunable",
+                 f"SELECT country, COUNT(*) FROM sessions "
+                 f"WHERE day BETWEEN {low} AND {low + 6} GROUP BY country")
+            )
+        else:
+            queries.append(
+                ("unprunable",
+                 "SELECT device, COUNT(*) FROM sessions GROUP BY device")
+            )
+    return queries
+
+
+class TestMapPruning:
+    def test_scan_reduction_on_representative_queries(self, loaded, benchmark):
+        shark, data = loaded
+        queries = warehouse.representative_queries(day=9)
+        benchmark.pedantic(
+            lambda: shark.sql(queries["q1"]), rounds=2, iterations=1
+        )
+        factors = []
+        figure = Figure(
+            "Map pruning: partitions scanned per representative query",
+            "Section 6.4: pruning reduced data scanned ~30x on average",
+        )
+        for name in ("q1", "q2", "q3", "q4"):
+            result = shark.sql(queries[name])
+            report = result.report
+            scanned = report.scanned_partitions or PARTITIONS
+            considered = (
+                report.scanned_partitions + report.pruned_partitions
+            ) or PARTITIONS
+            factors.append(considered / scanned)
+            figure.add(name, scanned, f"of {considered} partitions")
+        figure.show()
+        mean_factor = sum(factors) / len(factors)
+        print(
+            f"    per-query scan reductions: "
+            f"{', '.join(f'{f:.1f}x' for f in factors)}; "
+            f"mean {mean_factor:.1f}x (paper: ~30x)"
+        )
+        assert mean_factor > 10
+
+    def test_trace_prunable_fraction(self, loaded, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        shark, data = loaded
+        prunable = 0
+        total = 0
+        for expected, query in _trace_queries():
+            result = shark.sql(query)
+            total += 1
+            if result.report.pruned_partitions > 0:
+                prunable += 1
+                assert expected == "prunable"
+        fraction = prunable / total
+        paper_fraction = (
+            warehouse.TRACE_PRUNABLE_QUERIES / warehouse.TRACE_TOTAL_QUERIES
+        )
+        print(
+            f"\n    prunable queries: {prunable}/{total} "
+            f"({fraction:.0%}; paper trace: {paper_fraction:.0%})"
+        )
+        assert fraction > 0.6
+
+    def test_pruning_never_changes_results(self, loaded, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        from dataclasses import replace
+
+        shark, data = loaded
+        query = (
+            "SELECT country, COUNT(*) FROM sessions "
+            "WHERE day BETWEEN 4 AND 11 GROUP BY country"
+        )
+        pruned_rows = sorted(shark.sql(query).rows)
+        original = shark.session.config
+        try:
+            shark.session.config = replace(original, enable_map_pruning=False)
+            full_rows = sorted(shark.sql(query).rows)
+        finally:
+            shark.session.config = original
+        assert pruned_rows == full_rows

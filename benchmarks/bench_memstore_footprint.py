@@ -1,0 +1,85 @@
+"""Section 3.2: in-memory representation footprints.
+
+Paper numbers: 270 MB of TPC-H lineitem stored as JVM objects occupies
+~971 MB (3.4x bloat); a serialized row representation needs 289 MB; and
+Shark's columnar layout with cheap compression reduces "both the data size
+and the processing time by as much as 5x" over naive storage.
+"""
+
+import pytest
+
+from harness import Figure
+from repro.columnar import (
+    ColumnarPartition,
+    jvm_object_footprint,
+    serialized_footprint,
+)
+from repro.workloads import tpch
+
+LOCAL_ROWS = 20000
+
+
+@pytest.fixture(scope="module")
+def lineitem():
+    return tpch.generate_lineitem(LOCAL_ROWS)
+
+
+class TestMemstoreFootprint:
+    def test_representation_sizes(self, lineitem, benchmark):
+        rows = lineitem.rows
+        schema = lineitem.schema
+
+        columnar = ColumnarPartition.from_rows(schema, rows)
+        benchmark.pedantic(
+            lambda: ColumnarPartition.from_rows(schema, rows[:4000]),
+            rounds=3,
+            iterations=1,
+        )
+        plain_columnar = ColumnarPartition.from_rows(
+            schema, rows, compress=False
+        )
+
+        jvm = jvm_object_footprint(schema, rows)
+        serialized = serialized_footprint(schema, rows)
+        columnar_bytes = columnar.memory_footprint_bytes()
+        plain_bytes = plain_columnar.memory_footprint_bytes()
+
+        figure = Figure(
+            "Memstore footprint: TPC-H lineitem representations (local MB)",
+            "paper: JVM objects 971 MB vs serialized 289 MB (3.4x); "
+            "columnar+compression up to 5x smaller than naive",
+        )
+        mb = 1024 * 1024
+        figure.add("JVM row objects", jvm / mb)
+        figure.add("Serialized rows", serialized / mb)
+        figure.add("Columnar (plain)", plain_bytes / mb)
+        figure.add("Columnar (compressed)", columnar_bytes / mb)
+        figure.show()
+        print(
+            f"    JVM/serialized bloat: {jvm / serialized:.2f}x "
+            f"(paper: 3.4x); naive/columnar-compressed: "
+            f"{jvm / columnar_bytes:.2f}x (paper: up to 5x)"
+        )
+
+        # The paper's ordering and rough factors.  (Our lineitem drops the
+        # long L_COMMENT string, so the relative JVM overhead runs a bit
+        # above the paper's 3.4x.)
+        assert jvm > serialized > columnar_bytes
+        assert 2.0 < jvm / serialized < 8.0
+        assert jvm / columnar_bytes > 4.0
+        assert columnar_bytes < plain_bytes
+
+    def test_gc_pressure_object_counts(self, lineitem, benchmark):
+        """The GC argument (Section 3.2): one object per column instead of
+        one per field.  With 13 columns x 20K rows, row storage creates
+        ~260K field objects; the columnar partition creates 13 columns."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = lineitem.rows
+        row_format_objects = len(rows) * (len(lineitem.schema) + 1)
+        columnar_objects = len(lineitem.schema)
+        assert row_format_objects / columnar_objects > 10_000
+
+    def test_compression_preserves_data(self, lineitem, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        part = ColumnarPartition.from_rows(lineitem.schema, lineitem.rows)
+        assert part.to_rows() == lineitem.rows

@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent
+_SRC = _ROOT.parent / "src"
+for path in (str(_SRC), str(_ROOT)):
+    if path not in sys.path:
+        sys.path.insert(0, path)

@@ -1,0 +1,82 @@
+"""Partial DAG Execution: run-time join selection with a selective UDF.
+
+Reproduces the Section 6.3.2 scenario: lineitem JOIN supplier where a UDF
+filters suppliers.  A static optimizer cannot estimate UDF selectivity and
+would shuffle both large tables; PDE pre-runs the supplier side's map
+stage, observes that the filtered table is tiny, and switches to a
+broadcast (map) join — the paper measured a 3x improvement.
+
+Run with::
+
+    python examples/pde_join_demo.py
+"""
+
+from repro import SharkContext
+from repro.datatypes import BOOLEAN
+from repro.sql.planner import PlannerConfig
+from repro.workloads import tpch
+
+
+def build_context(enable_pde: bool) -> SharkContext:
+    config = PlannerConfig(
+        enable_pde=enable_pde,
+        # Fresh data: no reliable static size estimates (the paper's
+        # "fresh data that has not undergone a data loading process").
+        enable_static_join_estimates=False,
+    )
+    shark = SharkContext(num_workers=4, cores_per_worker=2, config=config)
+    lineitem = tpch.generate_lineitem(8000)
+    supplier = tpch.generate_supplier(2000)
+    shark.create_table("lineitem", lineitem.schema, cached=True)
+    shark.load_rows("lineitem", lineitem.rows)
+    shark.create_table("supplier", supplier.schema, cached=True)
+    shark.load_rows("supplier", supplier.rows)
+    # The UDF keeps ~1/10 of suppliers; the optimizer cannot know that.
+    shark.register_udf(
+        "interesting_address",
+        lambda addr: addr.endswith("7"),
+        return_type=BOOLEAN,
+    )
+    return shark
+
+
+QUERY = """
+SELECT l.L_ORDERKEY, s.S_NAME
+FROM lineitem l JOIN supplier s ON l.L_SUPPKEY = s.S_SUPPKEY
+WHERE interesting_address(s.S_ADDRESS)
+"""
+
+
+def main() -> None:
+    # --- static-only planning: must assume both inputs are large.
+    static = build_context(enable_pde=False)
+    static_result = static.sql(QUERY)
+    static_decision = static_result.report.join_decisions[0]
+    print("static optimizer:")
+    print(f"  strategy: {static_decision.strategy}")
+    print(f"  reason:   {static_decision.reason}")
+    print(f"  rows:     {len(static_result.rows)}")
+
+    # --- PDE: pre-shuffle the (predicted-small) supplier side, observe
+    # the filtered size, then re-plan.
+    adaptive = build_context(enable_pde=True)
+    adaptive_result = adaptive.sql(QUERY)
+    decision = adaptive_result.report.join_decisions[0]
+    print("\nadaptive optimizer (PDE):")
+    print(f"  strategy: {decision.strategy}")
+    print(f"  reason:   {decision.reason}")
+    for note in adaptive_result.report.notes:
+        print(f"  note:     {note}")
+    print(f"  rows:     {len(adaptive_result.rows)}")
+
+    same = sorted(static_result.rows) == sorted(adaptive_result.rows)
+    print(f"\nresults identical across strategies: {same}")
+    print(
+        "\nThe paper's Figure 8 measures this switch (plus scheduling the "
+        "likely-small side first) at ~3x faster than the static plan; run "
+        "benchmarks/bench_fig08_pde_join.py to regenerate that comparison."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart: create tables, load data, run SQL, inspect the optimizer.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import SharkContext
+
+
+def main() -> None:
+    # A Shark "cluster": 4 virtual workers, 2 cores each.
+    shark = SharkContext(num_workers=4, cores_per_worker=2)
+
+    # Tables are created with HiveQL-style DDL.  TBLPROPERTIES
+    # ('shark.cache'='true') pins a table in the columnar memory store.
+    shark.sql(
+        "CREATE TABLE logs (url STRING, status INT, latency_ms INT, "
+        "country STRING) TBLPROPERTIES ('shark.cache'='true')"
+    )
+
+    rows = [
+        (f"/page/{i % 50}", 200 if i % 7 else 500, 20 + (i * 13) % 300,
+         ["US", "DE", "BR", "JP"][i % 4])
+        for i in range(10_000)
+    ]
+    shark.load_rows("logs", rows)
+    entry = shark.table_entry("logs")
+    print(
+        f"loaded {entry.row_count} rows into the memstore "
+        f"({entry.size_bytes} compressed bytes across "
+        f"{len(entry.partition_bytes)} partitions)"
+    )
+
+    # Plain SQL with aggregation, expressions and ordering.
+    result = shark.sql(
+        """
+        SELECT country,
+               COUNT(*) AS requests,
+               SUM(CASE WHEN status = 500 THEN 1 ELSE 0 END) AS errors,
+               AVG(latency_ms) AS avg_latency
+        FROM logs
+        GROUP BY country
+        ORDER BY requests DESC
+        """
+    )
+    print("\ntraffic by country:")
+    for row in result.to_dicts():
+        print(
+            f"  {row['country']}: {row['requests']} requests, "
+            f"{row['errors']} errors, {row['avg_latency']:.1f} ms avg"
+        )
+
+    # EXPLAIN shows the optimized logical plan (predicate pushdown, column
+    # pruning into the scan, etc.).
+    print("\nplan for an error drill-down:")
+    print(
+        shark.explain(
+            "SELECT url, COUNT(*) FROM logs WHERE status = 500 "
+            "GROUP BY url ORDER BY 2 DESC LIMIT 5"
+        )
+    )
+
+    # UDFs are first-class: register a Python function and call it in SQL.
+    shark.register_udf("is_slow", lambda ms: ms > 250)
+    slow = shark.sql("SELECT COUNT(*) FROM logs WHERE is_slow(latency_ms)")
+    print(f"slow requests: {slow.scalar()}")
+
+    # Every query reports the run-time decisions the planner made.
+    print("\nplanner notes:", shark.last_report.notes or "none needed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""The paper's Listing 1: SQL -> feature extraction -> logistic regression.
+
+A single lineage graph covers the whole pipeline: the SQL scan, the
+``map_rows`` feature extraction, and every training iteration — so a
+worker failure mid-training recovers without restarting anything.
+
+Run with::
+
+    python examples/sql_ml_pipeline.py
+"""
+
+import numpy as np
+
+from repro import SharkContext
+from repro.ml import KMeans, LabeledPoint, LogisticRegression
+from repro.workloads import mlgen
+
+
+def main() -> None:
+    shark = SharkContext(num_workers=4, cores_per_worker=2)
+
+    # Step 0: land the synthetic user dataset in the warehouse.
+    data = mlgen.generate_points(num_rows=3000, separation=2.5)
+    shark.create_table("users", data.schema, cached=True)
+    shark.load_rows("users", data.rows)
+    print(f"users table: {shark.table_entry('users').row_count} rows cached")
+
+    # Step 1: select the data of interest with SQL (paper: sql2rdd).
+    users = shark.sql2rdd(
+        "SELECT label, f0, f1, f2, f3, f4, f5, f6, f7, f8, f9 "
+        "FROM users WHERE f0 IS NOT NULL"
+    )
+
+    # Step 2: extract features with mapRows.
+    def extract(row) -> LabeledPoint:
+        features = np.array(
+            [row.get_double(f"f{i}") for i in range(10)], dtype=float
+        )
+        return LabeledPoint(float(row.get_int("label")), features)
+
+    features = users.map_rows(extract).cache()
+    print(f"feature matrix: {features.count()} points x 10 dims (cached)")
+
+    # Step 3: iterate.  Each iteration is one map+reduce over the cached
+    # RDD — the access pattern that makes in-memory data 100x faster than
+    # re-reading HDFS every iteration (Figure 11).
+    trainer = LogisticRegression(
+        iterations=10, learning_rate=0.05, track_loss=True
+    )
+    model = trainer.fit(features)
+    print("logistic regression loss per iteration:")
+    for i, loss in enumerate(model.loss_history):
+        print(f"  iter {i}: {loss:.4f}")
+    local = features.collect()
+    print(f"training accuracy: {model.accuracy(local):.3f}")
+
+    # Kill a worker mid-pipeline: lineage recovers the lost partitions and
+    # a re-run converges to the identical model (determinism).
+    shark.kill_worker(1)
+    recovered = LogisticRegression(
+        iterations=10, learning_rate=0.05
+    ).fit(features)
+    print(
+        "after killing worker 1, retrained weights identical:",
+        bool(np.allclose(model.weights, recovered.weights)),
+    )
+
+    # The same cached features feed a different algorithm with no export.
+    clusters = KMeans(k=2, iterations=8).fit(
+        features.map(lambda p: p.features[:2])
+    )
+    print("k-means centers (first 2 dims):")
+    print(np.round(clusters.centers, 2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Real-warehouse analytics: map pruning on naturally clustered logs.
+
+Reproduces the Section 6.4 scenario: a wide (103-column) video-session
+fact table whose rows arrive clustered by day and country.  Per-partition
+statistics collected at load time let Shark skip partitions whose ranges
+cannot match a query's predicates — the paper measured a ~30x reduction in
+data scanned on this workload.
+
+Run with::
+
+    python examples/warehouse_analytics.py
+"""
+
+from repro import SharkContext
+from repro.workloads import warehouse
+
+
+def main() -> None:
+    shark = SharkContext(num_workers=4, cores_per_worker=2)
+
+    data = warehouse.generate_sessions(num_days=30, rows_per_day=80)
+    shark.create_table("sessions", data.schema, cached=True)
+    # One load partition per day preserves the natural clustering, so each
+    # partition's day-range is a single value -- ideal for pruning.
+    shark.load_rows("sessions", data.rows, num_partitions=30)
+    print(
+        f"sessions: {len(data.rows)} rows, {len(data.schema)} columns, "
+        f"30 day-partitions cached"
+    )
+
+    queries = warehouse.representative_queries(customer="cust3", day=12)
+    descriptions = {
+        "q1": "summary stats in 12 dims, one customer, one day",
+        "q2": "sessions + distinct counts by country, 8 filter predicates",
+        "q3": "sessions + distinct users for all but 2 countries",
+        "q4": "summary stats in 7 dims, top groups first",
+    }
+
+    total_scanned = 0
+    total_partitions = 0
+    for name in ("q1", "q2", "q3", "q4"):
+        result = shark.sql(queries[name])
+        report = result.report
+        scanned = report.scanned_partitions
+        pruned = report.pruned_partitions
+        considered = scanned + pruned
+        total_scanned += scanned if considered else 30
+        total_partitions += considered if considered else 30
+        print(
+            f"\n{name} ({descriptions[name]}): {len(result.rows)} rows, "
+            f"scanned {scanned}/{considered or 30} partitions"
+        )
+        for row in result.rows[:3]:
+            print(f"  {row}")
+
+    factor = total_partitions / max(total_scanned, 1)
+    print(
+        f"\nmap pruning reduced data scanned by ~{factor:.1f}x across the "
+        f"four queries (paper: ~30x on the production trace)"
+    )
+    print(
+        f"(trace context: {warehouse.TRACE_PRUNABLE_QUERIES} of "
+        f"{warehouse.TRACE_TOTAL_QUERIES} production queries carried "
+        f"prunable predicates)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Comparator systems the paper evaluates Shark against.
+
+* :mod:`repro.baselines.mapreduce` — a faithful-shape MapReduce engine:
+  rigid map/sort-shuffle/reduce topology, map output "written to disk",
+  intermediate job output materialized to the replicated store.  Used
+  directly by the Hadoop ML baselines (Figures 11-12).
+* :mod:`repro.baselines.hive` — Hive: the same SQL front end (Shark reuses
+  Hive's compiler in the paper, we reuse ours), but lowered to *chains of
+  MapReduce jobs* instead of RDD transformations.  Produces identical rows
+  to Shark — which the differential tests exploit — with Hadoop's cost
+  profile.
+* :mod:`repro.baselines.mpp` — the MPP-database execution model:
+  pipelined, no per-task overhead, single-coordinator final aggregation,
+  and *coarse-grained recovery*: any worker failure aborts and restarts
+  the whole query.
+"""
+
+from repro.baselines.mapreduce import (
+    JobStats,
+    MapReduceEngine,
+    MapReduceRun,
+)
+from repro.baselines.hive import HiveExecutor, HiveQueryRun
+from repro.baselines.mpp import MppExecutor, MppQueryRun
+from repro.baselines.hadoop_ml import (
+    HadoopKMeans,
+    HadoopLogisticRegression,
+    IterationTrace,
+)
+
+__all__ = [
+    "JobStats",
+    "MapReduceEngine",
+    "MapReduceRun",
+    "HiveExecutor",
+    "HiveQueryRun",
+    "MppExecutor",
+    "MppQueryRun",
+    "HadoopKMeans",
+    "HadoopLogisticRegression",
+    "IterationTrace",
+]

@@ -1,0 +1,91 @@
+"""The MPP analytic-database execution model.
+
+The paper contrasts Shark with MPP databases (Vertica, Greenplum, Impala)
+on two axes:
+
+* **aggregation plan** (Section 6.2.2): MPP engines aggregate locally on
+  each node and send all partial aggregates to a *single coordinator* for
+  the final merge — great for few groups, degenerate for millions;
+* **recovery** (Sections 1, 8): coarse-grained — "in case of mid-query
+  faults, the entire query needs to be re-executed".
+
+This executor reuses the session's planner (forcing a single reduce
+partition, the coordinator) and wraps execution in restart-on-failure
+semantics: if any worker dies while a query runs, the query aborts and
+starts over from scratch, with the restart count reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datatypes import Schema
+from repro.errors import QueryAbortedError
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.sql.session import SqlSession
+from dataclasses import replace
+
+
+@dataclass
+class MppQueryRun:
+    """Result rows plus MPP-specific execution facts."""
+
+    rows: list[tuple]
+    schema: Schema
+    #: How many times the query was aborted and restarted due to worker
+    #: failures (each restart re-does all work).
+    restarts: int = 0
+    coordinator_merge_records: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+class MppExecutor:
+    """Runs queries with MPP semantics over the shared session data."""
+
+    def __init__(self, session: SqlSession, max_restarts: int = 3):
+        self.session = session
+        self.max_restarts = max_restarts
+        #: Planner settings matching an MPP engine: a statically chosen
+        #: plan (no PDE) with a single-coordinator final aggregation.
+        self.config = replace(
+            session.config,
+            enable_pde=False,
+            num_reducers=1,
+        )
+
+    def execute(self, text: str) -> MppQueryRun:
+        """Run a SELECT under MPP semantics: single-coordinator merges and
+        whole-query restarts on any worker failure."""
+        statement = parse(text)
+        if not isinstance(statement, ast.SelectStatement):
+            raise QueryAbortedError(
+                "the MPP baseline executes SELECT statements only"
+            )
+        cluster = self.session.ctx.cluster
+        restarts = 0
+        while True:
+            deaths_before = sum(
+                0 if worker.alive else 1 for worker in cluster.workers
+            )
+            planned = self.session.plan_select(statement, config=self.config)
+            rows = planned.rdd.collect()
+            deaths_after = sum(
+                0 if worker.alive else 1 for worker in cluster.workers
+            )
+            if deaths_after == deaths_before:
+                merge_records = len(rows)
+                return MppQueryRun(
+                    rows=rows,
+                    schema=planned.schema,
+                    restarts=restarts,
+                    coordinator_merge_records=merge_records,
+                    notes=list(planned.report.notes),
+                )
+            # A worker died mid-query: coarse-grained recovery means the
+            # whole query is thrown away and resubmitted.
+            restarts += 1
+            if restarts > self.max_restarts:
+                raise QueryAbortedError(
+                    f"query aborted {restarts} times; giving up"
+                )

@@ -1,0 +1,15 @@
+"""Virtual cluster: workers, block storage, and failure injection.
+
+The engine really executes tasks in-process, but every task is *assigned* to
+a virtual worker and every cached block (RDD partition, shuffle map output)
+*lives* on a specific worker's block store.  Killing a worker therefore has
+exactly the consequences it has on a real cluster: its cached partitions and
+map outputs vanish, fetches fail, and the scheduler must recompute the lost
+data from lineage.  This is the substrate for the paper's fault-tolerance
+guarantees (Section 2.3) and the Figure 9 experiment.
+"""
+
+from repro.cluster.worker import BlockStore, Worker
+from repro.cluster.cluster import FailureInjector, VirtualCluster
+
+__all__ = ["BlockStore", "Worker", "FailureInjector", "VirtualCluster"]

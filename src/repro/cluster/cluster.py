@@ -1,0 +1,164 @@
+"""The virtual cluster: worker membership, placement, failure injection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.cluster.worker import BlockStore, Worker
+from repro.errors import NoLiveWorkersError
+
+
+@dataclass
+class FailureInjector:
+    """Kills a specific worker after a given number of completed tasks.
+
+    Registered on a :class:`VirtualCluster`; the cluster consults it after
+    every task completion, which is how the Figure 9 experiment kills a node
+    mid-query.  ``repeat=False`` injectors fire once and disarm.
+    """
+
+    worker_id: int
+    after_tasks: int
+    fired: bool = False
+
+    def should_fire(self, total_tasks_completed: int) -> bool:
+        return not self.fired and total_tasks_completed >= self.after_tasks
+
+
+class VirtualCluster:
+    """A set of virtual workers plus placement and failure machinery.
+
+    The cluster knows nothing about RDDs: it stores opaque blocks on workers
+    and assigns tasks to live workers.  The engine's scheduler layers
+    lineage and recovery on top.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        cores_per_worker: int = 8,
+        memory_per_worker_bytes: int | None = None,
+    ):
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.memory_per_worker_bytes = memory_per_worker_bytes
+        self.workers = [
+            Worker(
+                worker_id=i,
+                cores=cores_per_worker,
+                blocks=BlockStore(capacity_bytes=memory_per_worker_bytes),
+            )
+            for i in range(num_workers)
+        ]
+        self._next_assignment = 0
+        self.total_tasks_completed = 0
+        self._failure_injectors: list[FailureInjector] = []
+        self._on_worker_killed: list[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def live_workers(self) -> list[Worker]:
+        return [worker for worker in self.workers if worker.alive]
+
+    def worker(self, worker_id: int) -> Worker:
+        return self.workers[worker_id]
+
+    def add_worker(self, cores: int = 8) -> Worker:
+        """Elasticity: a new node joins and becomes schedulable immediately."""
+        worker = Worker(
+            worker_id=len(self.workers),
+            cores=cores,
+            blocks=BlockStore(capacity_bytes=self.memory_per_worker_bytes),
+        )
+        self.workers.append(worker)
+        return worker
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Kill a worker, dropping all of its blocks."""
+        worker = self.workers[worker_id]
+        if not worker.alive:
+            return
+        worker.kill()
+        for callback in self._on_worker_killed:
+            callback(worker_id)
+        if not self.live_workers():
+            raise NoLiveWorkersError(
+                f"killed worker {worker_id}; no live workers remain"
+            )
+
+    def restart_worker(self, worker_id: int) -> None:
+        self.workers[worker_id].restart()
+
+    def on_worker_killed(self, callback: Callable[[int], None]) -> None:
+        """Register a callback invoked with the worker id on every kill."""
+        self._on_worker_killed.append(callback)
+
+    # ------------------------------------------------------------------
+    # Task placement
+    # ------------------------------------------------------------------
+    def assign_worker(self, preferred: Iterable[int] = ()) -> Worker:
+        """Pick a worker for a task, honoring locality preferences.
+
+        Preferred workers (those already holding the task's input blocks)
+        win if alive; otherwise round-robin over live workers, mirroring
+        delay-scheduling's behaviour once locality is unobtainable.
+        """
+        for worker_id in preferred:
+            if 0 <= worker_id < len(self.workers):
+                candidate = self.workers[worker_id]
+                if candidate.alive:
+                    return candidate
+        live = self.live_workers()
+        if not live:
+            raise NoLiveWorkersError("no live workers to assign a task to")
+        worker = live[self._next_assignment % len(live)]
+        self._next_assignment += 1
+        return worker
+
+    def task_completed(self, worker: Worker) -> None:
+        """Record a completed task and fire any due failure injectors."""
+        worker.tasks_run += 1
+        self.total_tasks_completed += 1
+        for injector in self._failure_injectors:
+            if injector.should_fire(self.total_tasks_completed):
+                injector.fired = True
+                self.kill_worker(injector.worker_id)
+
+    def inject_failure(self, worker_id: int, after_tasks: int) -> FailureInjector:
+        """Arrange for ``worker_id`` to die after ``after_tasks`` completions."""
+        injector = FailureInjector(worker_id=worker_id, after_tasks=after_tasks)
+        self._failure_injectors.append(injector)
+        return injector
+
+    # ------------------------------------------------------------------
+    # Block placement helpers
+    # ------------------------------------------------------------------
+    def put_block(
+        self,
+        worker_id: int,
+        block_id: str,
+        value: Any,
+        size_bytes: int | None = None,
+    ) -> None:
+        self.workers[worker_id].blocks.put(block_id, value, size_bytes)
+
+    def find_block(self, block_id: str) -> tuple[int, Any] | None:
+        """Locate a block on any live worker; returns (worker_id, value)."""
+        for worker in self.workers:
+            if worker.alive and block_id in worker.blocks:
+                return worker.worker_id, worker.blocks.get(block_id)
+        return None
+
+    @property
+    def total_cached_bytes(self) -> int:
+        return sum(worker.blocks.used_bytes for worker in self.live_workers())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        live = len(self.live_workers())
+        return f"VirtualCluster({live}/{len(self.workers)} workers live)"

@@ -1,0 +1,150 @@
+"""Virtual workers and their block stores."""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+def approximate_size_bytes(value: Any) -> int:
+    """Best-effort in-memory size of a stored block.
+
+    Objects that know their footprint (columnar partitions) expose
+    ``memory_footprint_bytes()``; everything else is estimated with
+    ``sys.getsizeof`` plus a shallow pass over list elements, which is
+    accurate enough for spill accounting and the memory benchmarks.
+    """
+    footprint = getattr(value, "memory_footprint_bytes", None)
+    if callable(footprint):
+        return int(footprint())
+    if isinstance(value, (list, tuple)):
+        total = sys.getsizeof(value)
+        # Sample large collections rather than walking every element.
+        n = len(value)
+        if n == 0:
+            return total
+        sample = value if n <= 256 else value[:: max(1, n // 256)]
+        per_item = sum(sys.getsizeof(item) for item in sample) / len(sample)
+        return int(total + per_item * n)
+    if isinstance(value, dict):
+        total = sys.getsizeof(value)
+        for key, item in value.items():
+            total += sys.getsizeof(key) + sys.getsizeof(item)
+        return total
+    return sys.getsizeof(value)
+
+
+@dataclass
+class StoredBlock:
+    """One block held by a worker."""
+
+    block_id: str
+    value: Any
+    size_bytes: int
+    #: Pinned blocks (shuffle map outputs) are never evicted — losing them
+    #: silently would look like spontaneous data loss; they only disappear
+    #: with the worker.  Cached RDD partitions are evictable: lineage
+    #: recomputes them on the next read.
+    pinned: bool = False
+
+
+class BlockStore:
+    """Per-worker in-memory block storage with size accounting.
+
+    With ``capacity_bytes`` set, evictable blocks are dropped
+    least-recently-used-first under memory pressure (Spark's storage
+    behaviour: caching is best-effort; lineage makes eviction safe).
+    """
+
+    def __init__(self, capacity_bytes: int | None = None) -> None:
+        self._blocks: dict[str, StoredBlock] = {}
+        self.capacity_bytes = capacity_bytes
+        #: Number of blocks dropped under memory pressure.
+        self.evictions = 0
+
+    def put(
+        self,
+        block_id: str,
+        value: Any,
+        size_bytes: int | None = None,
+        pinned: bool = False,
+    ) -> None:
+        size = approximate_size_bytes(value) if size_bytes is None else size_bytes
+        self._blocks.pop(block_id, None)
+        self._blocks[block_id] = StoredBlock(block_id, value, size, pinned)
+        self._enforce_capacity()
+
+    def _enforce_capacity(self) -> None:
+        if self.capacity_bytes is None:
+            return
+        while self.used_bytes > self.capacity_bytes:
+            victim = next(
+                (
+                    block_id
+                    for block_id, block in self._blocks.items()
+                    if not block.pinned
+                ),
+                None,
+            )
+            if victim is None:
+                return  # only pinned blocks remain; nothing to evict
+            del self._blocks[victim]
+            self.evictions += 1
+
+    def get(self, block_id: str) -> Any:
+        block = self._blocks.pop(block_id)  # re-insert: LRU refresh
+        self._blocks[block_id] = block
+        return block.value
+
+    def __contains__(self, block_id: str) -> bool:
+        return block_id in self._blocks
+
+    def remove(self, block_id: str) -> None:
+        self._blocks.pop(block_id, None)
+
+    def clear(self) -> None:
+        self._blocks.clear()
+
+    def block_ids(self) -> Iterator[str]:
+        return iter(list(self._blocks))
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(block.size_bytes for block in self._blocks.values())
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+
+@dataclass
+class Worker:
+    """A virtual worker node.
+
+    Tasks assigned to a dead worker fail; blocks on a dead worker are gone.
+    Restarting a worker brings back its slots but not its blocks, exactly
+    like replacing a failed machine.
+    """
+
+    worker_id: int
+    cores: int = 8
+    alive: bool = True
+    blocks: BlockStore = field(default_factory=BlockStore)
+    #: Number of tasks this worker has executed (for failure triggers and
+    #: load-balance assertions in tests).
+    tasks_run: int = 0
+
+    def kill(self) -> None:
+        self.alive = False
+        self.blocks.clear()
+
+    def restart(self) -> None:
+        self.alive = True
+        self.blocks = BlockStore(capacity_bytes=self.blocks.capacity_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        status = "alive" if self.alive else "dead"
+        return (
+            f"Worker({self.worker_id}, {status}, blocks={len(self.blocks)}, "
+            f"tasks_run={self.tasks_run})"
+        )

@@ -1,0 +1,15 @@
+"""Shark's public API: :class:`SharkContext`, :class:`TableRDD`,
+:class:`Row`.
+
+This is the paper's Section 4 surface: SQL queries that *return RDDs*
+(``sql2rdd``), row objects with typed accessors for feature extraction
+(``row.get_int("age")``), and distributed ML functions that run in the
+same engine over the same cached data, with one lineage graph covering the
+whole SQL-to-ML pipeline.
+"""
+
+from repro.core.row import Row
+from repro.core.table_rdd import TableRDD
+from repro.core.context import SharkContext
+
+__all__ = ["Row", "TableRDD", "SharkContext"]

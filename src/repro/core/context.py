@@ -1,0 +1,202 @@
+"""SharkContext: the single entry point for SQL + analytics.
+
+Combines the execution engine, the distributed store, the SQL session, and
+the ML integration hooks — the "single system capable of efficient SQL
+query processing and sophisticated machine learning" of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.core.table_rdd import TableRDD
+from repro.datatypes import DataType, STRING, Schema
+from repro.engine.context import EngineContext
+from repro.engine.rdd import RDD
+from repro.sql.catalog import TableEntry
+from repro.sql.planner import ExecutionReport, PlannerConfig
+from repro.sql.session import QueryResult, SqlSession
+from repro.storage import DistributedFileStore
+
+
+class SharkContext:
+    """Run SQL, get results or RDDs, and mix in distributed ML.
+
+    Example (the paper's Listing 1 pipeline)::
+
+        shark = SharkContext(num_workers=4)
+        ...  # create and load 'user' and 'comment' tables
+        users = shark.sql2rdd(
+            "SELECT * FROM user u JOIN comment c ON c.uid = u.uid")
+        features = users.map_rows(lambda row: extract(row)).cache()
+        model = LogisticRegression(iterations=10).fit(features)
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        cores_per_worker: int = 2,
+        default_parallelism: Optional[int] = None,
+        config: Optional[PlannerConfig] = None,
+        store: Optional[DistributedFileStore] = None,
+        enable_master_recovery: bool = False,
+    ):
+        self.engine = EngineContext(
+            num_workers=num_workers,
+            cores_per_worker=cores_per_worker,
+            default_parallelism=default_parallelism,
+        )
+        self.store = store if store is not None else DistributedFileStore()
+        self.session = SqlSession(
+            self.engine,
+            self.store,
+            config=config,
+            enable_master_recovery=enable_master_recovery,
+        )
+
+    @classmethod
+    def recover(
+        cls,
+        store: DistributedFileStore,
+        num_workers: int = 4,
+        cores_per_worker: int = 2,
+        config: Optional[PlannerConfig] = None,
+    ) -> "SharkContext":
+        """Rebuild a master from the journal in ``store`` (footnote 4).
+
+        The journal holds every catalog-mutating operation; replaying it
+        on a fresh master restores the catalog, external table data, and
+        cached tables (recomputed, identical rows).  Registered UDFs are
+        code, not state — re-register them after recovery.
+        """
+        from repro.sql.journal import MasterJournal
+
+        shark = cls(
+            num_workers=num_workers,
+            cores_per_worker=cores_per_worker,
+            config=config,
+            store=store,
+            enable_master_recovery=True,
+        )
+        MasterJournal(store).replay(shark.session)
+        return shark
+
+    # ------------------------------------------------------------------
+    # SQL
+    # ------------------------------------------------------------------
+    def sql(self, text: str) -> QueryResult:
+        """Execute a statement and return its result rows."""
+        return self.session.execute(text)
+
+    def sql2rdd(self, text: str) -> TableRDD:
+        """Compile a SELECT and return the RDD representing its plan
+        (Section 4.1) — nothing executes until an action runs."""
+        from repro.sql.parser import parse
+        from repro.sql import ast
+
+        statement = parse(text)
+        if not isinstance(statement, ast.SelectStatement):
+            raise ValueError("sql2rdd requires a SELECT statement")
+        planned = self.session.plan_select(statement)
+        return TableRDD(planned.rdd, planned.schema)
+
+    def explain(self, text: str) -> str:
+        """The optimized logical plan for a statement, as text."""
+        result = self.session.execute(f"EXPLAIN {text}")
+        return result.plan_text or ""
+
+    @property
+    def last_report(self) -> Optional[ExecutionReport]:
+        """Run-time optimizer decisions of the most recent query."""
+        return self.session.last_report
+
+    # ------------------------------------------------------------------
+    # Catalog and loading
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        cached: bool = False,
+        properties: Optional[dict[str, str]] = None,
+    ) -> None:
+        """Programmatic CREATE TABLE.
+
+        Registers the catalog entry directly (not via DDL text), so it
+        supports complex column types (ARRAY/MAP/STRUCT) that the SQL
+        grammar does not spell.
+        """
+        from repro.sql.catalog import CACHED, EXTERNAL
+
+        props = dict(properties or {})
+        if cached:
+            props["shark.cache"] = "true"
+        entry = TableEntry(
+            name=name,
+            schema=schema,
+            kind=CACHED if cached else EXTERNAL,
+            path=None if cached else f"/warehouse/{name.lower()}",
+            properties=props,
+            row_count=0,
+            size_bytes=0,
+        )
+        if not cached:
+            self.store.write_file(entry.path, [], format="text")
+        self.session.catalog.create(entry)
+
+    def load_rows(
+        self,
+        table: str,
+        rows: Iterable[tuple],
+        num_partitions: Optional[int] = None,
+    ) -> int:
+        """Distributed load into a table's store (Section 3.3)."""
+        return self.session.load_rows(table, rows, num_partitions)
+
+    def table(self, name: str) -> TableRDD:
+        """A TableRDD scanning one catalog table."""
+        return self.sql2rdd(f"SELECT * FROM {name}")
+
+    def table_entry(self, name: str) -> TableEntry:
+        return self.session.catalog.get(name)
+
+    def drop_table(self, name: str, if_exists: bool = True) -> None:
+        suffix = "IF EXISTS " if if_exists else ""
+        self.sql(f"DROP TABLE {suffix}{name}")
+
+    def register_udf(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        return_type: DataType = STRING,
+    ) -> None:
+        """Make a Python function callable from SQL (Hive-style UDF)."""
+        self.session.registry.register(name, fn, return_type)
+
+    # ------------------------------------------------------------------
+    # Engine passthroughs
+    # ------------------------------------------------------------------
+    def parallelize(
+        self, data: Iterable[Any], num_partitions: Optional[int] = None
+    ) -> RDD:
+        return self.engine.parallelize(data, num_partitions)
+
+    def broadcast(self, value: Any):
+        return self.engine.broadcast(value)
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Fault-injection hook for recovery experiments (Section 6.3.3)."""
+        self.engine.kill_worker(worker_id)
+
+    def inject_failure(self, worker_id: int, after_tasks: int):
+        return self.engine.inject_failure(worker_id, after_tasks)
+
+    @property
+    def num_workers(self) -> int:
+        return self.engine.cluster.num_workers
+
+    def __repr__(self) -> str:
+        return (
+            f"SharkContext(workers={self.num_workers}, "
+            f"tables={self.session.catalog.table_names()})"
+        )

@@ -1,0 +1,84 @@
+"""Row: a schema-aware view over one result tuple.
+
+Mirrors the accessors in the paper's Listing 1 (``row.getInt("age")``,
+``row.getStr("country")``), spelled in Python style with camelCase aliases
+for paper fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datatypes import Schema
+
+
+class Row:
+    """One tuple plus its schema; supports name and index access."""
+
+    __slots__ = ("values", "schema")
+
+    def __init__(self, values: tuple, schema: Schema):
+        self.values = values
+        self.schema = schema
+
+    # -- generic access -----------------------------------------------------
+    def get(self, name: str) -> Any:
+        return self.values[self.schema.index_of(name)]
+
+    def __getitem__(self, key) -> Any:
+        if isinstance(key, int):
+            return self.values[key]
+        return self.get(key)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    # -- typed accessors (paper Listing 1) ----------------------------------
+    def get_int(self, name: str) -> int:
+        value = self.get(name)
+        return int(value) if value is not None else None
+
+    def get_long(self, name: str) -> int:
+        return self.get_int(name)
+
+    def get_double(self, name: str) -> float:
+        value = self.get(name)
+        return float(value) if value is not None else None
+
+    def get_str(self, name: str) -> str:
+        value = self.get(name)
+        return str(value) if value is not None else None
+
+    def get_bool(self, name: str) -> bool:
+        value = self.get(name)
+        return bool(value) if value is not None else None
+
+    # CamelCase aliases matching the paper's Scala API.
+    getInt = get_int
+    getLong = get_long
+    getDouble = get_double
+    getStr = get_str
+    getBool = get_bool
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(zip(self.schema.names, self.values))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={value!r}"
+            for name, value in zip(self.schema.names, self.values)
+        )
+        return f"Row({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self.values == other.values
+        if isinstance(other, tuple):
+            return self.values == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.values)

@@ -1,0 +1,85 @@
+"""TableRDD: the RDD a SQL query returns (paper Section 4.1).
+
+``sql2rdd`` gives callers "the RDD representing the query plan"; this
+wrapper carries the result schema so downstream code can extract features
+by column name (``mapRows``) and keeps the full RDD algebra available via
+delegation — the whole pipeline stays one lineage graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.row import Row
+from repro.datatypes import Schema
+from repro.engine.rdd import RDD
+
+
+class TableRDD:
+    """An RDD of row tuples plus the schema describing them."""
+
+    def __init__(self, rdd: RDD, schema: Schema):
+        self.rdd = rdd
+        self.schema = schema
+
+    # ------------------------------------------------------------------
+    # Row-oriented operations (the paper's API)
+    # ------------------------------------------------------------------
+    def map_rows(self, fn: Callable[[Row], Any]) -> RDD:
+        """Apply ``fn`` to each row as a schema-aware :class:`Row`.
+
+        Returns a plain engine RDD: the natural next step is feature
+        extraction into vectors for the ML library (Listing 1).
+        """
+        schema = self.schema
+        return self.rdd.map(lambda values: fn(Row(values, schema)))
+
+    mapRows = map_rows
+
+    def filter_rows(self, predicate: Callable[[Row], bool]) -> "TableRDD":
+        schema = self.schema
+        filtered = self.rdd.filter(
+            lambda values: predicate(Row(values, schema))
+        )
+        return TableRDD(filtered, schema)
+
+    def select(self, *names: str) -> "TableRDD":
+        indices = [self.schema.index_of(name) for name in names]
+        projected = self.rdd.map(
+            lambda values, idx=tuple(indices): tuple(values[i] for i in idx)
+        )
+        return TableRDD(projected, self.schema.select(list(names)))
+
+    def column(self, name: str) -> RDD:
+        index = self.schema.index_of(name)
+        return self.rdd.map(lambda values: values[index])
+
+    # ------------------------------------------------------------------
+    # Delegation to the underlying RDD
+    # ------------------------------------------------------------------
+    def cache(self) -> "TableRDD":
+        self.rdd.cache()
+        return self
+
+    def collect(self) -> list[tuple]:
+        return self.rdd.collect()
+
+    def collect_rows(self) -> list[Row]:
+        return [Row(values, self.schema) for values in self.rdd.collect()]
+
+    def count(self) -> int:
+        return self.rdd.count()
+
+    def take(self, n: int) -> list[tuple]:
+        return self.rdd.take(n)
+
+    @property
+    def num_partitions(self) -> int:
+        return self.rdd.num_partitions
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.schema.names
+
+    def __repr__(self) -> str:
+        return f"TableRDD({self.schema!r}, partitions={self.num_partitions})"

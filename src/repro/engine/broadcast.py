@@ -1,0 +1,40 @@
+"""Broadcast variables: read-only values shipped once to every worker.
+
+Shark's map join (Section 3.1.1) broadcasts the small table to all nodes.
+In this in-process engine the value is shared by reference, but the size is
+recorded so the cost model can charge for the network transfer, and the
+broadcast registry lets tests assert what got broadcast and how big it was.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.worker import approximate_size_bytes
+
+
+class Broadcast:
+    """A read-only value available to every task via ``.value``."""
+
+    def __init__(self, broadcast_id: int, value: Any):
+        self.broadcast_id = broadcast_id
+        self._value = value
+        self.size_bytes = approximate_size_bytes(value)
+        self._destroyed = False
+
+    @property
+    def value(self) -> Any:
+        if self._destroyed:
+            raise ValueError(
+                f"broadcast {self.broadcast_id} was destroyed and cannot be read"
+            )
+        return self._value
+
+    def destroy(self) -> None:
+        """Release the value (frees worker memory on a real cluster)."""
+        self._destroyed = True
+        self._value = None
+
+    def __repr__(self) -> str:
+        status = "destroyed" if self._destroyed else f"{self.size_bytes}B"
+        return f"Broadcast({self.broadcast_id}, {status})"

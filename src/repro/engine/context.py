@@ -1,0 +1,151 @@
+"""EngineContext: the driver-side entry point to the execution engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.cluster import VirtualCluster
+from repro.engine.broadcast import Broadcast
+from repro.engine.dependencies import ShuffleDependency
+from repro.engine.metrics import QueryProfile
+from repro.engine.rdd import RDD, DataRDD, ShuffledRDD
+from repro.engine.scheduler import DAGScheduler
+from repro.engine.shuffle import MapOutputStats, ShuffleManager
+from repro.engine.task import CacheTracker
+
+
+class EngineContext:
+    """Driver context: owns the cluster, scheduler, shuffle and cache state.
+
+    Analogous to SparkContext.  Create one per application::
+
+        ctx = EngineContext(num_workers=4)
+        counts = (
+            ctx.parallelize(visits)
+            .map(lambda v: (v.url, 1))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        cores_per_worker: int = 2,
+        default_parallelism: Optional[int] = None,
+        memory_per_worker_bytes: Optional[int] = None,
+    ):
+        self.cluster = VirtualCluster(
+            num_workers,
+            cores_per_worker,
+            memory_per_worker_bytes=memory_per_worker_bytes,
+        )
+        self.shuffle_manager = ShuffleManager(self.cluster)
+        self.cache_tracker = CacheTracker(self.cluster)
+        self.scheduler = DAGScheduler(self)
+        self.default_parallelism = (
+            default_parallelism
+            if default_parallelism is not None
+            else num_workers * cores_per_worker
+        )
+        self._next_rdd_id = 0
+        self._next_broadcast_id = 0
+
+    # ------------------------------------------------------------------
+    # RDD creation
+    # ------------------------------------------------------------------
+    def new_rdd_id(self) -> int:
+        rdd_id = self._next_rdd_id
+        self._next_rdd_id += 1
+        return rdd_id
+
+    def parallelize(
+        self, data: Iterable[Any], num_partitions: Optional[int] = None
+    ) -> RDD:
+        """Distribute a local collection into an RDD."""
+        items = list(data)
+        parts = num_partitions or self.default_parallelism
+        parts = max(1, min(parts, max(len(items), 1)))
+        slices: list[list] = [[] for _ in range(parts)]
+        # Contiguous slicing preserves input order across collect().
+        base, extra = divmod(len(items), parts)
+        start = 0
+        for index in range(parts):
+            end = start + base + (1 if index < extra else 0)
+            slices[index] = items[start:end]
+            start = end
+        return DataRDD(self, slices)
+
+    def empty_rdd(self) -> RDD:
+        return DataRDD(self, [[]])
+
+    def union(self, rdds: list[RDD]) -> RDD:
+        from repro.engine.rdd import UnionRDD
+
+        return UnionRDD(self, rdds)
+
+    # ------------------------------------------------------------------
+    # Shared variables
+    # ------------------------------------------------------------------
+    def broadcast(self, value: Any) -> Broadcast:
+        broadcast = Broadcast(self._next_broadcast_id, value)
+        self._next_broadcast_id += 1
+        return broadcast
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+    def run_job(
+        self,
+        rdd: RDD,
+        func: Callable[[list], Any],
+        partitions: Optional[list[int]] = None,
+    ) -> list:
+        return self.scheduler.run_job(rdd, func, partitions)
+
+    def materialize_shuffle(self, shuffled: ShuffledRDD) -> MapOutputStats:
+        """PDE: run only the map side of ``shuffled``'s shuffle and return
+        the collected statistics.  The reduce side can then be planned (or
+        abandoned for a broadcast join) based on what was observed; if the
+        shuffled RDD is later executed, its map stage is skipped because
+        the outputs already exist."""
+        return self.scheduler.materialize_shuffle(shuffled.shuffle_dep)
+
+    def materialize_dependency(self, dep: ShuffleDependency) -> MapOutputStats:
+        return self.scheduler.materialize_shuffle(dep)
+
+    @property
+    def last_profile(self) -> Optional[QueryProfile]:
+        """Metrics of the most recently executed job."""
+        return self.scheduler.last_profile
+
+    def reset_profiles(self) -> None:
+        """Clear the job-profile history (call before a measured query)."""
+        self.scheduler.reset_history()
+
+    @property
+    def profiles(self) -> list[QueryProfile]:
+        """Profiles of every job since the last reset (a single SQL query
+        may span several: PDE pre-shuffles, sampling, the final collect)."""
+        return list(self.scheduler.history)
+
+    # ------------------------------------------------------------------
+    # Cluster control (failure experiments, elasticity)
+    # ------------------------------------------------------------------
+    def kill_worker(self, worker_id: int) -> None:
+        self.cluster.kill_worker(worker_id)
+
+    def restart_worker(self, worker_id: int) -> None:
+        self.cluster.restart_worker(worker_id)
+
+    def inject_failure(self, worker_id: int, after_tasks: int):
+        return self.cluster.inject_failure(worker_id, after_tasks)
+
+    def add_worker(self, cores: int = 2):
+        return self.cluster.add_worker(cores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"EngineContext(workers={self.cluster.num_workers}, "
+            f"default_parallelism={self.default_parallelism})"
+        )

@@ -1,0 +1,115 @@
+"""RDD dependencies: the edges of the lineage graph.
+
+Narrow dependencies (each output partition depends on a bounded set of
+parent partitions) let the scheduler pipeline operators inside one task and
+recompute a lost partition by recomputing only its parents.  Shuffle (wide)
+dependencies are stage boundaries: the parent stage materializes bucketed
+map output, and child tasks fetch buckets from every map task.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.engine.partitioner import Partitioner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.rdd import RDD
+
+
+class Dependency:
+    """Base class: a dependency on a parent RDD."""
+
+    def __init__(self, rdd: "RDD"):
+        self.rdd = rdd
+
+
+class NarrowDependency(Dependency):
+    """Each child partition depends on a bounded set of parent partitions."""
+
+    def parents(self, partition: int) -> list[int]:
+        raise NotImplementedError
+
+
+class OneToOneDependency(NarrowDependency):
+    """Child partition i depends exactly on parent partition i."""
+
+    def parents(self, partition: int) -> list[int]:
+        return [partition]
+
+
+class RangeDependency(NarrowDependency):
+    """Used by union: child partitions [out_start, out_start+length) map to
+    parent partitions [in_start, in_start+length)."""
+
+    def __init__(self, rdd: "RDD", in_start: int, out_start: int, length: int):
+        super().__init__(rdd)
+        self.in_start = in_start
+        self.out_start = out_start
+        self.length = length
+
+    def parents(self, partition: int) -> list[int]:
+        if self.out_start <= partition < self.out_start + self.length:
+            return [partition - self.out_start + self.in_start]
+        return []
+
+
+class ManyToOneDependency(NarrowDependency):
+    """Used by coalesce: child partition i depends on an explicit group of
+    parent partitions."""
+
+    def __init__(self, rdd: "RDD", groups: list[list[int]]):
+        super().__init__(rdd)
+        self.groups = groups
+
+    def parents(self, partition: int) -> list[int]:
+        return self.groups[partition]
+
+
+class Aggregator:
+    """Map-side and reduce-side combining functions for a shuffle.
+
+    Mirrors Spark's Aggregator: ``create_combiner`` seeds a combiner from
+    the first value of a key, ``merge_value`` folds further values in, and
+    ``merge_combiners`` merges partial combiners across map outputs.
+    """
+
+    def __init__(
+        self,
+        create_combiner: Callable[[Any], Any],
+        merge_value: Callable[[Any, Any], Any],
+        merge_combiners: Callable[[Any, Any], Any],
+    ):
+        self.create_combiner = create_combiner
+        self.merge_value = merge_value
+        self.merge_combiners = merge_combiners
+
+
+class ShuffleDependency(Dependency):
+    """A wide dependency: repartition parent records by key.
+
+    Parent records must be ``(key, value)`` pairs.  When ``aggregator`` is
+    set and ``map_side_combine`` is true, map tasks pre-aggregate per key
+    before writing buckets (the "task-local aggregations" of Section 6.2.2).
+    ``stats_collectors`` are PDE's pluggable accumulators (Section 3.1):
+    they observe map output as it is materialized and their merged results
+    are available to the optimizer before the reduce stage is planned.
+    """
+
+    _next_shuffle_id = 0
+
+    def __init__(
+        self,
+        rdd: "RDD",
+        partitioner: Partitioner,
+        aggregator: Optional[Aggregator] = None,
+        map_side_combine: bool = False,
+        stats_collectors: tuple = (),
+    ):
+        super().__init__(rdd)
+        self.partitioner = partitioner
+        self.aggregator = aggregator
+        self.map_side_combine = map_side_combine and aggregator is not None
+        self.stats_collectors = tuple(stats_collectors)
+        self.shuffle_id = ShuffleDependency._next_shuffle_id
+        ShuffleDependency._next_shuffle_id += 1

@@ -1,0 +1,132 @@
+"""Task, stage and query metrics recorded during real execution.
+
+Every executed task fills in a :class:`TaskMetrics`; the scheduler rolls
+them up into :class:`StageProfile` and :class:`QueryProfile`.  These feed
+two consumers:
+
+* the PDE optimizer, which reads per-partition sizes and statistics at
+  shuffle boundaries to re-plan the rest of the query (Section 3.1), and
+* the cost model, which converts measured volumes into cluster-scale
+  seconds for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel.models import (
+    SOURCE_GENERATED,
+    TaskCostVector,
+)
+
+
+@dataclass
+class TaskMetrics:
+    """Volumes one task consumed and produced during real execution."""
+
+    stage_id: int = -1
+    partition: int = -1
+    worker_id: int = -1
+    records_in: int = 0
+    bytes_in: int = 0
+    records_out: int = 0
+    bytes_out: int = 0
+    shuffle_read_bytes: int = 0
+    shuffle_write_bytes: int = 0
+    shuffle_write_records: int = 0
+    #: Dominant input source observed ("memory", "disk", "shuffle",
+    #: "generated"); scan operators set this explicitly.
+    source: str = SOURCE_GENERATED
+    #: Number of times this task was attempted (>1 after failures or
+    #: speculation).
+    attempts: int = 1
+
+    def to_cost_vector(self) -> TaskCostVector:
+        """Convert to the cost-model representation."""
+        return TaskCostVector(
+            records_in=float(self.records_in),
+            bytes_in=float(self.bytes_in),
+            records_out=float(self.records_out),
+            bytes_out=float(self.bytes_out),
+            shuffle_write_bytes=float(self.shuffle_write_bytes),
+            shuffle_read_bytes=float(self.shuffle_read_bytes),
+            source=self.source,
+        )
+
+
+@dataclass
+class StageProfile:
+    """Rolled-up metrics for one executed stage."""
+
+    stage_id: int
+    name: str
+    is_shuffle_map: bool
+    #: True when this shuffle pre-aggregates per key on the map side; its
+    #: output volume then scales with the number of map tasks, not with
+    #: the data volume (each map emits ~one record per group).
+    map_side_combined: bool = False
+    tasks: list[TaskMetrics] = field(default_factory=list)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def records_in(self) -> int:
+        return sum(task.records_in for task in self.tasks)
+
+    @property
+    def bytes_in(self) -> int:
+        return sum(task.bytes_in for task in self.tasks)
+
+    @property
+    def records_out(self) -> int:
+        return sum(task.records_out for task in self.tasks)
+
+    @property
+    def shuffle_write_bytes(self) -> int:
+        return sum(task.shuffle_write_bytes for task in self.tasks)
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(task.attempts for task in self.tasks)
+
+    def cost_vectors(self) -> list[TaskCostVector]:
+        return [task.to_cost_vector() for task in self.tasks]
+
+
+@dataclass
+class QueryProfile:
+    """All stages executed for one job (action)."""
+
+    job_id: int
+    stages: list[StageProfile] = field(default_factory=list)
+    #: Tasks re-executed due to worker failures (lineage recovery).
+    recovered_tasks: int = 0
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(stage.num_tasks for stage in self.stages)
+
+    def stage_named(self, name: str) -> StageProfile:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage named {name!r} in job {self.job_id}")
+
+    def describe(self) -> str:
+        lines = [f"job {self.job_id}: {self.num_stages} stages"]
+        for stage in self.stages:
+            kind = "shuffle-map" if stage.is_shuffle_map else "result"
+            lines.append(
+                f"  stage {stage.stage_id} ({kind}, {stage.name}): "
+                f"{stage.num_tasks} tasks, {stage.records_in} records in, "
+                f"{stage.records_out} records out"
+            )
+        if self.recovered_tasks:
+            lines.append(f"  recovered tasks: {self.recovered_tasks}")
+        return "\n".join(lines)

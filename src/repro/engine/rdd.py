@@ -1,0 +1,864 @@
+"""Resilient Distributed Datasets: immutable, partitioned, lineage-tracked.
+
+An RDD is defined by its partitions, its dependencies on parent RDDs, and a
+deterministic ``compute`` function per partition (Section 2.2).  All
+transformations are lazy; actions call into the DAG scheduler.  Pair
+operations (reduce_by_key, join, cogroup, ...) follow PySpark's convention
+of living directly on RDD and requiring (key, value) elements at run time.
+
+Determinism is load-bearing: recovery re-runs ``compute`` and must get the
+same records, so samplers are seeded per partition and partitioners use a
+stable hash.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from repro.engine.dependencies import (
+    Aggregator,
+    Dependency,
+    ManyToOneDependency,
+    OneToOneDependency,
+    RangeDependency,
+    ShuffleDependency,
+)
+from repro.engine.partitioner import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import EngineContext
+    from repro.engine.task import TaskContext
+
+
+class RDD:
+    """Base class for all RDDs.
+
+    Subclasses implement :meth:`compute`; everything else (the operator
+    algebra, caching, actions) is inherited.
+    """
+
+    def __init__(
+        self,
+        ctx: "EngineContext",
+        num_partitions: int,
+        dependencies: list[Dependency],
+        partitioner: Optional[Partitioner] = None,
+        name: str = "",
+    ):
+        if num_partitions <= 0:
+            raise ValueError("an RDD needs at least one partition")
+        self.ctx = ctx
+        self.id = ctx.new_rdd_id()
+        self.num_partitions = num_partitions
+        self.dependencies = dependencies
+        self.partitioner = partitioner
+        self.name = name or type(self).__name__
+        self._cached = False
+
+    # ------------------------------------------------------------------
+    # Core contract
+    # ------------------------------------------------------------------
+    def compute(self, split: int, task_ctx: "TaskContext") -> list:
+        """Materialize partition ``split``.  Must be deterministic."""
+        raise NotImplementedError
+
+    def iterator(self, split: int, task_ctx: "TaskContext") -> list:
+        """Read a partition through the cache if this RDD is persisted."""
+        if self._cached:
+            cached = task_ctx.read_cached(self.id, split)
+            if cached is not None:
+                return cached
+            data = self.compute(split, task_ctx)
+            task_ctx.write_cached(self.id, split, data)
+            return data
+        return self.compute(split, task_ctx)
+
+    def preferred_workers(self, split: int) -> list[int]:
+        """Workers that already hold this partition's data (locality)."""
+        if self._cached:
+            location = self.ctx.cache_tracker.location(self.id, split)
+            if location is not None:
+                return [location]
+        for dep in self.dependencies:
+            if isinstance(dep, OneToOneDependency):
+                return dep.rdd.preferred_workers(split)
+        return []
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def cache(self) -> "RDD":
+        """Keep computed partitions in worker memory (one copy, no
+        replication; lineage recovers lost blocks)."""
+        self._cached = True
+        return self
+
+    persist = cache
+
+    def unpersist(self) -> "RDD":
+        self._cached = False
+        self.ctx.cache_tracker.unpersist(self.id)
+        return self
+
+    @property
+    def is_cached(self) -> bool:
+        return self._cached
+
+    # ------------------------------------------------------------------
+    # Basic transformations
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any]) -> "RDD":
+        return MapPartitionsRDD(
+            self,
+            lambda _, part: [fn(item) for item in part],
+            name="map",
+        )
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "RDD":
+        return MapPartitionsRDD(
+            self,
+            lambda _, part: [item for item in part if predicate(item)],
+            preserves_partitioning=True,
+            name="filter",
+        )
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "RDD":
+        return MapPartitionsRDD(
+            self,
+            lambda _, part: [out for item in part for out in fn(item)],
+            name="flat_map",
+        )
+
+    def map_partitions(
+        self, fn: Callable[[Iterable[Any]], Iterable[Any]],
+        preserves_partitioning: bool = False,
+    ) -> "RDD":
+        return MapPartitionsRDD(
+            self,
+            lambda _, part: list(fn(part)),
+            preserves_partitioning=preserves_partitioning,
+            name="map_partitions",
+        )
+
+    def map_partitions_with_index(
+        self, fn: Callable[[int, Iterable[Any]], Iterable[Any]],
+        preserves_partitioning: bool = False,
+    ) -> "RDD":
+        return MapPartitionsRDD(
+            self,
+            lambda split, part: list(fn(split, part)),
+            preserves_partitioning=preserves_partitioning,
+            name="map_partitions_with_index",
+        )
+
+    def glom(self) -> "RDD":
+        """Each partition becomes a single list element."""
+        return MapPartitionsRDD(self, lambda _, part: [list(part)], name="glom")
+
+    def union(self, other: "RDD") -> "RDD":
+        return UnionRDD(self.ctx, [self, other])
+
+    def distinct(self, num_partitions: Optional[int] = None) -> "RDD":
+        paired = self.map(lambda item: (item, None))
+        reduced = paired.reduce_by_key(lambda a, _: a, num_partitions)
+        return reduced.map(lambda pair: pair[0])
+
+    def sample(self, fraction: float, seed: int = 17) -> "RDD":
+        """Bernoulli sample; seeded per partition for deterministic replay."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+
+        def sample_partition(split: int, part: Iterable[Any]) -> list:
+            rng = random.Random(seed * 1_000_003 + split)
+            return [item for item in part if rng.random() < fraction]
+
+        return MapPartitionsRDD(
+            self, sample_partition, preserves_partitioning=True, name="sample"
+        )
+
+    def key_by(self, fn: Callable[[Any], Any]) -> "RDD":
+        return self.map(lambda item: (fn(item), item))
+
+    def zip_with_index(self) -> "RDD":
+        """Pairs each element with its global index.  Eagerly runs a count
+        job to learn partition offsets, like Spark."""
+        counts = self.ctx.run_job(self, lambda part: len(part))
+        offsets = [0] * self.num_partitions
+        running = 0
+        for split, count in enumerate(counts):
+            offsets[split] = running
+            running += count
+
+        def with_index(split: int, part: Iterable[Any]) -> list:
+            base = offsets[split]
+            return [(item, base + i) for i, item in enumerate(part)]
+
+        return MapPartitionsRDD(
+            self, with_index, preserves_partitioning=False, name="zip_with_index"
+        )
+
+    def coalesce(self, num_partitions: int) -> "RDD":
+        """Reduce partition count without a shuffle (narrow many-to-one)."""
+        if num_partitions >= self.num_partitions:
+            return self
+        return CoalescedRDD(self, num_partitions)
+
+    def coalesce_grouped(self, groups: list[list[int]]) -> "RDD":
+        """Coalesce with an explicit parent-partition grouping.
+
+        PDE's skew-aware bin-packing (Section 3.1.2) computes the groups
+        from observed partition sizes and applies them here.
+        """
+        return CoalescedRDD(self, len(groups), groups=groups)
+
+    def repartition(self, num_partitions: int) -> "RDD":
+        """Redistribute evenly via a shuffle on a synthetic key."""
+        paired = self.map_partitions_with_index(
+            lambda split, part: [
+                ((split * 7919 + i), item) for i, item in enumerate(part)
+            ]
+        )
+        shuffled = paired.partition_by(HashPartitioner(num_partitions))
+        return shuffled.map(lambda pair: pair[1])
+
+    # ------------------------------------------------------------------
+    # Pair transformations
+    # ------------------------------------------------------------------
+    def map_values(self, fn: Callable[[Any], Any]) -> "RDD":
+        return MapPartitionsRDD(
+            self,
+            lambda _, part: [(key, fn(value)) for key, value in part],
+            preserves_partitioning=True,
+            name="map_values",
+        )
+
+    def flat_map_values(self, fn: Callable[[Any], Iterable[Any]]) -> "RDD":
+        return MapPartitionsRDD(
+            self,
+            lambda _, part: [
+                (key, out) for key, value in part for out in fn(value)
+            ],
+            preserves_partitioning=True,
+            name="flat_map_values",
+        )
+
+    def keys(self) -> "RDD":
+        return self.map(lambda pair: pair[0])
+
+    def values(self) -> "RDD":
+        return self.map(lambda pair: pair[1])
+
+    def partition_by(
+        self,
+        partitioner: Partitioner,
+        stats_collectors: tuple = (),
+    ) -> "RDD":
+        """Shuffle (key, value) pairs by key with the given partitioner."""
+        if self.partitioner == partitioner:
+            return self
+        return ShuffledRDD(
+            self, partitioner, stats_collectors=stats_collectors
+        )
+
+    def combine_by_key(
+        self,
+        create_combiner: Callable[[Any], Any],
+        merge_value: Callable[[Any, Any], Any],
+        merge_combiners: Callable[[Any, Any], Any],
+        num_partitions: Optional[int] = None,
+        map_side_combine: bool = True,
+        stats_collectors: tuple = (),
+    ) -> "RDD":
+        aggregator = Aggregator(create_combiner, merge_value, merge_combiners)
+        partitioner = self._target_partitioner(num_partitions)
+        if self.partitioner == partitioner:
+            # Already partitioned by key: combine locally, no shuffle.
+            def combine_local(_: int, part: Iterable[Any]) -> list:
+                combined: dict = {}
+                for key, value in part:
+                    if key in combined:
+                        combined[key] = merge_value(combined[key], value)
+                    else:
+                        combined[key] = create_combiner(value)
+                return list(combined.items())
+
+            return MapPartitionsRDD(
+                self, combine_local, preserves_partitioning=True,
+                name="combine_local",
+            )
+        return ShuffledRDD(
+            self,
+            partitioner,
+            aggregator=aggregator,
+            map_side_combine=map_side_combine,
+            stats_collectors=stats_collectors,
+        )
+
+    def reduce_by_key(
+        self,
+        fn: Callable[[Any, Any], Any],
+        num_partitions: Optional[int] = None,
+        stats_collectors: tuple = (),
+    ) -> "RDD":
+        return self.combine_by_key(
+            lambda value: value, fn, fn, num_partitions,
+            stats_collectors=stats_collectors,
+        )
+
+    def fold_by_key(
+        self,
+        zero: Any,
+        fn: Callable[[Any, Any], Any],
+        num_partitions: Optional[int] = None,
+    ) -> "RDD":
+        return self.combine_by_key(
+            lambda value: fn(zero, value), fn, fn, num_partitions
+        )
+
+    def aggregate_by_key(
+        self,
+        zero: Any,
+        seq_fn: Callable[[Any, Any], Any],
+        comb_fn: Callable[[Any, Any], Any],
+        num_partitions: Optional[int] = None,
+    ) -> "RDD":
+        return self.combine_by_key(
+            lambda value: seq_fn(zero, value), seq_fn, comb_fn, num_partitions
+        )
+
+    def group_by_key(self, num_partitions: Optional[int] = None) -> "RDD":
+        return self.combine_by_key(
+            lambda value: [value],
+            lambda acc, value: acc + [value],
+            lambda left, right: left + right,
+            num_partitions,
+            map_side_combine=False,
+        )
+
+    def group_by(
+        self, fn: Callable[[Any], Any], num_partitions: Optional[int] = None
+    ) -> "RDD":
+        return self.key_by(fn).group_by_key(num_partitions)
+
+    def cogroup(self, other: "RDD", num_partitions: Optional[int] = None) -> "RDD":
+        partitioner = self._target_partitioner(num_partitions, other)
+        return CoGroupedRDD(self.ctx, [self, other], partitioner)
+
+    def join(self, other: "RDD", num_partitions: Optional[int] = None) -> "RDD":
+        """Inner equi-join of two pair RDDs.
+
+        When both sides are already partitioned the same way (Shark's
+        co-partitioned tables, Section 3.4), cogroup uses narrow
+        dependencies and no shuffle occurs.
+        """
+        def emit(pair):
+            key, (left_values, right_values) = pair
+            return [
+                (key, (lv, rv)) for lv in left_values for rv in right_values
+            ]
+
+        return self.cogroup(other, num_partitions).flat_map(emit)
+
+    def left_outer_join(
+        self, other: "RDD", num_partitions: Optional[int] = None
+    ) -> "RDD":
+        def emit(pair):
+            key, (left_values, right_values) = pair
+            if not right_values:
+                return [(key, (lv, None)) for lv in left_values]
+            return [
+                (key, (lv, rv)) for lv in left_values for rv in right_values
+            ]
+
+        return self.cogroup(other, num_partitions).flat_map(emit)
+
+    def right_outer_join(
+        self, other: "RDD", num_partitions: Optional[int] = None
+    ) -> "RDD":
+        def emit(pair):
+            key, (left_values, right_values) = pair
+            if not left_values:
+                return [(key, (None, rv)) for rv in right_values]
+            return [
+                (key, (lv, rv)) for lv in left_values for rv in right_values
+            ]
+
+        return self.cogroup(other, num_partitions).flat_map(emit)
+
+    def full_outer_join(
+        self, other: "RDD", num_partitions: Optional[int] = None
+    ) -> "RDD":
+        def emit(pair):
+            key, (left_values, right_values) = pair
+            if not left_values:
+                return [(key, (None, rv)) for rv in right_values]
+            if not right_values:
+                return [(key, (lv, None)) for lv in left_values]
+            return [
+                (key, (lv, rv)) for lv in left_values for rv in right_values
+            ]
+
+        return self.cogroup(other, num_partitions).flat_map(emit)
+
+    # ------------------------------------------------------------------
+    # Sorting
+    # ------------------------------------------------------------------
+    def sort_by(
+        self,
+        key_fn: Callable[[Any], Any],
+        ascending: bool = True,
+        num_partitions: Optional[int] = None,
+    ) -> "RDD":
+        """Total sort: sample for range bounds, shuffle, sort partitions."""
+        target = num_partitions or self.ctx.default_parallelism
+        # Range bounds come from a sample (as in Spark's RangePartitioner);
+        # small inputs fall back to exact keys so bounds stay meaningful.
+        keys_rdd = self.map(key_fn)
+        keys = keys_rdd.sample(0.1, seed=29).collect()
+        if len(keys) < max(20 * target, 100):
+            keys = keys_rdd.collect()
+        if not keys:
+            return self
+        if target > 1:
+            sorted_keys = sorted(keys)
+            step = max(1, len(sorted_keys) // target)
+            bounds = sorted_keys[step::step][: target - 1]
+        else:
+            bounds = []
+        partitioner = RangePartitioner(bounds, ascending=ascending)
+        paired = self.map(lambda item: (key_fn(item), item))
+        shuffled = ShuffledRDD(paired, partitioner)
+
+        def sort_partition(_: int, part: Iterable[Any]) -> list:
+            ordered = sorted(part, key=lambda pair: pair[0], reverse=not ascending)
+            return [value for __, value in ordered]
+
+        return MapPartitionsRDD(shuffled, sort_partition, name="sort")
+
+    def sort_by_key(
+        self, ascending: bool = True, num_partitions: Optional[int] = None
+    ) -> "RDD":
+        return self.sort_by(lambda pair: pair[0], ascending, num_partitions)
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def collect(self) -> list:
+        parts = self.ctx.run_job(self, list)
+        return [item for part in parts for item in part]
+
+    def count(self) -> int:
+        return sum(self.ctx.run_job(self, len))
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        def reduce_partition(part: list) -> list:
+            if not part:
+                return []
+            acc = part[0]
+            for item in part[1:]:
+                acc = fn(acc, item)
+            return [acc]
+
+        partials = [
+            item
+            for part in self.ctx.run_job(self, reduce_partition)
+            for item in part
+        ]
+        if not partials:
+            raise ValueError("reduce on an empty RDD")
+        acc = partials[0]
+        for item in partials[1:]:
+            acc = fn(acc, item)
+        return acc
+
+    def fold(self, zero: Any, fn: Callable[[Any, Any], Any]) -> Any:
+        def fold_partition(part: list) -> Any:
+            acc = zero
+            for item in part:
+                acc = fn(acc, item)
+            return acc
+
+        acc = zero
+        for partial in self.ctx.run_job(self, fold_partition):
+            acc = fn(acc, partial)
+        return acc
+
+    def aggregate(
+        self,
+        zero: Any,
+        seq_fn: Callable[[Any, Any], Any],
+        comb_fn: Callable[[Any, Any], Any],
+    ) -> Any:
+        def agg_partition(part: list) -> Any:
+            acc = zero
+            for item in part:
+                acc = seq_fn(acc, item)
+            return acc
+
+        acc = zero
+        for partial in self.ctx.run_job(self, agg_partition):
+            acc = comb_fn(acc, partial)
+        return acc
+
+    def take(self, n: int) -> list:
+        """First n elements, scanning partitions incrementally."""
+        if n <= 0:
+            return []
+        taken: list = []
+        for split in range(self.num_partitions):
+            parts = self.ctx.run_job(self, list, partitions=[split])
+            taken.extend(parts[0])
+            if len(taken) >= n:
+                return taken[:n]
+        return taken
+
+    def first(self) -> Any:
+        items = self.take(1)
+        if not items:
+            raise ValueError("first on an empty RDD")
+        return items[0]
+
+    def top(self, n: int, key: Callable[[Any], Any] = None) -> list:
+        def top_partition(part: list) -> list:
+            return sorted(part, key=key, reverse=True)[:n]
+
+        partials = [
+            item for part in self.ctx.run_job(self, top_partition) for item in part
+        ]
+        return sorted(partials, key=key, reverse=True)[:n]
+
+    def sum(self) -> Any:
+        return self.fold(0, lambda a, b: a + b)
+
+    def mean(self) -> float:
+        total, count = self.aggregate(
+            (0.0, 0),
+            lambda acc, item: (acc[0] + item, acc[1] + 1),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        if count == 0:
+            raise ValueError("mean on an empty RDD")
+        return total / count
+
+    def min(self) -> Any:
+        return self.reduce(lambda a, b: a if a <= b else b)
+
+    def max(self) -> Any:
+        return self.reduce(lambda a, b: a if a >= b else b)
+
+    def count_by_key(self) -> dict:
+        counts: dict = {}
+        for key, __ in self.collect():
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def count_by_value(self) -> dict:
+        counts: dict = {}
+        for item in self.collect():
+            counts[item] = counts.get(item, 0) + 1
+        return counts
+
+    def collect_as_map(self) -> dict:
+        return dict(self.collect())
+
+    def lookup(self, key: Any) -> list:
+        """Values for one key of a pair RDD — a fine-grained random read.
+
+        Section 7.1: "while RDDs only support coarse-grained operations
+        for their writes, read operations on them can be fine-grained,
+        accessing just one record.  This would allow RDDs to be used as
+        indices."  With a known partitioner only the partition holding
+        ``key`` is read; otherwise every partition is scanned.
+        """
+        if self.partitioner is not None:
+            split = self.partitioner.partition(key)
+            parts = self.ctx.run_job(
+                self,
+                lambda part: [v for k, v in part if k == key],
+                partitions=[split],
+            )
+            return parts[0]
+        return [v for k, v in self.collect() if k == key]
+
+    def foreach_partition(self, fn: Callable[[list], None]) -> None:
+        def run(part: list) -> None:
+            fn(part)
+
+        self.ctx.run_job(self, run)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _target_partitioner(
+        self, num_partitions: Optional[int], other: Optional["RDD"] = None
+    ) -> Partitioner:
+        """Pick the partitioner for a shuffle: reuse an existing one when a
+        parent already has a compatible partitioning, else hash."""
+        if num_partitions is not None:
+            return HashPartitioner(num_partitions)
+        for candidate in (self, other):
+            if candidate is not None and candidate.partitioner is not None:
+                return candidate.partitioner
+        return HashPartitioner(self.ctx.default_parallelism)
+
+    def set_name(self, name: str) -> "RDD":
+        self.name = name
+        return self
+
+    def __repr__(self) -> str:
+        return f"{self.name}[{self.id}] ({self.num_partitions} partitions)"
+
+
+class DataRDD(RDD):
+    """Source RDD over pre-split in-driver data (``ctx.parallelize``)."""
+
+    def __init__(self, ctx: "EngineContext", slices: list[list]):
+        super().__init__(ctx, max(len(slices), 1), [], name="parallelize")
+        self._slices = slices if slices else [[]]
+
+    def compute(self, split: int, task_ctx: "TaskContext") -> list:
+        data = list(self._slices[split])
+        task_ctx.metrics.records_in += len(data)
+        return data
+
+
+class MapPartitionsRDD(RDD):
+    """Applies ``fn(split, partition) -> list`` over one parent partition."""
+
+    def __init__(
+        self,
+        parent: RDD,
+        fn: Callable[[int, list], list],
+        preserves_partitioning: bool = False,
+        name: str = "map_partitions",
+    ):
+        super().__init__(
+            parent.ctx,
+            parent.num_partitions,
+            [OneToOneDependency(parent)],
+            partitioner=parent.partitioner if preserves_partitioning else None,
+            name=name,
+        )
+        self._parent = parent
+        self._fn = fn
+
+    def compute(self, split: int, task_ctx: "TaskContext") -> list:
+        return self._fn(split, self._parent.iterator(split, task_ctx))
+
+
+class UnionRDD(RDD):
+    """Concatenation of several RDDs; partitions are passed through."""
+
+    def __init__(self, ctx: "EngineContext", rdds: list[RDD]):
+        if not rdds:
+            raise ValueError("union of zero RDDs")
+        deps: list[Dependency] = []
+        offset = 0
+        for rdd in rdds:
+            deps.append(RangeDependency(rdd, 0, offset, rdd.num_partitions))
+            offset += rdd.num_partitions
+        super().__init__(ctx, offset, deps, name="union")
+        self._rdds = rdds
+
+    def compute(self, split: int, task_ctx: "TaskContext") -> list:
+        offset = 0
+        for rdd in self._rdds:
+            if split < offset + rdd.num_partitions:
+                return rdd.iterator(split - offset, task_ctx)
+            offset += rdd.num_partitions
+        raise IndexError(f"partition {split} out of range for union")
+
+
+class CoalescedRDD(RDD):
+    """Narrow many-to-one repartitioning (PDE's partition coalescing)."""
+
+    def __init__(self, parent: RDD, num_partitions: int,
+                 groups: Optional[list[list[int]]] = None):
+        if groups is None:
+            # Contiguous round-robin grouping.
+            groups = [[] for _ in range(num_partitions)]
+            for parent_split in range(parent.num_partitions):
+                groups[parent_split % num_partitions].append(parent_split)
+        if len(groups) != num_partitions:
+            raise ValueError("groups must match num_partitions")
+        super().__init__(
+            parent.ctx,
+            num_partitions,
+            [ManyToOneDependency(parent, groups)],
+            name="coalesce",
+        )
+        self._parent = parent
+        self._groups = groups
+
+    def compute(self, split: int, task_ctx: "TaskContext") -> list:
+        merged: list = []
+        for parent_split in self._groups[split]:
+            merged.extend(self._parent.iterator(parent_split, task_ctx))
+        return merged
+
+
+class PrunedRDD(RDD):
+    """Exposes only a subset of a parent's partitions.
+
+    This is how map pruning (Section 3.5) avoids launching tasks: the scan
+    RDD is narrowed to the partitions whose statistics may satisfy the
+    query's predicates, and the pruned partitions are simply never
+    computed.
+    """
+
+    def __init__(self, parent: RDD, kept_partitions: list[int]):
+        for partition in kept_partitions:
+            if not 0 <= partition < parent.num_partitions:
+                raise IndexError(
+                    f"partition {partition} out of range for {parent!r}"
+                )
+        groups = [[partition] for partition in kept_partitions]
+        super().__init__(
+            parent.ctx,
+            max(len(kept_partitions), 1),
+            [ManyToOneDependency(parent, groups or [[]])],
+            name="prune",
+        )
+        self._parent = parent
+        self._kept = list(kept_partitions)
+
+    @property
+    def kept_partitions(self) -> list[int]:
+        return list(self._kept)
+
+    def compute(self, split: int, task_ctx: "TaskContext") -> list:
+        if not self._kept:
+            return []
+        return self._parent.iterator(self._kept[split], task_ctx)
+
+    def preferred_workers(self, split: int) -> list[int]:
+        if not self._kept:
+            return []
+        return self._parent.preferred_workers(self._kept[split])
+
+
+class ShuffledRDD(RDD):
+    """The reduce side of a shuffle.
+
+    Reads bucket ``split`` from every map output (raising FetchFailedError
+    on lost outputs, which the scheduler turns into lineage recovery) and
+    merges combiners when an aggregator is attached.
+    """
+
+    def __init__(
+        self,
+        parent: RDD,
+        partitioner: Partitioner,
+        aggregator: Optional[Aggregator] = None,
+        map_side_combine: bool = False,
+        stats_collectors: tuple = (),
+        existing_dep: Optional[ShuffleDependency] = None,
+    ):
+        if existing_dep is not None:
+            # PDE reuse: the map side of this shuffle was already
+            # materialized by EngineContext.materialize_shuffle; building
+            # the reduce side on the same dependency skips the map stage.
+            dep = existing_dep
+        else:
+            dep = ShuffleDependency(
+                parent,
+                partitioner,
+                aggregator=aggregator,
+                map_side_combine=map_side_combine,
+                stats_collectors=stats_collectors,
+            )
+        super().__init__(
+            parent.ctx,
+            partitioner.num_partitions,
+            [dep],
+            partitioner=partitioner,
+            name="shuffle",
+        )
+        self.shuffle_dep = dep
+
+    def compute(self, split: int, task_ctx: "TaskContext") -> list:
+        pairs = task_ctx.shuffle_manager.fetch(
+            self.shuffle_dep.shuffle_id, split, task_ctx.metrics
+        )
+        aggregator = self.shuffle_dep.aggregator
+        if aggregator is None:
+            return pairs
+        merged: dict = {}
+        if self.shuffle_dep.map_side_combine:
+            for key, combiner in pairs:
+                if key in merged:
+                    merged[key] = aggregator.merge_combiners(
+                        merged[key], combiner
+                    )
+                else:
+                    merged[key] = combiner
+        else:
+            for key, value in pairs:
+                if key in merged:
+                    merged[key] = aggregator.merge_value(merged[key], value)
+                else:
+                    merged[key] = aggregator.create_combiner(value)
+        return list(merged.items())
+
+
+class CoGroupedRDD(RDD):
+    """Groups values from N pair RDDs by key.
+
+    For each parent already partitioned compatibly the dependency is
+    narrow; others are shuffled.  Output elements are
+    ``(key, (values_from_rdd0, values_from_rdd1, ...))``.
+    """
+
+    def __init__(
+        self,
+        ctx: "EngineContext",
+        rdds: list[RDD],
+        partitioner: Partitioner,
+        stats_collectors: tuple = (),
+    ):
+        deps: list[Dependency] = []
+        for rdd in rdds:
+            if rdd.partitioner == partitioner:
+                deps.append(OneToOneDependency(rdd))
+            else:
+                deps.append(
+                    ShuffleDependency(
+                        rdd, partitioner, stats_collectors=stats_collectors
+                    )
+                )
+        super().__init__(
+            ctx,
+            partitioner.num_partitions,
+            deps,
+            partitioner=partitioner,
+            name="cogroup",
+        )
+        self._rdds = rdds
+
+    @property
+    def uses_only_narrow_deps(self) -> bool:
+        """True when co-partitioning eliminated every shuffle (Section 3.4)."""
+        return all(
+            isinstance(dep, OneToOneDependency) for dep in self.dependencies
+        )
+
+    def compute(self, split: int, task_ctx: "TaskContext") -> list:
+        groups: dict[Any, tuple] = {}
+        arity = len(self._rdds)
+        for index, dep in enumerate(self.dependencies):
+            if isinstance(dep, OneToOneDependency):
+                pairs = self._rdds[index].iterator(split, task_ctx)
+            else:
+                pairs = task_ctx.shuffle_manager.fetch(
+                    dep.shuffle_id, split, task_ctx.metrics
+                )
+            for key, value in pairs:
+                if key not in groups:
+                    groups[key] = tuple([] for _ in range(arity))
+                groups[key][index].append(value)
+        return list(groups.items())

@@ -1,0 +1,328 @@
+"""DAG scheduler: stages, tasks, and lineage-based fault recovery.
+
+The scheduler turns an RDD graph into stages split at shuffle boundaries
+(Section 2.4) and runs each stage's tasks on virtual workers.  Its recovery
+behaviour implements the paper's fault-tolerance guarantees (Section 2.3):
+
+* a fetch of lost map output raises ``FetchFailedError``; the scheduler
+  re-runs *only the lost map tasks* (on other workers) and retries — the
+  query never restarts;
+* recovery cascades: if recomputing a map task needs data from an earlier
+  shuffle that was also lost, that stage's lost tasks are recomputed first;
+* recovered partitions spread across all live workers (parallel recovery);
+* shuffle outputs that already exist are *not* recomputed — a stage whose
+  map outputs are all present is skipped, which is also what lets PDE
+  pre-run the map side of a shuffle and reuse it (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.engine.dependencies import (
+    NarrowDependency,
+    ShuffleDependency,
+)
+from repro.engine.metrics import QueryProfile, StageProfile, TaskMetrics
+from repro.engine.task import TaskContext
+from repro.errors import (
+    EngineError,
+    FetchFailedError,
+    TaskError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import EngineContext
+    from repro.engine.rdd import RDD
+    from repro.engine.shuffle import MapOutputStats
+
+#: Upper bound on recovery rounds for one job before giving up.
+MAX_RECOVERY_ROUNDS = 16
+
+
+class Stage:
+    """A set of independent tasks: map side of one shuffle, or the final
+    result computation."""
+
+    def __init__(
+        self,
+        stage_id: int,
+        rdd: "RDD",
+        shuffle_dep: Optional[ShuffleDependency] = None,
+    ):
+        self.stage_id = stage_id
+        self.rdd = rdd
+        self.shuffle_dep = shuffle_dep
+        self.parents: list["Stage"] = []
+
+    @property
+    def is_shuffle_map(self) -> bool:
+        return self.shuffle_dep is not None
+
+    @property
+    def num_partitions(self) -> int:
+        return self.rdd.num_partitions
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "shuffle-map" if self.is_shuffle_map else "result"
+        return f"Stage({self.stage_id}, {kind}, rdd={self.rdd.name})"
+
+
+class DAGScheduler:
+    """Builds stages from lineage and executes them with recovery."""
+
+    def __init__(self, ctx: "EngineContext"):
+        self._ctx = ctx
+        self._next_stage_id = 0
+        self._next_job_id = 0
+        #: shuffle_id -> Stage, shared across jobs so PDE pre-shuffles and
+        #: reused cached plans skip already-materialized stages.
+        self._shuffle_stages: dict[int, Stage] = {}
+        #: Profile of the most recent job, for the cost model and tests.
+        self.last_profile: Optional[QueryProfile] = None
+        #: Profiles of every job run since the last reset_history(); a SQL
+        #: query can span several jobs (PDE pre-shuffles, sort sampling,
+        #: the final collect), and cost accounting needs all of them.
+        self.history: list[QueryProfile] = []
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def run_job(
+        self,
+        rdd: "RDD",
+        func: Callable[[list], object],
+        partitions: Optional[list[int]] = None,
+    ) -> list:
+        """Compute ``func(partition_data)`` for each requested partition."""
+        if partitions is None:
+            partitions = list(range(rdd.num_partitions))
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        profile = QueryProfile(job_id=job_id)
+
+        final_stage = Stage(self._new_stage_id(), rdd)
+        final_stage.parents = self._parent_stages(rdd)
+        self._ensure_parents(final_stage, profile)
+
+        stage_profile = self._stage_profile(profile, final_stage)
+        results = []
+        for partition in partitions:
+            results.append(
+                self._run_with_recovery(
+                    final_stage, partition, profile, stage_profile, func
+                )
+            )
+        self.last_profile = profile
+        self.history.append(profile)
+        return results
+
+    def materialize_shuffle(self, dep: ShuffleDependency) -> "MapOutputStats":
+        """PDE hook: run the map side of one shuffle now and return its
+        statistics, without planning anything downstream (Section 3.1)."""
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        profile = QueryProfile(job_id=job_id)
+        stage = self._stage_for_shuffle(dep)
+        self._ensure_shuffle_stage(stage, profile)
+        self.last_profile = profile
+        self.history.append(profile)
+        return self._ctx.shuffle_manager.stats(dep.shuffle_id)
+
+    def reset_history(self) -> None:
+        self.history = []
+
+    # ------------------------------------------------------------------
+    # Stage graph construction
+    # ------------------------------------------------------------------
+    def _new_stage_id(self) -> int:
+        stage_id = self._next_stage_id
+        self._next_stage_id += 1
+        return stage_id
+
+    def _stage_for_shuffle(self, dep: ShuffleDependency) -> Stage:
+        stage = self._shuffle_stages.get(dep.shuffle_id)
+        if stage is None:
+            stage = Stage(self._new_stage_id(), dep.rdd, shuffle_dep=dep)
+            self._shuffle_stages[dep.shuffle_id] = stage
+            stage.parents = self._parent_stages(dep.rdd)
+        return stage
+
+    def _parent_stages(self, rdd: "RDD") -> list[Stage]:
+        """Shuffle stages this RDD depends on through narrow chains."""
+        parents: list[Stage] = []
+        seen: set[int] = set()
+        stack = [rdd]
+        visited: set[int] = set()
+        while stack:
+            current = stack.pop()
+            if current.id in visited:
+                continue
+            visited.add(current.id)
+            for dep in current.dependencies:
+                if isinstance(dep, ShuffleDependency):
+                    if dep.shuffle_id not in seen:
+                        seen.add(dep.shuffle_id)
+                        parents.append(self._stage_for_shuffle(dep))
+                elif isinstance(dep, NarrowDependency):
+                    stack.append(dep.rdd)
+        return parents
+
+    # ------------------------------------------------------------------
+    # Stage execution
+    # ------------------------------------------------------------------
+    def _ensure_parents(self, stage: Stage, profile: QueryProfile) -> None:
+        for parent in stage.parents:
+            self._ensure_shuffle_stage(parent, profile)
+
+    def _ensure_shuffle_stage(self, stage: Stage, profile: QueryProfile) -> None:
+        """Make every map output of this shuffle available, recursively."""
+        dep = stage.shuffle_dep
+        manager = self._ctx.shuffle_manager
+        manager.register(dep, stage.num_partitions)
+        stage_profile = self._stage_profile(profile, stage)
+
+        for round_number in range(MAX_RECOVERY_ROUNDS):
+            missing = manager.missing_maps(dep.shuffle_id)
+            if not missing:
+                return
+            if round_number > 0:
+                profile.recovered_tasks += len(missing)
+            self._ensure_parents(stage, profile)
+            for partition in missing:
+                try:
+                    self._run_map_task(stage, partition, stage_profile)
+                except FetchFailedError:
+                    # An ancestor shuffle lost data while we were running;
+                    # loop around, re-ensure parents, retry what's missing.
+                    break
+        else:
+            raise EngineError(
+                f"stage {stage.stage_id} failed to materialize after "
+                f"{MAX_RECOVERY_ROUNDS} recovery rounds"
+            )
+        # The for/else above raises on exhaustion; re-check for the break
+        # path by tail-recursing once more.
+        if manager.missing_maps(dep.shuffle_id):
+            raise EngineError(
+                f"stage {stage.stage_id} failed to materialize after "
+                f"{MAX_RECOVERY_ROUNDS} recovery rounds"
+            )
+
+    def _run_map_task(
+        self, stage: Stage, partition: int, stage_profile: StageProfile
+    ) -> None:
+        worker = self._ctx.cluster.assign_worker(
+            preferred=stage.rdd.preferred_workers(partition)
+        )
+        metrics = TaskMetrics(
+            stage_id=stage.stage_id,
+            partition=partition,
+            worker_id=worker.worker_id,
+        )
+        task_ctx = TaskContext(
+            stage_id=stage.stage_id,
+            partition=partition,
+            worker=worker,
+            shuffle_manager=self._ctx.shuffle_manager,
+            cache_tracker=self._ctx.cache_tracker,
+            metrics=metrics,
+        )
+        try:
+            records = stage.rdd.iterator(partition, task_ctx)
+        except (FetchFailedError, EngineError):
+            raise
+        except Exception as exc:
+            raise TaskError(stage.stage_id, partition, exc) from exc
+        self._ctx.shuffle_manager.write_map_output(
+            stage.shuffle_dep, partition, worker.worker_id, records, metrics
+        )
+        metrics.records_out = len(records)
+        stage_profile.tasks.append(metrics)
+        self._ctx.cluster.task_completed(worker)
+
+    def _run_with_recovery(
+        self,
+        stage: Stage,
+        partition: int,
+        profile: QueryProfile,
+        stage_profile: StageProfile,
+        func: Callable[[list], object],
+    ) -> object:
+        """Run one result task, recovering lost ancestor shuffles on demand."""
+        for _ in range(MAX_RECOVERY_ROUNDS):
+            try:
+                return self._run_result_task(
+                    stage, partition, stage_profile, func
+                )
+            except FetchFailedError as failure:
+                profile.recovered_tasks += 1
+                self._recover_shuffle(failure.shuffle_id, profile)
+        raise EngineError(
+            f"result partition {partition} failed after "
+            f"{MAX_RECOVERY_ROUNDS} recovery rounds"
+        )
+
+    def _run_result_task(
+        self,
+        stage: Stage,
+        partition: int,
+        stage_profile: StageProfile,
+        func: Callable[[list], object],
+    ) -> object:
+        worker = self._ctx.cluster.assign_worker(
+            preferred=stage.rdd.preferred_workers(partition)
+        )
+        metrics = TaskMetrics(
+            stage_id=stage.stage_id,
+            partition=partition,
+            worker_id=worker.worker_id,
+        )
+        task_ctx = TaskContext(
+            stage_id=stage.stage_id,
+            partition=partition,
+            worker=worker,
+            shuffle_manager=self._ctx.shuffle_manager,
+            cache_tracker=self._ctx.cache_tracker,
+            metrics=metrics,
+        )
+        try:
+            data = stage.rdd.iterator(partition, task_ctx)
+            result = func(data)
+        except (FetchFailedError, EngineError):
+            raise
+        except Exception as exc:
+            raise TaskError(stage.stage_id, partition, exc) from exc
+        metrics.records_out = len(data)
+        stage_profile.tasks.append(metrics)
+        self._ctx.cluster.task_completed(worker)
+        return result
+
+    def _recover_shuffle(self, shuffle_id: int, profile: QueryProfile) -> None:
+        stage = self._shuffle_stages.get(shuffle_id)
+        if stage is None:
+            raise EngineError(
+                f"cannot recover unknown shuffle {shuffle_id}"
+            )
+        self._ensure_shuffle_stage(stage, profile)
+
+    # ------------------------------------------------------------------
+    # Profiles
+    # ------------------------------------------------------------------
+    def _stage_profile(
+        self, profile: QueryProfile, stage: Stage
+    ) -> StageProfile:
+        for existing in profile.stages:
+            if existing.stage_id == stage.stage_id:
+                return existing
+        stage_profile = StageProfile(
+            stage_id=stage.stage_id,
+            name=stage.rdd.name,
+            is_shuffle_map=stage.is_shuffle_map,
+            map_side_combined=bool(
+                stage.shuffle_dep is not None
+                and stage.shuffle_dep.map_side_combine
+            ),
+        )
+        profile.stages.append(stage_profile)
+        return stage_profile

@@ -1,0 +1,254 @@
+"""Shuffle: map-output bucketing, fetching, and PDE statistics.
+
+Map tasks partition their output records into one bucket per reduce
+partition and store the buckets in their worker's block store (the paper's
+memory-based shuffle, Section 5).  Reduce tasks fetch bucket ``i`` from
+every map output; if a map output's worker has died, the fetch raises
+:class:`~repro.errors.FetchFailedError` and the scheduler re-runs only the
+lost map tasks (lineage recovery within the query).
+
+While buckets are materialized, the shuffle runs PDE's statistics
+collectors and log-encodes bucket sizes, giving the master a ~1-byte-per-
+partition view of the data (Section 3.1) before the reduce stage is planned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import pickle
+
+from repro.cluster.worker import approximate_size_bytes
+from repro.engine.accumulator import log_decode_size, log_encode_size
+from repro.errors import FetchFailedError
+
+
+def serialized_size_bytes(records: list) -> int:
+    """Wire size of shuffle records.
+
+    Shuffle volumes feed the cost model and PDE's size-based decisions, so
+    they must reflect what would cross the network (serialized bytes), not
+    Python object overhead.  Falls back to the heap estimate for
+    unpicklable records.
+    """
+    try:
+        return len(pickle.dumps(records, protocol=4))
+    except Exception:
+        return approximate_size_bytes(records)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster import VirtualCluster
+    from repro.engine.dependencies import ShuffleDependency
+    from repro.engine.metrics import TaskMetrics
+
+
+def _shuffle_block_id(shuffle_id: int, map_partition: int) -> str:
+    return f"shuffle_{shuffle_id}_{map_partition}"
+
+
+@dataclass
+class MapOutputStats:
+    """Master-side view of a shuffle's map outputs.
+
+    Sizes are stored log-encoded (one byte per entry, <= ~10% error) as in
+    the paper; accessors decode on demand.
+    """
+
+    num_maps: int
+    num_reduces: int
+    #: encoded_bucket_sizes[map][reduce] -> one-byte size code.
+    encoded_bucket_sizes: list[list[int]] = field(default_factory=list)
+    record_counts: list[int] = field(default_factory=list)
+    #: Merged results of pluggable collectors, keyed by collector name.
+    custom: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def maps_reported(self) -> int:
+        return len(self.encoded_bucket_sizes)
+
+    def map_output_bytes(self, map_partition: int) -> int:
+        return sum(
+            log_decode_size(code)
+            for code in self.encoded_bucket_sizes[map_partition]
+        )
+
+    def total_output_bytes(self) -> int:
+        return sum(
+            self.map_output_bytes(i) for i in range(self.maps_reported)
+        )
+
+    def reduce_input_bytes(self, reduce_partition: int) -> int:
+        """Approximate bytes reduce task ``reduce_partition`` will fetch."""
+        return sum(
+            log_decode_size(row[reduce_partition])
+            for row in self.encoded_bucket_sizes
+        )
+
+    def reduce_input_sizes(self) -> list[int]:
+        return [self.reduce_input_bytes(i) for i in range(self.num_reduces)]
+
+    def total_records(self) -> int:
+        return sum(self.record_counts)
+
+
+class ShuffleManager:
+    """Tracks every shuffle's map outputs, their locations, and statistics."""
+
+    def __init__(self, cluster: "VirtualCluster"):
+        self._cluster = cluster
+        #: shuffle_id -> {map_partition: worker_id}
+        self._locations: dict[int, dict[int, int]] = {}
+        self._stats: dict[int, MapOutputStats] = {}
+        self._deps: dict[int, "ShuffleDependency"] = {}
+        cluster.on_worker_killed(self._handle_worker_killed)
+
+    # ------------------------------------------------------------------
+    # Registration and map-side writes
+    # ------------------------------------------------------------------
+    def register(self, dep: "ShuffleDependency", num_maps: int) -> None:
+        shuffle_id = dep.shuffle_id
+        if shuffle_id in self._locations:
+            return
+        self._locations[shuffle_id] = {}
+        self._stats[shuffle_id] = MapOutputStats(
+            num_maps=num_maps,
+            num_reduces=dep.partitioner.num_partitions,
+            encoded_bucket_sizes=[[0] * dep.partitioner.num_partitions
+                                  for _ in range(num_maps)],
+            record_counts=[0] * num_maps,
+        )
+        self._deps[shuffle_id] = dep
+
+    def is_registered(self, shuffle_id: int) -> bool:
+        return shuffle_id in self._locations
+
+    def write_map_output(
+        self,
+        dep: "ShuffleDependency",
+        map_partition: int,
+        worker_id: int,
+        records: list,
+        metrics: "TaskMetrics" = None,
+    ) -> None:
+        """Bucket one map task's records and store them on its worker.
+
+        ``records`` must be (key, value) pairs.  Applies map-side combining
+        when the dependency requests it, then runs the PDE statistics
+        collectors over the bucketed output.
+        """
+        partitioner = dep.partitioner
+        num_reduces = partitioner.num_partitions
+        if dep.map_side_combine:
+            aggregator = dep.aggregator
+            combined: dict[Any, Any] = {}
+            for key, value in records:
+                if key in combined:
+                    combined[key] = aggregator.merge_value(combined[key], value)
+                else:
+                    combined[key] = aggregator.create_combiner(value)
+            output: list = list(combined.items())
+        else:
+            output = records
+
+        buckets: list[list] = [[] for _ in range(num_reduces)]
+        for pair in output:
+            buckets[partitioner.partition(pair[0])].append(pair)
+
+        worker = self._cluster.worker(worker_id)
+        block_id = _shuffle_block_id(dep.shuffle_id, map_partition)
+        # Pinned: shuffle output only vanishes with the worker (the spill
+        # story of Section 5), never to silent cache eviction.
+        worker.blocks.put(block_id, buckets, pinned=True)
+        self._locations[dep.shuffle_id][map_partition] = worker_id
+
+        stats = self._stats[dep.shuffle_id]
+        bucket_bytes = [serialized_size_bytes(bucket) for bucket in buckets]
+        stats.encoded_bucket_sizes[map_partition] = [
+            log_encode_size(size) for size in bucket_bytes
+        ]
+        stats.record_counts[map_partition] = len(output)
+        for collector in dep.stats_collectors:
+            partial = collector.observe(output)
+            if collector.name in stats.custom:
+                stats.custom[collector.name] = collector.merge(
+                    stats.custom[collector.name], partial
+                )
+            else:
+                stats.custom[collector.name] = partial
+
+        if metrics is not None:
+            total_bytes = sum(bucket_bytes)
+            metrics.shuffle_write_bytes += total_bytes
+            metrics.shuffle_write_records += len(output)
+
+    # ------------------------------------------------------------------
+    # Reduce-side fetches
+    # ------------------------------------------------------------------
+    def fetch(
+        self,
+        shuffle_id: int,
+        reduce_partition: int,
+        metrics: "TaskMetrics" = None,
+    ) -> list:
+        """Fetch bucket ``reduce_partition`` from every map output.
+
+        Raises :class:`FetchFailedError` naming the first lost map
+        partition when any map output is unavailable.
+        """
+        locations = self._locations[shuffle_id]
+        stats = self._stats[shuffle_id]
+        fetched: list = []
+        for map_partition in range(stats.num_maps):
+            worker_id = locations.get(map_partition)
+            if worker_id is None:
+                raise FetchFailedError(shuffle_id, map_partition, -1)
+            worker = self._cluster.worker(worker_id)
+            block_id = _shuffle_block_id(shuffle_id, map_partition)
+            if not worker.alive or block_id not in worker.blocks:
+                raise FetchFailedError(shuffle_id, map_partition, worker_id)
+            buckets = worker.blocks.get(block_id)
+            fetched.extend(buckets[reduce_partition])
+        if metrics is not None:
+            metrics.shuffle_read_bytes += serialized_size_bytes(fetched)
+        return fetched
+
+    def missing_maps(self, shuffle_id: int) -> list[int]:
+        """Map partitions whose output is registered but no longer available."""
+        locations = self._locations[shuffle_id]
+        stats = self._stats[shuffle_id]
+        missing = []
+        for map_partition in range(stats.num_maps):
+            worker_id = locations.get(map_partition)
+            if worker_id is None:
+                missing.append(map_partition)
+                continue
+            worker = self._cluster.worker(worker_id)
+            block_id = _shuffle_block_id(shuffle_id, map_partition)
+            if not worker.alive or block_id not in worker.blocks:
+                missing.append(map_partition)
+        return missing
+
+    def stats(self, shuffle_id: int) -> MapOutputStats:
+        return self._stats[shuffle_id]
+
+    def map_location(self, shuffle_id: int, map_partition: int) -> int | None:
+        return self._locations.get(shuffle_id, {}).get(map_partition)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _handle_worker_killed(self, worker_id: int) -> None:
+        """Forget locations pointing at a dead worker.
+
+        The blocks themselves were dropped by the worker's ``kill``; the
+        next fetch raises FetchFailedError and the scheduler recomputes.
+        """
+        for locations in self._locations.values():
+            lost = [
+                map_partition
+                for map_partition, owner in locations.items()
+                if owner == worker_id
+            ]
+            for map_partition in lost:
+                del locations[map_partition]

@@ -1,0 +1,129 @@
+"""Task-side runtime: the task context and the cached-partition tracker."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.cluster.worker import approximate_size_bytes
+from repro.costmodel.models import SOURCE_MEMORY
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster import VirtualCluster, Worker
+    from repro.engine.metrics import TaskMetrics
+    from repro.engine.shuffle import ShuffleManager
+
+
+def _rdd_block_id(rdd_id: int, partition: int) -> str:
+    return f"rdd_{rdd_id}_{partition}"
+
+
+class CacheTracker:
+    """Master-side registry of which worker holds each cached RDD partition.
+
+    A cached partition lives on exactly one worker (RDDs need no
+    replication: lineage recomputes lost blocks, Section 2.2).  When a
+    worker dies its entries are dropped and the next read recomputes.
+    """
+
+    def __init__(self, cluster: "VirtualCluster"):
+        self._cluster = cluster
+        #: (rdd_id, partition) -> worker_id
+        self._locations: dict[tuple[int, int], int] = {}
+        cluster.on_worker_killed(self._handle_worker_killed)
+
+    def get(self, rdd_id: int, partition: int) -> tuple[int, Any] | None:
+        """Return (worker_id, value) for a cached partition, or None."""
+        worker_id = self._locations.get((rdd_id, partition))
+        if worker_id is None:
+            return None
+        worker = self._cluster.worker(worker_id)
+        block_id = _rdd_block_id(rdd_id, partition)
+        if not worker.alive or block_id not in worker.blocks:
+            self._locations.pop((rdd_id, partition), None)
+            return None
+        return worker_id, worker.blocks.get(block_id)
+
+    def location(self, rdd_id: int, partition: int) -> int | None:
+        return self._locations.get((rdd_id, partition))
+
+    def put(
+        self,
+        rdd_id: int,
+        partition: int,
+        worker_id: int,
+        value: Any,
+        size_bytes: int | None = None,
+    ) -> None:
+        worker = self._cluster.worker(worker_id)
+        worker.blocks.put(_rdd_block_id(rdd_id, partition), value, size_bytes)
+        self._locations[(rdd_id, partition)] = worker_id
+
+    def unpersist(self, rdd_id: int) -> None:
+        stale = [key for key in self._locations if key[0] == rdd_id]
+        for key in stale:
+            worker_id = self._locations.pop(key)
+            worker = self._cluster.worker(worker_id)
+            worker.blocks.remove(_rdd_block_id(key[0], key[1]))
+
+    def cached_partitions(self, rdd_id: int) -> dict[int, int]:
+        """partition -> worker_id for every cached partition of an RDD."""
+        return {
+            partition: worker_id
+            for (cached_rdd, partition), worker_id in self._locations.items()
+            if cached_rdd == rdd_id
+        }
+
+    def cached_bytes(self, rdd_id: int) -> int:
+        """Total block-store bytes held for one RDD across live workers."""
+        total = 0
+        for (cached_rdd, partition), worker_id in self._locations.items():
+            if cached_rdd != rdd_id:
+                continue
+            worker = self._cluster.worker(worker_id)
+            block_id = _rdd_block_id(cached_rdd, partition)
+            if worker.alive and block_id in worker.blocks:
+                total += worker.blocks._blocks[block_id].size_bytes
+        return total
+
+    def _handle_worker_killed(self, worker_id: int) -> None:
+        stale = [
+            key for key, owner in self._locations.items() if owner == worker_id
+        ]
+        for key in stale:
+            del self._locations[key]
+
+
+class TaskContext:
+    """Everything a running task can reach: its identity, worker, shuffle
+    manager, cache tracker, and the metrics object it fills in."""
+
+    def __init__(
+        self,
+        stage_id: int,
+        partition: int,
+        worker: "Worker",
+        shuffle_manager: "ShuffleManager",
+        cache_tracker: CacheTracker,
+        metrics: "TaskMetrics",
+    ):
+        self.stage_id = stage_id
+        self.partition = partition
+        self.worker = worker
+        self.shuffle_manager = shuffle_manager
+        self.cache_tracker = cache_tracker
+        self.metrics = metrics
+
+    def read_cached(self, rdd_id: int, partition: int) -> Any | None:
+        """Read a cached partition, recording memory-source metrics."""
+        hit = self.cache_tracker.get(rdd_id, partition)
+        if hit is None:
+            return None
+        __, value = hit
+        self.metrics.source = SOURCE_MEMORY
+        self.metrics.bytes_in += approximate_size_bytes(value)
+        if isinstance(value, list):
+            self.metrics.records_in += len(value)
+        return value
+
+    def write_cached(self, rdd_id: int, partition: int, value: Any) -> None:
+        self.cache_tracker.put(rdd_id, partition, self.worker.worker_id, value)

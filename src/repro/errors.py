@@ -1,0 +1,121 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch one base class.  Subsystems raise the most specific
+subclass that applies; messages carry enough context (table names, stage ids,
+worker ids) to debug a failed query without a stack trace.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class EngineError(ReproError):
+    """Base class for execution-engine failures."""
+
+
+class TaskError(EngineError):
+    """A task raised an exception while computing a partition."""
+
+    def __init__(self, stage_id: int, partition: int, cause: BaseException):
+        super().__init__(
+            f"task failed in stage {stage_id}, partition {partition}: {cause!r}"
+        )
+        self.stage_id = stage_id
+        self.partition = partition
+        self.cause = cause
+
+
+class FetchFailedError(EngineError):
+    """A reduce task could not fetch map output (the worker died).
+
+    The scheduler catches this internally and re-runs the lost map tasks; it
+    only escapes to user code if recovery itself is impossible.
+    """
+
+    def __init__(self, shuffle_id: int, map_partition: int, worker_id: int):
+        super().__init__(
+            f"fetch failed: shuffle {shuffle_id} map partition "
+            f"{map_partition} lost with worker {worker_id}"
+        )
+        self.shuffle_id = shuffle_id
+        self.map_partition = map_partition
+        self.worker_id = worker_id
+
+
+class BlockLostError(EngineError):
+    """A cached RDD block disappeared (its worker was killed)."""
+
+    def __init__(self, block_id: str, worker_id: int):
+        super().__init__(f"block {block_id} lost with worker {worker_id}")
+        self.block_id = block_id
+        self.worker_id = worker_id
+
+
+class NoLiveWorkersError(EngineError):
+    """All workers are dead; the cluster cannot make progress."""
+
+
+class QueryAbortedError(EngineError):
+    """A coarse-grained engine (the MPP baseline) aborted a query mid-run."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures."""
+
+
+class FileNotFoundInStoreError(StorageError):
+    """The requested path does not exist in the block store."""
+
+    def __init__(self, path: str):
+        super().__init__(f"no such file in store: {path}")
+        self.path = path
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end failures."""
+
+
+class ParseError(SqlError):
+    """The query text could not be parsed."""
+
+    def __init__(self, message: str, position: int = -1, line: int = -1):
+        location = f" at line {line}, position {position}" if line >= 0 else ""
+        super().__init__(f"parse error{location}: {message}")
+        self.position = position
+        self.line = line
+
+
+class AnalysisError(SqlError):
+    """The query parsed but failed semantic analysis.
+
+    Raised for unknown tables/columns, type mismatches, aggregates in
+    WHERE clauses, and similar schema-level problems.
+    """
+
+
+class CatalogError(SqlError):
+    """Catalog operation failed (duplicate table, missing table, ...)."""
+
+
+class TypeMismatchError(AnalysisError):
+    """An expression was applied to values of an unsupported type."""
+
+
+class UnsupportedFeatureError(SqlError):
+    """The query uses syntax the dialect does not implement."""
+
+
+class ColumnarError(ReproError):
+    """Base class for columnar-store failures."""
+
+
+class CompressionError(ColumnarError):
+    """A column failed to compress or decompress."""
+
+
+class MLError(ReproError):
+    """Base class for machine-learning failures (bad dimensions, k > n, ...)."""

@@ -1,0 +1,84 @@
+"""Distributed k-means clustering (Lloyd's algorithm on RDDs).
+
+The second iterative workload in the paper's ML evaluation (Figure 12).
+Each iteration maps every point to its closest center and reduces
+per-center (sum, count) pairs; the driver recomputes centers — the same
+map+reduceByKey pattern Shark's SQL aggregations use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.engine.rdd import RDD
+from repro.errors import MLError
+
+
+@dataclass
+class KMeansModel:
+    centers: np.ndarray  # shape (k, dimensions)
+    iterations_run: int
+    #: Sum of squared distances to assigned centers at the final step.
+    inertia: float
+
+    @property
+    def k(self) -> int:
+        return len(self.centers)
+
+    def predict(self, features: np.ndarray) -> int:
+        distances = np.sum((self.centers - features) ** 2, axis=1)
+        return int(np.argmin(distances))
+
+
+def _closest(centers: np.ndarray, point: np.ndarray) -> tuple[int, float]:
+    distances = np.sum((centers - point) ** 2, axis=1)
+    index = int(np.argmin(distances))
+    return index, float(distances[index])
+
+
+class KMeans:
+    """Lloyd's algorithm; initial centers are sampled deterministically."""
+
+    def __init__(self, k: int, iterations: int = 10, seed: int = 42):
+        if k <= 0:
+            raise MLError("k must be positive")
+        if iterations <= 0:
+            raise MLError("iterations must be positive")
+        self.k = k
+        self.iterations = iterations
+        self.seed = seed
+
+    def fit(self, points: RDD) -> KMeansModel:
+        """Cluster an RDD of 1-D numpy vectors."""
+        sample = points.take(max(self.k * 20, 100))
+        if len(sample) < self.k:
+            raise MLError(
+                f"need at least k={self.k} points, found {len(sample)}"
+            )
+        rng = np.random.default_rng(self.seed)
+        chosen = rng.choice(len(sample), size=self.k, replace=False)
+        centers = np.array([sample[i] for i in chosen], dtype=np.float64)
+
+        inertia = float("inf")
+        for _ in range(self.iterations):
+            def assign(point: np.ndarray, c: np.ndarray = centers):
+                index, distance = _closest(c, point)
+                return (index, (point, 1, distance))
+
+            assigned = points.map(assign)
+            totals = assigned.reduce_by_key(
+                lambda a, b: (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+            ).collect_as_map()
+            inertia = sum(entry[2] for entry in totals.values())
+            new_centers = centers.copy()
+            for index, (vector_sum, count, __) in totals.items():
+                if count > 0:
+                    new_centers[index] = vector_sum / count
+            centers = new_centers
+
+        return KMeansModel(
+            centers=centers,
+            iterations_run=self.iterations,
+            inertia=float(inertia),
+        )

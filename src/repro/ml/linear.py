@@ -1,0 +1,119 @@
+"""Distributed linear regression via least-squares gradient descent.
+
+One of the "number of basic machine learning algorithms" Shark ships
+(Section 4.1).  Same map+reduce-per-iteration shape as logistic
+regression; minimizes mean squared error with an optional intercept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.engine.rdd import RDD
+from repro.errors import MLError
+from repro.ml.features import LabeledPoint
+
+
+@dataclass
+class LinearRegressionModel:
+    weights: np.ndarray
+    intercept: float
+    iterations_run: int
+    loss_history: list[float] = field(default_factory=list)
+
+    def predict(self, features: np.ndarray) -> float:
+        return float(np.dot(self.weights, features) + self.intercept)
+
+    def mean_squared_error(self, points: list[LabeledPoint]) -> float:
+        if not points:
+            raise MLError("mean_squared_error needs at least one point")
+        total = sum(
+            (self.predict(p.features) - p.label) ** 2 for p in points
+        )
+        return total / len(points)
+
+
+class LinearRegression:
+    """Batch gradient descent on 0.5 * mean((w.x + b - y)^2)."""
+
+    def __init__(
+        self,
+        iterations: int = 50,
+        learning_rate: float = 0.1,
+        fit_intercept: bool = True,
+        seed: int = 42,
+        track_loss: bool = False,
+    ):
+        if iterations <= 0:
+            raise MLError("iterations must be positive")
+        self.iterations = iterations
+        self.learning_rate = learning_rate
+        self.fit_intercept = fit_intercept
+        self.seed = seed
+        self.track_loss = track_loss
+
+    def fit(
+        self, points: RDD, dimensions: Optional[int] = None
+    ) -> LinearRegressionModel:
+        if dimensions is None:
+            first = points.take(1)
+            if not first:
+                raise MLError("cannot fit on an empty RDD")
+            dimensions = len(first[0].features)
+
+        count = points.count()
+        if count == 0:
+            raise MLError("cannot fit on an empty RDD")
+
+        rng = np.random.default_rng(self.seed)
+        weights = 0.01 * (2.0 * rng.random(dimensions) - 1.0)
+        intercept = 0.0
+        loss_history: list[float] = []
+
+        for _ in range(self.iterations):
+            grad_w, grad_b = self._gradient(points, weights, intercept)
+            weights = weights - self.learning_rate * grad_w / count
+            if self.fit_intercept:
+                intercept = intercept - self.learning_rate * grad_b / count
+            if self.track_loss:
+                loss_history.append(
+                    self._loss(points, weights, intercept, count)
+                )
+
+        return LinearRegressionModel(
+            weights=weights,
+            intercept=intercept,
+            iterations_run=self.iterations,
+            loss_history=loss_history,
+        )
+
+    @staticmethod
+    def _gradient(
+        points: RDD, weights: np.ndarray, intercept: float
+    ) -> tuple[np.ndarray, float]:
+        def point_gradient(point: LabeledPoint):
+            error = (
+                float(np.dot(weights, point.features)) + intercept
+                - point.label
+            )
+            return (error * point.features, error)
+
+        return points.map(point_gradient).reduce(
+            lambda a, b: (a[0] + b[0], a[1] + b[1])
+        )
+
+    @staticmethod
+    def _loss(
+        points: RDD, weights: np.ndarray, intercept: float, count: int
+    ) -> float:
+        def point_loss(point: LabeledPoint) -> float:
+            error = (
+                float(np.dot(weights, point.features)) + intercept
+                - point.label
+            )
+            return 0.5 * error * error
+
+        return points.map(point_loss).sum() / count

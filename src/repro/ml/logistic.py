@@ -1,0 +1,135 @@
+"""Distributed logistic regression via gradient descent (paper Listing 1).
+
+Each iteration is one ``map`` (per-point gradient) plus one ``reduce``
+(vector sum) over the cached feature RDD — exactly the paper's
+``logRegress``.  Labels are +-1; the per-point gradient is
+
+    (1 / (1 + exp(-y * w.x)) - 1) * y * x
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.engine.rdd import RDD
+from repro.errors import MLError
+from repro.ml.features import LabeledPoint
+
+
+def gradient_factor(label: float, dot: float) -> float:
+    """The paper's per-point gradient scale, computed stably.
+
+    ``(1 / (1 + exp(-y * w.x)) - 1) * y`` equals ``-sigmoid(-y * w.x) * y``;
+    evaluating via the sign-split sigmoid avoids exp overflow for large
+    margins.
+    """
+    margin = label * dot
+    if margin >= 0:
+        return (1.0 / (1.0 + np.exp(-margin)) - 1.0) * label
+    exp_margin = np.exp(margin)
+    return (exp_margin / (1.0 + exp_margin) - 1.0) * label
+
+
+@dataclass
+class LogisticRegressionModel:
+    """A fitted separating hyperplane."""
+
+    weights: np.ndarray
+    iterations_run: int
+    #: Training-loss trace, one entry per iteration (for convergence tests).
+    loss_history: list[float] = field(default_factory=list)
+
+    def margin(self, features: np.ndarray) -> float:
+        return float(np.dot(self.weights, features))
+
+    def predict_probability(self, features: np.ndarray) -> float:
+        return 1.0 / (1.0 + np.exp(-self.margin(features)))
+
+    def predict(self, features: np.ndarray) -> int:
+        """Predicted label in {-1, +1}."""
+        return 1 if self.margin(features) >= 0.0 else -1
+
+    def accuracy(self, points: list[LabeledPoint]) -> float:
+        if not points:
+            raise MLError("accuracy needs at least one point")
+        correct = sum(
+            1 for p in points if self.predict(p.features) == int(p.label)
+        )
+        return correct / len(points)
+
+
+class LogisticRegression:
+    """Gradient-descent trainer; ``fit`` runs ITERATIONS map+reduce jobs."""
+
+    def __init__(
+        self,
+        iterations: int = 10,
+        learning_rate: float = 1.0,
+        seed: int = 42,
+        track_loss: bool = False,
+    ):
+        if iterations <= 0:
+            raise MLError("iterations must be positive")
+        self.iterations = iterations
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.track_loss = track_loss
+
+    def fit(
+        self, points: RDD, dimensions: Optional[int] = None
+    ) -> LogisticRegressionModel:
+        """Train on an RDD of :class:`LabeledPoint` with labels in {-1, +1}.
+
+        The RDD is typically cached: every iteration re-reads it, which is
+        the access pattern that makes in-memory storage 100x faster than
+        rereading HDFS (Figure 11).
+        """
+        if dimensions is None:
+            first = points.take(1)
+            if not first:
+                raise MLError("cannot fit on an empty RDD")
+            dimensions = len(first[0].features)
+
+        rng = np.random.default_rng(self.seed)
+        # Paper: "starting with a randomized w vector" in [-1, 1).
+        weights = 2.0 * rng.random(dimensions) - 1.0
+        loss_history: list[float] = []
+
+        for _ in range(self.iterations):
+            gradient = self._gradient(points, weights)
+            weights = weights - self.learning_rate * gradient
+            if self.track_loss:
+                loss_history.append(self._loss(points, weights))
+
+        return LogisticRegressionModel(
+            weights=weights,
+            iterations_run=self.iterations,
+            loss_history=loss_history,
+        )
+
+    @staticmethod
+    def _gradient(points: RDD, weights: np.ndarray) -> np.ndarray:
+        def point_gradient(point: LabeledPoint) -> np.ndarray:
+            factor = gradient_factor(
+                point.label, float(np.dot(weights, point.features))
+            )
+            return factor * point.features
+
+        return points.map(point_gradient).reduce(lambda a, b: a + b)
+
+    @staticmethod
+    def _loss(points: RDD, weights: np.ndarray) -> float:
+        def point_loss(point: LabeledPoint) -> float:
+            margin = point.label * np.dot(weights, point.features)
+            # log(1 + exp(-m)) computed stably.
+            return float(np.logaddexp(0.0, -margin))
+
+        total, count = points.map(point_loss).aggregate(
+            (0.0, 0),
+            lambda acc, loss: (acc[0] + loss, acc[1] + 1),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        return total / max(count, 1)

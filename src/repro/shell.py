@@ -1,0 +1,235 @@
+"""An interactive SQL shell over a SharkContext.
+
+The paper: "We have modified the Scala shell to enable interactive
+execution of both SQL and distributed machine learning algorithms."  This
+is the Python analogue: a REPL that executes SQL statements against an
+in-process Shark cluster, plus dot-commands for inspecting the catalog,
+plans, and run-time optimizer decisions — and for killing workers live to
+watch lineage recovery happen.
+
+Run with::
+
+    python -m repro.shell
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Iterable, Optional, TextIO
+
+from repro import SharkContext
+from repro.errors import ReproError
+
+PROMPT = "shark> "
+CONTINUATION = "    -> "
+
+HELP_TEXT = """\
+Enter SQL terminated by ';'.  Dot-commands:
+  .help                 this message
+  .tables               list catalog tables
+  .describe <table>     show a table's schema and storage
+  .explain <query>      optimized logical plan without executing
+  .workers              virtual cluster status
+  .kill <worker_id>     kill a worker (lineage recovery demo)
+  .notes                run-time optimizer decisions of the last query
+  .quit                 exit"""
+
+#: Truncate result sets in the shell beyond this many rows.
+MAX_DISPLAY_ROWS = 40
+
+
+def format_table(column_names: list[str], rows: list[tuple]) -> str:
+    """Render rows as an aligned text table."""
+    display = [[_cell(value) for value in row] for row in rows]
+    widths = [len(name) for name in column_names]
+    for row in display:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    header = " | ".join(
+        name.ljust(width) for name, width in zip(column_names, widths)
+    )
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [header, separator]
+    for row in display:
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+class Shell:
+    """The REPL: feed it lines, it feeds back output via ``write``."""
+
+    def __init__(
+        self,
+        shark: Optional[SharkContext] = None,
+        write: Optional[Callable[[str], None]] = None,
+    ):
+        self.shark = shark if shark is not None else SharkContext()
+        self._write = write if write is not None else self._default_write
+        self._buffer: list[str] = []
+        self.running = True
+
+    @staticmethod
+    def _default_write(text: str) -> None:
+        print(text)
+
+    # ------------------------------------------------------------------
+    # Input handling
+    # ------------------------------------------------------------------
+    def feed(self, line: str) -> None:
+        """Process one input line (statement fragment or dot-command)."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("."):
+            self._dot_command(stripped)
+            return
+        if not stripped and not self._buffer:
+            return
+        self._buffer.append(line)
+        if stripped.endswith(";"):
+            statement = "\n".join(self._buffer)
+            self._buffer = []
+            self._execute(statement)
+
+    @property
+    def prompt(self) -> str:
+        return CONTINUATION if self._buffer else PROMPT
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute(self, statement: str) -> None:
+        try:
+            result = self.shark.sql(statement)
+        except ReproError as error:
+            self._write(f"error: {error}")
+            return
+        rows = result.rows[:MAX_DISPLAY_ROWS]
+        self._write(format_table(result.column_names, rows))
+        suffix = ""
+        if len(result.rows) > MAX_DISPLAY_ROWS:
+            suffix = f" (showing first {MAX_DISPLAY_ROWS})"
+        self._write(f"{len(result.rows)} row(s){suffix}")
+        for note in result.report.notes:
+            self._write(f"-- {note}")
+
+    # ------------------------------------------------------------------
+    # Dot-commands
+    # ------------------------------------------------------------------
+    def _dot_command(self, command: str) -> None:
+        name, __, argument = command.partition(" ")
+        argument = argument.strip()
+        if name in (".quit", ".exit"):
+            self.running = False
+            return
+        if name == ".help":
+            self._write(HELP_TEXT)
+            return
+        if name == ".tables":
+            names = self.shark.session.catalog.table_names()
+            self._write("\n".join(names) if names else "(no tables)")
+            return
+        if name == ".describe":
+            self._describe(argument)
+            return
+        if name == ".explain":
+            try:
+                self._write(self.shark.explain(argument.rstrip(";")))
+            except ReproError as error:
+                self._write(f"error: {error}")
+            return
+        if name == ".workers":
+            for worker in self.shark.engine.cluster.workers:
+                status = "alive" if worker.alive else "DEAD"
+                self._write(
+                    f"worker {worker.worker_id}: {status}, "
+                    f"{len(worker.blocks)} blocks, "
+                    f"{worker.tasks_run} tasks run"
+                )
+            return
+        if name == ".kill":
+            try:
+                self.shark.kill_worker(int(argument))
+                self._write(
+                    f"killed worker {argument}; its cached partitions and "
+                    f"shuffle outputs are gone — the next query recovers "
+                    f"them from lineage"
+                )
+            except (ValueError, IndexError, ReproError) as error:
+                self._write(f"error: {error}")
+            return
+        if name == ".notes":
+            report = self.shark.last_report
+            if report is None or not report.notes:
+                self._write("(no optimizer notes)")
+            else:
+                for note in report.notes:
+                    self._write(f"-- {note}")
+            return
+        self._write(f"unknown command {name!r}; try .help")
+
+    def _describe(self, name: str) -> None:
+        try:
+            entry = self.shark.table_entry(name)
+        except ReproError as error:
+            self._write(f"error: {error}")
+            return
+        storage = "cached (columnar memstore)" if entry.is_cached else (
+            f"external ({entry.path})"
+        )
+        self._write(f"table {entry.name} — {storage}")
+        for field in entry.schema.fields:
+            self._write(f"  {field.name}  {field.data_type}")
+        if entry.row_count is not None:
+            self._write(f"  -- {entry.row_count} rows")
+        if entry.distribute_column:
+            self._write(
+                f"  -- DISTRIBUTE BY {entry.distribute_column} "
+                f"({entry.partitioner})"
+            )
+
+
+def run(
+    lines: Iterable[str],
+    shark: Optional[SharkContext] = None,
+    write: Optional[Callable[[str], None]] = None,
+) -> Shell:
+    """Drive a shell over an iterable of input lines (testing entry)."""
+    shell = Shell(shark=shark, write=write)
+    for line in lines:
+        if not shell.running:
+            break
+        shell.feed(line)
+    return shell
+
+
+def main(stdin: Optional[TextIO] = None) -> int:
+    """Interactive entry point."""
+    stream = stdin if stdin is not None else sys.stdin
+    shell = Shell()
+    print("Shark SQL shell — .help for commands, .quit to exit")
+    interactive = stream is sys.stdin and stream.isatty()
+    while shell.running:
+        if interactive:
+            try:
+                line = input(shell.prompt)
+            except (EOFError, KeyboardInterrupt):
+                break
+        else:
+            line = stream.readline()
+            if not line:
+                break
+        shell.feed(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""The SQL layer: HiveQL-subset front end, optimizer, physical planner.
+
+Query processing follows the paper's three-step pipeline (Section 2.4):
+
+1. **Parse** (:mod:`repro.sql.lexer`, :mod:`repro.sql.parser`) — query text
+   to AST.
+2. **Logical plan** (:mod:`repro.sql.analyzer`, :mod:`repro.sql.logical`,
+   :mod:`repro.sql.optimizer`) — name/type resolution, then rule-based
+   optimization: predicate pushdown, column pruning, constant folding, and
+   pushing LIMIT down to individual partitions.
+3. **Physical plan** (:mod:`repro.sql.planner`, :mod:`repro.sql.physical`)
+   — transformations on RDDs rather than MapReduce jobs, with run-time
+   join-strategy selection via Partial DAG Execution (:mod:`repro.pde`),
+   co-partitioned joins, and map pruning from partition statistics.
+"""
+
+from importlib import import_module
+
+_EXPORTS = {
+    "Catalog": "repro.sql.catalog",
+    "TableEntry": "repro.sql.catalog",
+    "parse": "repro.sql.parser",
+    "SqlSession": "repro.sql.session",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.sql' has no attribute {name!r}")
+    return getattr(import_module(module_name), name)

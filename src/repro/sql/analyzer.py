@@ -1,0 +1,911 @@
+"""Semantic analysis: AST -> resolved, typed logical plan.
+
+Responsibilities:
+
+* name resolution with alias scoping (``t.col``, subquery aliases, join
+  scopes, ambiguity detection);
+* expression binding and typing (:mod:`repro.sql.expressions`);
+* aggregate extraction and rewriting — select/having expressions over
+  aggregates are rebound against the Aggregate node's output;
+* equi-join key extraction from ON conditions;
+* ORDER BY / GROUP BY positional and alias references, hidden sort columns;
+* plan shaping: Filter -> Aggregate -> Having -> Project -> Sort -> Limit ->
+  Repartition (DISTRIBUTE BY).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.datatypes import (
+    DataType,
+    Field,
+    STRING,
+    Schema,
+    infer_type,
+)
+from repro.errors import AnalysisError
+from repro.sql import ast
+from repro.sql.catalog import Catalog
+from repro.sql.expressions import (
+    BoundAnd,
+    BoundArithmetic,
+    BoundBetween,
+    BoundCase,
+    BoundCast,
+    BoundColumn,
+    BoundComparison,
+    BoundExpr,
+    BoundIn,
+    BoundIsNull,
+    BoundLike,
+    BoundLiteral,
+    BoundNegate,
+    BoundNot,
+    BoundOr,
+    BoundScalarCall,
+    expr_signature,
+)
+from repro.sql.functions import (
+    AGGREGATE_NAMES,
+    FunctionRegistry,
+    make_aggregate,
+)
+from repro.sql import logical
+from repro.datatypes import type_by_name
+
+
+@dataclass(frozen=True)
+class ScopeColumn:
+    qualifier: Optional[str]
+    name: str
+    data_type: DataType
+
+
+class Scope:
+    """Maps (qualifier, name) to row ordinals for one operator's input."""
+
+    def __init__(self, columns: list[ScopeColumn]):
+        self.columns = columns
+
+    @classmethod
+    def from_schema(cls, schema: Schema, qualifier: Optional[str]) -> "Scope":
+        return cls(
+            [
+                ScopeColumn(qualifier, field.name, field.data_type)
+                for field in schema.fields
+            ]
+        )
+
+    def concat(self, other: "Scope") -> "Scope":
+        return Scope(self.columns + other.columns)
+
+    def resolve(self, name: str, qualifier: Optional[str]) -> tuple[int, DataType]:
+        matches = []
+        for index, column in enumerate(self.columns):
+            if column.name.lower() != name.lower():
+                continue
+            if qualifier is not None and (
+                column.qualifier is None
+                or column.qualifier.lower() != qualifier.lower()
+            ):
+                continue
+            matches.append((index, column.data_type))
+        if not matches:
+            shown = f"{qualifier}.{name}" if qualifier else name
+            available = [
+                (f"{c.qualifier}." if c.qualifier else "") + c.name
+                for c in self.columns
+            ]
+            raise AnalysisError(
+                f"unknown column {shown!r}; available: {available}"
+            )
+        if len(matches) > 1:
+            shown = f"{qualifier}.{name}" if qualifier else name
+            raise AnalysisError(f"ambiguous column reference {shown!r}")
+        return matches[0]
+
+    def columns_for(self, qualifier: Optional[str]) -> list[int]:
+        """Ordinals selected by ``*`` or ``qualifier.*``."""
+        if qualifier is None:
+            return list(range(len(self.columns)))
+        out = [
+            index
+            for index, column in enumerate(self.columns)
+            if column.qualifier is not None
+            and column.qualifier.lower() == qualifier.lower()
+        ]
+        if not out:
+            raise AnalysisError(f"unknown table alias {qualifier!r} in '*'")
+        return out
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+def _contains_aggregate(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.FunctionCall):
+        if expr.name.lower() in AGGREGATE_NAMES:
+            return True
+        return any(_contains_aggregate(arg) for arg in expr.args)
+    if isinstance(expr, ast.BinaryOp):
+        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
+    if isinstance(expr, ast.UnaryOp):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Between):
+        return any(
+            _contains_aggregate(e) for e in (expr.operand, expr.low, expr.high)
+        )
+    if isinstance(expr, ast.InList):
+        return _contains_aggregate(expr.operand) or any(
+            _contains_aggregate(o) for o in expr.options
+        )
+    if isinstance(expr, ast.Like):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.IsNull):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.CaseWhen):
+        parts = list(expr.branches)
+        if _contains_aggregate(expr.operand) if expr.operand else False:
+            return True
+        for condition, value in parts:
+            if _contains_aggregate(condition) or _contains_aggregate(value):
+                return True
+        return expr.otherwise is not None and _contains_aggregate(expr.otherwise)
+    if isinstance(expr, ast.Cast):
+        return _contains_aggregate(expr.operand)
+    return False
+
+
+def _collect_aggregates(expr: ast.Expr, out: list[ast.FunctionCall]) -> None:
+    if isinstance(expr, ast.FunctionCall):
+        if expr.name.lower() in AGGREGATE_NAMES:
+            if expr not in out:
+                out.append(expr)
+            return  # no nested aggregates
+        for arg in expr.args:
+            _collect_aggregates(arg, out)
+        return
+    if isinstance(expr, ast.BinaryOp):
+        _collect_aggregates(expr.left, out)
+        _collect_aggregates(expr.right, out)
+    elif isinstance(expr, ast.UnaryOp):
+        _collect_aggregates(expr.operand, out)
+    elif isinstance(expr, ast.Between):
+        for inner in (expr.operand, expr.low, expr.high):
+            _collect_aggregates(inner, out)
+    elif isinstance(expr, ast.InList):
+        _collect_aggregates(expr.operand, out)
+        for option in expr.options:
+            _collect_aggregates(option, out)
+    elif isinstance(expr, (ast.Like, ast.IsNull, ast.Cast)):
+        _collect_aggregates(expr.operand, out)
+    elif isinstance(expr, ast.CaseWhen):
+        if expr.operand is not None:
+            _collect_aggregates(expr.operand, out)
+        for condition, value in expr.branches:
+            _collect_aggregates(condition, out)
+            _collect_aggregates(value, out)
+        if expr.otherwise is not None:
+            _collect_aggregates(expr.otherwise, out)
+
+
+class Analyzer:
+    """Binds one SELECT statement into a logical plan."""
+
+    def __init__(self, catalog: Catalog, registry: FunctionRegistry):
+        self.catalog = catalog
+        self.registry = registry
+
+    # ------------------------------------------------------------------
+    # Expression binding (pre-aggregation scopes)
+    # ------------------------------------------------------------------
+    def bind(self, expr: ast.Expr, scope: Scope) -> BoundExpr:
+        if isinstance(expr, ast.Literal):
+            if expr.value is None:
+                return BoundLiteral(None, STRING)
+            return BoundLiteral(expr.value, infer_type(expr.value))
+        if isinstance(expr, ast.ColumnRef):
+            index, data_type = scope.resolve(expr.name, expr.qualifier)
+            return BoundColumn(index, data_type, str(expr))
+        if isinstance(expr, ast.Star):
+            raise AnalysisError("'*' is only valid in SELECT or COUNT(*)")
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op == "and":
+                return BoundAnd(self.bind(expr.left, scope), self.bind(expr.right, scope))
+            if expr.op == "or":
+                return BoundOr(self.bind(expr.left, scope), self.bind(expr.right, scope))
+            left = self.bind(expr.left, scope)
+            right = self.bind(expr.right, scope)
+            if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+                return BoundComparison(expr.op, left, right)
+            return BoundArithmetic(expr.op, left, right)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self.bind(expr.operand, scope)
+            if expr.op == "not":
+                return BoundNot(operand)
+            return BoundNegate(operand)
+        if isinstance(expr, ast.Between):
+            return BoundBetween(
+                self.bind(expr.operand, scope),
+                self.bind(expr.low, scope),
+                self.bind(expr.high, scope),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.InList):
+            return BoundIn(
+                self.bind(expr.operand, scope),
+                [self.bind(option, scope) for option in expr.options],
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.Like):
+            return BoundLike(
+                self.bind(expr.operand, scope),
+                self.bind(expr.pattern, scope),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.IsNull):
+            return BoundIsNull(self.bind(expr.operand, scope), expr.negated)
+        if isinstance(expr, ast.CaseWhen):
+            return self._bind_case(expr, scope)
+        if isinstance(expr, ast.Cast):
+            return self._bind_cast(expr, scope)
+        if isinstance(expr, ast.FunctionCall):
+            if expr.name.lower() in AGGREGATE_NAMES:
+                raise AnalysisError(
+                    f"aggregate {expr.name.upper()} is not allowed here"
+                )
+            return self._bind_call(expr, scope)
+        if isinstance(expr, ast.InSubquery):
+            raise AnalysisError(
+                "IN (SELECT ...) is only supported as a top-level WHERE "
+                "conjunct"
+            )
+        raise AnalysisError(f"cannot bind expression {expr!r}")
+
+    def _bind_case(self, expr: ast.CaseWhen, scope: Scope) -> BoundExpr:
+        branches: list[tuple[BoundExpr, BoundExpr]] = []
+        if expr.operand is not None:
+            operand = self.bind(expr.operand, scope)
+            for condition, value in expr.branches:
+                bound_condition = BoundComparison(
+                    "=", operand, self.bind(condition, scope)
+                )
+                branches.append((bound_condition, self.bind(value, scope)))
+        else:
+            for condition, value in expr.branches:
+                branches.append(
+                    (self.bind(condition, scope), self.bind(value, scope))
+                )
+        otherwise = (
+            self.bind(expr.otherwise, scope)
+            if expr.otherwise is not None
+            else None
+        )
+        data_type = branches[0][1].data_type if branches else (
+            otherwise.data_type if otherwise else STRING
+        )
+        return BoundCase(branches, otherwise, data_type)
+
+    def _bind_cast(self, expr: ast.Cast, scope: Scope) -> BoundExpr:
+        from datetime import date as _date
+
+        target = type_by_name(expr.type_name)
+        operand = self.bind(expr.operand, scope)
+        casts = {
+            "int": int,
+            "bigint": int,
+            "double": float,
+            "string": str,
+            "boolean": bool,
+            "date": lambda v: v if isinstance(v, _date) else _date.fromisoformat(str(v)),
+        }
+        cast_fn = casts.get(target.name, lambda v: v)
+        return BoundCast(operand, target, cast_fn)
+
+    def _bind_call(self, expr: ast.FunctionCall, scope: Scope) -> BoundExpr:
+        spec = self.registry.lookup(expr.name)
+        if spec is None:
+            raise AnalysisError(
+                f"unknown function {expr.name!r}; register UDFs via "
+                f"SharkContext.register_udf"
+            )
+        args = [self.bind(arg, scope) for arg in expr.args]
+        if not spec.min_args <= len(args) <= spec.max_args:
+            raise AnalysisError(
+                f"{expr.name.upper()} expects between {spec.min_args} and "
+                f"{spec.max_args} arguments, got {len(args)}"
+            )
+        data_type = spec.resolve_type([arg.data_type for arg in args])
+        return BoundScalarCall(
+            expr.name, spec.fn, args, data_type,
+            null_propagating=spec.null_propagating,
+        )
+
+    # ------------------------------------------------------------------
+    # Post-aggregation binding
+    # ------------------------------------------------------------------
+    def bind_post_aggregate(
+        self,
+        expr: ast.Expr,
+        group_asts: list[ast.Expr],
+        agg_asts: list[ast.FunctionCall],
+        agg_scope: Scope,
+        input_scope: Optional[Scope] = None,
+        group_signatures: Optional[list[tuple]] = None,
+    ) -> BoundExpr:
+        """Bind an expression against an Aggregate node's output.
+
+        ``agg_scope`` lays out group columns first, then aggregate results.
+        Subtrees matching a GROUP BY expression — syntactically, or
+        semantically via bound-expression signatures (so ``sourceIP``
+        matches ``GROUP BY UV.sourceIP``) — or an aggregate call become
+        column references into that layout.
+        """
+        for index, group_ast in enumerate(group_asts):
+            if expr == group_ast:
+                column = agg_scope.columns[index]
+                return BoundColumn(index, column.data_type, column.name)
+        if (
+            input_scope is not None
+            and group_signatures
+            and not _contains_aggregate(expr)
+        ):
+            try:
+                candidate = self.bind(expr, input_scope)
+            except AnalysisError:
+                candidate = None
+            if candidate is not None:
+                signature = expr_signature(candidate)
+                for index, group_signature in enumerate(group_signatures):
+                    if signature == group_signature:
+                        column = agg_scope.columns[index]
+                        return BoundColumn(
+                            index, column.data_type, column.name
+                        )
+        if isinstance(expr, ast.FunctionCall) and expr.name.lower() in AGGREGATE_NAMES:
+            for offset, agg_ast in enumerate(agg_asts):
+                if expr == agg_ast:
+                    index = len(group_asts) + offset
+                    column = agg_scope.columns[index]
+                    return BoundColumn(index, column.data_type, column.name)
+            raise AnalysisError(f"unresolved aggregate {expr}")
+
+        rebind = lambda inner: self.bind_post_aggregate(  # noqa: E731
+            inner, group_asts, agg_asts, agg_scope, input_scope,
+            group_signatures,
+        )
+        if isinstance(expr, ast.Literal):
+            return self.bind(expr, agg_scope)
+        if isinstance(expr, ast.ColumnRef):
+            raise AnalysisError(
+                f"column {expr} must appear in GROUP BY or inside an aggregate"
+            )
+        if isinstance(expr, ast.BinaryOp):
+            left = rebind(expr.left)
+            right = rebind(expr.right)
+            if expr.op == "and":
+                return BoundAnd(left, right)
+            if expr.op == "or":
+                return BoundOr(left, right)
+            if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+                return BoundComparison(expr.op, left, right)
+            return BoundArithmetic(expr.op, left, right)
+        if isinstance(expr, ast.UnaryOp):
+            operand = rebind(expr.operand)
+            return BoundNot(operand) if expr.op == "not" else BoundNegate(operand)
+        if isinstance(expr, ast.Between):
+            return BoundBetween(
+                rebind(expr.operand), rebind(expr.low), rebind(expr.high),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.InList):
+            return BoundIn(
+                rebind(expr.operand),
+                [rebind(option) for option in expr.options],
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.Like):
+            return BoundLike(
+                rebind(expr.operand), rebind(expr.pattern), negated=expr.negated
+            )
+        if isinstance(expr, ast.IsNull):
+            return BoundIsNull(rebind(expr.operand), expr.negated)
+        if isinstance(expr, ast.Cast):
+            target = type_by_name(expr.type_name)
+            operand = rebind(expr.operand)
+            casts = {"int": int, "bigint": int, "double": float, "string": str,
+                     "boolean": bool}
+            return BoundCast(operand, target, casts.get(target.name, lambda v: v))
+        if isinstance(expr, ast.CaseWhen):
+            branches = []
+            if expr.operand is not None:
+                operand = rebind(expr.operand)
+                for condition, value in expr.branches:
+                    branches.append(
+                        (BoundComparison("=", operand, rebind(condition)),
+                         rebind(value))
+                    )
+            else:
+                for condition, value in expr.branches:
+                    branches.append((rebind(condition), rebind(value)))
+            otherwise = rebind(expr.otherwise) if expr.otherwise else None
+            data_type = branches[0][1].data_type if branches else STRING
+            return BoundCase(branches, otherwise, data_type)
+        if isinstance(expr, ast.FunctionCall):
+            spec = self.registry.lookup(expr.name)
+            if spec is None:
+                raise AnalysisError(f"unknown function {expr.name!r}")
+            args = [rebind(arg) for arg in expr.args]
+            data_type = spec.resolve_type([arg.data_type for arg in args])
+            return BoundScalarCall(
+                expr.name, spec.fn, args, data_type,
+                null_propagating=spec.null_propagating,
+            )
+        raise AnalysisError(f"cannot bind post-aggregate expression {expr!r}")
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+    def analyze_relation(
+        self, relation: ast.Relation
+    ) -> tuple[logical.LogicalPlan, Scope]:
+        if isinstance(relation, ast.TableRef):
+            entry = self.catalog.get(relation.name)
+            plan = logical.Scan(entry)
+            qualifier = relation.alias or relation.name
+            return plan, Scope.from_schema(entry.schema, qualifier)
+        if isinstance(relation, ast.SubqueryRef):
+            plan = self.analyze_select(relation.query)
+            return plan, Scope.from_schema(plan.schema, relation.alias)
+        if isinstance(relation, ast.JoinRef):
+            return self._analyze_join(relation)
+        raise AnalysisError(f"unsupported relation {relation!r}")
+
+    def _analyze_join(
+        self, relation: ast.JoinRef
+    ) -> tuple[logical.LogicalPlan, Scope]:
+        left_plan, left_scope = self.analyze_relation(relation.left)
+        right_plan, right_scope = self.analyze_relation(relation.right)
+        combined = left_scope.concat(right_scope)
+
+        left_keys: list[BoundExpr] = []
+        right_keys: list[BoundExpr] = []
+        residual: Optional[BoundExpr] = None
+
+        if relation.condition is not None:
+            conjuncts = _split_conjuncts(relation.condition)
+            residual_asts: list[ast.Expr] = []
+            for conjunct in conjuncts:
+                pair = self._try_equi_key(
+                    conjunct, left_scope, right_scope
+                )
+                if pair is not None:
+                    left_keys.append(pair[0])
+                    right_keys.append(pair[1])
+                else:
+                    residual_asts.append(conjunct)
+            if residual_asts:
+                residual = self.bind(_join_conjuncts(residual_asts), combined)
+
+        join_type = relation.join_type
+        if not left_keys and relation.condition is None:
+            join_type = "cross"
+
+        schema = Schema(
+            [
+                Field(column.name, column.data_type)
+                for column in combined.columns
+            ]
+            if _names_unique(combined)
+            else _dedupe_fields(combined)
+        )
+        plan = logical.Join(
+            left=left_plan,
+            right=right_plan,
+            join_type=join_type,
+            left_keys=left_keys,
+            right_keys=right_keys,
+            residual=residual,
+            schema=schema,
+        )
+        return plan, combined
+
+    def _try_equi_key(
+        self,
+        conjunct: ast.Expr,
+        left_scope: Scope,
+        right_scope: Scope,
+    ) -> Optional[tuple[BoundExpr, BoundExpr]]:
+        """If the conjunct is ``expr(left) = expr(right)``, bind each side
+        against its own scope and return the key pair."""
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+            return None
+        for first, second in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            try:
+                left_key = self.bind(first, left_scope)
+                right_key = self.bind(second, right_scope)
+                return left_key, right_key
+            except AnalysisError:
+                continue
+        return None
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def analyze_select(self, select: ast.SelectStatement) -> logical.LogicalPlan:
+        plan = self._analyze_single_select(select)
+        if select.union_all:
+            branches = [plan]
+            for branch_ast in select.union_all:
+                branch = self.analyze_select(branch_ast)
+                if len(branch.schema) != len(plan.schema):
+                    raise AnalysisError(
+                        "UNION ALL branches must have the same column count"
+                    )
+                branches.append(branch)
+            plan = logical.UnionAll(branches)
+        return plan
+
+    def _analyze_single_select(
+        self, select: ast.SelectStatement
+    ) -> logical.LogicalPlan:
+        if select.relation is None:
+            # SELECT without FROM: single-row constant query.
+            plan, scope = self._constant_relation()
+        else:
+            plan, scope = self.analyze_relation(select.relation)
+
+        if select.where is not None:
+            conjuncts = _split_conjuncts(select.where)
+            subquery_conjuncts = [
+                c for c in conjuncts if isinstance(c, ast.InSubquery)
+            ]
+            plain = [
+                c for c in conjuncts if not isinstance(c, ast.InSubquery)
+            ]
+            for conjunct in plain:
+                if _contains_in_subquery(conjunct):
+                    raise AnalysisError(
+                        "IN (SELECT ...) is only supported as a top-level "
+                        "WHERE conjunct"
+                    )
+            if plain:
+                condition = _join_conjuncts(plain)
+                if _contains_aggregate(condition):
+                    raise AnalysisError(
+                        "aggregates are not allowed in WHERE"
+                    )
+                plan = logical.Filter(plan, self.bind(condition, scope))
+            for conjunct in subquery_conjuncts:
+                if _contains_aggregate(conjunct.operand):
+                    raise AnalysisError(
+                        "aggregates are not allowed in WHERE"
+                    )
+                key = self.bind(conjunct.operand, scope)
+                subplan = self.analyze_select(conjunct.query)
+                if len(subplan.schema) != 1:
+                    raise AnalysisError(
+                        "an IN subquery must select exactly one column, "
+                        f"got {len(subplan.schema)}"
+                    )
+                plan = logical.SemiJoinFilter(
+                    plan, key, subplan, negated=conjunct.negated
+                )
+
+        # Expand stars and default aliases.
+        items = self._expand_items(select.items, scope)
+
+        group_asts = self._resolve_group_refs(select.group_by, items)
+        has_aggregates = bool(group_asts) or any(
+            _contains_aggregate(item.expr) for item in items
+        ) or (select.having is not None)
+
+        if has_aggregates:
+            plan, output_exprs, output_schema, agg_state = self._plan_aggregate(
+                plan, scope, items, group_asts, select.having
+            )
+        else:
+            if select.having is not None:
+                raise AnalysisError("HAVING requires GROUP BY or aggregates")
+            output_exprs = [self.bind(item.expr, scope) for item in items]
+            output_schema = Schema(
+                Field(name, expr.data_type)
+                for name, expr in zip(
+                    self._output_names(items), output_exprs
+                )
+            )
+            agg_state = None
+
+        # ORDER BY: resolve against output aliases/positions, else bind the
+        # expression and append it as a hidden projection column.
+        sort_keys: list[tuple[BoundExpr, bool]] = []
+        hidden: list[BoundExpr] = []
+        if select.order_by:
+            for order in select.order_by:
+                ordinal = self._match_output(order.expr, items, output_schema)
+                if ordinal is not None:
+                    key: BoundExpr = BoundColumn(
+                        ordinal,
+                        output_schema.fields[ordinal].data_type,
+                        output_schema.names[ordinal],
+                    )
+                else:
+                    if agg_state is not None:
+                        bound = self.bind_post_aggregate(
+                            order.expr, agg_state[0], agg_state[1],
+                            agg_state[2], agg_state[3], agg_state[4],
+                        )
+                    else:
+                        bound = self.bind(order.expr, scope)
+                    index = len(output_schema) + len(hidden)
+                    hidden.append(bound)
+                    key = BoundColumn(index, bound.data_type, f"_sort{index}")
+                sort_keys.append((key, order.ascending))
+
+        project_exprs = output_exprs + hidden
+        project_schema = Schema(
+            list(output_schema.fields)
+            + [
+                Field(f"_sort{len(output_schema) + i}", expr.data_type)
+                for i, expr in enumerate(hidden)
+            ]
+        )
+        plan = logical.Project(plan, project_exprs, project_schema)
+
+        if select.distinct:
+            if hidden:
+                raise AnalysisError(
+                    "ORDER BY expressions outside the select list cannot be "
+                    "combined with DISTINCT"
+                )
+            plan = logical.Distinct(plan)
+
+        if sort_keys:
+            plan = logical.Sort(plan, sort_keys)
+        if hidden:
+            strip = [
+                BoundColumn(i, field.data_type, field.name)
+                for i, field in enumerate(output_schema.fields)
+            ]
+            plan = logical.Project(plan, strip, output_schema)
+        if select.limit is not None:
+            plan = logical.Limit(plan, select.limit)
+        if select.distribute_by:
+            out_scope = Scope.from_schema(plan.schema, None)
+            keys = [self.bind(expr, out_scope) for expr in select.distribute_by]
+            plan = logical.Repartition(plan, keys)
+        return plan
+
+    def _constant_relation(self) -> tuple[logical.LogicalPlan, Scope]:
+        schema = Schema([Field("_dummy", STRING)])
+        plan = logical.Values([("x",)], schema)
+        return plan, Scope.from_schema(schema, None)
+
+    def _expand_items(
+        self, items: list[ast.SelectItem], scope: Scope
+    ) -> list[ast.SelectItem]:
+        expanded: list[ast.SelectItem] = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                for index in scope.columns_for(item.expr.qualifier):
+                    column = scope.columns[index]
+                    expanded.append(
+                        ast.SelectItem(
+                            ast.ColumnRef(column.name, column.qualifier),
+                            alias=column.name,
+                        )
+                    )
+            else:
+                expanded.append(item)
+        return expanded
+
+    def _output_names(self, items: list[ast.SelectItem]) -> list[str]:
+        names: list[str] = []
+        used: set[str] = set()
+        for index, item in enumerate(items):
+            if item.alias:
+                name = item.alias
+            elif isinstance(item.expr, ast.ColumnRef):
+                name = item.expr.name
+            else:
+                name = f"_c{index}"
+            base = name
+            suffix = 1
+            while name.lower() in used:
+                name = f"{base}_{suffix}"
+                suffix += 1
+            used.add(name.lower())
+            names.append(name)
+        return names
+
+    def _resolve_group_refs(
+        self, group_by: list[ast.Expr], items: list[ast.SelectItem]
+    ) -> list[ast.Expr]:
+        """Resolve positional (GROUP BY 1) and alias references."""
+        resolved: list[ast.Expr] = []
+        aliases = {
+            (item.alias or "").lower(): item.expr
+            for item in items
+            if item.alias
+        }
+        for expr in group_by:
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                position = expr.value
+                if not 1 <= position <= len(items):
+                    raise AnalysisError(
+                        f"GROUP BY position {position} out of range"
+                    )
+                resolved.append(items[position - 1].expr)
+            elif (
+                isinstance(expr, ast.ColumnRef)
+                and expr.qualifier is None
+                and expr.name.lower() in aliases
+                and not isinstance(aliases[expr.name.lower()], ast.ColumnRef)
+            ):
+                resolved.append(aliases[expr.name.lower()])
+            else:
+                resolved.append(expr)
+        return resolved
+
+    def _match_output(
+        self,
+        expr: ast.Expr,
+        items: list[ast.SelectItem],
+        output_schema: Schema,
+    ) -> Optional[int]:
+        """ORDER BY resolution against the select list: positions, aliases,
+        and structurally identical expressions."""
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            position = expr.value
+            if 1 <= position <= len(items):
+                return position - 1
+            raise AnalysisError(f"ORDER BY position {position} out of range")
+        if isinstance(expr, ast.ColumnRef) and expr.qualifier is None:
+            for index, item in enumerate(items):
+                alias = item.alias or (
+                    item.expr.name
+                    if isinstance(item.expr, ast.ColumnRef)
+                    else None
+                )
+                if alias and alias.lower() == expr.name.lower():
+                    return index
+        for index, item in enumerate(items):
+            if item.expr == expr:
+                return index
+        return None
+
+    def _plan_aggregate(
+        self,
+        plan: logical.LogicalPlan,
+        scope: Scope,
+        items: list[ast.SelectItem],
+        group_asts: list[ast.Expr],
+        having: Optional[ast.Expr],
+    ):
+        # Collect every aggregate call in select + having.
+        agg_asts: list[ast.FunctionCall] = []
+        for item in items:
+            _collect_aggregates(item.expr, agg_asts)
+        if having is not None:
+            _collect_aggregates(having, agg_asts)
+
+        group_bound = [self.bind(expr, scope) for expr in group_asts]
+        specs: list[logical.AggregateSpec] = []
+        for offset, agg_ast in enumerate(agg_asts):
+            count_star = len(agg_ast.args) == 1 and isinstance(
+                agg_ast.args[0], ast.Star
+            )
+            if count_star and agg_ast.name.lower() != "count":
+                raise AnalysisError(
+                    f"'*' argument is only valid in COUNT(*), not "
+                    f"{agg_ast.name.upper()}"
+                )
+            argument = (
+                None
+                if count_star or not agg_ast.args
+                else self.bind(agg_ast.args[0], scope)
+            )
+            if len(agg_ast.args) > 1:
+                raise AnalysisError(
+                    f"{agg_ast.name.upper()} takes one argument"
+                )
+            function = make_aggregate(
+                agg_ast.name, agg_ast.distinct, count_star
+            )
+            specs.append(
+                logical.AggregateSpec(
+                    function=function,
+                    argument=argument,
+                    output_name=f"_agg{offset}",
+                )
+            )
+
+        agg_fields = [
+            Field(f"_g{i}", expr.data_type) for i, expr in enumerate(group_bound)
+        ] + [
+            Field(
+                spec.output_name,
+                spec.function.result_type(
+                    spec.argument.data_type if spec.argument else None
+                ),
+            )
+            for spec in specs
+        ]
+        agg_schema = Schema(agg_fields)
+        plan = logical.Aggregate(plan, group_bound, specs, agg_schema)
+        agg_scope = Scope.from_schema(agg_schema, None)
+        group_signatures = [expr_signature(expr) for expr in group_bound]
+
+        if having is not None:
+            condition = self.bind_post_aggregate(
+                having, group_asts, agg_asts, agg_scope, scope,
+                group_signatures,
+            )
+            plan = logical.Filter(plan, condition)
+
+        output_exprs = [
+            self.bind_post_aggregate(
+                item.expr, group_asts, agg_asts, agg_scope, scope,
+                group_signatures,
+            )
+            for item in items
+        ]
+        output_schema = Schema(
+            Field(name, expr.data_type)
+            for name, expr in zip(self._output_names(items), output_exprs)
+        )
+        return plan, output_exprs, output_schema, (
+            group_asts, agg_asts, agg_scope, scope, group_signatures,
+        )
+
+
+def _contains_in_subquery(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.InSubquery):
+        return True
+    if isinstance(expr, ast.BinaryOp):
+        return _contains_in_subquery(expr.left) or _contains_in_subquery(
+            expr.right
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return _contains_in_subquery(expr.operand)
+    return False
+
+
+def _split_conjuncts(expr: ast.Expr) -> list[ast.Expr]:
+    if isinstance(expr, ast.BinaryOp) and expr.op == "and":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _join_conjuncts(conjuncts: list[ast.Expr]) -> ast.Expr:
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = ast.BinaryOp("and", result, conjunct)
+    return result
+
+
+def _names_unique(scope: Scope) -> bool:
+    names = [column.name.lower() for column in scope.columns]
+    return len(names) == len(set(names))
+
+
+def _dedupe_fields(scope: Scope) -> list[Field]:
+    fields: list[Field] = []
+    used: set[str] = set()
+    for column in scope.columns:
+        name = column.name
+        if name.lower() in used and column.qualifier:
+            name = f"{column.qualifier}.{column.name}"
+        base = name
+        suffix = 1
+        while name.lower() in used:
+            name = f"{base}_{suffix}"
+            suffix += 1
+        used.add(name.lower())
+        fields.append(Field(name, column.data_type))
+    return fields

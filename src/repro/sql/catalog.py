@@ -1,0 +1,104 @@
+"""The metastore: table metadata, storage handles, co-partitioning links.
+
+Plays the role of the "Metastore (System Catalog)" box in the paper's
+architecture diagram (Figure 2).  A table is either *external* (rows
+encoded in the distributed file store, scanned from "disk") or *cached*
+(``shark.cache`` — an RDD of columnar partitions pinned in worker memory,
+with per-partition statistics held here for map pruning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.datatypes import Schema
+from repro.errors import CatalogError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.columnar.stats import PartitionStats
+    from repro.engine.partitioner import Partitioner
+    from repro.engine.rdd import RDD
+
+EXTERNAL = "external"
+CACHED = "cached"
+
+
+@dataclass
+class TableEntry:
+    """Everything the system knows about one table."""
+
+    name: str
+    schema: Schema
+    kind: str = EXTERNAL
+    #: DFS path for external tables.
+    path: Optional[str] = None
+    #: Cached tables: RDD with one ColumnarPartition element per partition.
+    cached_rdd: Optional["RDD"] = None
+    #: Cached tables: per-partition column statistics, for map pruning.
+    partition_stats: list["PartitionStats"] = field(default_factory=list)
+    #: Set when the table was created with DISTRIBUTE BY (Section 3.4).
+    partitioner: Optional["Partitioner"] = None
+    distribute_column: Optional[str] = None
+    #: TBLPROPERTIES as written.
+    properties: dict[str, str] = field(default_factory=dict)
+    #: Known row count (maintained on load/insert; None if unknown).
+    row_count: Optional[int] = None
+    #: Stored size in bytes (memstore footprint or DFS file size); the
+    #: static optimizer's size estimate.
+    size_bytes: Optional[int] = None
+    #: Cached tables: memstore bytes per partition (PDE-independent sizing).
+    partition_bytes: list[int] = field(default_factory=list)
+
+    @property
+    def is_cached(self) -> bool:
+        return self.kind == CACHED
+
+    def copartitioned_with(self) -> Optional[str]:
+        """Name of the table this one was co-partitioned against, if any."""
+        return self.properties.get("copartition")
+
+
+class Catalog:
+    """Named tables plus UDF registrations."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableEntry] = {}
+
+    def create(self, entry: TableEntry, if_not_exists: bool = False) -> bool:
+        """Register a table; returns False when skipped by IF NOT EXISTS."""
+        key = entry.name.lower()
+        if key in self._tables:
+            if if_not_exists:
+                return False
+            raise CatalogError(f"table already exists: {entry.name}")
+        self._tables[key] = entry
+        return True
+
+    def drop(self, name: str, if_exists: bool = False) -> bool:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return False
+            raise CatalogError(f"no such table: {name}")
+        entry = self._tables.pop(key)
+        if entry.cached_rdd is not None:
+            entry.cached_rdd.unpersist()
+        return True
+
+    def get(self, name: str) -> TableEntry:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no such table: {name}; known tables: {self.table_names()}"
+            ) from None
+
+    def exists(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(entry.name for entry in self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,451 @@
+"""Bound (resolved, typed) expressions evaluated over rows.
+
+The analyzer converts AST expressions into this tree: column references
+become ordinal indices into the operator's input row, functions are
+resolved against the builtin/UDF registries, and types are checked.  SQL
+three-valued logic is honoured: comparisons and arithmetic involving NULL
+yield NULL, AND/OR follow Kleene logic, and WHERE keeps only rows whose
+predicate is exactly TRUE.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Optional, Sequence
+
+from repro.datatypes import (
+    BOOLEAN,
+    DOUBLE,
+    DataType,
+    promote,
+)
+from repro.errors import TypeMismatchError
+
+
+class BoundExpr:
+    """Base class: a typed expression evaluable against a row tuple."""
+
+    def __init__(self, data_type: DataType, name: str):
+        self.data_type = data_type
+        self.name = name
+
+    def eval(self, row: tuple) -> Any:
+        raise NotImplementedError
+
+    def children(self) -> Sequence["BoundExpr"]:
+        return ()
+
+    def references(self) -> set[int]:
+        """Input ordinals this expression reads (for column pruning)."""
+        refs: set[int] = set()
+        stack: list[BoundExpr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, BoundColumn):
+                refs.add(node.index)
+            stack.extend(node.children())
+        return refs
+
+    @property
+    def is_deterministic_literal(self) -> bool:
+        return isinstance(self, BoundLiteral)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class BoundLiteral(BoundExpr):
+    def __init__(self, value: Any, data_type: DataType):
+        super().__init__(data_type, repr(value))
+        self.value = value
+
+    def eval(self, row: tuple) -> Any:
+        return self.value
+
+
+class BoundColumn(BoundExpr):
+    """A reference to ordinal ``index`` of the input row."""
+
+    def __init__(self, index: int, data_type: DataType, name: str):
+        super().__init__(data_type, name)
+        self.index = index
+
+    def eval(self, row: tuple) -> Any:
+        return row[self.index]
+
+
+class BoundArithmetic(BoundExpr):
+    _OPS: dict[str, Callable[[Any, Any], Any]] = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "%": lambda a, b: a % b,
+    }
+
+    def __init__(self, op: str, left: BoundExpr, right: BoundExpr):
+        if op == "/":
+            data_type = DOUBLE
+        elif op == "+" and not _is_numeric_like(left) and not _is_numeric_like(right):
+            # String concatenation via '+' is rejected; use CONCAT.
+            raise TypeMismatchError(
+                f"cannot apply '+' to {left.data_type} and {right.data_type}"
+            )
+        else:
+            data_type = promote(left.data_type, right.data_type)
+        super().__init__(data_type, f"({left.name} {op} {right.name})")
+        self.op = op
+        self.left = left
+        self.right = right
+        self._fn = self._OPS.get(op)
+
+    def eval(self, row: tuple) -> Any:
+        left = self.left.eval(row)
+        right = self.right.eval(row)
+        if left is None or right is None:
+            return None
+        if self.op in ("/", "%") and right == 0:
+            return None  # SQL: division/modulo by zero yields NULL (Hive).
+        if self.op == "/":
+            return left / right
+        return self._fn(left, right)
+
+    def children(self) -> Sequence[BoundExpr]:
+        return (self.left, self.right)
+
+
+def _is_numeric_like(expr: BoundExpr) -> bool:
+    from repro.datatypes import is_numeric
+
+    return is_numeric(expr.data_type)
+
+
+class BoundComparison(BoundExpr):
+    _OPS: dict[str, Callable[[Any, Any], bool]] = {
+        "=": lambda a, b: a == b,
+        "<>": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+
+    def __init__(self, op: str, left: BoundExpr, right: BoundExpr):
+        super().__init__(BOOLEAN, f"({left.name} {op} {right.name})")
+        self.op = op
+        self.left = left
+        self.right = right
+        self._fn = self._OPS[op]
+
+    def eval(self, row: tuple) -> Optional[bool]:
+        left = self.left.eval(row)
+        right = self.right.eval(row)
+        if left is None or right is None:
+            return None
+        return self._fn(left, right)
+
+    def children(self) -> Sequence[BoundExpr]:
+        return (self.left, self.right)
+
+
+class BoundAnd(BoundExpr):
+    def __init__(self, left: BoundExpr, right: BoundExpr):
+        super().__init__(BOOLEAN, f"({left.name} AND {right.name})")
+        self.left = left
+        self.right = right
+
+    def eval(self, row: tuple) -> Optional[bool]:
+        left = self.left.eval(row)
+        if left is False:
+            return False
+        right = self.right.eval(row)
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+
+    def children(self) -> Sequence[BoundExpr]:
+        return (self.left, self.right)
+
+
+class BoundOr(BoundExpr):
+    def __init__(self, left: BoundExpr, right: BoundExpr):
+        super().__init__(BOOLEAN, f"({left.name} OR {right.name})")
+        self.left = left
+        self.right = right
+
+    def eval(self, row: tuple) -> Optional[bool]:
+        left = self.left.eval(row)
+        if left is True:
+            return True
+        right = self.right.eval(row)
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+
+    def children(self) -> Sequence[BoundExpr]:
+        return (self.left, self.right)
+
+
+class BoundNot(BoundExpr):
+    def __init__(self, operand: BoundExpr):
+        super().__init__(BOOLEAN, f"(NOT {operand.name})")
+        self.operand = operand
+
+    def eval(self, row: tuple) -> Optional[bool]:
+        value = self.operand.eval(row)
+        if value is None:
+            return None
+        return not value
+
+    def children(self) -> Sequence[BoundExpr]:
+        return (self.operand,)
+
+
+class BoundNegate(BoundExpr):
+    def __init__(self, operand: BoundExpr):
+        super().__init__(operand.data_type, f"(-{operand.name})")
+        self.operand = operand
+
+    def eval(self, row: tuple) -> Any:
+        value = self.operand.eval(row)
+        return None if value is None else -value
+
+    def children(self) -> Sequence[BoundExpr]:
+        return (self.operand,)
+
+
+class BoundBetween(BoundExpr):
+    def __init__(
+        self, operand: BoundExpr, low: BoundExpr, high: BoundExpr,
+        negated: bool = False,
+    ):
+        name = f"({operand.name} BETWEEN {low.name} AND {high.name})"
+        super().__init__(BOOLEAN, name)
+        self.operand = operand
+        self.low = low
+        self.high = high
+        self.negated = negated
+
+    def eval(self, row: tuple) -> Optional[bool]:
+        value = self.operand.eval(row)
+        low = self.low.eval(row)
+        high = self.high.eval(row)
+        if value is None or low is None or high is None:
+            return None
+        result = low <= value <= high
+        return not result if self.negated else result
+
+    def children(self) -> Sequence[BoundExpr]:
+        return (self.operand, self.low, self.high)
+
+
+class BoundIn(BoundExpr):
+    def __init__(
+        self, operand: BoundExpr, options: list[BoundExpr],
+        negated: bool = False,
+    ):
+        inner = ", ".join(option.name for option in options)
+        super().__init__(BOOLEAN, f"({operand.name} IN ({inner}))")
+        self.operand = operand
+        self.options = list(options)
+        self.negated = negated
+        # Fast path: constant option list becomes one set lookup.
+        if all(isinstance(option, BoundLiteral) for option in options):
+            self._constant_set: Optional[frozenset] = frozenset(
+                option.value for option in options
+            )
+        else:
+            self._constant_set = None
+
+    def eval(self, row: tuple) -> Optional[bool]:
+        value = self.operand.eval(row)
+        if value is None:
+            return None
+        if self._constant_set is not None:
+            result = value in self._constant_set
+        else:
+            result = any(option.eval(row) == value for option in self.options)
+        return not result if self.negated else result
+
+    def children(self) -> Sequence[BoundExpr]:
+        return (self.operand, *self.options)
+
+
+def like_to_regex(pattern: str) -> re.Pattern:
+    """Translate a SQL LIKE pattern (%, _) to an anchored regex."""
+    out = []
+    for char in pattern:
+        if char == "%":
+            out.append(".*")
+        elif char == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+class BoundLike(BoundExpr):
+    def __init__(
+        self, operand: BoundExpr, pattern: BoundExpr, negated: bool = False
+    ):
+        super().__init__(BOOLEAN, f"({operand.name} LIKE {pattern.name})")
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+        if isinstance(pattern, BoundLiteral) and isinstance(pattern.value, str):
+            self._compiled: Optional[re.Pattern] = like_to_regex(pattern.value)
+        else:
+            self._compiled = None
+
+    def eval(self, row: tuple) -> Optional[bool]:
+        value = self.operand.eval(row)
+        if value is None:
+            return None
+        if self._compiled is not None:
+            regex = self._compiled
+        else:
+            pattern = self.pattern.eval(row)
+            if pattern is None:
+                return None
+            regex = like_to_regex(pattern)
+        result = regex.match(value) is not None
+        return not result if self.negated else result
+
+    def children(self) -> Sequence[BoundExpr]:
+        return (self.operand, self.pattern)
+
+
+class BoundIsNull(BoundExpr):
+    def __init__(self, operand: BoundExpr, negated: bool = False):
+        suffix = "IS NOT NULL" if negated else "IS NULL"
+        super().__init__(BOOLEAN, f"({operand.name} {suffix})")
+        self.operand = operand
+        self.negated = negated
+
+    def eval(self, row: tuple) -> bool:
+        result = self.operand.eval(row) is None
+        return not result if self.negated else result
+
+    def children(self) -> Sequence[BoundExpr]:
+        return (self.operand,)
+
+
+class BoundCase(BoundExpr):
+    def __init__(
+        self,
+        branches: list[tuple[BoundExpr, BoundExpr]],
+        otherwise: Optional[BoundExpr],
+        data_type: DataType,
+    ):
+        super().__init__(data_type, "CASE")
+        self.branches = list(branches)
+        self.otherwise = otherwise
+
+    def eval(self, row: tuple) -> Any:
+        for condition, value in self.branches:
+            if condition.eval(row) is True:
+                return value.eval(row)
+        if self.otherwise is not None:
+            return self.otherwise.eval(row)
+        return None
+
+    def children(self) -> Sequence[BoundExpr]:
+        kids: list[BoundExpr] = []
+        for condition, value in self.branches:
+            kids.extend((condition, value))
+        if self.otherwise is not None:
+            kids.append(self.otherwise)
+        return kids
+
+
+class BoundCast(BoundExpr):
+    def __init__(self, operand: BoundExpr, target: DataType,
+                 cast_fn: Callable[[Any], Any]):
+        super().__init__(target, f"CAST({operand.name} AS {target})")
+        self.operand = operand
+        self._cast_fn = cast_fn
+
+    def eval(self, row: tuple) -> Any:
+        value = self.operand.eval(row)
+        if value is None:
+            return None
+        return self._cast_fn(value)
+
+    def children(self) -> Sequence[BoundExpr]:
+        return (self.operand,)
+
+
+class BoundScalarCall(BoundExpr):
+    """A builtin scalar function or user-defined function call."""
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        args: list[BoundExpr],
+        data_type: DataType,
+        null_propagating: bool = True,
+    ):
+        arg_names = ", ".join(arg.name for arg in args)
+        super().__init__(data_type, f"{name}({arg_names})")
+        self.function_name = name
+        self._fn = fn
+        self.args = list(args)
+        self._null_propagating = null_propagating
+
+    def eval(self, row: tuple) -> Any:
+        values = [arg.eval(row) for arg in self.args]
+        if self._null_propagating and any(value is None for value in values):
+            return None
+        return self._fn(*values)
+
+    def children(self) -> Sequence[BoundExpr]:
+        return self.args
+
+
+def expr_signature(expr: BoundExpr) -> tuple:
+    """A structural identity for a bound expression.
+
+    Two expressions with equal signatures compute the same value over the
+    same input row, regardless of how they were spelled (``sourceIP`` vs
+    ``UV.sourceIP``).  Used to match SELECT expressions against GROUP BY
+    expressions semantically.
+    """
+    extra: tuple = ()
+    if isinstance(expr, BoundColumn):
+        return ("col", expr.index)
+    if isinstance(expr, BoundLiteral):
+        return ("lit", expr.value)
+    if isinstance(expr, (BoundComparison, BoundArithmetic)):
+        extra = (expr.op,)
+    elif isinstance(expr, BoundScalarCall):
+        extra = (expr.function_name,)
+    elif isinstance(expr, (BoundBetween, BoundIn, BoundLike, BoundIsNull)):
+        extra = (expr.negated,)
+    elif isinstance(expr, BoundCast):
+        extra = (expr.data_type.name,)
+    children = tuple(expr_signature(child) for child in expr.children())
+    return (type(expr).__name__, extra, children)
+
+
+def rewrite_columns(expr: BoundExpr, mapping: dict[int, int]) -> BoundExpr:
+    """Return a copy of ``expr`` with column ordinals remapped.
+
+    Used by pushdown rules that move a predicate across a projection or to
+    one side of a join: the predicate's input layout changes, so its
+    column indices must be rebased.
+    """
+    import copy
+
+    clone = copy.deepcopy(expr)
+    stack: list[BoundExpr] = [clone]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BoundColumn):
+            node.index = mapping[node.index]
+        for child in node.children():
+            stack.append(child)
+    return clone

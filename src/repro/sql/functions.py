@@ -1,0 +1,524 @@
+"""Builtin scalar functions, aggregate functions, and the UDF registry.
+
+Shark "supports all of Hive's SQL dialect and UDFs" (Section 1); here a
+representative set of Hive builtins is provided, plus
+:class:`FunctionRegistry` for user functions — the paper's PDE experiment
+(Section 6.3.2) relies on a selective UDF over supplier addresses, and
+UDFs are precisely why static optimizers fail and PDE is needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import date, datetime
+from typing import Any, Callable, Optional
+
+from repro.datatypes import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    DataType,
+    INT,
+    STRING,
+    TIMESTAMP,
+    is_numeric,
+    promote,
+)
+from repro.engine.partitioner import stable_hash
+from repro.errors import AnalysisError
+
+# ---------------------------------------------------------------------------
+# Scalar builtins
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScalarFunction:
+    """A scalar builtin: implementation plus a result-type rule."""
+
+    name: str
+    fn: Callable[..., Any]
+    #: Either a fixed DataType or a callable(arg_types) -> DataType.
+    result_type: Any
+    min_args: int
+    max_args: int
+    #: Most functions return NULL when any input is NULL; COALESCE-style
+    #: functions handle NULLs themselves.
+    null_propagating: bool = True
+
+    def resolve_type(self, arg_types: list[DataType]) -> DataType:
+        if callable(self.result_type):
+            return self.result_type(arg_types)
+        return self.result_type
+
+
+def _substr(text: str, start: int, length: Optional[int] = None) -> str:
+    # Hive SUBSTR is 1-based; negative start counts from the end.
+    if start > 0:
+        begin = start - 1
+    elif start < 0:
+        begin = max(len(text) + start, 0)
+    else:
+        begin = 0
+    if length is None:
+        return text[begin:]
+    return text[begin : begin + max(length, 0)]
+
+
+def _parse_date(value: Any) -> date:
+    if isinstance(value, datetime):
+        return value.date()
+    if isinstance(value, date):
+        return value
+    return date.fromisoformat(str(value))
+
+
+def _parse_timestamp(value: Any) -> datetime:
+    if isinstance(value, datetime):
+        return value
+    if isinstance(value, date):
+        return datetime(value.year, value.month, value.day)
+    return datetime.fromisoformat(str(value))
+
+
+def _numeric_result(arg_types: list[DataType]) -> DataType:
+    result = arg_types[0]
+    for arg_type in arg_types[1:]:
+        result = promote(result, arg_type)
+    return result
+
+
+def _first_arg_type(arg_types: list[DataType]) -> DataType:
+    return arg_types[0]
+
+
+def _round(value: float, digits: int = 0) -> float:
+    # SQL ROUND: half away from zero, unlike Python's banker's rounding.
+    factor = 10**digits
+    scaled = value * factor
+    if scaled >= 0:
+        result = math.floor(scaled + 0.5) / factor
+    else:
+        result = math.ceil(scaled - 0.5) / factor
+    return result if digits > 0 else float(int(result)) if digits == 0 else result
+
+
+_BUILTINS: dict[str, ScalarFunction] = {}
+
+
+def _register(
+    name: str,
+    fn: Callable[..., Any],
+    result_type: Any,
+    min_args: int,
+    max_args: Optional[int] = None,
+    null_propagating: bool = True,
+) -> None:
+    _BUILTINS[name] = ScalarFunction(
+        name=name,
+        fn=fn,
+        result_type=result_type,
+        min_args=min_args,
+        max_args=max_args if max_args is not None else min_args,
+        null_propagating=null_propagating,
+    )
+
+
+_register("substr", _substr, STRING, 2, 3)
+_register("substring", _substr, STRING, 2, 3)
+_register("concat", lambda *parts: "".join(str(p) for p in parts), STRING, 1, 64)
+_register("upper", lambda s: s.upper(), STRING, 1)
+_register("lower", lambda s: s.lower(), STRING, 1)
+_register("length", lambda s: len(s), INT, 1)
+_register("trim", lambda s: s.strip(), STRING, 1)
+_register("ltrim", lambda s: s.lstrip(), STRING, 1)
+_register("rtrim", lambda s: s.rstrip(), STRING, 1)
+_register("reverse", lambda s: s[::-1], STRING, 1)
+_register(
+    "instr", lambda s, sub: s.find(sub) + 1, INT, 2
+)  # 1-based, 0 = absent
+_register("abs", abs, _numeric_result, 1)
+_register("round", _round, DOUBLE, 1, 2)
+_register("floor", lambda v: int(math.floor(v)), BIGINT, 1)
+_register("ceil", lambda v: int(math.ceil(v)), BIGINT, 1)
+_register("ceiling", lambda v: int(math.ceil(v)), BIGINT, 1)
+_register("sqrt", math.sqrt, DOUBLE, 1)
+_register("exp", math.exp, DOUBLE, 1)
+_register("ln", math.log, DOUBLE, 1)
+_register("log", lambda base, v: math.log(v, base), DOUBLE, 2)
+_register("pow", math.pow, DOUBLE, 2)
+_register("power", math.pow, DOUBLE, 2)
+_register("pmod", lambda a, b: a % b if b != 0 else None, _numeric_result, 2)
+_register("year", lambda d: _parse_date(d).year, INT, 1)
+_register("month", lambda d: _parse_date(d).month, INT, 1)
+_register("day", lambda d: _parse_date(d).day, INT, 1)
+_register("date", _parse_date, DATE, 1)
+_register("to_date", _parse_date, DATE, 1)
+_register("timestamp", _parse_timestamp, TIMESTAMP, 1)
+_register("datediff", lambda a, b: (_parse_date(a) - _parse_date(b)).days, INT, 2)
+_register(
+    "coalesce",
+    lambda *values: next((v for v in values if v is not None), None),
+    _first_arg_type,
+    1,
+    64,
+    null_propagating=False,
+)
+_register(
+    "if",
+    lambda cond, then, other: then if cond else other,
+    lambda arg_types: arg_types[1],
+    3,
+    null_propagating=False,
+)
+_register(
+    "nvl",
+    lambda value, default: default if value is None else value,
+    _first_arg_type,
+    2,
+    null_propagating=False,
+)
+_register("isnull", lambda v: v is None, BOOLEAN, 1, null_propagating=False)
+_register("hash", lambda *values: stable_hash(tuple(values)), INT, 1, 16)
+
+
+def _split(text: str, pattern: str) -> list:
+    import re as _re
+
+    return _re.split(pattern, text)
+
+
+def _regexp_extract(text: str, pattern: str, group: int = 1) -> str:
+    import re as _re
+
+    match = _re.search(pattern, text)
+    if match is None:
+        return ""
+    return match.group(group) or ""
+
+
+def _regexp_replace(text: str, pattern: str, replacement: str) -> str:
+    import re as _re
+
+    return _re.sub(pattern, replacement, text)
+
+
+def _date_add(value: Any, days: int) -> date:
+    from datetime import timedelta
+
+    return _parse_date(value) + timedelta(days=days)
+
+
+from repro.datatypes import ArrayType as _ArrayType  # noqa: E402
+
+_register("split", _split, _ArrayType(element_type=STRING), 2)
+_register("regexp_extract", _regexp_extract, STRING, 2, 3)
+_register("regexp_replace", _regexp_replace, STRING, 3)
+_register("lpad", lambda s, n, pad: s.rjust(n, pad)[:n] if len(s) < n else s[:n], STRING, 3)
+_register("rpad", lambda s, n, pad: s.ljust(n, pad)[:n] if len(s) < n else s[:n], STRING, 3)
+_register(
+    "greatest",
+    lambda *values: max(v for v in values if v is not None)
+    if any(v is not None for v in values) else None,
+    _first_arg_type, 2, 16, null_propagating=False,
+)
+_register(
+    "least",
+    lambda *values: min(v for v in values if v is not None)
+    if any(v is not None for v in values) else None,
+    _first_arg_type, 2, 16, null_propagating=False,
+)
+_register("date_add", _date_add, DATE, 2)
+_register("date_sub", lambda v, days: _date_add(v, -days), DATE, 2)
+
+
+def builtin(name: str) -> Optional[ScalarFunction]:
+    return _BUILTINS.get(name.lower())
+
+
+def builtin_names() -> list[str]:
+    return sorted(_BUILTINS)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate functions
+# ---------------------------------------------------------------------------
+
+
+class AggregateFunction:
+    """Partial-aggregation contract: init/update/merge/finish.
+
+    Both Shark and Hive "applied task-local aggregations and shuffled the
+    data to parallelize the final merge aggregation" (Section 6.2.2);
+    this interface is what makes that two-phase plan possible.
+    """
+
+    name = "agg"
+
+    def __init__(self, distinct: bool = False):
+        self.distinct = distinct
+
+    def result_type(self, input_type: Optional[DataType]) -> DataType:
+        raise NotImplementedError
+
+    def initial(self) -> Any:
+        raise NotImplementedError
+
+    def update(self, acc: Any, value: Any) -> Any:
+        raise NotImplementedError
+
+    def merge(self, left: Any, right: Any) -> Any:
+        raise NotImplementedError
+
+    def finish(self, acc: Any) -> Any:
+        raise NotImplementedError
+
+
+class CountAggregate(AggregateFunction):
+    """COUNT(*), COUNT(expr), COUNT(DISTINCT expr)."""
+
+    name = "count"
+
+    def __init__(self, distinct: bool = False, count_star: bool = False):
+        super().__init__(distinct)
+        self.count_star = count_star
+
+    def result_type(self, input_type: Optional[DataType]) -> DataType:
+        return BIGINT
+
+    def initial(self) -> Any:
+        return set() if self.distinct else 0
+
+    def update(self, acc: Any, value: Any) -> Any:
+        if self.distinct:
+            if value is not None:
+                acc.add(value)
+            return acc
+        if self.count_star or value is not None:
+            return acc + 1
+        return acc
+
+    def merge(self, left: Any, right: Any) -> Any:
+        if self.distinct:
+            return left | right
+        return left + right
+
+    def finish(self, acc: Any) -> int:
+        return len(acc) if self.distinct else acc
+
+
+class SumAggregate(AggregateFunction):
+    name = "sum"
+
+    def result_type(self, input_type: Optional[DataType]) -> DataType:
+        if input_type is not None and not is_numeric(input_type):
+            raise AnalysisError(f"SUM requires a numeric argument, got {input_type}")
+        return input_type if input_type is not None else DOUBLE
+
+    def initial(self) -> Any:
+        return set() if self.distinct else None
+
+    def update(self, acc: Any, value: Any) -> Any:
+        if self.distinct:
+            if value is not None:
+                acc.add(value)
+            return acc
+        if value is None:
+            return acc
+        return value if acc is None else acc + value
+
+    def merge(self, left: Any, right: Any) -> Any:
+        if self.distinct:
+            return left | right
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left + right
+
+    def finish(self, acc: Any) -> Any:
+        if self.distinct:
+            return sum(acc) if acc else None
+        return acc
+
+
+class MinAggregate(AggregateFunction):
+    name = "min"
+
+    def result_type(self, input_type: Optional[DataType]) -> DataType:
+        return input_type if input_type is not None else DOUBLE
+
+    def initial(self) -> Any:
+        return None
+
+    def update(self, acc: Any, value: Any) -> Any:
+        if value is None:
+            return acc
+        return value if acc is None or value < acc else acc
+
+    def merge(self, left: Any, right: Any) -> Any:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left if left <= right else right
+
+    def finish(self, acc: Any) -> Any:
+        return acc
+
+
+class MaxAggregate(AggregateFunction):
+    name = "max"
+
+    def result_type(self, input_type: Optional[DataType]) -> DataType:
+        return input_type if input_type is not None else DOUBLE
+
+    def initial(self) -> Any:
+        return None
+
+    def update(self, acc: Any, value: Any) -> Any:
+        if value is None:
+            return acc
+        return value if acc is None or value > acc else acc
+
+    def merge(self, left: Any, right: Any) -> Any:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left if left >= right else right
+
+    def finish(self, acc: Any) -> Any:
+        return acc
+
+
+class AvgAggregate(AggregateFunction):
+    """AVG via (sum, count) partials so it merges correctly across tasks."""
+
+    name = "avg"
+
+    def result_type(self, input_type: Optional[DataType]) -> DataType:
+        return DOUBLE
+
+    def initial(self) -> Any:
+        return set() if self.distinct else (0.0, 0)
+
+    def update(self, acc: Any, value: Any) -> Any:
+        if self.distinct:
+            if value is not None:
+                acc.add(value)
+            return acc
+        if value is None:
+            return acc
+        total, count = acc
+        return (total + value, count + 1)
+
+    def merge(self, left: Any, right: Any) -> Any:
+        if self.distinct:
+            return left | right
+        return (left[0] + right[0], left[1] + right[1])
+
+    def finish(self, acc: Any) -> Optional[float]:
+        if self.distinct:
+            return sum(acc) / len(acc) if acc else None
+        total, count = acc
+        return total / count if count else None
+
+
+class StdDevAggregate(AggregateFunction):
+    """Population standard deviation via (n, sum, sum of squares)."""
+
+    name = "stddev"
+
+    def result_type(self, input_type: Optional[DataType]) -> DataType:
+        return DOUBLE
+
+    def initial(self) -> Any:
+        return (0, 0.0, 0.0)
+
+    def update(self, acc: Any, value: Any) -> Any:
+        if value is None:
+            return acc
+        n, total, squares = acc
+        return (n + 1, total + value, squares + value * value)
+
+    def merge(self, left: Any, right: Any) -> Any:
+        return (
+            left[0] + right[0],
+            left[1] + right[1],
+            left[2] + right[2],
+        )
+
+    def finish(self, acc: Any) -> Optional[float]:
+        n, total, squares = acc
+        if n == 0:
+            return None
+        variance = max(squares / n - (total / n) ** 2, 0.0)
+        return math.sqrt(variance)
+
+
+AGGREGATE_NAMES = {"count", "sum", "avg", "min", "max", "stddev", "stddev_pop"}
+
+
+def make_aggregate(
+    name: str, distinct: bool, count_star: bool = False
+) -> AggregateFunction:
+    lowered = name.lower()
+    if lowered == "count":
+        return CountAggregate(distinct=distinct, count_star=count_star)
+    if lowered == "sum":
+        return SumAggregate(distinct=distinct)
+    if lowered == "avg":
+        return AvgAggregate(distinct=distinct)
+    if lowered == "min":
+        return MinAggregate()
+    if lowered == "max":
+        return MaxAggregate()
+    if lowered in ("stddev", "stddev_pop"):
+        return StdDevAggregate()
+    raise AnalysisError(f"unknown aggregate function {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# User-defined functions
+# ---------------------------------------------------------------------------
+
+
+class FunctionRegistry:
+    """Per-session UDF registry; builtins are consulted first."""
+
+    def __init__(self) -> None:
+        self._udfs: dict[str, ScalarFunction] = {}
+
+    def register(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        return_type: DataType = STRING,
+        min_args: int = 0,
+        max_args: int = 64,
+        null_propagating: bool = True,
+    ) -> None:
+        """Register a scalar UDF callable from SQL by ``name``."""
+        self._udfs[name.lower()] = ScalarFunction(
+            name=name.lower(),
+            fn=fn,
+            result_type=return_type,
+            min_args=min_args,
+            max_args=max_args,
+            null_propagating=null_propagating,
+        )
+
+    def lookup(self, name: str) -> Optional[ScalarFunction]:
+        found = builtin(name)
+        if found is not None:
+            return found
+        return self._udfs.get(name.lower())
+
+    def is_registered(self, name: str) -> bool:
+        return self.lookup(name) is not None
+
+    def udf_names(self) -> list[str]:
+        return sorted(self._udfs)

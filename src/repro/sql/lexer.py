@@ -1,0 +1,128 @@
+"""Tokenizer for the HiveQL-subset dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "join", "inner", "left", "right", "full", "outer", "on", "as", "and",
+    "or", "not", "in", "between", "like", "is", "null", "true", "false",
+    "case", "when", "then", "else", "end", "cast", "distinct", "union",
+    "all", "create", "table", "drop", "insert", "into", "values",
+    "tblproperties", "distribute", "asc", "desc", "exists", "if",
+    "explain", "interval", "date", "timestamp", "cache", "uncache",
+}
+
+SYMBOLS = (
+    "<>", "!=", ">=", "<=", "=", "<", ">", "(", ")", ",", ".", "+", "-",
+    "*", "/", "%", ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is 'keyword', 'ident', 'number', 'string',
+    'symbol' or 'eof'."""
+
+    kind: str
+    value: str
+    position: int
+    line: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convert query text into tokens; raises ParseError on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    line = 1
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            index += 1
+            continue
+        if char.isspace():
+            index += 1
+            continue
+        # Comments: -- to end of line.
+        if text.startswith("--", index):
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline
+            continue
+        # String literals: single or double quoted, '' escapes a quote.
+        if char in ("'", '"'):
+            quote = char
+            end = index + 1
+            parts: list[str] = []
+            while True:
+                if end >= length:
+                    raise ParseError("unterminated string literal", index, line)
+                if text[end] == quote:
+                    if end + 1 < length and text[end + 1] == quote:
+                        parts.append(quote)
+                        end += 2
+                        continue
+                    break
+                parts.append(text[end])
+                end += 1
+            tokens.append(Token("string", "".join(parts), index, line))
+            index = end + 1
+            continue
+        # Numbers: integers and decimals.
+        if char.isdigit() or (
+            char == "." and index + 1 < length and text[index + 1].isdigit()
+        ):
+            end = index
+            seen_dot = False
+            while end < length and (
+                text[end].isdigit() or (text[end] == "." and not seen_dot)
+            ):
+                if text[end] == ".":
+                    # "1.." would be pathological; a dot not followed by a
+                    # digit terminates the number (e.g. "t.1" is invalid
+                    # anyway).
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token("number", text[index:end], index, line))
+            index = end
+            continue
+        # Identifiers and keywords.
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            kind = "keyword" if word.lower() in KEYWORDS else "ident"
+            value = word.lower() if kind == "keyword" else word
+            tokens.append(Token(kind, value, index, line))
+            index = end
+            continue
+        # Backquoted identifiers (Hive style).
+        if char == "`":
+            end = text.find("`", index + 1)
+            if end < 0:
+                raise ParseError("unterminated quoted identifier", index, line)
+            tokens.append(Token("ident", text[index + 1 : end], index, line))
+            index = end + 1
+            continue
+        # Symbols, longest match first.
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, index):
+                tokens.append(Token("symbol", symbol, index, line))
+                index += len(symbol)
+                break
+        else:
+            raise ParseError(f"unexpected character {char!r}", index, line)
+    tokens.append(Token("eof", "", length, line))
+    return tokens

@@ -1,0 +1,285 @@
+"""Logical query plans.
+
+Produced by the analyzer (resolved and typed), rewritten by the optimizer,
+and lowered to RDD operators by the physical planner.  Expressions inside a
+node are bound against the ordinals of that node's child output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.datatypes import Schema
+from repro.sql.expressions import BoundExpr
+from repro.sql.functions import AggregateFunction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sql.catalog import TableEntry
+
+
+class LogicalPlan:
+    """Base class; subclasses expose ``schema`` and ``children``."""
+
+    schema: Schema
+
+    @property
+    def children(self) -> list["LogicalPlan"]:
+        return []
+
+    def pretty(self, indent: int = 0) -> str:
+        line = "  " * indent + self.describe()
+        return "\n".join(
+            [line] + [child.pretty(indent + 1) for child in self.children]
+        )
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return self.pretty()
+
+
+@dataclass
+class Scan(LogicalPlan):
+    """Full scan of a catalog table; the planner specializes it into a
+    memstore scan (with map pruning) or an HDFS scan."""
+
+    table: "TableEntry"
+    schema: Schema = field(init=False)
+    #: Columns actually needed downstream; filled by column pruning.
+    projected_columns: Optional[list[str]] = None
+
+    def __post_init__(self) -> None:
+        self.schema = self.table.schema
+
+    def describe(self) -> str:
+        cols = (
+            f" columns={self.projected_columns}"
+            if self.projected_columns is not None
+            else ""
+        )
+        return f"Scan({self.table.name}{cols})"
+
+
+@dataclass
+class Values(LogicalPlan):
+    """Inline constant rows (INSERT ... VALUES, SELECT without FROM)."""
+
+    rows: list[tuple]
+    schema: Schema
+
+    def describe(self) -> str:
+        return f"Values({len(self.rows)} rows)"
+
+
+@dataclass
+class Filter(LogicalPlan):
+    child: LogicalPlan
+    condition: BoundExpr
+    schema: Schema = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.schema = self.child.schema
+
+    @property
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Filter({self.condition.name})"
+
+
+@dataclass
+class Project(LogicalPlan):
+    child: LogicalPlan
+    expressions: list[BoundExpr]
+    schema: Schema
+
+    @property
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def describe(self) -> str:
+        names = ", ".join(
+            f"{expr.name} AS {name}"
+            for expr, name in zip(self.expressions, self.schema.names)
+        )
+        return f"Project({names})"
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate call: function + its input expression (None for
+    COUNT(*))."""
+
+    function: AggregateFunction
+    argument: Optional[BoundExpr]
+    output_name: str
+
+
+@dataclass
+class Aggregate(LogicalPlan):
+    child: LogicalPlan
+    group_expressions: list[BoundExpr]
+    aggregates: list[AggregateSpec]
+    schema: Schema
+
+    @property
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def describe(self) -> str:
+        groups = ", ".join(expr.name for expr in self.group_expressions)
+        aggs = ", ".join(
+            f"{spec.function.name}({spec.argument.name if spec.argument else '*'})"
+            for spec in self.aggregates
+        )
+        return f"Aggregate(groups=[{groups}] aggs=[{aggs}])"
+
+
+@dataclass
+class Join(LogicalPlan):
+    left: LogicalPlan
+    right: LogicalPlan
+    join_type: str  # 'inner' | 'left' | 'right' | 'full' | 'cross'
+    #: Equi-join keys, bound against each side's own schema.
+    left_keys: list[BoundExpr]
+    right_keys: list[BoundExpr]
+    #: Non-equi residual condition over the concatenated (left + right) row.
+    residual: Optional[BoundExpr]
+    schema: Schema
+    #: Planner hint, set by the optimizer or PDE at run time:
+    #: 'shuffle' | 'broadcast_left' | 'broadcast_right' | 'copartitioned'.
+    strategy_hint: Optional[str] = None
+
+    @property
+    def children(self) -> list[LogicalPlan]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{l.name}={r.name}"
+            for l, r in zip(self.left_keys, self.right_keys)
+        )
+        hint = f" hint={self.strategy_hint}" if self.strategy_hint else ""
+        return f"Join({self.join_type}, keys=[{keys}]{hint})"
+
+
+@dataclass
+class Sort(LogicalPlan):
+    child: LogicalPlan
+    keys: list[tuple[BoundExpr, bool]]  # (expression, ascending)
+    schema: Schema = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.schema = self.child.schema
+
+    @property
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{expr.name} {'ASC' if asc else 'DESC'}" for expr, asc in self.keys
+        )
+        return f"Sort({keys})"
+
+
+@dataclass
+class Limit(LogicalPlan):
+    child: LogicalPlan
+    count: int
+    schema: Schema = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.schema = self.child.schema
+
+    @property
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"
+
+
+@dataclass
+class Distinct(LogicalPlan):
+    child: LogicalPlan
+    schema: Schema = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.schema = self.child.schema
+
+    @property
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+
+@dataclass
+class UnionAll(LogicalPlan):
+    inputs: list[LogicalPlan]
+    schema: Schema = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.schema = self.inputs[0].schema
+
+    @property
+    def children(self) -> list[LogicalPlan]:
+        return list(self.inputs)
+
+
+@dataclass
+class SemiJoinFilter(LogicalPlan):
+    """``key [NOT] IN (subquery)`` over the child's rows.
+
+    The physical strategy is a broadcast semi-join: the (uncorrelated,
+    single-column) subquery's result is collected into a set, broadcast,
+    and probed per row — SQL NULL semantics included (``NOT IN`` over a
+    set containing NULL matches nothing).
+    """
+
+    child: LogicalPlan
+    key: BoundExpr
+    subquery: LogicalPlan
+    negated: bool = False
+    schema: Schema = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.schema = self.child.schema
+
+    @property
+    def children(self) -> list[LogicalPlan]:
+        return [self.child, self.subquery]
+
+    def describe(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"SemiJoinFilter({self.key.name} {keyword} subquery)"
+
+
+@dataclass
+class Repartition(LogicalPlan):
+    """DISTRIBUTE BY: hash-repartition output on the given expressions
+    (Shark's co-partitioning hook, Section 3.4)."""
+
+    child: LogicalPlan
+    expressions: list[BoundExpr]
+    schema: Schema = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.schema = self.child.schema
+
+    @property
+    def children(self) -> list[LogicalPlan]:
+        return [self.child]
+
+    def describe(self) -> str:
+        keys = ", ".join(expr.name for expr in self.expressions)
+        return f"Repartition({keys})"
+
+
+def walk(plan: LogicalPlan):
+    """Yield every node, pre-order."""
+    yield plan
+    for child in plan.children:
+        yield from walk(child)

@@ -1,0 +1,758 @@
+"""Physical operators: logical nodes lowered to RDD transformations.
+
+Each helper takes child RDDs of row tuples and returns a new RDD.  The
+planner (:mod:`repro.sql.planner`) decides *which* helper to use (join
+strategies, PDE, map pruning); the helpers only build dataflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+import numpy as np
+
+from repro.columnar.table import ColumnarPartition
+from repro.costmodel.models import SOURCE_MEMORY
+from repro.datatypes import Schema
+from repro.engine.dependencies import OneToOneDependency, ShuffleDependency
+from repro.engine.partitioner import HashPartitioner, Partitioner
+from repro.engine.rdd import (
+    RDD,
+    CoGroupedRDD,
+    MapPartitionsRDD,
+    PrunedRDD,
+    ShuffledRDD,
+)
+from repro.sql.expressions import BoundExpr
+from repro.sql.logical import AggregateSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import EngineContext
+    from repro.engine.task import TaskContext
+    from repro.sql.catalog import TableEntry
+
+
+# ---------------------------------------------------------------------------
+# Scans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VectorFilter:
+    """One vectorizable conjunct pushed into the columnar scan.
+
+    ``kind`` is one of 'cmp' (with ``op`` in =, <>, <, <=, >, >=), 'between',
+    'in', 'isnull', 'notnull'.  Evaluated column-at-a-time with numpy over
+    the decoded column — the "better cache behavior" benefit of columnar
+    layout (Section 3.2) — before any row tuple is built.
+    """
+
+    column: str
+    kind: str
+    op: str = ""
+    values: tuple = ()
+
+
+def _filter_mask(block: ColumnarPartition, spec: VectorFilter):
+    """Boolean mask for one vector filter over one block, or None when the
+    column cannot be evaluated vectorized (e.g. NULLs in an object array).
+    """
+    values = block.column_by_name(spec.column)
+    if isinstance(values, np.ndarray) and values.dtype != object:
+        array = values
+        notnull = None  # primitive arrays cannot hold NULLs
+    else:
+        array = np.asarray(values, dtype=object)
+        # SQL: a NULL operand makes the predicate non-TRUE, so NULL rows
+        # are excluded from every mask kind except isnull.
+        notnull = np.fromiter(
+            (value is not None for value in values), dtype=bool,
+            count=len(array),
+        )
+    try:
+        if spec.kind == "cmp":
+            target = spec.values[0]
+            mask = {
+                "=": lambda: array == target,
+                "<>": lambda: array != target,
+                "<": lambda: array < target,
+                "<=": lambda: array <= target,
+                ">": lambda: array > target,
+                ">=": lambda: array >= target,
+            }[spec.op]()
+        elif spec.kind == "between":
+            low, high = spec.values
+            mask = (array >= low) & (array <= high)
+        elif spec.kind == "in":
+            if array.dtype == object:
+                options = set(spec.values)
+                mask = np.fromiter(
+                    (value in options for value in values), dtype=bool,
+                    count=len(array),
+                )
+            else:
+                mask = np.isin(
+                    array, np.asarray(list(spec.values), dtype=array.dtype)
+                )
+        elif spec.kind == "isnull":
+            return (
+                ~notnull
+                if notnull is not None
+                else np.zeros(len(array), dtype=bool)
+            )
+        elif spec.kind == "notnull":
+            return (
+                notnull
+                if notnull is not None
+                else np.ones(len(array), dtype=bool)
+            )
+        else:
+            return None
+    except TypeError:
+        return None  # incomparable mixed column: fall back to row filter
+    mask = np.asarray(mask, dtype=bool)
+    if notnull is not None:
+        mask = mask & notnull
+    return mask
+
+
+class MemstoreScanRDD(RDD):
+    """Scan a cached table's columnar partitions into row tuples.
+
+    Performs late materialization: only the projected columns are decoded
+    (the benefit of the columnar layout, Section 3.2), and vectorizable
+    predicates run column-at-a-time over the arrays so row tuples are only
+    built for surviving rows.  The parent RDD's elements are
+    :class:`ColumnarPartition` blocks, one per partition.
+    """
+
+    def __init__(
+        self,
+        parent: RDD,
+        table_schema: Schema,
+        projected: Optional[list[str]] = None,
+        vector_filters: tuple = (),
+    ):
+        super().__init__(
+            parent.ctx,
+            parent.num_partitions,
+            [OneToOneDependency(parent)],
+            name="memstore_scan",
+        )
+        self._parent = parent
+        self._projected = projected
+        self._table_schema = table_schema
+        self._vector_filters = tuple(vector_filters)
+        #: Filters that could not be evaluated vectorized on some block
+        #: must still hold: the caller keeps them in the row-level filter,
+        #: so a None mask here is only a lost optimization, never a wrong
+        #: result... unless the caller *removed* them.  We therefore apply
+        #: the row-level fallback ourselves for failed specs.
+
+    def _row_fallback(self, spec: VectorFilter, value) -> bool:
+        if spec.kind == "cmp":
+            if value is None:
+                return False
+            target = spec.values[0]
+            try:
+                return {
+                    "=": value == target,
+                    "<>": value != target,
+                    "<": value < target,
+                    "<=": value <= target,
+                    ">": value > target,
+                    ">=": value >= target,
+                }[spec.op]
+            except TypeError:
+                return False
+        if spec.kind == "between":
+            if value is None:
+                return False
+            low, high = spec.values
+            try:
+                return low <= value <= high
+            except TypeError:
+                return False
+        if spec.kind == "in":
+            return value is not None and value in spec.values
+        if spec.kind == "isnull":
+            return value is None
+        if spec.kind == "notnull":
+            return value is not None
+        return True
+
+    def compute(self, split: int, task_ctx: "TaskContext") -> list:
+        blocks = self._parent.iterator(split, task_ctx)
+        rows: list[tuple] = []
+        total_bytes = 0
+        total_records = 0
+        for block in blocks:
+            if not isinstance(block, ColumnarPartition):
+                raise TypeError(
+                    f"memstore partition holds {type(block).__name__}, "
+                    f"expected ColumnarPartition"
+                )
+            total_records += block.num_rows
+
+            # Vectorized predicate pass: one numpy mask per conjunct.
+            mask = None
+            fallback_specs: list[VectorFilter] = []
+            for spec in self._vector_filters:
+                spec_mask = _filter_mask(block, spec)
+                if spec_mask is None:
+                    fallback_specs.append(spec)
+                    continue
+                mask = spec_mask if mask is None else (mask & spec_mask)
+
+            if mask is not None:
+                selected = np.nonzero(np.asarray(mask, dtype=bool))[0]
+            else:
+                selected = range(block.num_rows)
+
+            if self._projected is None:
+                indices = list(range(len(block.schema)))
+                total_bytes += block.memory_footprint_bytes()
+            else:
+                indices = [
+                    block.schema.index_of(name) for name in self._projected
+                ]
+                total_bytes += sum(
+                    block.encoded_column(i).compressed_bytes for i in indices
+                )
+            columns = [block.column(i) for i in indices]
+            if fallback_specs:
+                fallback_columns = [
+                    block.column_by_name(spec.column)
+                    for spec in fallback_specs
+                ]
+            to_python = ColumnarPartition._to_python
+            for row_index in selected:
+                if fallback_specs and not all(
+                    self._row_fallback(spec, column[row_index])
+                    for spec, column in zip(fallback_specs, fallback_columns)
+                ):
+                    continue
+                rows.append(
+                    tuple(
+                        to_python(column[row_index]) for column in columns
+                    )
+                )
+        task_ctx.metrics.source = SOURCE_MEMORY
+        task_ctx.metrics.records_in += total_records
+        task_ctx.metrics.bytes_in += total_bytes
+        return rows
+
+
+def scan_memstore(
+    entry: "TableEntry",
+    projected: Optional[list[str]],
+    kept_partitions: Optional[list[int]] = None,
+    vector_filters: tuple = (),
+) -> RDD:
+    """Build the scan dataflow for a cached table, optionally map-pruned
+    and with vectorizable predicates pushed into the columnar scan."""
+    base = entry.cached_rdd
+    if base is None:
+        raise ValueError(f"table {entry.name} has no cached data")
+    if kept_partitions is not None and kept_partitions != list(
+        range(base.num_partitions)
+    ):
+        base = PrunedRDD(base, kept_partitions)
+    return MemstoreScanRDD(
+        base, entry.schema, projected, vector_filters=vector_filters
+    )
+
+
+# ---------------------------------------------------------------------------
+# Row-level operators
+# ---------------------------------------------------------------------------
+
+
+def filter_rows(
+    child: RDD, condition: BoundExpr, use_codegen: bool = True
+) -> RDD:
+    """Filter rows where the predicate is exactly TRUE.
+
+    With ``use_codegen`` the predicate is compiled to Python bytecode once
+    (Section 5's expression-evaluator compiler) instead of interpreting
+    the expression tree per row; semantics are identical and unsupported
+    shapes fall back to interpretation.
+    """
+    predicate = None
+    if use_codegen:
+        from repro.sql.codegen import compile_predicate
+
+        predicate = compile_predicate(condition)
+    if predicate is None:
+        predicate = lambda row: condition.eval(row) is True  # noqa: E731
+    return child.filter(predicate).set_name("filter")
+
+
+def project_rows(
+    child: RDD, expressions: list[BoundExpr], use_codegen: bool = True
+) -> RDD:
+    """Evaluate the SELECT list per row, compiled when possible."""
+    run = None
+    if use_codegen:
+        from repro.sql.codegen import compile_projection
+
+        run = compile_projection(expressions)
+    if run is None:
+        def run(row: tuple) -> tuple:
+            return tuple(expr.eval(row) for expr in expressions)
+
+    return child.map(run).set_name("project")
+
+
+def limit_rows(child: RDD, count: int) -> RDD:
+    """LIMIT pushed into individual partitions (Section 2.4), then a final
+    single-partition pass takes the global first ``count``."""
+
+    def take_local(part: list) -> list:
+        return part[:count]
+
+    local = child.map_partitions(take_local).set_name("limit_local")
+    merged = local.coalesce(1)
+    return merged.map_partitions(take_local).set_name("limit")
+
+
+def distinct_rows(child: RDD, num_partitions: Optional[int] = None) -> RDD:
+    return child.distinct(num_partitions).set_name("distinct")
+
+
+class SortKey:
+    """Composite sort key honoring per-column direction and SQL NULL order
+    (NULLs first ascending, last descending, as in Hive)."""
+
+    __slots__ = ("values", "ascendings")
+
+    def __init__(self, values: tuple, ascendings: tuple):
+        self.values = values
+        self.ascendings = ascendings
+
+    def __lt__(self, other: "SortKey") -> bool:
+        for mine, theirs, ascending in zip(
+            self.values, other.values, self.ascendings
+        ):
+            if mine is None and theirs is None:
+                continue
+            if mine is None:
+                return ascending
+            if theirs is None:
+                return not ascending
+            if mine == theirs:
+                continue
+            if ascending:
+                return mine < theirs
+            return mine > theirs
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SortKey) and self.values == other.values
+
+    def __le__(self, other: "SortKey") -> bool:
+        return self == other or self < other
+
+
+def sort_rows(
+    child: RDD,
+    keys: list[tuple[BoundExpr, bool]],
+    num_partitions: Optional[int] = None,
+) -> RDD:
+    ascendings = tuple(asc for __, asc in keys)
+    expressions = [expr for expr, __ in keys]
+
+    def key_of(row: tuple) -> SortKey:
+        return SortKey(
+            tuple(expr.eval(row) for expr in expressions), ascendings
+        )
+
+    return child.sort_by(key_of, True, num_partitions).set_name("sort")
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+def _partial_aggregate_partition(
+    part: list,
+    group_exprs: list[BoundExpr],
+    specs: list[AggregateSpec],
+) -> list:
+    """Task-local aggregation: one pass producing (group_key, accs) pairs."""
+    groups: dict[tuple, list] = {}
+    if not group_exprs:
+        # Global aggregation: an empty input still yields one group so
+        # COUNT(*) over zero rows returns 0, not zero rows.
+        groups[()] = [spec.function.initial() for spec in specs]
+    for row in part:
+        key = tuple(expr.eval(row) for expr in group_exprs)
+        accs = groups.get(key)
+        if accs is None:
+            accs = [spec.function.initial() for spec in specs]
+            groups[key] = accs
+        for index, spec in enumerate(specs):
+            value = (
+                spec.argument.eval(row) if spec.argument is not None else None
+            )
+            accs[index] = spec.function.update(accs[index], value)
+    return list(groups.items())
+
+
+def _merge_accumulators(
+    specs: list[AggregateSpec],
+) -> Callable[[list, list], list]:
+    def merge(left: list, right: list) -> list:
+        return [
+            spec.function.merge(l, r)
+            for spec, l, r in zip(specs, left, right)
+        ]
+
+    return merge
+
+
+def aggregate_rows(
+    child: RDD,
+    group_exprs: list[BoundExpr],
+    specs: list[AggregateSpec],
+    num_partitions: Optional[int] = None,
+    stats_collectors: tuple = (),
+    coalesce_groups: Optional[list[list[int]]] = None,
+    fine_grained_partitions: Optional[int] = None,
+) -> RDD:
+    """Two-phase hash aggregation.
+
+    Phase 1 aggregates within each input partition ("task-local
+    aggregations", Section 6.2.2); phase 2 shuffles (group key, partials)
+    and merges.  With ``fine_grained_partitions`` set, the shuffle uses
+    many fine buckets which PDE then coalesces via ``coalesce_groups``
+    (the skew mitigation of Section 3.1.2).
+    """
+    partials = child.map_partitions(
+        lambda part: _partial_aggregate_partition(part, group_exprs, specs)
+    ).set_name("partial_aggregate")
+
+    merge = _merge_accumulators(specs)
+    reduce_partitions = fine_grained_partitions or num_partitions
+    merged = partials.combine_by_key(
+        create_combiner=lambda accs: accs,
+        merge_value=merge,
+        merge_combiners=merge,
+        num_partitions=reduce_partitions,
+        stats_collectors=stats_collectors,
+    ).set_name("merge_aggregate")
+
+    if coalesce_groups is not None:
+        merged = merged.coalesce_grouped(coalesce_groups).set_name(
+            "coalesced_aggregate"
+        )
+
+    def finish(pair: tuple) -> tuple:
+        key, accs = pair
+        finished = tuple(
+            spec.function.finish(acc) for spec, acc in zip(specs, accs)
+        )
+        return tuple(key) + finished
+
+    return merged.map(finish).set_name("final_aggregate")
+
+
+def global_aggregate_rows(child: RDD, specs: list[AggregateSpec]) -> RDD:
+    """Aggregation with no GROUP BY: all partials merge on one reducer."""
+    return aggregate_rows(child, [], specs, num_partitions=1)
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+
+def _key_function(keys: list[BoundExpr]) -> Callable[[tuple], Any]:
+    if len(keys) == 1:
+        key = keys[0]
+        return lambda row: key.eval(row)
+    return lambda row: tuple(key.eval(row) for key in keys)
+
+
+def _emit_joined(
+    join_type: str,
+    left_width: int,
+    right_width: int,
+    residual: Optional[BoundExpr],
+) -> Callable[[tuple], list]:
+    left_nulls = (None,) * left_width
+    right_nulls = (None,) * right_width
+
+    def emit(pair: tuple) -> list:
+        __, (left_rows, right_rows) = pair
+        out: list[tuple] = []
+        if left_rows and right_rows:
+            for left_row in left_rows:
+                matched = False
+                for right_row in right_rows:
+                    combined = tuple(left_row) + tuple(right_row)
+                    if residual is None or residual.eval(combined) is True:
+                        out.append(combined)
+                        matched = True
+                if not matched and join_type in ("left", "full"):
+                    out.append(tuple(left_row) + right_nulls)
+            if join_type in ("right", "full"):
+                for right_row in right_rows:
+                    matched = any(
+                        residual is None
+                        or residual.eval(tuple(lr) + tuple(right_row)) is True
+                        for lr in left_rows
+                    )
+                    if not matched:
+                        out.append(left_nulls + tuple(right_row))
+        elif left_rows and join_type in ("left", "full"):
+            out.extend(tuple(row) + right_nulls for row in left_rows)
+        elif right_rows and join_type in ("right", "full"):
+            out.extend(left_nulls + tuple(row) for row in right_rows)
+        return out
+
+    return emit
+
+
+def shuffle_join(
+    ctx: "EngineContext",
+    left: RDD,
+    right: RDD,
+    left_keys: list[BoundExpr],
+    right_keys: list[BoundExpr],
+    join_type: str,
+    left_width: int,
+    right_width: int,
+    residual: Optional[BoundExpr],
+    partitioner: Partitioner,
+    pre_shuffled_left: Optional[RDD] = None,
+    pre_shuffled_right: Optional[RDD] = None,
+) -> RDD:
+    """Repartition both sides by key and join corresponding partitions.
+
+    ``pre_shuffled_*`` carry ShuffledRDDs whose map side PDE already
+    materialized; cogroup sees their partitioner matches and uses a narrow
+    dependency, so the pre-shuffle work is reused, not repeated.
+    """
+    keyed_left = pre_shuffled_left
+    if keyed_left is None:
+        keyed_left = left.key_by(_key_function(left_keys))
+    keyed_right = pre_shuffled_right
+    if keyed_right is None:
+        keyed_right = right.key_by(_key_function(right_keys))
+    grouped = CoGroupedRDD(ctx, [keyed_left, keyed_right], partitioner)
+    emit = _emit_joined(join_type, left_width, right_width, residual)
+    return grouped.flat_map(emit).set_name(f"{join_type}_join")
+
+
+def copartitioned_join(
+    ctx: "EngineContext",
+    left: RDD,
+    right: RDD,
+    left_keys: list[BoundExpr],
+    right_keys: list[BoundExpr],
+    join_type: str,
+    left_width: int,
+    right_width: int,
+    residual: Optional[BoundExpr],
+    partitioner: Partitioner,
+) -> RDD:
+    """Join two tables co-partitioned on the join key (Section 3.4): both
+    keyed RDDs inherit the stored partitioning, so cogroup is all-narrow
+    and no shuffle happens."""
+    keyed_left = MapPartitionsRDD(
+        left,
+        lambda __, part, fn=_key_function(left_keys): [
+            (fn(row), row) for row in part
+        ],
+        name="copartition_key_left",
+    )
+    keyed_left.partitioner = partitioner
+    keyed_right = MapPartitionsRDD(
+        right,
+        lambda __, part, fn=_key_function(right_keys): [
+            (fn(row), row) for row in part
+        ],
+        name="copartition_key_right",
+    )
+    keyed_right.partitioner = partitioner
+    grouped = CoGroupedRDD(ctx, [keyed_left, keyed_right], partitioner)
+    emit = _emit_joined(join_type, left_width, right_width, residual)
+    return grouped.flat_map(emit).set_name("copartitioned_join")
+
+
+def broadcast_join(
+    ctx: "EngineContext",
+    stream_side: RDD,
+    build_rows: list[tuple],
+    stream_keys: list[BoundExpr],
+    build_keys: list[BoundExpr],
+    join_type: str,
+    stream_is_left: bool,
+    stream_width: int,
+    build_width: int,
+    residual: Optional[BoundExpr],
+) -> RDD:
+    """Map join (Section 3.1.1): hash the small side once, broadcast it,
+    and join each partition of the large side with only map tasks."""
+    build_key_fn = _key_function(build_keys)
+    table: dict[Any, list[tuple]] = {}
+    for row in build_rows:
+        table.setdefault(build_key_fn(row), []).append(row)
+    broadcast = ctx.broadcast(table)
+
+    stream_key_fn = _key_function(stream_keys)
+    build_nulls = (None,) * build_width
+    outer_stream = (
+        (join_type == "left" and stream_is_left)
+        or (join_type == "right" and not stream_is_left)
+    )
+
+    def emit(row: tuple) -> list:
+        matches = broadcast.value.get(stream_key_fn(row), ())
+        out: list[tuple] = []
+        for build_row in matches:
+            if stream_is_left:
+                combined = tuple(row) + tuple(build_row)
+            else:
+                combined = tuple(build_row) + tuple(row)
+            if residual is None or residual.eval(combined) is True:
+                out.append(combined)
+        if not out and outer_stream:
+            if stream_is_left:
+                out.append(tuple(row) + build_nulls)
+            else:
+                out.append(build_nulls + tuple(row))
+        return out
+
+    return stream_side.flat_map(emit).set_name("broadcast_join")
+
+
+def cross_join(
+    ctx: "EngineContext",
+    left: RDD,
+    right_rows: list[tuple],
+    residual: Optional[BoundExpr],
+) -> RDD:
+    """Broadcast nested-loop join for key-less joins."""
+    broadcast = ctx.broadcast(right_rows)
+
+    def emit(row: tuple) -> list:
+        out = []
+        for right_row in broadcast.value:
+            combined = tuple(row) + tuple(right_row)
+            if residual is None or residual.eval(combined) is True:
+                out.append(combined)
+        return out
+
+    return left.flat_map(emit).set_name("cross_join")
+
+
+def pre_shuffle_side(
+    ctx: "EngineContext",
+    side: RDD,
+    keys: list[BoundExpr],
+    partitioner: Partitioner,
+    stats_collectors: tuple = (),
+) -> tuple[RDD, ShuffleDependency]:
+    """PDE: run the map (pre-shuffle) stage of one join side *now*.
+
+    Returns a ShuffledRDD whose map outputs are already materialized plus
+    its dependency, whose statistics the optimizer reads before deciding
+    the join strategy.
+    """
+    keyed = side.key_by(_key_function(keys))
+    shuffled = ShuffledRDD(
+        keyed, partitioner, stats_collectors=stats_collectors
+    )
+    ctx.materialize_dependency(shuffled.shuffle_dep)
+    return shuffled, shuffled.shuffle_dep
+
+
+def repartition_rows(
+    child: RDD,
+    keys: list[BoundExpr],
+    partitioner: Partitioner,
+) -> RDD:
+    """DISTRIBUTE BY: hash rows to partitions by key expressions, keeping
+    rows (not pairs) as output."""
+    key_fn = _key_function(keys)
+    keyed = child.map(lambda row: (key_fn(row), row))
+    shuffled = keyed.partition_by(partitioner)
+    values = shuffled.values().set_name("distribute_by")
+    values.partitioner = partitioner
+    return values
+
+
+def semi_join_probe(
+    key_fn: Callable[[tuple], Any],
+    value_set: frozenset,
+    has_null: bool,
+    negated: bool,
+) -> Callable[[tuple], bool]:
+    """Row predicate for ``key [NOT] IN (subquery values)``.
+
+    SQL three-valued semantics: a NULL key is never TRUE; NOT IN over a
+    set containing NULL is never TRUE for any row.
+    """
+
+    def keep(row: tuple) -> bool:
+        value = key_fn(row)
+        if value is None:
+            return False
+        if negated:
+            if has_null:
+                return False
+            return value not in value_set
+        return value in value_set
+
+    return keep
+
+
+def semi_join_filter(
+    ctx: "EngineContext",
+    child: RDD,
+    key: BoundExpr,
+    values: list,
+    negated: bool,
+) -> RDD:
+    """Filter ``child`` by membership of ``key`` in the collected subquery
+    result (broadcast to all tasks)."""
+    has_null = any(value is None for value in values)
+    try:
+        value_set = frozenset(v for v in values if v is not None)
+    except TypeError:
+        # Unhashable subquery values: linear probe.
+        value_list = [v for v in values if v is not None]
+
+        def keep_linear(row: tuple) -> bool:
+            value = key.eval(row)
+            if value is None:
+                return False
+            found = value in value_list
+            if negated:
+                return not found and not has_null
+            return found
+
+        return child.filter(keep_linear).set_name("semi_join")
+    broadcast = ctx.broadcast(value_set)
+    keep = semi_join_probe(
+        lambda row: key.eval(row), broadcast.value, has_null, negated
+    )
+    return child.filter(keep).set_name("semi_join")
+
+
+def values_rdd(ctx: "EngineContext", rows: list[tuple]) -> RDD:
+    return ctx.parallelize(rows, num_partitions=1).set_name("values")
+
+
+def union_rdds(ctx: "EngineContext", children: list[RDD]) -> RDD:
+    return ctx.union(children).set_name("union_all")
+
+
+def default_partitioner(
+    ctx: "EngineContext", num_partitions: Optional[int] = None
+) -> HashPartitioner:
+    return HashPartitioner(num_partitions or ctx.default_parallelism)

@@ -1,0 +1,843 @@
+"""The physical planner: logical plan -> RDD dataflow, with run-time
+optimization.
+
+This is where the paper's Section 3 machinery comes together:
+
+* **map pruning** (3.5): Filter-over-Scan consults per-partition column
+  statistics and never launches tasks for partitions that cannot match;
+* **join selection** (3.1.1): static size estimates pick broadcast joins
+  when a side is known-small; when sizes are unknown (fresh data, UDFs),
+  PDE pre-runs the likely-small side's map stage, reads the observed size,
+  and switches to a map join if it is small — reusing the materialized
+  pre-shuffle either way;
+* **co-partitioned joins** (3.4): both sides stored DISTRIBUTE BY the join
+  key -> all-narrow cogroup, no shuffle;
+* **degree-of-parallelism + skew** (3.1.2): aggregations shuffle into
+  fine-grained buckets; PDE reads bucket sizes and greedily bin-packs them
+  into balanced coalesced reduce partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.datatypes import Schema
+from repro.engine.partitioner import HashPartitioner, Partitioner
+from repro.engine.rdd import RDD, ShuffledRDD
+from repro.errors import UnsupportedFeatureError
+from repro.pde import (
+    JoinDecision,
+    choose_num_reducers,
+    decide_join_strategy,
+    pack_partitions,
+)
+from repro.pde.decisions import (
+    DEFAULT_BROADCAST_THRESHOLD,
+    DEFAULT_TARGET_PARTITION_BYTES,
+)
+from repro.sql import logical
+from repro.sql import physical
+from repro.sql.catalog import TableEntry
+from repro.sql.expressions import (
+    BoundBetween,
+    BoundColumn,
+    BoundComparison,
+    BoundExpr,
+    BoundIn,
+    BoundLiteral,
+)
+from repro.sql.optimizer import split_conjuncts
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import EngineContext
+    from repro.storage import DistributedFileStore
+
+
+@dataclass
+class PlannerConfig:
+    """Knobs controlling run-time optimization (each is an ablation axis)."""
+
+    enable_pde: bool = True
+    enable_map_pruning: bool = True
+    enable_copartition_join: bool = True
+    #: Also use static size estimates for join selection; turning this off
+    #: while keeping PDE reproduces the "adaptive only" bar of Figure 8.
+    enable_static_join_estimates: bool = True
+    broadcast_threshold_bytes: int = DEFAULT_BROADCAST_THRESHOLD
+    target_partition_bytes: int = DEFAULT_TARGET_PARTITION_BYTES
+    #: Fixed reducer count (overrides PDE parallelism choice when set).
+    num_reducers: Optional[int] = None
+    #: Fine-grained shuffle buckets = this factor x default parallelism.
+    pde_fine_grained_factor: int = 4
+    #: Bin-pack fine partitions into balanced coalesced partitions; off =
+    #: "just run many reduce tasks" (the Section 3.1.2 comparison).
+    pde_skew_binpack: bool = True
+    #: Partitioner override for DISTRIBUTE BY (co-partitioning with an
+    #: existing table requires using its exact partitioner).
+    repartition_override: Optional[Partitioner] = None
+    #: Compile filter/projection expressions to Python bytecode instead of
+    #: interpreting the expression tree per row (Section 5's "bytecode
+    #: compilation of expression evaluators", implemented).
+    enable_codegen: bool = True
+    #: Push simple predicates into the columnar scan and evaluate them
+    #: column-at-a-time over the arrays (the cache-behavior benefit of the
+    #: columnar layout, Section 3.2); rows are only materialized for
+    #: survivors.
+    enable_vectorized_scan: bool = True
+
+
+@dataclass
+class ExecutionReport:
+    """What the planner decided at run time, for tests and EXPLAIN."""
+
+    notes: list[str] = field(default_factory=list)
+    scanned_partitions: int = 0
+    pruned_partitions: int = 0
+    join_decisions: list[JoinDecision] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    def describe(self) -> str:
+        lines = list(self.notes)
+        if self.scanned_partitions or self.pruned_partitions:
+            lines.append(
+                f"map pruning: scanned {self.scanned_partitions}, "
+                f"pruned {self.pruned_partitions}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class PlannedQuery:
+    rdd: RDD
+    schema: Schema
+    report: ExecutionReport
+    output_partitioner: Optional[Partitioner] = None
+    distribute_column: Optional[str] = None
+
+
+class PhysicalPlanner:
+    """Plans one optimized logical plan into an RDD dataflow."""
+
+    def __init__(
+        self,
+        ctx: "EngineContext",
+        store: "DistributedFileStore",
+        config: Optional[PlannerConfig] = None,
+    ):
+        self.ctx = ctx
+        self.store = store
+        self.config = config or PlannerConfig()
+        self.report = ExecutionReport()
+
+    def plan(self, node: logical.LogicalPlan) -> PlannedQuery:
+        rdd = self._plan(node)
+        planned = PlannedQuery(
+            rdd=rdd, schema=node.schema, report=self.report
+        )
+        if isinstance(node, logical.Repartition):
+            planned.output_partitioner = self._repartition_partitioner()
+            if len(node.expressions) == 1 and isinstance(
+                node.expressions[0], BoundColumn
+            ):
+                planned.distribute_column = node.schema.names[
+                    node.expressions[0].index
+                ]
+        return planned
+
+    # ------------------------------------------------------------------
+    # Recursive lowering
+    # ------------------------------------------------------------------
+    def _plan(self, node: logical.LogicalPlan, no_prune: bool = False) -> RDD:
+        if isinstance(node, logical.Values):
+            return physical.values_rdd(self.ctx, node.rows)
+        if isinstance(node, logical.Scan):
+            return self._plan_scan(node, condition=None, no_prune=no_prune)
+        if isinstance(node, logical.Filter):
+            if isinstance(node.child, logical.Scan):
+                return self._plan_scan(
+                    node.child, condition=node.condition, no_prune=no_prune
+                )
+            child = self._plan(node.child)
+            return physical.filter_rows(
+                child, node.condition, self.config.enable_codegen
+            )
+        if isinstance(node, logical.Project):
+            child = self._plan(node.child, no_prune=no_prune)
+            return physical.project_rows(
+                child, node.expressions, self.config.enable_codegen
+            )
+        if isinstance(node, logical.Aggregate):
+            return self._plan_aggregate(node)
+        if isinstance(node, logical.Join):
+            return self._plan_join(node)
+        if isinstance(node, logical.Sort):
+            child = self._plan(node.child)
+            return physical.sort_rows(child, node.keys)
+        if isinstance(node, logical.Limit):
+            child = self._plan(node.child)
+            return physical.limit_rows(child, node.count)
+        if isinstance(node, logical.Distinct):
+            child = self._plan(node.child)
+            return physical.distinct_rows(child)
+        if isinstance(node, logical.UnionAll):
+            children = [self._plan(child) for child in node.inputs]
+            return physical.union_rdds(self.ctx, children)
+        if isinstance(node, logical.Repartition):
+            child = self._plan(node.child)
+            return physical.repartition_rows(
+                child, node.expressions, self._repartition_partitioner()
+            )
+        if isinstance(node, logical.SemiJoinFilter):
+            return self._plan_semi_join_filter(node)
+        raise UnsupportedFeatureError(
+            f"no physical strategy for {type(node).__name__}"
+        )
+
+    def _plan_semi_join_filter(self, node: logical.SemiJoinFilter) -> RDD:
+        """Broadcast semi-join: collect the subquery's (small) result into
+        a set, broadcast it, probe per outer row."""
+        child = self._plan(node.child)
+        values = [row[0] for row in self._plan(node.subquery).collect()]
+        self.report.note(
+            f"IN-subquery materialized {len(values)} values for a "
+            f"broadcast semi-join"
+        )
+        return physical.semi_join_filter(
+            self.ctx, child, node.key, values, node.negated
+        )
+
+    def _repartition_partitioner(self) -> Partitioner:
+        if self.config.repartition_override is not None:
+            return self.config.repartition_override
+        return HashPartitioner(self.ctx.default_parallelism)
+
+    # ------------------------------------------------------------------
+    # Scans and map pruning
+    # ------------------------------------------------------------------
+    def _plan_scan(
+        self,
+        scan: logical.Scan,
+        condition: Optional[BoundExpr],
+        no_prune: bool = False,
+    ) -> RDD:
+        entry = scan.table
+        if entry.is_cached and entry.cached_rdd is None:
+            # Cached table created but never loaded: empty.
+            rdd = physical.values_rdd(self.ctx, [])
+            if condition is not None:
+                rdd = physical.filter_rows(
+                    rdd, condition, self.config.enable_codegen
+                )
+            return rdd
+        if entry.is_cached:
+            kept = None
+            total = (
+                entry.cached_rdd.num_partitions
+                if entry.cached_rdd is not None
+                else 0
+            )
+            if (
+                condition is not None
+                and self.config.enable_map_pruning
+                and not no_prune
+                and entry.partition_stats
+            ):
+                kept = self._prune_partitions(scan, condition)
+                self.report.scanned_partitions += len(kept)
+                self.report.pruned_partitions += total - len(kept)
+                if len(kept) < total:
+                    self.report.note(
+                        f"map pruning on {entry.name}: scanning "
+                        f"{len(kept)}/{total} partitions"
+                    )
+                if kept == list(range(total)):
+                    kept = None
+            vector_filters: tuple = ()
+            if condition is not None and self.config.enable_vectorized_scan:
+                vector_filters, condition = _extract_vector_filters(
+                    condition, scan.schema.names
+                )
+                if vector_filters:
+                    self.report.note(
+                        f"vectorized scan filters on {entry.name}: "
+                        f"{len(vector_filters)} conjuncts pushed into the "
+                        f"columnar scan"
+                    )
+            rdd = physical.scan_memstore(
+                entry, scan.projected_columns, kept,
+                vector_filters=vector_filters,
+            )
+        else:
+            from repro.storage import HdfsRDD
+
+            rdd = HdfsRDD(self.ctx, self.store, entry.path, entry.schema)
+            if scan.projected_columns is not None:
+                indices = [
+                    entry.schema.index_of(name)
+                    for name in scan.projected_columns
+                ]
+                rdd = rdd.map(
+                    lambda row, idx=tuple(indices): tuple(row[i] for i in idx)
+                ).set_name("project_scan")
+        if condition is not None:
+            rdd = physical.filter_rows(
+                rdd, condition, self.config.enable_codegen
+            )
+        return rdd
+
+    def _prune_partitions(
+        self, scan: logical.Scan, condition: BoundExpr
+    ) -> list[int]:
+        """Partitions whose statistics may satisfy the condition."""
+        entry = scan.table
+        names = scan.schema.names  # ordinal -> column name
+        conjuncts = split_conjuncts(condition)
+        kept: list[int] = []
+        for index, stats in enumerate(entry.partition_stats):
+            if all(
+                _conjunct_may_match(conjunct, stats, names)
+                for conjunct in conjuncts
+            ):
+                kept.append(index)
+        return kept
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def _plan_aggregate(self, node: logical.Aggregate) -> RDD:
+        child = self._plan(node.child)
+        if not node.group_expressions:
+            return physical.global_aggregate_rows(child, node.aggregates)
+
+        if self.config.num_reducers is not None:
+            return physical.aggregate_rows(
+                child,
+                node.group_expressions,
+                node.aggregates,
+                num_partitions=self.config.num_reducers,
+            )
+        if not self.config.enable_pde:
+            return physical.aggregate_rows(
+                child,
+                node.group_expressions,
+                node.aggregates,
+                num_partitions=self.ctx.default_parallelism,
+            )
+
+        # PDE path (Section 3.1.2): shuffle into fine-grained buckets, read
+        # observed bucket sizes, then pick the reduce parallelism and
+        # optionally bin-pack buckets into balanced coalesced partitions.
+        fine = self.ctx.default_parallelism * self.config.pde_fine_grained_factor
+        partials = child.map_partitions(
+            lambda part: physical._partial_aggregate_partition(
+                part, node.group_expressions, node.aggregates
+            )
+        ).set_name("partial_aggregate")
+        merge = physical._merge_accumulators(node.aggregates)
+        merged = partials.combine_by_key(
+            create_combiner=lambda accs: accs,
+            merge_value=merge,
+            merge_combiners=merge,
+            num_partitions=fine,
+        ).set_name("merge_aggregate")
+
+        if isinstance(merged, ShuffledRDD):
+            stats = self.ctx.materialize_dependency(merged.shuffle_dep)
+            sizes = stats.reduce_input_sizes()
+            total = sum(sizes)
+            reducers = choose_num_reducers(
+                total,
+                self.config.target_partition_bytes,
+                max_reducers=fine,
+            )
+            if reducers < fine:
+                if self.config.pde_skew_binpack:
+                    groups = pack_partitions(sizes, reducers)
+                    self.report.note(
+                        f"PDE: coalesced {fine} fine buckets into "
+                        f"{len(groups)} bin-packed reduce partitions "
+                        f"({total} observed bytes)"
+                    )
+                else:
+                    groups = [[] for _ in range(reducers)]
+                    for bucket in range(fine):
+                        groups[bucket % reducers].append(bucket)
+                    self.report.note(
+                        f"PDE: coalesced {fine} fine buckets into "
+                        f"{reducers} round-robin reduce partitions"
+                    )
+                merged = merged.coalesce_grouped(groups).set_name(
+                    "coalesced_aggregate"
+                )
+            else:
+                self.report.note(
+                    f"PDE: kept {fine} fine-grained reduce partitions "
+                    f"({total} observed bytes)"
+                )
+
+        def finish(pair: tuple) -> tuple:
+            key, accs = pair
+            finished = tuple(
+                spec.function.finish(acc)
+                for spec, acc in zip(node.aggregates, accs)
+            )
+            return tuple(key) + finished
+
+        return merged.map(finish).set_name("final_aggregate")
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def _plan_join(self, node: logical.Join) -> RDD:
+        left_width = len(node.left.schema)
+        right_width = len(node.right.schema)
+
+        if not node.left_keys:
+            left = self._plan(node.left)
+            right_rows = self._collect(self._plan(node.right))
+            self.report.note("cross join: broadcasting right side")
+            return physical.cross_join(
+                self.ctx, left, right_rows, node.residual
+            )
+
+        # 1. Co-partitioned join (Section 3.4).
+        if self.config.enable_copartition_join and node.join_type == "inner":
+            planned = self._try_copartitioned(node, left_width, right_width)
+            if planned is not None:
+                return planned
+
+        # 2. Static size estimates.
+        left_est = self._estimate_bytes(node.left)
+        right_est = self._estimate_bytes(node.right)
+        left_broadcastable = node.join_type in ("inner", "right")
+        right_broadcastable = node.join_type in ("inner", "left")
+
+        if self.config.enable_static_join_estimates and (
+            left_est is not None or right_est is not None
+        ):
+            decision = decide_join_strategy(
+                left_est,
+                right_est,
+                self.config.broadcast_threshold_bytes,
+                left_broadcastable,
+                right_broadcastable,
+            )
+            if decision.strategy != "shuffle":
+                self.report.join_decisions.append(decision)
+                self.report.note(f"static join selection: {decision.reason}")
+                return self._broadcast(node, decision.strategy,
+                                       left_width, right_width)
+            if left_est is not None and right_est is not None:
+                # Both sides known and big: commit to a shuffle join.
+                self.report.join_decisions.append(decision)
+                self.report.note(f"static join selection: {decision.reason}")
+                return self._shuffle_join(node, left_width, right_width)
+
+        # 3. Sizes unknown (fresh data / UDF filters): PDE (Section 3.1.1).
+        if self.config.enable_pde and (
+            left_broadcastable or right_broadcastable
+        ):
+            return self._pde_join(
+                node, left_width, right_width,
+                left_est, right_est,
+                left_broadcastable, right_broadcastable,
+            )
+
+        decision = JoinDecision("shuffle", "fallback: no PDE, no estimates")
+        self.report.join_decisions.append(decision)
+        return self._shuffle_join(node, left_width, right_width)
+
+    def _try_copartitioned(
+        self, node: logical.Join, left_width: int, right_width: int
+    ) -> Optional[RDD]:
+        if len(node.left_keys) != 1 or len(node.right_keys) != 1:
+            return None
+        left_info = _copartition_info(node.left, node.left_keys[0])
+        right_info = _copartition_info(node.right, node.right_keys[0])
+        if left_info is None or right_info is None:
+            return None
+        left_part, right_part = left_info.partitioner, right_info.partitioner
+        if left_part != right_part:
+            return None
+        left = self._plan(node.left, no_prune=True)
+        right = self._plan(node.right, no_prune=True)
+        self.report.note(
+            f"co-partitioned join on {left_info.table_name}."
+            f"{left_info.column} = {right_info.table_name}."
+            f"{right_info.column}: no shuffle"
+        )
+        self.report.join_decisions.append(
+            JoinDecision("copartitioned", "tables co-partitioned on join key")
+        )
+        return physical.copartitioned_join(
+            self.ctx,
+            left,
+            right,
+            node.left_keys,
+            node.right_keys,
+            node.join_type,
+            left_width,
+            right_width,
+            node.residual,
+            left_part,
+        )
+
+    def _broadcast(
+        self,
+        node: logical.Join,
+        strategy: str,
+        left_width: int,
+        right_width: int,
+    ) -> RDD:
+        if strategy == "broadcast_right":
+            stream = self._plan(node.left)
+            build_rows = self._collect(self._plan(node.right))
+            return physical.broadcast_join(
+                self.ctx, stream, build_rows,
+                node.left_keys, node.right_keys,
+                node.join_type, True, left_width, right_width, node.residual,
+            )
+        stream = self._plan(node.right)
+        build_rows = self._collect(self._plan(node.left))
+        return physical.broadcast_join(
+            self.ctx, stream, build_rows,
+            node.right_keys, node.left_keys,
+            node.join_type, False, right_width, left_width, node.residual,
+        )
+
+    def _shuffle_join(
+        self,
+        node: logical.Join,
+        left_width: int,
+        right_width: int,
+        pre_shuffled_left: Optional[RDD] = None,
+        pre_shuffled_right: Optional[RDD] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> RDD:
+        partitioner = partitioner or physical.default_partitioner(self.ctx)
+        left = None if pre_shuffled_left is not None else self._plan(node.left)
+        right = (
+            None if pre_shuffled_right is not None else self._plan(node.right)
+        )
+        return physical.shuffle_join(
+            self.ctx,
+            left,
+            right,
+            node.left_keys,
+            node.right_keys,
+            node.join_type,
+            left_width,
+            right_width,
+            node.residual,
+            partitioner,
+            pre_shuffled_left=pre_shuffled_left,
+            pre_shuffled_right=pre_shuffled_right,
+        )
+
+    def _pde_join(
+        self,
+        node: logical.Join,
+        left_width: int,
+        right_width: int,
+        left_est: Optional[int],
+        right_est: Optional[int],
+        left_broadcastable: bool,
+        right_broadcastable: bool,
+    ) -> RDD:
+        """Pre-shuffle the likely-small side, observe, then decide.
+
+        "If the optimizer has a prior belief that a particular join input
+        will be small, it will schedule that task before other join inputs
+        and decide to perform a map-join if it observes that the task's
+        output is small" — avoiding the pre-shuffle of the large table.
+        """
+        left_prior = self._prior_bytes(node.left)
+        right_prior = self._prior_bytes(node.right)
+        probe_left = left_broadcastable and (
+            not right_broadcastable
+            or (left_prior or 0) <= (right_prior or 0)
+        )
+
+        partitioner = physical.default_partitioner(self.ctx)
+        if probe_left:
+            side_plan, keys = node.left, node.left_keys
+        else:
+            side_plan, keys = node.right, node.right_keys
+        side_rdd = self._plan(side_plan)
+        pre_shuffled, dep = physical.pre_shuffle_side(
+            self.ctx, side_rdd, keys, partitioner
+        )
+        observed = self.ctx.shuffle_manager.stats(dep.shuffle_id)
+        observed_bytes = observed.total_output_bytes()
+
+        if probe_left:
+            decision = decide_join_strategy(
+                observed_bytes, right_est,
+                self.config.broadcast_threshold_bytes,
+                left_broadcastable, right_broadcastable,
+            )
+        else:
+            decision = decide_join_strategy(
+                left_est, observed_bytes,
+                self.config.broadcast_threshold_bytes,
+                left_broadcastable, right_broadcastable,
+            )
+        self.report.join_decisions.append(decision)
+        self.report.note(
+            f"PDE join selection: pre-shuffled "
+            f"{'left' if probe_left else 'right'} side, observed "
+            f"{observed_bytes} bytes -> {decision.strategy}"
+        )
+
+        wanted = "broadcast_left" if probe_left else "broadcast_right"
+        if decision.strategy == wanted:
+            # Collect the pre-shuffled (key, row) pairs — the map outputs
+            # are already materialized, so this is a cheap narrow read.
+            build_rows = [row for __, row in self._collect(pre_shuffled)]
+            if probe_left:
+                stream = self._plan(node.right)
+                return physical.broadcast_join(
+                    self.ctx, stream, build_rows,
+                    node.right_keys, node.left_keys,
+                    node.join_type, False, right_width, left_width,
+                    node.residual,
+                )
+            stream = self._plan(node.left)
+            return physical.broadcast_join(
+                self.ctx, stream, build_rows,
+                node.left_keys, node.right_keys,
+                node.join_type, True, left_width, right_width,
+                node.residual,
+            )
+
+        # Shuffle join, reusing the already-shuffled side.
+        if probe_left:
+            return self._shuffle_join(
+                node, left_width, right_width,
+                pre_shuffled_left=pre_shuffled, partitioner=partitioner,
+            )
+        return self._shuffle_join(
+            node, left_width, right_width,
+            pre_shuffled_right=pre_shuffled, partitioner=partitioner,
+        )
+
+    # ------------------------------------------------------------------
+    # Size estimation
+    # ------------------------------------------------------------------
+    def _estimate_bytes(self, node: logical.LogicalPlan) -> Optional[int]:
+        """Static size estimate; None when unknown (e.g. UDF filters)."""
+        if isinstance(node, logical.Scan):
+            return node.table.size_bytes
+        if isinstance(node, logical.Project):
+            return self._estimate_bytes(node.child)
+        if isinstance(node, logical.Values):
+            return 64 * len(node.rows)
+        return None
+
+    def _prior_bytes(self, node: logical.LogicalPlan) -> Optional[int]:
+        """Upper-bound prior: the size of the underlying base table, used
+        only to order PDE probes (filters can only shrink a side)."""
+        if isinstance(node, logical.Scan):
+            return node.table.size_bytes
+        if isinstance(node, (logical.Project, logical.Filter, logical.Limit)):
+            return self._prior_bytes(node.child)
+        return None
+
+    def _collect(self, rdd: RDD) -> list:
+        return rdd.collect()
+
+
+# ---------------------------------------------------------------------------
+# Vectorized scan-filter extraction
+# ---------------------------------------------------------------------------
+
+
+def _extract_vector_filters(
+    condition: BoundExpr, names: list[str]
+) -> tuple[tuple, Optional[BoundExpr]]:
+    """Split a scan predicate into (vectorizable specs, residual expr).
+
+    Vectorizable conjuncts — column-vs-literal comparisons, BETWEEN, IN,
+    IS [NOT] NULL — are evaluated column-at-a-time inside the scan; the
+    residual (UDFs, ORs, column-vs-column) stays as a row-level filter.
+    """
+    from repro.sql.expressions import BoundIsNull
+    from repro.sql.optimizer import join_conjuncts
+    from repro.sql.physical import VectorFilter
+
+    specs: list[VectorFilter] = []
+    residual: list[BoundExpr] = []
+    for conjunct in split_conjuncts(condition):
+        spec = None
+        if isinstance(conjunct, BoundComparison):
+            column, literal, op = _normalize_comparison(conjunct)
+            if column is not None and op is not None and literal is not None:
+                spec = VectorFilter(
+                    column=names[column], kind="cmp", op=op,
+                    values=(literal,),
+                )
+        elif isinstance(conjunct, BoundBetween) and not conjunct.negated:
+            if (
+                isinstance(conjunct.operand, BoundColumn)
+                and isinstance(conjunct.low, BoundLiteral)
+                and isinstance(conjunct.high, BoundLiteral)
+            ):
+                spec = VectorFilter(
+                    column=names[conjunct.operand.index],
+                    kind="between",
+                    values=(conjunct.low.value, conjunct.high.value),
+                )
+        elif isinstance(conjunct, BoundIn) and not conjunct.negated:
+            if isinstance(conjunct.operand, BoundColumn) and all(
+                isinstance(option, BoundLiteral)
+                for option in conjunct.options
+            ):
+                values = tuple(
+                    option.value for option in conjunct.options
+                )
+                if all(value is not None for value in values):
+                    spec = VectorFilter(
+                        column=names[conjunct.operand.index],
+                        kind="in",
+                        values=values,
+                    )
+        elif isinstance(conjunct, BoundIsNull):
+            if isinstance(conjunct.operand, BoundColumn):
+                spec = VectorFilter(
+                    column=names[conjunct.operand.index],
+                    kind="notnull" if conjunct.negated else "isnull",
+                )
+        if spec is not None:
+            specs.append(spec)
+        else:
+            residual.append(conjunct)
+    return tuple(specs), join_conjuncts(residual)
+
+
+# ---------------------------------------------------------------------------
+# Map-pruning predicate analysis
+# ---------------------------------------------------------------------------
+
+
+def _conjunct_may_match(conjunct, stats, names: list[str]) -> bool:
+    """Can any row of a partition with these statistics satisfy the
+    conjunct?  Conservative: unrecognized shapes return True."""
+    if isinstance(conjunct, BoundComparison):
+        column, literal, op = _normalize_comparison(conjunct)
+        if column is None:
+            return True
+        column_stats = stats.column(names[column])
+        if column_stats is None:
+            return True
+        if op == "=":
+            return column_stats.may_contain(literal)
+        if op == "<>":
+            # Prunable only when the partition is single-valued on this
+            # column and that value is the excluded one (e.g. a per-
+            # datacenter partition holding exactly one country).
+            if column_stats.distinct_values == {literal}:
+                return False
+            return True
+        if op == ">":
+            return column_stats.may_overlap(low=literal, low_inclusive=False)
+        if op == ">=":
+            return column_stats.may_overlap(low=literal)
+        if op == "<":
+            return column_stats.may_overlap(high=literal, high_inclusive=False)
+        if op == "<=":
+            return column_stats.may_overlap(high=literal)
+        return True
+    if isinstance(conjunct, BoundBetween) and not conjunct.negated:
+        if isinstance(conjunct.operand, BoundColumn) and isinstance(
+            conjunct.low, BoundLiteral
+        ) and isinstance(conjunct.high, BoundLiteral):
+            column_stats = stats.column(names[conjunct.operand.index])
+            if column_stats is None:
+                return True
+            return column_stats.may_overlap(
+                low=conjunct.low.value, high=conjunct.high.value
+            )
+        return True
+    if isinstance(conjunct, BoundIn) and not conjunct.negated:
+        if isinstance(conjunct.operand, BoundColumn) and all(
+            isinstance(option, BoundLiteral) for option in conjunct.options
+        ):
+            column_stats = stats.column(names[conjunct.operand.index])
+            if column_stats is None:
+                return True
+            return any(
+                column_stats.may_contain(option.value)
+                for option in conjunct.options
+            )
+        return True
+    return True
+
+
+def _normalize_comparison(conjunct: BoundComparison):
+    """Extract (column_ordinal, literal, op) with the column on the left."""
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+    if isinstance(conjunct.left, BoundColumn) and isinstance(
+        conjunct.right, BoundLiteral
+    ):
+        return conjunct.left.index, conjunct.right.value, conjunct.op
+    if isinstance(conjunct.right, BoundColumn) and isinstance(
+        conjunct.left, BoundLiteral
+    ):
+        if conjunct.op not in flipped:
+            return None, None, None
+        return conjunct.right.index, conjunct.left.value, flipped[conjunct.op]
+    return None, None, None
+
+
+# ---------------------------------------------------------------------------
+# Co-partitioning detection
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _CopartitionInfo:
+    table_name: str
+    column: str
+    partitioner: Partitioner
+
+
+def _copartition_info(
+    node: logical.LogicalPlan, key: BoundExpr
+) -> Optional[_CopartitionInfo]:
+    """Does this join side read a cached, DISTRIBUTE BY'd table with the
+    join key being exactly the distribution column (passed through
+    projections untouched)?"""
+    if not isinstance(key, BoundColumn):
+        return None
+    index = key.index
+    current = node
+    while True:
+        if isinstance(current, logical.Filter):
+            current = current.child
+            continue
+        if isinstance(current, logical.Project):
+            expr = current.expressions[index]
+            if not isinstance(expr, BoundColumn):
+                return None
+            index = expr.index
+            current = current.child
+            continue
+        if isinstance(current, logical.Scan):
+            entry: TableEntry = current.table
+            if not entry.is_cached or entry.partitioner is None:
+                return None
+            column = current.schema.names[index]
+            if (
+                entry.distribute_column is None
+                or column.lower() != entry.distribute_column.lower()
+            ):
+                return None
+            return _CopartitionInfo(
+                table_name=entry.name,
+                column=column,
+                partitioner=entry.partitioner,
+            )
+        return None

@@ -1,0 +1,156 @@
+"""Render AST nodes back to SQL text.
+
+Used by the master-recovery journal (statements are journaled as
+re-parsable text) and handy for debugging.  The contract, enforced by
+round-trip tests: ``parse(render(parse(text)))`` produces the same AST.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedFeatureError
+from repro.sql import ast
+
+
+def render_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Literal):
+        return _render_literal(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        if expr.qualifier:
+            return f"{expr.qualifier}.{expr.name}"
+        return expr.name
+    if isinstance(expr, ast.Star):
+        return f"{expr.qualifier}.*" if expr.qualifier else "*"
+    if isinstance(expr, ast.BinaryOp):
+        op = expr.op.upper()
+        return f"({render_expr(expr.left)} {op} {render_expr(expr.right)})"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "not":
+            return f"(NOT {render_expr(expr.operand)})"
+        return f"(-{render_expr(expr.operand)})"
+    if isinstance(expr, ast.FunctionCall):
+        inner = ", ".join(render_expr(arg) for arg in expr.args)
+        prefix = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name.upper()}({prefix}{inner})"
+    if isinstance(expr, ast.CaseWhen):
+        parts = ["CASE"]
+        if expr.operand is not None:
+            parts.append(render_expr(expr.operand))
+        for condition, value in expr.branches:
+            parts.append(
+                f"WHEN {render_expr(condition)} THEN {render_expr(value)}"
+            )
+        if expr.otherwise is not None:
+            parts.append(f"ELSE {render_expr(expr.otherwise)}")
+        parts.append("END")
+        return "(" + " ".join(parts) + ")"
+    if isinstance(expr, ast.Cast):
+        return (
+            f"CAST({render_expr(expr.operand)} AS {expr.type_name.upper()})"
+        )
+    if isinstance(expr, ast.Between):
+        keyword = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"({render_expr(expr.operand)} {keyword} "
+            f"{render_expr(expr.low)} AND {render_expr(expr.high)})"
+        )
+    if isinstance(expr, ast.InSubquery):
+        keyword = "NOT IN" if expr.negated else "IN"
+        return (
+            f"({render_expr(expr.operand)} {keyword} "
+            f"({render_select(expr.query)}))"
+        )
+    if isinstance(expr, ast.InList):
+        keyword = "NOT IN" if expr.negated else "IN"
+        inner = ", ".join(render_expr(option) for option in expr.options)
+        return f"({render_expr(expr.operand)} {keyword} ({inner}))"
+    if isinstance(expr, ast.Like):
+        keyword = "NOT LIKE" if expr.negated else "LIKE"
+        return (
+            f"({render_expr(expr.operand)} {keyword} "
+            f"{render_expr(expr.pattern)})"
+        )
+    if isinstance(expr, ast.IsNull):
+        keyword = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"({render_expr(expr.operand)} {keyword})"
+    raise UnsupportedFeatureError(
+        f"cannot render expression {type(expr).__name__}"
+    )
+
+
+def _render_literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)
+
+
+def _render_relation(relation: ast.Relation) -> str:
+    if isinstance(relation, ast.TableRef):
+        if relation.alias:
+            return f"{relation.name} AS {relation.alias}"
+        return relation.name
+    if isinstance(relation, ast.SubqueryRef):
+        return f"({render_select(relation.query)}) AS {relation.alias}"
+    if isinstance(relation, ast.JoinRef):
+        joins = {
+            "inner": "JOIN",
+            "left": "LEFT OUTER JOIN",
+            "right": "RIGHT OUTER JOIN",
+            "full": "FULL OUTER JOIN",
+        }
+        left = _render_relation(relation.left)
+        right = _render_relation(relation.right)
+        if relation.condition is None:
+            # Cross join: render in the comma form the parser accepts.
+            return f"{left}, {right}"
+        keyword = joins[relation.join_type]
+        return f"{left} {keyword} {right} ON {render_expr(relation.condition)}"
+    raise UnsupportedFeatureError(
+        f"cannot render relation {type(relation).__name__}"
+    )
+
+
+def render_select(select: ast.SelectStatement) -> str:
+    parts = ["SELECT"]
+    if select.distinct:
+        parts.append("DISTINCT")
+    items = []
+    for item in select.items:
+        rendered = render_expr(item.expr)
+        if item.alias:
+            rendered += f" AS {item.alias}"
+        items.append(rendered)
+    parts.append(", ".join(items))
+    if select.relation is not None:
+        parts.append("FROM " + _render_relation(select.relation))
+    if select.where is not None:
+        parts.append("WHERE " + render_expr(select.where))
+    if select.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(render_expr(e) for e in select.group_by)
+        )
+    if select.having is not None:
+        parts.append("HAVING " + render_expr(select.having))
+    if select.distribute_by:
+        parts.append(
+            "DISTRIBUTE BY "
+            + ", ".join(render_expr(e) for e in select.distribute_by)
+        )
+    if select.order_by:
+        rendered_orders = []
+        for order in select.order_by:
+            direction = "ASC" if order.ascending else "DESC"
+            rendered_orders.append(f"{render_expr(order.expr)} {direction}")
+        parts.append("ORDER BY " + ", ".join(rendered_orders))
+    if select.limit is not None:
+        parts.append(f"LIMIT {select.limit}")
+    text = " ".join(parts)
+    for branch in select.union_all:
+        text += " UNION ALL " + render_select(branch)
+    return text

@@ -1,0 +1,487 @@
+"""SqlSession: statement execution over the engine, store, and catalog.
+
+Runs the full pipeline of Section 2.4 — parse, logical plan + rule-based
+optimization, physical plan as RDD transformations — then executes the
+dataflow and materializes results.  Also owns DDL/DML: CREATE TABLE [AS
+SELECT] with ``shark.cache`` and co-partitioning TBLPROPERTIES, INSERT,
+DROP, CACHE/UNCACHE, and EXPLAIN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Optional
+
+from repro.columnar.table import ColumnarPartition
+from repro.columnar.serde import TextSerde
+from repro.datatypes import Field, Schema, type_by_name
+from repro.engine.context import EngineContext
+from repro.engine.rdd import RDD
+from repro.errors import AnalysisError, CatalogError, UnsupportedFeatureError
+from repro.sql import ast
+from repro.sql.analyzer import Analyzer, Scope
+from repro.sql.catalog import CACHED, Catalog, EXTERNAL, TableEntry
+from repro.sql.functions import FunctionRegistry
+from repro.sql.optimizer import optimize
+from repro.sql.parser import parse
+from repro.sql.planner import (
+    ExecutionReport,
+    PhysicalPlanner,
+    PlannerConfig,
+)
+from repro.storage import DistributedFileStore
+
+
+@dataclass
+class QueryResult:
+    """Rows plus metadata from one executed statement."""
+
+    rows: list[tuple]
+    schema: Schema
+    report: ExecutionReport = field(default_factory=ExecutionReport)
+    #: For EXPLAIN: the rendered plan text.
+    plan_text: Optional[str] = None
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.schema.names
+
+    def column(self, name: str) -> list:
+        index = self.schema.index_of(name)
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        names = self.schema.names
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)} rows x "
+                f"{len(self.schema)} columns"
+            )
+        return self.rows[0][0]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+class SqlSession:
+    """One SQL session: catalog + UDF registry + planner configuration."""
+
+    def __init__(
+        self,
+        ctx: EngineContext,
+        store: Optional[DistributedFileStore] = None,
+        config: Optional[PlannerConfig] = None,
+        enable_master_recovery: bool = False,
+    ):
+        self.ctx = ctx
+        self.store = store if store is not None else DistributedFileStore()
+        self.catalog = Catalog()
+        self.registry = FunctionRegistry()
+        self.config = config or PlannerConfig()
+        #: Report of the most recently planned query.
+        self.last_report: Optional[ExecutionReport] = None
+        #: Reliable log of catalog-mutating operations (paper footnote 4);
+        #: None disables journaling.
+        self.journal = None
+        if enable_master_recovery:
+            from repro.sql.journal import MasterJournal
+
+            self.journal = MasterJournal(self.store)
+        #: True while executing a journaled statement, so internal
+        #: load_rows calls are not double-journaled.
+        self._in_statement = False
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+    def execute(self, text: str) -> QueryResult:
+        statement = parse(text)
+        return self.execute_statement(statement)
+
+    def execute_statement(self, statement: ast.Statement) -> QueryResult:
+        if isinstance(statement, ast.SelectStatement):
+            planned = self.plan_select(statement)
+            rows = planned.rdd.collect()
+            return QueryResult(rows, planned.schema, planned.report)
+        if isinstance(statement, ast.Explain):
+            return self._explain(statement.statement)
+        # Catalog-mutating statements: execute, then journal on success.
+        previously_in_statement = self._in_statement
+        self._in_statement = True
+        try:
+            if isinstance(statement, ast.CreateTable):
+                result = self._create_table(statement)
+            elif isinstance(statement, ast.DropTable):
+                self.catalog.drop(
+                    statement.name, if_exists=statement.if_exists
+                )
+                result = _status(f"dropped {statement.name}")
+            elif isinstance(statement, ast.InsertInto):
+                result = self._insert(statement)
+            elif isinstance(statement, ast.CacheTable):
+                result = self._cache_table(statement)
+            else:
+                raise UnsupportedFeatureError(
+                    f"cannot execute {type(statement).__name__}"
+                )
+        finally:
+            self._in_statement = previously_in_statement
+        if self.journal is not None and not previously_in_statement:
+            self.journal.log_statement(_render_statement(statement))
+        return result
+
+    def plan_select(self, select: ast.SelectStatement,
+                    config: Optional[PlannerConfig] = None):
+        """Analyze, optimize and physically plan a SELECT; returns the
+        PlannedQuery (rdd + schema + report) without executing it."""
+        analyzer = Analyzer(self.catalog, self.registry)
+        plan = analyzer.analyze_select(select)
+        plan = optimize(plan)
+        planner = PhysicalPlanner(self.ctx, self.store, config or self.config)
+        planned = planner.plan(plan)
+        self.last_report = planned.report
+        return planned
+
+    def _explain(self, statement: ast.Statement) -> QueryResult:
+        if isinstance(statement, ast.CreateTable) and statement.as_select:
+            statement = statement.as_select
+        if not isinstance(statement, ast.SelectStatement):
+            raise UnsupportedFeatureError("EXPLAIN supports SELECT and CTAS")
+        analyzer = Analyzer(self.catalog, self.registry)
+        plan = analyzer.analyze_select(statement)
+        optimized = optimize(plan)
+        text = optimized.pretty()
+        schema = Schema([Field("plan", type_by_name("string"))])
+        return QueryResult(
+            rows=[(line,) for line in text.splitlines()],
+            schema=schema,
+            plan_text=text,
+        )
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def _create_table(self, statement: ast.CreateTable) -> QueryResult:
+        if self.catalog.exists(statement.name):
+            if statement.if_not_exists:
+                return _status(f"table {statement.name} already exists")
+            raise CatalogError(f"table already exists: {statement.name}")
+
+        cached = _wants_cache(statement.properties)
+
+        if statement.as_select is None:
+            if not statement.columns:
+                raise AnalysisError(
+                    "CREATE TABLE needs column definitions or AS SELECT"
+                )
+            schema = Schema(
+                Field(column.name, type_by_name(column.type_name))
+                for column in statement.columns
+            )
+            entry = TableEntry(
+                name=statement.name,
+                schema=schema,
+                kind=CACHED if cached else EXTERNAL,
+                path=None if cached else self._table_path(statement.name),
+                properties=dict(statement.properties),
+                row_count=0,
+                size_bytes=0,
+            )
+            if not cached:
+                # overwrite=True: during master-recovery replay the file
+                # may already exist; loads are replayed on top anyway.
+                self.store.write_file(
+                    entry.path, [], format="text", overwrite=True
+                )
+            self.catalog.create(entry)
+            return _status(f"created {statement.name}")
+
+        # CTAS: plan the select, honoring co-partitioning requests.
+        config = self.config
+        copartition_target = statement.properties.get("copartition")
+        if copartition_target:
+            target = self.catalog.get(copartition_target)
+            if target.partitioner is None:
+                raise AnalysisError(
+                    f"cannot co-partition with {copartition_target}: it was "
+                    f"not created with DISTRIBUTE BY"
+                )
+            config = replace(
+                self.config, repartition_override=target.partitioner
+            )
+        planned = self.plan_select(statement.as_select, config=config)
+
+        entry = TableEntry(
+            name=statement.name,
+            schema=planned.schema,
+            kind=CACHED if cached else EXTERNAL,
+            path=None if cached else self._table_path(statement.name),
+            properties=dict(statement.properties),
+            partitioner=planned.output_partitioner,
+            distribute_column=planned.distribute_column,
+        )
+        if cached:
+            self._materialize_cached(entry, planned.rdd)
+        else:
+            self._materialize_external(entry, planned.rdd)
+        self.catalog.create(entry)
+        return _status(
+            f"created {statement.name} ({entry.row_count} rows, "
+            f"{'cached' if cached else 'external'})"
+        )
+
+    def _cache_table(self, statement: ast.CacheTable) -> QueryResult:
+        entry = self.catalog.get(statement.name)
+        if statement.uncache:
+            if entry.is_cached and entry.cached_rdd is not None:
+                # Spill to the store and flip to external.
+                rows_rdd = self._scan_rdd(entry)
+                new_entry = TableEntry(
+                    name=entry.name,
+                    schema=entry.schema,
+                    kind=EXTERNAL,
+                    path=self._table_path(entry.name),
+                    properties=dict(entry.properties),
+                )
+                self._materialize_external(new_entry, rows_rdd)
+                self.catalog.drop(entry.name)
+                self.catalog.create(new_entry)
+            return _status(f"uncached {statement.name}")
+        if entry.is_cached:
+            return _status(f"{statement.name} is already cached")
+        rows_rdd = self._scan_rdd(entry)
+        new_entry = TableEntry(
+            name=entry.name,
+            schema=entry.schema,
+            kind=CACHED,
+            properties=dict(entry.properties),
+        )
+        self._materialize_cached(new_entry, rows_rdd)
+        self.catalog.drop(entry.name)
+        self.catalog.create(new_entry)
+        return _status(f"cached {statement.name}")
+
+    def _scan_rdd(self, entry: TableEntry) -> RDD:
+        from repro.sql import logical
+
+        planner = PhysicalPlanner(self.ctx, self.store, self.config)
+        return planner.plan(logical.Scan(entry)).rdd
+
+    # ------------------------------------------------------------------
+    # DML and loading
+    # ------------------------------------------------------------------
+    def _insert(self, statement: ast.InsertInto) -> QueryResult:
+        entry = self.catalog.get(statement.table)
+        if statement.values:
+            analyzer = Analyzer(self.catalog, self.registry)
+            empty_scope = Scope([])
+            rows = []
+            for value_exprs in statement.values:
+                row = tuple(
+                    analyzer.bind(expr, empty_scope).eval(())
+                    for expr in value_exprs
+                )
+                if len(row) != len(entry.schema):
+                    raise AnalysisError(
+                        f"INSERT row width {len(row)} != table width "
+                        f"{len(entry.schema)}"
+                    )
+                rows.append(row)
+            self.load_rows(statement.table, rows)
+            return _status(f"inserted {len(rows)} rows into {statement.table}")
+        planned = self.plan_select(statement.select)
+        if len(planned.schema) != len(entry.schema):
+            raise AnalysisError(
+                f"INSERT select width {len(planned.schema)} != table width "
+                f"{len(entry.schema)}"
+            )
+        rows = planned.rdd.collect()
+        self.load_rows(statement.table, rows)
+        return _status(f"inserted {len(rows)} rows into {statement.table}")
+
+    def load_rows(
+        self,
+        table_name: str,
+        rows: Iterable[tuple],
+        num_partitions: Optional[int] = None,
+    ) -> int:
+        """Bulk-load rows into a table (distributed loading, Section 3.3).
+
+        For cached tables each loading partition independently marshals its
+        split into compressed columns and records statistics; for external
+        tables each partition is encoded into one DFS block.
+        """
+        entry = self.catalog.get(table_name)
+        rows = [tuple(row) for row in rows]
+        if self.journal is not None and not self._in_statement:
+            self.journal.log_load(table_name, rows)
+        rdd = self.ctx.parallelize(
+            rows, num_partitions or self.ctx.default_parallelism
+        )
+        if entry.partitioner is not None and entry.distribute_column:
+            from repro.sql.expressions import BoundColumn
+            from repro.sql import physical as phys
+
+            index = entry.schema.index_of(entry.distribute_column)
+            key = BoundColumn(
+                index,
+                entry.schema.fields[index].data_type,
+                entry.distribute_column,
+            )
+            rdd = phys.repartition_rows(rdd, [key], entry.partitioner)
+        if entry.is_cached:
+            self._materialize_cached(entry, rdd, append=True)
+        else:
+            self._materialize_external(entry, rdd, append=True)
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def _materialize_cached(
+        self, entry: TableEntry, rows_rdd: RDD, append: bool = False
+    ) -> None:
+        """Marshal a row RDD into cached columnar partitions.
+
+        Loading is itself a distributed job: each task builds its own
+        partition's columns, picks compression per column, and collects the
+        statistics map pruning needs; the master keeps only the metadata.
+        """
+        schema = entry.schema
+
+        def build(part: list) -> list:
+            return [ColumnarPartition.from_rows(schema, part)]
+
+        blocks = rows_rdd.map_partitions(build).set_name(
+            f"load:{entry.name}"
+        )
+        blocks.partitioner = rows_rdd.partitioner
+        blocks.cache()
+        infos = self.ctx.run_job(
+            blocks,
+            lambda blks: (
+                blks[0].stats,
+                blks[0].memory_footprint_bytes(),
+                blks[0].num_rows,
+            ),
+        )
+        stats = [info[0] for info in infos]
+        bytes_per_partition = [info[1] for info in infos]
+        row_count = sum(info[2] for info in infos)
+
+        if append and entry.cached_rdd is not None:
+            entry.cached_rdd = entry.cached_rdd.union(blocks)
+            entry.partition_stats = entry.partition_stats + stats
+            entry.partition_bytes = entry.partition_bytes + bytes_per_partition
+            entry.row_count = (entry.row_count or 0) + row_count
+            entry.size_bytes = (entry.size_bytes or 0) + sum(
+                bytes_per_partition
+            )
+            # Appends break any previous co-partitioning contract.
+            if entry.partitioner is not None and rows_rdd.partitioner != (
+                entry.partitioner
+            ):
+                entry.partitioner = None
+                entry.distribute_column = None
+        else:
+            entry.cached_rdd = blocks
+            entry.partition_stats = stats
+            entry.partition_bytes = bytes_per_partition
+            entry.row_count = row_count
+            entry.size_bytes = sum(bytes_per_partition)
+
+    def _materialize_external(
+        self, entry: TableEntry, rows_rdd: RDD, append: bool = False
+    ) -> None:
+        serde = TextSerde(entry.schema)
+        partitions = self.ctx.run_job(rows_rdd, list)
+        blocks = [serde.encode(part) for part in partitions if part]
+        path = entry.path or self._table_path(entry.name)
+        entry.path = path
+        if append and self.store.exists(path):
+            for block in blocks:
+                self.store.append_block(path, block)
+            entry.row_count = (entry.row_count or 0) + sum(
+                len(part) for part in partitions
+            )
+        else:
+            self.store.write_file(path, blocks, format="text", overwrite=True)
+            entry.row_count = sum(len(part) for part in partitions)
+        entry.size_bytes = self.store.file(path).size_bytes
+
+    @staticmethod
+    def _table_path(name: str) -> str:
+        return f"/warehouse/{name.lower()}"
+
+
+def _render_statement(statement: ast.Statement) -> str:
+    """Statement text for the journal (re-parsable on replay)."""
+    if isinstance(statement, ast.CreateTable):
+        return _render_create(statement)
+    if isinstance(statement, ast.DropTable):
+        suffix = "IF EXISTS " if statement.if_exists else ""
+        return f"DROP TABLE {suffix}{statement.name}"
+    if isinstance(statement, ast.InsertInto):
+        if statement.values:
+            rows_sql = ", ".join(
+                "(" + ", ".join(_render_literal(e) for e in row) + ")"
+                for row in statement.values
+            )
+            return f"INSERT INTO {statement.table} VALUES {rows_sql}"
+        return f"INSERT INTO {statement.table} {_render_select(statement.select)}"
+    if isinstance(statement, ast.CacheTable):
+        verb = "UNCACHE" if statement.uncache else "CACHE"
+        return f"{verb} TABLE {statement.name}"
+    raise UnsupportedFeatureError(
+        f"cannot journal {type(statement).__name__}"
+    )
+
+
+def _render_create(statement: ast.CreateTable) -> str:
+    parts = ["CREATE TABLE"]
+    if statement.if_not_exists:
+        parts.append("IF NOT EXISTS")
+    parts.append(statement.name)
+    if statement.columns:
+        columns = ", ".join(
+            f"{c.name} {c.type_name.upper()}" for c in statement.columns
+        )
+        parts.append(f"({columns})")
+    if statement.properties:
+        props = ", ".join(
+            f"'{k}' = '{v}'" for k, v in statement.properties.items()
+        )
+        parts.append(f"TBLPROPERTIES ({props})")
+    if statement.as_select is not None:
+        parts.append("AS " + _render_select(statement.as_select))
+    return " ".join(parts)
+
+
+def _render_select(select: ast.SelectStatement) -> str:
+    """SELECT statements journal as their original text is unavailable;
+    re-render from the AST (covers the dialect's full surface)."""
+    from repro.sql.render import render_select
+
+    return render_select(select)
+
+
+def _render_literal(expr: ast.Expr) -> str:
+    from repro.sql.render import render_expr
+
+    return render_expr(expr)
+
+
+def _wants_cache(properties: dict[str, str]) -> bool:
+    return properties.get("shark.cache", "").lower() in ("true", "1", "yes")
+
+
+def _status(message: str) -> QueryResult:
+    schema = Schema([Field("status", type_by_name("string"))])
+    return QueryResult(rows=[(message,)], schema=schema)

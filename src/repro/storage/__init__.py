@@ -1,0 +1,14 @@
+"""An HDFS-like block store and RDDs that scan it.
+
+Shark queries data "in any system that supports the Hadoop storage API"
+(Section 2); here that substrate is :class:`DistributedFileStore`, an
+in-process block store with replication accounting and read/write counters.
+:class:`~repro.storage.scan.HdfsRDD` scans a stored file one block per
+partition, recording disk-source metrics so the cost model charges HDFS
+reads at disk + deserialization rates.
+"""
+
+from repro.storage.hdfs import DistributedFileStore, StoredFile
+from repro.storage.scan import HdfsRDD
+
+__all__ = ["DistributedFileStore", "StoredFile", "HdfsRDD"]

@@ -1,0 +1,125 @@
+"""The distributed file store: replicated blocks of encoded rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import FileNotFoundInStoreError, StorageError
+
+
+@dataclass
+class StoredFile:
+    """One file: an ordered list of blocks plus format metadata."""
+
+    path: str
+    blocks: list[bytes]
+    #: Serde format name ("text" or "binary"), so readers know how to decode.
+    format: str = "text"
+    replication: int = 3
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+
+@dataclass
+class IoCounters:
+    """Cumulative I/O accounting, read by loading benchmarks."""
+
+    bytes_written: int = 0
+    bytes_replicated: int = 0
+    bytes_read: int = 0
+    blocks_written: int = 0
+    blocks_read: int = 0
+
+
+class DistributedFileStore:
+    """An in-process stand-in for HDFS.
+
+    Files are write-once lists of blocks.  Writes account for replication
+    traffic (``replication - 1`` remote copies), which is what makes HDFS
+    ingest slower than memstore ingest in the loading experiment
+    (Section 6.2.4).
+    """
+
+    def __init__(self, default_replication: int = 3):
+        self._files: dict[str, StoredFile] = {}
+        self.default_replication = default_replication
+        self.counters = IoCounters()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def write_file(
+        self,
+        path: str,
+        blocks: list[bytes],
+        format: str = "text",
+        replication: Optional[int] = None,
+        overwrite: bool = False,
+    ) -> StoredFile:
+        if path in self._files and not overwrite:
+            raise StorageError(f"file already exists: {path}")
+        replication = replication or self.default_replication
+        stored = StoredFile(
+            path=path, blocks=list(blocks), format=format,
+            replication=replication,
+        )
+        self._files[path] = stored
+        self.counters.bytes_written += stored.size_bytes
+        self.counters.bytes_replicated += stored.size_bytes * max(
+            replication - 1, 0
+        )
+        self.counters.blocks_written += stored.num_blocks
+        return stored
+
+    def append_block(self, path: str, block: bytes) -> None:
+        stored = self._require(path)
+        stored.blocks.append(block)
+        self.counters.bytes_written += len(block)
+        self.counters.bytes_replicated += len(block) * max(
+            stored.replication - 1, 0
+        )
+        self.counters.blocks_written += 1
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read_block(self, path: str, index: int) -> bytes:
+        stored = self._require(path)
+        if not 0 <= index < stored.num_blocks:
+            raise StorageError(
+                f"block {index} out of range for {path} "
+                f"({stored.num_blocks} blocks)"
+            )
+        block = stored.blocks[index]
+        self.counters.bytes_read += len(block)
+        self.counters.blocks_read += 1
+        return block
+
+    def file(self, path: str) -> StoredFile:
+        return self._require(path)
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def list_files(self) -> list[str]:
+        return sorted(self._files)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(stored.size_bytes for stored in self._files.values())
+
+    def _require(self, path: str) -> StoredFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundInStoreError(path) from None

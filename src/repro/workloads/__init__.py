@@ -1,0 +1,21 @@
+"""Dataset generators for the paper's four evaluation workloads
+(Section 6):
+
+1. :mod:`repro.workloads.pavlo` — the Pavlo et al. benchmark tables
+   (rankings 100 GB / uservisits 2 TB at paper scale);
+2. :mod:`repro.workloads.tpch` — dbgen-lite TPC-H tables with correct
+   cardinality ratios (100 GB and 1 TB runs);
+3. :mod:`repro.workloads.warehouse` — the real video-analytics Hive
+   warehouse stand-in: a 103-column fact table with complex types and the
+   natural date/country clustering map pruning exploits;
+4. :mod:`repro.workloads.mlgen` — the synthetic 1-billion-point ML dataset.
+
+Each generator is deterministic (seeded) and returns a :class:`Dataset`
+carrying both the local rows and the cluster-scale volumes it represents,
+so the cost model can scale measured task metrics to paper-scale seconds.
+"""
+
+from repro.workloads.base import Dataset
+from repro.workloads import pavlo, tpch, warehouse, mlgen
+
+__all__ = ["Dataset", "pavlo", "tpch", "warehouse", "mlgen"]

@@ -1,0 +1,49 @@
+"""Shared dataset container for workload generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.columnar.footprint import serialized_footprint
+from repro.datatypes import Schema
+
+GB = 1024**3
+TB = 1024**4
+
+
+@dataclass
+class Dataset:
+    """Local rows plus the cluster-scale volume they stand in for."""
+
+    name: str
+    schema: Schema
+    rows: list[tuple]
+    #: Size of the full dataset in the paper's evaluation.
+    represented_bytes: int
+    represented_rows: int
+
+    @property
+    def local_bytes(self) -> int:
+        """Serialized size of the local sample."""
+        return serialized_footprint(self.schema, self.rows)
+
+    @property
+    def scale_factor(self) -> float:
+        """Multiplier from local volumes to represented (paper) volumes."""
+        local = self.local_bytes
+        if local == 0:
+            return 1.0
+        return self.represented_bytes / local
+
+    @property
+    def row_scale_factor(self) -> float:
+        if not self.rows:
+            return 1.0
+        return self.represented_rows / len(self.rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self.name}, {len(self.rows)} local rows representing "
+            f"{self.represented_rows} rows / "
+            f"{self.represented_bytes / GB:.0f} GB)"
+        )

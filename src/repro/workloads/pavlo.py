@@ -1,0 +1,144 @@
+"""The Pavlo et al. benchmark dataset (paper Section 6.2).
+
+Two tables, re-created at the paper's 100-node scale as a 100 GB rankings
+table (1.8 billion rows) and a 2 TB uservisits table (15.5 billion rows).
+Locally we generate seeded samples with the same distributions: Zipfian
+page popularity, uniform pageRanks, one week of 2000-era visit dates
+concentrated around the join query's filter window.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date, timedelta
+
+from repro.datatypes import DOUBLE, INT, STRING, Schema, DATE
+from repro.workloads.base import GB, TB, Dataset
+
+RANKINGS_SCHEMA = Schema.of(
+    ("pageURL", STRING),
+    ("pageRank", INT),
+    ("avgDuration", INT),
+)
+
+USERVISITS_SCHEMA = Schema.of(
+    ("sourceIP", STRING),
+    ("destURL", STRING),
+    ("visitDate", DATE),
+    ("adRevenue", DOUBLE),
+    ("userAgent", STRING),
+    ("countryCode", STRING),
+    ("languageCode", STRING),
+    ("searchWord", STRING),
+    ("duration", INT),
+)
+
+#: Paper-scale volumes (Section 6.2).
+RANKINGS_REPRESENTED_BYTES = 100 * GB
+RANKINGS_REPRESENTED_ROWS = 1_800_000_000
+USERVISITS_REPRESENTED_BYTES = 2 * TB
+USERVISITS_REPRESENTED_ROWS = 15_500_000_000
+
+_COUNTRIES = ["USA", "DEU", "BRA", "IND", "CHN", "GBR", "JPN", "FRA"]
+_LANGUAGES = ["en", "de", "pt", "hi", "zh", "ja", "fr"]
+_AGENTS = ["Mozilla/5.0", "Chrome/20", "Safari/5", "Opera/12"]
+_WORDS = ["cat", "dog", "news", "shark", "spark", "hive", "sale", "score"]
+
+
+def _url(page_id: int) -> str:
+    return f"url{page_id}"
+
+
+def generate_rankings(num_rows: int = 2000, seed: int = 7) -> Dataset:
+    """pageURL is unique per row; pageRank uniform in [0, 100]."""
+    rng = random.Random(seed)
+    rows = [
+        (_url(i), rng.randint(0, 100), rng.randint(1, 60))
+        for i in range(num_rows)
+    ]
+    return Dataset(
+        name="rankings",
+        schema=RANKINGS_SCHEMA,
+        rows=rows,
+        represented_bytes=RANKINGS_REPRESENTED_BYTES,
+        represented_rows=RANKINGS_REPRESENTED_ROWS,
+    )
+
+
+def generate_uservisits(
+    num_rows: int = 10000,
+    num_pages: int = 2000,
+    num_ips: int = 400,
+    seed: int = 11,
+    zipf_alpha: float = 1.2,
+) -> Dataset:
+    """Visits with Zipfian destURL popularity and dates through Q1 2000.
+
+    ``num_pages`` should match the rankings table so the join has
+    realistic hit rates; the date range covers the join query's
+    2000-01-15..22 window with plenty outside it.
+    """
+    rng = random.Random(seed)
+    # Zipfian page weights (heavier head -> popular pages, skew for PDE).
+    weights = [1.0 / (rank + 1) ** zipf_alpha for rank in range(num_pages)]
+    base_date = date(2000, 1, 1)
+    # A bounded pool of source IPs sharing /16-style prefixes, so the two
+    # aggregation queries have the paper's cardinality relationship: many
+    # distinct full IPs, ~8x fewer 7-character prefixes.
+    num_prefixes = max(num_ips // 8, 1)
+    prefixes = [
+        f"{rng.randint(10, 99)}.{rng.randint(10, 99)}.{rng.randint(1, 9)}"
+        for __ in range(num_prefixes)
+    ]
+    ip_pool = [
+        f"{rng.choice(prefixes)}.{rng.randint(1, 254)}"
+        for __ in range(num_ips)
+    ]
+    rows = []
+    for __ in range(num_rows):
+        page = rng.choices(range(num_pages), weights=weights, k=1)[0]
+        source_ip = rng.choice(ip_pool)
+        visit_date = base_date + timedelta(days=rng.randint(0, 89))
+        rows.append(
+            (
+                source_ip,
+                _url(page),
+                visit_date,
+                round(rng.uniform(0.01, 10.0), 4),
+                rng.choice(_AGENTS),
+                rng.choice(_COUNTRIES),
+                rng.choice(_LANGUAGES),
+                rng.choice(_WORDS),
+                rng.randint(1, 600),
+            )
+        )
+    return Dataset(
+        name="uservisits",
+        schema=USERVISITS_SCHEMA,
+        rows=rows,
+        represented_bytes=USERVISITS_REPRESENTED_BYTES,
+        represented_rows=USERVISITS_REPRESENTED_ROWS,
+    )
+
+
+#: The four benchmark queries (Sections 6.2.1-6.2.3), verbatim shapes.
+SELECTION_QUERY = (
+    "SELECT pageURL, pageRank FROM rankings WHERE pageRank > {cutoff}"
+)
+
+AGGREGATION_FULL_QUERY = (
+    "SELECT sourceIP, SUM(adRevenue) FROM uservisits GROUP BY sourceIP"
+)
+
+AGGREGATION_SUBSTR_QUERY = (
+    "SELECT SUBSTR(sourceIP, 1, 7), SUM(adRevenue) "
+    "FROM uservisits GROUP BY SUBSTR(sourceIP, 1, 7)"
+)
+
+JOIN_QUERY = """
+SELECT sourceIP, AVG(pageRank), SUM(adRevenue) as totalRevenue
+FROM rankings AS R, uservisits AS UV
+WHERE R.pageURL = UV.destURL
+  AND UV.visitDate BETWEEN DATE '2000-01-15' AND DATE '2000-01-22'
+GROUP BY UV.sourceIP
+"""

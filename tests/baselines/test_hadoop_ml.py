@@ -1,0 +1,115 @@
+"""Hadoop ML baselines: per-iteration re-reads, result parity with Shark."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HadoopKMeans, HadoopLogisticRegression
+from repro.columnar.serde import BinarySerde, TextSerde
+from repro.datatypes import Schema
+from repro.storage import DistributedFileStore
+from repro.workloads import mlgen
+
+
+@pytest.fixture(scope="module")
+def stored():
+    data = mlgen.generate_points(400, seed=21)
+    text_store = DistributedFileStore()
+    blocks = 4
+    per_block = len(data.rows) // blocks
+    text_serde = TextSerde(data.schema)
+    binary_serde = BinarySerde(data.schema)
+    text_store.write_file(
+        "/ml/points.txt",
+        [
+            text_serde.encode(data.rows[i * per_block:(i + 1) * per_block])
+            for i in range(blocks)
+        ],
+        format="text",
+    )
+    text_store.write_file(
+        "/ml/points.bin",
+        [
+            binary_serde.encode(data.rows[i * per_block:(i + 1) * per_block])
+            for i in range(blocks)
+        ],
+        format="binary",
+    )
+    return text_store, data
+
+
+class TestLogisticRegression:
+    def test_text_and_binary_same_model(self, stored):
+        store, data = stored
+        text_model, __ = HadoopLogisticRegression(
+            store, "/ml/points.txt", data.schema, format="text"
+        ).fit(iterations=3, learning_rate=0.05, seed=4)
+        binary_model, __ = HadoopLogisticRegression(
+            store, "/ml/points.bin", data.schema, format="binary"
+        ).fit(iterations=3, learning_rate=0.05, seed=4)
+        assert np.allclose(text_model.weights, binary_model.weights)
+
+    def test_matches_shark_trainer(self, stored, ctx):
+        from repro.ml import LabeledPoint, LogisticRegression
+
+        store, data = stored
+        hadoop_model, __ = HadoopLogisticRegression(
+            store, "/ml/points.txt", data.schema, format="text"
+        ).fit(iterations=3, learning_rate=0.05, seed=4)
+        points = ctx.parallelize(
+            [
+                LabeledPoint(float(r[0]), np.asarray(r[1:], dtype=float))
+                for r in data.rows
+            ],
+            4,
+        )
+        shark_model = LogisticRegression(
+            iterations=3, learning_rate=0.05, seed=4
+        ).fit(points)
+        assert np.allclose(hadoop_model.weights, shark_model.weights)
+
+    def test_rereads_input_every_iteration(self, stored):
+        store, data = stored
+        before = store.counters.bytes_read
+        __, trace = HadoopLogisticRegression(
+            store, "/ml/points.txt", data.schema, format="text"
+        ).fit(iterations=4, seed=4)
+        read = store.counters.bytes_read - before
+        file_size = store.file("/ml/points.txt").size_bytes
+        assert read >= 4 * file_size
+        assert trace.num_iterations == 4
+
+    def test_text_input_larger_than_binary(self, stored):
+        store, data = stored
+        __, text_trace = HadoopLogisticRegression(
+            store, "/ml/points.txt", data.schema, format="text"
+        ).fit(iterations=1, seed=4)
+        __, binary_trace = HadoopLogisticRegression(
+            store, "/ml/points.bin", data.schema, format="binary"
+        ).fit(iterations=1, seed=4)
+        assert text_trace.mean_input_bytes > binary_trace.mean_input_bytes
+
+    def test_bad_format_rejected(self, stored):
+        from repro.errors import MLError
+
+        store, data = stored
+        with pytest.raises(MLError):
+            HadoopLogisticRegression(
+                store, "/ml/points.txt", data.schema, format="orc"
+            )
+
+
+class TestKMeans:
+    def test_converges_and_traces(self, stored):
+        store, data = stored
+        feature_schema = Schema(data.schema.fields[1:])
+        serde = TextSerde(feature_schema)
+        features = [row[1:] for row in data.rows]
+        store.write_file(
+            "/ml/features.txt", [serde.encode(features)], format="text"
+        )
+        model, trace = HadoopKMeans(
+            store, "/ml/features.txt", feature_schema, format="text"
+        ).fit(k=2, iterations=3, seed=6)
+        assert model.centers.shape == (2, mlgen.NUM_FEATURES)
+        assert trace.num_iterations == 3
+        assert np.isfinite(model.inertia)

@@ -1,0 +1,104 @@
+"""Hive lowering: job shapes for the remaining operators."""
+
+import pytest
+
+from repro import SharkContext
+from repro.baselines import HiveExecutor
+from repro.datatypes import DOUBLE, INT, STRING, Schema
+
+
+@pytest.fixture(scope="module")
+def systems():
+    shark = SharkContext(num_workers=3)
+    shark.create_table(
+        "t", Schema.of(("k", INT), ("g", STRING), ("v", DOUBLE)),
+        cached=True,
+    )
+    shark.load_rows(
+        "t",
+        [(i % 10, f"g{i % 3}", float(i)) for i in range(120)],
+    )
+
+    def table_rows(entry):
+        rdd = shark.session._scan_rdd(entry)
+        return shark.engine.run_job(rdd, list)
+
+    hive = HiveExecutor(
+        shark.session.catalog, shark.store, shark.session.registry,
+        table_rows=table_rows,
+    )
+    return shark, hive
+
+
+class TestOperatorJobShapes:
+    def test_distinct_is_one_shuffle_job(self, systems):
+        shark, hive = systems
+        run = hive.execute("SELECT DISTINCT g FROM t")
+        shuffle_jobs = [j for j in run.jobs if j.reduce_tasks > 0]
+        assert len(shuffle_jobs) == 1
+        assert shuffle_jobs[0].name == "distinct"
+        assert sorted(run.rows) == sorted(shark.sql(
+            "SELECT DISTINCT g FROM t"
+        ).rows)
+
+    def test_union_branches_run_separately(self, systems):
+        shark, hive = systems
+        query = (
+            "SELECT k FROM t WHERE v > 100 "
+            "UNION ALL SELECT k FROM t WHERE v < 10"
+        )
+        run = hive.execute(query)
+        assert sorted(run.rows) == sorted(shark.sql(query).rows)
+
+    def test_distribute_by_is_shuffle(self, systems):
+        shark, hive = systems
+        run = hive.execute("SELECT k, v FROM t DISTRIBUTE BY k")
+        assert any(j.name == "distribute_by" for j in run.jobs)
+        assert len(run.rows) == 120
+
+    def test_limit_caps_rows(self, systems):
+        shark, hive = systems
+        run = hive.execute("SELECT k FROM t LIMIT 7")
+        assert len(run.rows) == 7
+
+    def test_order_by_total_order(self, systems):
+        shark, hive = systems
+        run = hive.execute("SELECT v FROM t ORDER BY v DESC LIMIT 5")
+        values = [row[0] for row in run.rows]
+        assert values == sorted(values, reverse=True)
+        assert values == [
+            row[0]
+            for row in shark.sql(
+                "SELECT v FROM t ORDER BY v DESC LIMIT 5"
+            ).rows
+        ]
+
+    def test_scan_input_bytes_are_on_storage_sizes(self, systems):
+        shark, hive = systems
+        run = hive.execute("SELECT g, COUNT(*) FROM t GROUP BY g")
+        # Hive reads the full encoded table regardless of projection.
+        from repro.columnar.serde import TextSerde
+
+        entry = shark.table_entry("t")
+        rdd = shark.session._scan_rdd(entry)
+        blocks = shark.engine.run_job(rdd, list)
+        expected = sum(
+            len(TextSerde(entry.schema).encode(block)) for block in blocks
+        )
+        assert run.jobs[0].input_bytes == expected
+
+    def test_combiner_flag_set_for_aggregations(self, systems):
+        __, hive = systems
+        run = hive.execute("SELECT g, SUM(v) FROM t GROUP BY g")
+        assert run.jobs[0].used_combiner
+
+    def test_subquery_fused_into_outer_job(self, systems):
+        shark, hive = systems
+        query = (
+            "SELECT g, COUNT(*) FROM "
+            "(SELECT g, v FROM t WHERE v > 20) sub GROUP BY g"
+        )
+        run = hive.execute(query)
+        # Filter + projection fuse into the aggregate job's map phase.
+        assert run.num_jobs == 1
+        assert sorted(run.rows) == sorted(shark.sql(query).rows)

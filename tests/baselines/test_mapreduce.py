@@ -1,0 +1,127 @@
+"""The miniature MapReduce engine."""
+
+import pytest
+
+from repro.baselines import MapReduceEngine
+
+
+@pytest.fixture
+def engine():
+    return MapReduceEngine(num_reducers=4)
+
+
+def word_blocks():
+    return [
+        ["the quick brown fox", "the lazy dog"],
+        ["the fox jumps"],
+    ]
+
+
+class TestWordCount:
+    def test_classic_word_count(self, engine):
+        run = engine.run_job(
+            word_blocks(),
+            mapper=lambda line: [(w, 1) for w in line.split()],
+            reducer=lambda word, counts: [(word, sum(counts))],
+            name="wordcount",
+        )
+        counts = dict(run.rows)
+        assert counts["the"] == 3
+        assert counts["fox"] == 2
+        assert counts["dog"] == 1
+
+    def test_combiner_shrinks_shuffle(self, engine):
+        without = engine.run_job(
+            word_blocks(),
+            mapper=lambda line: [(w, 1) for w in line.split()],
+            reducer=lambda word, counts: [(word, sum(counts))],
+        )
+        with_combiner = engine.run_job(
+            word_blocks(),
+            mapper=lambda line: [(w, 1) for w in line.split()],
+            reducer=lambda word, counts: [(word, sum(counts))],
+            combiner=lambda word, counts: [(word, sum(counts))],
+        )
+        assert dict(with_combiner.rows) == dict(without.rows)
+        assert (
+            with_combiner.jobs[0].map_output_records
+            < without.jobs[0].map_output_records
+        )
+
+
+class TestJobStats:
+    def test_task_counts(self, engine):
+        run = engine.run_job(
+            word_blocks(),
+            mapper=lambda line: [(len(line), line)],
+            reducer=lambda k, vs: vs,
+            num_reducers=2,
+        )
+        stats = run.jobs[0]
+        assert stats.map_tasks == 2
+        assert stats.reduce_tasks == 2
+        assert stats.input_records == 3
+
+    def test_map_only_job_has_no_shuffle(self, engine):
+        run = engine.run_job(
+            word_blocks(),
+            mapper=lambda line: [line.upper()],
+            name="upper",
+        )
+        stats = run.jobs[0]
+        assert stats.reduce_tasks == 0
+        assert stats.shuffle_bytes == 0
+        assert run.rows == [
+            "THE QUICK BROWN FOX", "THE LAZY DOG", "THE FOX JUMPS",
+        ]
+
+    def test_shuffle_bytes_recorded(self, engine):
+        run = engine.run_job(
+            word_blocks(),
+            mapper=lambda line: [(w, 1) for w in line.split()],
+            reducer=lambda word, counts: [(word, sum(counts))],
+        )
+        assert run.jobs[0].shuffle_bytes > 0
+        assert run.jobs[0].output_bytes > 0
+
+    def test_materialize_flag_passthrough(self, engine):
+        run = engine.run_job(
+            word_blocks(),
+            mapper=lambda line: [(1, line)],
+            reducer=lambda k, vs: vs,
+            materialize_output=True,
+        )
+        assert run.jobs[0].materialized_output
+
+
+class TestPartitioningSemantics:
+    def test_same_key_same_reducer(self, engine):
+        run = engine.run_job(
+            [[("k", i) for i in range(10)]],
+            mapper=lambda pair: [pair],
+            reducer=lambda key, values: [(key, sorted(values))],
+            num_reducers=4,
+        )
+        # All 10 values reduced together.
+        assert dict(run.rows) == {"k": list(range(10))}
+
+    def test_heterogeneous_keys_sort(self, engine):
+        run = engine.run_job(
+            [[(None, 1), ("a", 2), (3, 4), (("t", 1), 5)]],
+            mapper=lambda pair: [pair],
+            reducer=lambda key, values: [(key, values)],
+            num_reducers=1,
+        )
+        assert len(run.rows) == 4
+
+    def test_rejects_bad_reducer_count(self):
+        with pytest.raises(ValueError):
+            MapReduceEngine(num_reducers=0)
+
+    def test_empty_input(self, engine):
+        run = engine.run_job(
+            [],
+            mapper=lambda x: [x],
+            reducer=lambda k, vs: vs,
+        )
+        assert run.rows == []

@@ -1,0 +1,175 @@
+"""Virtual cluster: membership, placement, blocks, failure injection."""
+
+import pytest
+
+from repro.cluster import FailureInjector, VirtualCluster
+from repro.cluster.worker import BlockStore, approximate_size_bytes
+from repro.errors import NoLiveWorkersError
+
+
+class TestBlockStore:
+    def test_put_get_contains(self):
+        store = BlockStore()
+        store.put("b1", [1, 2, 3])
+        assert "b1" in store
+        assert store.get("b1") == [1, 2, 3]
+
+    def test_size_accounting(self):
+        store = BlockStore()
+        store.put("b1", list(range(100)))
+        assert store.used_bytes > 0
+        store.put("b2", "x", size_bytes=12345)
+        assert store.used_bytes > 12345
+
+    def test_remove_and_clear(self):
+        store = BlockStore()
+        store.put("a", 1)
+        store.put("b", 2)
+        store.remove("a")
+        assert "a" not in store
+        store.clear()
+        assert len(store) == 0
+
+    def test_remove_missing_is_noop(self):
+        BlockStore().remove("ghost")
+
+
+class TestApproximateSize:
+    def test_respects_footprint_method(self):
+        class Sized:
+            def memory_footprint_bytes(self):
+                return 4242
+
+        assert approximate_size_bytes(Sized()) == 4242
+
+    def test_list_scales_with_length(self):
+        small = approximate_size_bytes(list(range(10)))
+        large = approximate_size_bytes(list(range(10000)))
+        assert large > small * 100
+
+    def test_dict_counts_keys_and_values(self):
+        assert approximate_size_bytes({"k": "v"}) > 0
+
+    def test_empty_list(self):
+        assert approximate_size_bytes([]) > 0
+
+
+class TestMembership:
+    def test_initial_workers_alive(self):
+        cluster = VirtualCluster(num_workers=3)
+        assert len(cluster.live_workers()) == 3
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            VirtualCluster(num_workers=0)
+
+    def test_kill_drops_blocks(self):
+        cluster = VirtualCluster(num_workers=2)
+        cluster.put_block(0, "b", [1, 2, 3])
+        cluster.kill_worker(0)
+        assert not cluster.workers[0].alive
+        assert len(cluster.workers[0].blocks) == 0
+
+    def test_kill_idempotent(self):
+        cluster = VirtualCluster(num_workers=3)
+        cluster.kill_worker(1)
+        cluster.kill_worker(1)
+        assert len(cluster.live_workers()) == 2
+
+    def test_kill_last_worker_raises(self):
+        cluster = VirtualCluster(num_workers=1)
+        with pytest.raises(NoLiveWorkersError):
+            cluster.kill_worker(0)
+
+    def test_restart_returns_empty_worker(self):
+        cluster = VirtualCluster(num_workers=2)
+        cluster.put_block(0, "b", 1)
+        cluster.kill_worker(0)
+        cluster.restart_worker(0)
+        worker = cluster.worker(0)
+        assert worker.alive
+        assert len(worker.blocks) == 0
+
+    def test_add_worker_extends_cluster(self):
+        cluster = VirtualCluster(num_workers=2)
+        worker = cluster.add_worker()
+        assert worker.worker_id == 2
+        assert len(cluster.live_workers()) == 3
+
+    def test_kill_callbacks_fire(self):
+        cluster = VirtualCluster(num_workers=2)
+        killed = []
+        cluster.on_worker_killed(killed.append)
+        cluster.kill_worker(1)
+        assert killed == [1]
+
+
+class TestAssignment:
+    def test_round_robin_over_live_workers(self):
+        cluster = VirtualCluster(num_workers=3)
+        assigned = [cluster.assign_worker().worker_id for __ in range(6)]
+        assert sorted(set(assigned)) == [0, 1, 2]
+
+    def test_prefers_locality(self):
+        cluster = VirtualCluster(num_workers=4)
+        worker = cluster.assign_worker(preferred=[2])
+        assert worker.worker_id == 2
+
+    def test_dead_preference_falls_back(self):
+        cluster = VirtualCluster(num_workers=3)
+        cluster.kill_worker(2)
+        worker = cluster.assign_worker(preferred=[2])
+        assert worker.worker_id != 2
+
+    def test_invalid_preference_ignored(self):
+        cluster = VirtualCluster(num_workers=2)
+        worker = cluster.assign_worker(preferred=[99, -1])
+        assert worker.worker_id in (0, 1)
+
+
+class TestFailureInjection:
+    def test_fires_after_threshold(self):
+        cluster = VirtualCluster(num_workers=3)
+        cluster.inject_failure(worker_id=1, after_tasks=2)
+        worker = cluster.worker(0)
+        cluster.task_completed(worker)
+        assert cluster.worker(1).alive
+        cluster.task_completed(worker)
+        assert not cluster.worker(1).alive
+
+    def test_fires_once(self):
+        cluster = VirtualCluster(num_workers=3)
+        injector = cluster.inject_failure(worker_id=1, after_tasks=1)
+        cluster.task_completed(cluster.worker(0))
+        assert injector.fired
+        cluster.restart_worker(1)
+        cluster.task_completed(cluster.worker(0))
+        assert cluster.worker(1).alive
+
+    def test_should_fire_logic(self):
+        injector = FailureInjector(worker_id=0, after_tasks=5)
+        assert not injector.should_fire(4)
+        assert injector.should_fire(5)
+        injector.fired = True
+        assert not injector.should_fire(100)
+
+
+class TestBlockLookup:
+    def test_find_block_on_live_worker(self):
+        cluster = VirtualCluster(num_workers=2)
+        cluster.put_block(1, "blk", "payload")
+        worker_id, value = cluster.find_block("blk")
+        assert worker_id == 1
+        assert value == "payload"
+
+    def test_find_block_skips_dead(self):
+        cluster = VirtualCluster(num_workers=2)
+        cluster.put_block(1, "blk", "payload")
+        cluster.kill_worker(1)
+        assert cluster.find_block("blk") is None
+
+    def test_total_cached_bytes(self):
+        cluster = VirtualCluster(num_workers=2)
+        cluster.put_block(0, "a", [1] * 100)
+        cluster.put_block(1, "b", [2] * 100)
+        assert cluster.total_cached_bytes > 0

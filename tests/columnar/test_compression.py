@@ -1,0 +1,221 @@
+"""Compression schemes: lossless roundtrips, footprints, auto-selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.columnar.compression import (
+    BITPACK,
+    BITSET,
+    BLOB,
+    DICTIONARY,
+    PLAIN,
+    RLE,
+    choose_scheme,
+)
+from repro.datatypes import (
+    ArrayType,
+    BOOLEAN,
+    DOUBLE,
+    INT,
+    BIGINT,
+    STRING,
+)
+from repro.errors import CompressionError
+
+
+def _decode_list(encoded):
+    decoded = encoded.decode()
+    if isinstance(decoded, np.ndarray):
+        return decoded.tolist()
+    return list(decoded)
+
+
+class TestPlain:
+    def test_int_roundtrip_as_array(self):
+        values = [5, -3, 7, 0]
+        encoded = PLAIN.encode(values, INT)
+        assert _decode_list(encoded) == values
+        assert encoded.compressed_bytes == 4 * 4
+
+    def test_string_roundtrip_with_arena_accounting(self):
+        values = ["hello", "", "world"]
+        encoded = PLAIN.encode(values, STRING)
+        assert _decode_list(encoded) == values
+        assert encoded.compressed_bytes == len("helloworld") + 4 * 3
+
+    def test_nullable_int_falls_back_to_list(self):
+        values = [1, None, 3]
+        encoded = PLAIN.encode(values, INT)
+        assert _decode_list(encoded) == values
+
+
+class TestRunLength:
+    def test_roundtrip(self):
+        values = [1, 1, 1, 2, 2, 3] * 10
+        encoded = RLE.encode(values, INT)
+        assert _decode_list(encoded) == values
+
+    def test_compresses_long_runs(self):
+        values = [7] * 1000
+        encoded = RLE.encode(values, INT)
+        assert encoded.num_runs == 1
+        assert encoded.compressed_bytes < PLAIN.encode(values, INT).compressed_bytes
+
+    def test_string_runs(self):
+        values = ["a"] * 5 + ["b"] * 5
+        encoded = RLE.encode(values, STRING)
+        assert _decode_list(encoded) == values
+        assert encoded.num_runs == 2
+
+    def test_length_preserved(self):
+        values = [1, 2, 2, 3]
+        assert len(RLE.encode(values, INT)) == 4
+
+
+class TestDictionary:
+    def test_roundtrip_strings(self):
+        values = ["AIR", "SHIP", "AIR", "RAIL"] * 50
+        encoded = DICTIONARY.encode(values, STRING)
+        assert _decode_list(encoded) == values
+        assert encoded.cardinality == 3
+
+    def test_code_width_grows_with_cardinality(self):
+        small = DICTIONARY.encode([str(i % 4) for i in range(100)], STRING)
+        large = DICTIONARY.encode([str(i) for i in range(300)], STRING)
+        assert small._codes.dtype == np.uint8
+        assert large._codes.dtype == np.uint16
+
+    def test_beats_plain_on_enum_column(self):
+        values = ["CANCELLED", "SHIPPED", "PENDING"] * 1000
+        dict_bytes = DICTIONARY.encode(values, STRING).compressed_bytes
+        plain_bytes = PLAIN.encode(values, STRING).compressed_bytes
+        assert dict_bytes < plain_bytes / 2
+
+    def test_numeric_dictionary(self):
+        values = [100, 200, 100, 300] * 10
+        encoded = DICTIONARY.encode(values, INT)
+        assert _decode_list(encoded) == values
+
+
+class TestBitPacking:
+    def test_roundtrip_small_range(self):
+        values = [3, 7, 0, 5, 2]
+        encoded = BITPACK.encode(values, INT)
+        assert _decode_list(encoded) == values
+        assert encoded.bit_width == 3
+
+    def test_offset_handles_negatives(self):
+        values = [-10, -8, -9]
+        encoded = BITPACK.encode(values, INT)
+        assert _decode_list(encoded) == values
+
+    def test_single_value_width_one(self):
+        encoded = BITPACK.encode([42, 42, 42], INT)
+        assert encoded.bit_width == 1
+        assert _decode_list(encoded) == [42, 42, 42]
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompressionError):
+            BITPACK.encode([], INT)
+
+    def test_packs_tighter_than_plain(self):
+        values = [i % 16 for i in range(10000)]
+        packed = BITPACK.encode(values, INT).compressed_bytes
+        plain = PLAIN.encode(values, INT).compressed_bytes
+        assert packed < plain / 6
+
+
+class TestBitset:
+    def test_roundtrip(self):
+        values = [True, False, True, True, False]
+        encoded = BITSET.encode(values, BOOLEAN)
+        assert _decode_list(encoded) == values
+
+    def test_one_bit_per_value(self):
+        encoded = BITSET.encode([True] * 800, BOOLEAN)
+        assert encoded.compressed_bytes == 100
+
+
+class TestBlob:
+    def test_complex_roundtrip(self):
+        values = [["a", "b"], [], ["c"]]
+        encoded = BLOB.encode(values, ArrayType(element_type=STRING))
+        assert _decode_list(encoded) == values
+
+    def test_dict_values(self):
+        values = [{"k": 1}, {"j": 2, "k": 3}]
+        encoded = BLOB.encode(values, STRING)
+        assert _decode_list(encoded) == values
+
+
+class TestChooseScheme:
+    def test_boolean_gets_bitset(self):
+        assert choose_scheme([True, False], BOOLEAN) is BITSET
+
+    def test_clustered_column_gets_rle(self):
+        values = [1] * 100 + [2] * 100
+        assert choose_scheme(values, INT).name == "rle"
+
+    def test_enum_strings_get_dictionary(self):
+        values = ["AIR", "SHIP", "RAIL", "TRUCK"] * 100
+        assert choose_scheme(values, STRING).name == "dictionary"
+
+    def test_small_range_ints_get_bitpack(self):
+        # Too many distinct values for a dictionary, but a narrow range.
+        values = [i % 3000 for i in range(1, 20000, 7)]
+        assert choose_scheme(values, INT).name == "bitpack"
+
+    def test_wide_unique_values_stay_plain(self):
+        values = [i * 10**9 for i in range(1000)]
+        assert choose_scheme(values, BIGINT).name == "plain"
+
+    def test_doubles_never_bitpacked(self):
+        values = [float(i % 10) for i in range(1, 1000, 3)]
+        assert choose_scheme(values, DOUBLE).name in ("plain", "dictionary")
+
+    def test_nulls_force_plain_for_primitives(self):
+        values = [1, None] * 100
+        assert choose_scheme(values, INT).name == "plain"
+
+    def test_complex_types_get_blob(self):
+        values = [["x"], ["y"]] * 10
+        assert choose_scheme(values, ArrayType(element_type=STRING)).name in (
+            "blob", "rle",
+        )
+
+    def test_empty_column_plain(self):
+        assert choose_scheme([], INT) is PLAIN
+
+
+class TestPropertyRoundtrips:
+    @given(st.lists(st.integers(-2**31, 2**31 - 1), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_int_roundtrip_any_scheme(self, values):
+        scheme = choose_scheme(values, INT)
+        assert _decode_list(scheme.encode(values, INT)) == values
+
+    @given(st.lists(st.text(max_size=20), min_size=0, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_string_roundtrip_any_scheme(self, values):
+        scheme = choose_scheme(values, STRING)
+        assert _decode_list(scheme.encode(values, STRING)) == values
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_bool_roundtrip(self, values):
+        assert _decode_list(BITSET.encode(values, BOOLEAN)) == values
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_double_roundtrip(self, values):
+        values = [float(v) for v in values]
+        scheme = choose_scheme(values, DOUBLE)
+        decoded = _decode_list(scheme.encode(values, DOUBLE))
+        assert decoded == pytest.approx(values)

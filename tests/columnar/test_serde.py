@@ -1,0 +1,130 @@
+"""Text and binary row serdes."""
+
+from datetime import date, datetime
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.columnar.serde import BinarySerde, TextSerde
+from repro.datatypes import (
+    ArrayType,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INT,
+    BIGINT,
+    MapType,
+    STRING,
+    TIMESTAMP,
+    Schema,
+)
+from repro.errors import StorageError
+
+FULL_SCHEMA = Schema.of(
+    ("i", INT),
+    ("l", BIGINT),
+    ("d", DOUBLE),
+    ("s", STRING),
+    ("b", BOOLEAN),
+    ("dt", DATE),
+    ("arr", ArrayType(element_type=INT)),
+    ("m", MapType(key_type=STRING, value_type=INT)),
+)
+
+SAMPLE_ROWS = [
+    (1, 2**40, 3.5, "hello", True, date(2000, 1, 15), [1, 2], {"k": 1}),
+    (-7, 0, -0.25, "", False, date(1999, 12, 31), [], {}),
+    (None, None, None, None, None, None, None, None),
+]
+
+
+class TestTextSerde:
+    def test_roundtrip_full_schema(self):
+        serde = TextSerde(FULL_SCHEMA)
+        assert serde.decode(serde.encode(SAMPLE_ROWS)) == SAMPLE_ROWS
+
+    def test_empty(self):
+        serde = TextSerde(FULL_SCHEMA)
+        assert serde.decode(serde.encode([])) == []
+
+    def test_width_mismatch_rejected(self):
+        narrow = Schema.of(("a", INT), ("b", INT))
+        serde = TextSerde(narrow)
+        payload = serde.encode([(1, 2)])
+        wrong = TextSerde(Schema.of(("a", INT)))
+        with pytest.raises(StorageError):
+            wrong.decode(payload)
+
+    def test_boolean_tokens(self):
+        serde = TextSerde(Schema.of(("b", BOOLEAN)))
+        text = serde.encode([(True,), (False,)]).decode("utf-8")
+        assert "true" in text and "false" in text
+
+    def test_timestamp_roundtrip(self):
+        serde = TextSerde(Schema.of(("t", TIMESTAMP)))
+        rows = [(datetime(2012, 11, 27, 13, 45, 30),)]
+        assert serde.decode(serde.encode(rows)) == rows
+
+
+class TestBinarySerde:
+    def test_roundtrip_full_schema(self):
+        serde = BinarySerde(FULL_SCHEMA)
+        assert serde.decode(serde.encode(SAMPLE_ROWS)) == SAMPLE_ROWS
+
+    def test_empty(self):
+        serde = BinarySerde(FULL_SCHEMA)
+        assert serde.decode(serde.encode([])) == []
+
+    def test_binary_smaller_than_text_for_numbers(self):
+        schema = Schema.of(("a", DOUBLE), ("b", DOUBLE), ("c", BIGINT))
+        rows = [
+            (1234567.8912345, 2345678.9123456, 123456789012345)
+            for __ in range(100)
+        ]
+        text_size = len(TextSerde(schema).encode(rows))
+        binary_size = len(BinarySerde(schema).encode(rows))
+        assert binary_size < text_size
+
+
+class TestPropertyRoundtrips:
+    simple_schema = Schema.of(("i", INT), ("s", STRING), ("d", DOUBLE))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-2**31 + 1, 2**31 - 1),
+                st.text(
+                    alphabet=st.characters(
+                        blacklist_characters="\x01\n", blacklist_categories=("Cs",)
+                    ),
+                    max_size=30,
+                ),
+                st.floats(allow_nan=False, allow_infinity=False),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_text_roundtrip(self, rows):
+        serde = TextSerde(self.simple_schema)
+        decoded = serde.decode(serde.encode(rows))
+        assert len(decoded) == len(rows)
+        for got, want in zip(decoded, rows):
+            assert got[0] == want[0]
+            assert got[1] == want[1]
+            assert got[2] == pytest.approx(want[2], nan_ok=True)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-2**31 + 1, 2**31 - 1),
+                st.text(max_size=30),
+                st.floats(allow_nan=False, allow_infinity=False),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_binary_roundtrip(self, rows):
+        serde = BinarySerde(self.simple_schema)
+        assert serde.decode(serde.encode(rows)) == rows

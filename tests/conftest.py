@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the tests without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import SharkContext  # noqa: E402
+from repro.engine import EngineContext  # noqa: E402
+
+
+@pytest.fixture
+def ctx() -> EngineContext:
+    """A small engine context: 4 workers x 2 cores."""
+    return EngineContext(num_workers=4, cores_per_worker=2)
+
+
+@pytest.fixture
+def shark() -> SharkContext:
+    """A SharkContext over 4 virtual workers."""
+    return SharkContext(num_workers=4, cores_per_worker=2)

@@ -1,0 +1,91 @@
+"""SharkContext public API."""
+
+import pytest
+
+from repro import SharkContext
+from repro.datatypes import BOOLEAN, INT, STRING, Schema
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def shark():
+    shark = SharkContext(num_workers=3)
+    shark.create_table(
+        "t", Schema.of(("a", INT), ("b", STRING)), cached=True
+    )
+    shark.load_rows("t", [(1, "x"), (2, "y"), (3, "x")])
+    return shark
+
+
+class TestTables:
+    def test_table_returns_table_rdd(self, shark):
+        table = shark.table("t")
+        assert table.column_names == ["a", "b"]
+        assert table.count() == 3
+
+    def test_table_entry_metadata(self, shark):
+        entry = shark.table_entry("t")
+        assert entry.is_cached
+        assert entry.row_count == 3
+
+    def test_drop_table(self, shark):
+        shark.drop_table("t")
+        with pytest.raises(CatalogError):
+            shark.table_entry("t")
+
+    def test_drop_missing_with_if_exists(self, shark):
+        shark.drop_table("ghost")  # if_exists defaults True
+        with pytest.raises(CatalogError):
+            shark.drop_table("ghost", if_exists=False)
+
+    def test_create_table_with_properties(self, shark):
+        shark.create_table(
+            "p", Schema.of(("x", INT)), cached=True,
+            properties={"owner": "tests"},
+        )
+        entry = shark.table_entry("p")
+        assert entry.properties["owner"] == "tests"
+        assert entry.properties["shark.cache"] == "true"
+
+    def test_external_table_backed_by_store(self, shark):
+        shark.create_table("ext", Schema.of(("x", INT)), cached=False)
+        shark.load_rows("ext", [(5,)])
+        entry = shark.table_entry("ext")
+        assert shark.store.exists(entry.path)
+        assert shark.sql("SELECT x FROM ext").rows == [(5,)]
+
+
+class TestQueries:
+    def test_sql_and_last_report(self, shark):
+        result = shark.sql("SELECT COUNT(*) FROM t WHERE b = 'x'")
+        assert result.scalar() == 2
+        assert shark.last_report is result.report
+
+    def test_explain_text(self, shark):
+        text = shark.explain("SELECT a FROM t WHERE b = 'x'")
+        assert "Scan(t" in text
+
+    def test_register_udf_visible_in_sql(self, shark):
+        shark.register_udf("flag", lambda a: a >= 2, return_type=BOOLEAN)
+        assert shark.sql("SELECT COUNT(*) FROM t WHERE flag(a)").scalar() == 2
+
+
+class TestEnginePassthroughs:
+    def test_parallelize_and_broadcast(self, shark):
+        rdd = shark.parallelize(range(10), 4)
+        lookup = shark.broadcast({1: "one"})
+        assert rdd.map(lambda x: lookup.value.get(x, "?")).take(2) == [
+            "?", "one",
+        ]
+
+    def test_num_workers_and_kill(self, shark):
+        assert shark.num_workers == 3
+        shark.kill_worker(0)
+        assert len(shark.engine.cluster.live_workers()) == 2
+
+    def test_inject_failure_returns_injector(self, shark):
+        injector = shark.inject_failure(worker_id=1, after_tasks=10**9)
+        assert not injector.fired
+
+    def test_repr_names_tables(self, shark):
+        assert "t" in repr(shark)

@@ -1,0 +1,62 @@
+"""Row accessors."""
+
+import pytest
+
+from repro.core import Row
+from repro.datatypes import DOUBLE, INT, STRING, Schema
+
+SCHEMA = Schema.of(("age", INT), ("country", STRING), ("score", DOUBLE))
+
+
+@pytest.fixture
+def row():
+    return Row((30, "US", 9.5), SCHEMA)
+
+
+class TestAccess:
+    def test_get_by_name(self, row):
+        assert row.get("age") == 30
+        assert row["country"] == "US"
+        assert row[2] == 9.5
+
+    def test_case_insensitive_names(self, row):
+        assert row.get("AGE") == 30
+
+    def test_typed_accessors(self, row):
+        assert row.get_int("age") == 30
+        assert row.get_str("country") == "US"
+        assert row.get_double("score") == 9.5
+        assert isinstance(row.get_double("age"), float)
+
+    def test_paper_camel_case_aliases(self, row):
+        assert row.getInt("age") == 30
+        assert row.getStr("country") == "US"
+        assert row.getDouble("score") == 9.5
+
+    def test_null_passthrough(self):
+        row = Row((None, None, None), SCHEMA)
+        assert row.get_int("age") is None
+        assert row.get_str("country") is None
+
+    def test_unknown_column(self, row):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            row.get("missing")
+
+
+class TestProtocols:
+    def test_len_iter(self, row):
+        assert len(row) == 3
+        assert list(row) == [30, "US", 9.5]
+
+    def test_as_dict(self, row):
+        assert row.as_dict() == {"age": 30, "country": "US", "score": 9.5}
+
+    def test_equality_with_tuple(self, row):
+        assert row == (30, "US", 9.5)
+        assert row == Row((30, "US", 9.5), SCHEMA)
+        assert hash(row) == hash((30, "US", 9.5))
+
+    def test_repr_readable(self, row):
+        assert "age=30" in repr(row)

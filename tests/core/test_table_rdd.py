@@ -1,0 +1,96 @@
+"""TableRDD: the sql2rdd result wrapper."""
+
+import pytest
+
+from repro import SharkContext
+from repro.datatypes import DOUBLE, INT, STRING, Schema
+
+
+@pytest.fixture
+def shark_table():
+    shark = SharkContext(num_workers=2)
+    shark.create_table(
+        "t", Schema.of(("k", INT), ("name", STRING), ("v", DOUBLE)),
+        cached=True,
+    )
+    shark.load_rows(
+        "t", [(i, f"n{i % 3}", float(i) * 1.5) for i in range(30)]
+    )
+    return shark
+
+
+class TestSql2Rdd:
+    def test_returns_lazy_rdd(self, shark_table):
+        table = shark_table.sql2rdd("SELECT k, v FROM t WHERE k > 10")
+        assert table.column_names == ["k", "v"]
+        rows = table.collect()
+        assert len(rows) == 19
+
+    def test_rejects_non_select(self, shark_table):
+        with pytest.raises(ValueError):
+            shark_table.sql2rdd("DROP TABLE t")
+
+    def test_count_and_take(self, shark_table):
+        table = shark_table.sql2rdd("SELECT k FROM t")
+        assert table.count() == 30
+        assert len(table.take(5)) == 5
+
+    def test_cache_flag(self, shark_table):
+        table = shark_table.sql2rdd("SELECT k FROM t").cache()
+        assert table.rdd.is_cached
+
+
+class TestRowOperations:
+    def test_map_rows_receives_schema(self, shark_table):
+        table = shark_table.sql2rdd("SELECT k, name, v FROM t")
+        doubled = table.map_rows(lambda row: row.get_double("v") * 2)
+        assert doubled.collect()[:3] == [0.0, 3.0, 6.0]
+
+    def test_camel_case_alias(self, shark_table):
+        table = shark_table.sql2rdd("SELECT k FROM t")
+        assert table.mapRows(lambda r: r.get_int("k")).take(1) == [0]
+
+    def test_filter_rows(self, shark_table):
+        table = shark_table.sql2rdd("SELECT k, name, v FROM t")
+        filtered = table.filter_rows(lambda row: row.get_str("name") == "n0")
+        assert filtered.count() == 10
+
+    def test_select_reorders_columns(self, shark_table):
+        table = shark_table.sql2rdd("SELECT k, name, v FROM t")
+        projected = table.select("v", "k")
+        assert projected.column_names == ["v", "k"]
+        first = projected.take(1)[0]
+        assert first == (0.0, 0)
+
+    def test_column_extraction(self, shark_table):
+        table = shark_table.sql2rdd("SELECT k, name FROM t")
+        names = table.column("name").collect()
+        assert set(names) == {"n0", "n1", "n2"}
+
+    def test_collect_rows(self, shark_table):
+        table = shark_table.sql2rdd("SELECT k FROM t LIMIT 2")
+        rows = table.collect_rows()
+        assert rows[0].get_int("k") == 0
+
+
+class TestChainingIntoEngine:
+    def test_rdd_algebra_after_sql(self, shark_table):
+        table = shark_table.sql2rdd("SELECT name, v FROM t")
+        totals = dict(
+            table.rdd.map(lambda r: (r[0], r[1]))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        assert set(totals) == {"n0", "n1", "n2"}
+
+    def test_fault_tolerance_spans_sql_and_engine(self, shark_table):
+        table = shark_table.sql2rdd("SELECT name, v FROM t")
+        keyed = table.rdd.map(lambda r: (r[0], r[1])).cache()
+        before = sorted(
+            keyed.reduce_by_key(lambda a, b: a + b).collect()
+        )
+        shark_table.kill_worker(0)
+        after = sorted(
+            keyed.reduce_by_key(lambda a, b: a + b).collect()
+        )
+        assert before == after

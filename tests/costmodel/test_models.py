@@ -1,0 +1,143 @@
+"""Task cost model: per-component charges and engine deltas."""
+
+import pytest
+
+from repro.costmodel import (
+    DEFAULT_HARDWARE,
+    HADOOP_BINARY,
+    HADOOP_TEXT,
+    HIVE,
+    MPP,
+    SHARK_DISK,
+    SHARK_MEM,
+    TaskCostVector,
+    estimate_task_seconds,
+)
+from repro.costmodel.constants import MB, profile_by_name
+from repro.costmodel.models import (
+    SOURCE_DISK,
+    SOURCE_GENERATED,
+    SOURCE_MEMORY,
+)
+
+
+class TestProfiles:
+    def test_lookup_by_name(self):
+        assert profile_by_name("shark") is SHARK_MEM
+        assert profile_by_name("hive") is HIVE
+        with pytest.raises(KeyError):
+            profile_by_name("impala")
+
+    def test_paper_constants(self):
+        # Section 2.1 / 7.1: 5 ms Spark launch, 5-10 s Hadoop launch.
+        assert SHARK_MEM.task_launch_overhead_s == pytest.approx(0.005)
+        assert 5.0 <= HIVE.task_launch_overhead_s <= 10.0
+        # Section 3.2: ~200 MB/s/core deserialization.
+        assert DEFAULT_HARDWARE.deserialization_mb_s == 200.0
+        # Section 6.1: m2.4xlarge - 8 cores, 68 GB.
+        assert DEFAULT_HARDWARE.cores_per_node == 8
+        assert DEFAULT_HARDWARE.memory_per_node_mb == 68 * 1024
+
+    def test_text_slower_than_binary(self):
+        assert HADOOP_TEXT.cpu_per_record_us > HADOOP_BINARY.cpu_per_record_us
+
+    def test_mpp_lacks_fine_grained_recovery(self):
+        assert not MPP.fine_grained_recovery
+        assert SHARK_MEM.fine_grained_recovery
+
+
+class TestTaskCostVector:
+    def test_invalid_source_rejected(self):
+        with pytest.raises(ValueError):
+            TaskCostVector(source="tape")
+
+    def test_scaled_multiplies_volumes(self):
+        vector = TaskCostVector(records_in=10, bytes_in=100, source=SOURCE_DISK)
+        scaled = vector.scaled(3.0)
+        assert scaled.records_in == 30
+        assert scaled.bytes_in == 300
+        assert scaled.source == SOURCE_DISK
+
+
+class TestEstimation:
+    def test_launch_overhead_dominates_tiny_tasks(self):
+        tiny = TaskCostVector(records_in=1, bytes_in=100, source=SOURCE_MEMORY)
+        shark = estimate_task_seconds(tiny, SHARK_MEM, DEFAULT_HARDWARE)
+        hive = estimate_task_seconds(tiny, HIVE, DEFAULT_HARDWARE)
+        assert shark < 0.01
+        assert hive > 5.0
+
+    def test_memory_scan_faster_than_disk(self):
+        volume = TaskCostVector(
+            records_in=10**6, bytes_in=128 * MB, source=SOURCE_MEMORY
+        )
+        disk_volume = TaskCostVector(
+            records_in=10**6, bytes_in=128 * MB, source=SOURCE_DISK
+        )
+        mem_s = estimate_task_seconds(
+            volume, SHARK_MEM, DEFAULT_HARDWARE, include_launch=False
+        )
+        disk_s = estimate_task_seconds(
+            disk_volume, SHARK_DISK, DEFAULT_HARDWARE, include_launch=False
+        )
+        assert disk_s > mem_s * 3
+
+    def test_generated_source_free_input(self):
+        vector = TaskCostVector(bytes_in=10**9, source=SOURCE_GENERATED)
+        assert estimate_task_seconds(
+            vector, SHARK_MEM, DEFAULT_HARDWARE, include_launch=False
+        ) == pytest.approx(0.0)
+
+    def test_sort_charged_only_for_sorting_engines(self):
+        vector = TaskCostVector(
+            records_in=10**6,
+            records_out=10**6,
+            shuffle_write_bytes=64 * MB,
+            source=SOURCE_MEMORY,
+        )
+        hive_s = estimate_task_seconds(
+            vector, HIVE, DEFAULT_HARDWARE, include_launch=False
+        )
+        no_sort = estimate_task_seconds(
+            vector, SHARK_MEM, DEFAULT_HARDWARE, include_launch=False
+        )
+        assert hive_s > no_sort
+
+    def test_materialization_charged_with_replication(self):
+        base = TaskCostVector(
+            bytes_out=128 * MB, source=SOURCE_MEMORY,
+        )
+        materialized = TaskCostVector(
+            bytes_out=128 * MB, source=SOURCE_MEMORY, materialized_output=True,
+        )
+        plain = estimate_task_seconds(
+            base, HIVE, DEFAULT_HARDWARE, include_launch=False
+        )
+        with_hdfs = estimate_task_seconds(
+            materialized, HIVE, DEFAULT_HARDWARE, include_launch=False
+        )
+        assert with_hdfs > plain + 1.0
+
+    def test_shark_never_materializes(self):
+        materialized = TaskCostVector(
+            bytes_out=128 * MB, source=SOURCE_MEMORY, materialized_output=True,
+        )
+        assert estimate_task_seconds(
+            materialized, SHARK_MEM, DEFAULT_HARDWARE, include_launch=False
+        ) == pytest.approx(0.0)
+
+    def test_shuffle_read_charged_at_network_rate(self):
+        vector = TaskCostVector(
+            shuffle_read_bytes=110 * MB, source="shuffle"
+        )
+        seconds = estimate_task_seconds(
+            vector, SHARK_MEM, DEFAULT_HARDWARE, include_launch=False
+        )
+        # 110 MB at (110/8) MB/s per core = 8 s.
+        assert seconds == pytest.approx(8.0, rel=0.05)
+
+    def test_extra_cpu_passthrough(self):
+        vector = TaskCostVector(extra_cpu_s=2.5, source=SOURCE_GENERATED)
+        assert estimate_task_seconds(
+            vector, SHARK_MEM, DEFAULT_HARDWARE, include_launch=False
+        ) == pytest.approx(2.5)

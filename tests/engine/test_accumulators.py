@@ -1,0 +1,133 @@
+"""PDE statistics collectors and driver accumulators."""
+
+import pytest
+
+from repro.engine.accumulator import (
+    Accumulator,
+    HeavyHittersStat,
+    HistogramStat,
+    PartitionSizeStat,
+    RecordCountStat,
+    log_decode_size,
+    log_encode_size,
+)
+
+
+class TestAccumulator:
+    def test_default_add(self):
+        acc = Accumulator(0)
+        acc.add(3)
+        acc.add(4)
+        assert acc.value == 7
+
+    def test_custom_add(self):
+        acc = Accumulator([], add=lambda a, b: a + [b])
+        acc.add("x")
+        acc.add("y")
+        assert acc.value == ["x", "y"]
+
+    def test_reset(self):
+        acc = Accumulator(5)
+        acc.reset(0)
+        assert acc.value == 0
+
+
+class TestLogEncoding:
+    @pytest.mark.parametrize(
+        "size", [1, 7, 128, 4096, 10**6, 123456789, 32 * 1024**3]
+    )
+    def test_relative_error_within_ten_percent(self, size):
+        decoded = log_decode_size(log_encode_size(size))
+        assert abs(decoded - size) / size <= 0.11
+
+    def test_monotonic(self):
+        codes = [log_encode_size(2**i) for i in range(1, 35)]
+        assert codes == sorted(codes)
+
+
+class TestPartitionSizeStat:
+    def test_observe_returns_single_byte_code(self):
+        stat = PartitionSizeStat()
+        code = stat.observe([("k", "v" * 100)] * 10)
+        assert 1 <= code <= 255
+
+    def test_merge_approximates_sum(self):
+        stat = PartitionSizeStat(size_of=lambda record: 1000)
+        left = stat.observe([None] * 10)   # ~10 KB
+        right = stat.observe([None] * 10)  # ~10 KB
+        merged_bytes = log_decode_size(stat.merge(left, right))
+        assert 16000 < merged_bytes < 24000
+
+    def test_empty_observation(self):
+        assert PartitionSizeStat(size_of=lambda r: 0).observe([]) == 0
+
+
+class TestRecordCountStat:
+    def test_counts_and_merges(self):
+        stat = RecordCountStat()
+        assert stat.observe(iter(range(7))) == 7
+        assert stat.merge(7, 5) == 12
+
+
+class TestHeavyHitters:
+    def test_finds_dominant_key(self):
+        stat = HeavyHittersStat(capacity=4)
+        records = [("hot", 1)] * 500 + [(f"cold{i}", 1) for i in range(200)]
+        partial = stat.observe(records)
+        assert max(partial, key=partial.get) == "hot"
+        assert len(partial) <= 4
+
+    def test_merge_caps_capacity(self):
+        stat = HeavyHittersStat(capacity=3)
+        left = {"a": 10, "b": 5, "c": 1}
+        right = {"d": 20, "e": 2, "a": 3}
+        merged = stat.merge(left, right)
+        assert len(merged) <= 3
+        assert "d" in merged and "a" in merged
+
+    def test_space_saving_overestimates_only(self):
+        # SpaceSaving counts are upper bounds of true frequencies.
+        stat = HeavyHittersStat(capacity=2)
+        records = [("x", 1)] * 50 + [("y", 1)] * 30 + [("z", 1)] * 5
+        partial = stat.observe(records)
+        if "x" in partial:
+            assert partial["x"] >= 50
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            HeavyHittersStat(capacity=0)
+
+    def test_custom_key_function(self):
+        stat = HeavyHittersStat(capacity=4, key_of=lambda record: record)
+        partial = stat.observe(["a", "a", "b"])
+        assert partial["a"] == 2
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        stat = HistogramStat(0.0, 100.0, num_buckets=10)
+        assert stat.bucket_of(-5) == 0
+        assert stat.bucket_of(5) == 0
+        assert stat.bucket_of(55) == 5
+        assert stat.bucket_of(150) == 9
+
+    def test_observe_and_merge(self):
+        stat = HistogramStat(0.0, 10.0, num_buckets=5)
+        left = stat.observe([1.0, 3.0, 9.0])
+        right = stat.observe([1.5])
+        merged = stat.merge(left, right)
+        assert sum(merged) == 4
+        assert merged[0] == 2  # 1.0 and 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistogramStat(5.0, 5.0)
+        with pytest.raises(ValueError):
+            HistogramStat(0.0, 1.0, num_buckets=0)
+
+    def test_custom_value_function(self):
+        stat = HistogramStat(
+            0.0, 10.0, num_buckets=2, value_of=lambda record: record[1]
+        )
+        counts = stat.observe([("a", 1.0), ("b", 9.0)])
+        assert counts == [1, 1]

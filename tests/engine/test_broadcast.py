@@ -1,0 +1,27 @@
+"""Broadcast variables."""
+
+import pytest
+
+
+class TestBroadcast:
+    def test_value_accessible_in_tasks(self, ctx):
+        lookup = ctx.broadcast({"a": 1, "b": 2})
+        result = ctx.parallelize(["a", "b", "a"], 2).map(
+            lambda k: lookup.value[k]
+        ).collect()
+        assert result == [1, 2, 1]
+
+    def test_size_recorded(self, ctx):
+        broadcast = ctx.broadcast(list(range(1000)))
+        assert broadcast.size_bytes > 1000
+
+    def test_ids_increment(self, ctx):
+        first = ctx.broadcast(1)
+        second = ctx.broadcast(2)
+        assert second.broadcast_id == first.broadcast_id + 1
+
+    def test_destroy_blocks_reads(self, ctx):
+        broadcast = ctx.broadcast([1, 2, 3])
+        broadcast.destroy()
+        with pytest.raises(ValueError):
+            __ = broadcast.value

@@ -1,0 +1,49 @@
+"""RDD.lookup: fine-grained random reads (Section 7.1's index use case)."""
+
+from repro.engine.partitioner import HashPartitioner
+
+
+class TestLookup:
+    def test_lookup_on_partitioned_rdd_reads_one_partition(self, ctx):
+        pairs = ctx.parallelize(
+            [(i, f"v{i}") for i in range(100)], 4
+        ).partition_by(HashPartitioner(8)).cache()
+        pairs.count()  # materialize the cache
+        tasks_before = ctx.cluster.total_tasks_completed
+        assert pairs.lookup(42) == ["v42"]
+        tasks_used = ctx.cluster.total_tasks_completed - tasks_before
+        # Only the partition holding key 42 was read.
+        assert tasks_used == 1
+
+    def test_lookup_without_partitioner_scans(self, ctx):
+        pairs = ctx.parallelize([(1, "a"), (2, "b"), (1, "c")], 3)
+        assert sorted(pairs.lookup(1)) == ["a", "c"]
+
+    def test_lookup_missing_key(self, ctx):
+        pairs = ctx.parallelize([(1, "a")], 1).partition_by(
+            HashPartitioner(4)
+        )
+        assert pairs.lookup(99) == []
+
+    def test_lookup_duplicate_values(self, ctx):
+        pairs = ctx.parallelize(
+            [("k", i) for i in range(5)], 2
+        ).partition_by(HashPartitioner(3))
+        assert sorted(pairs.lookup("k")) == [0, 1, 2, 3, 4]
+
+    def test_lookup_into_cached_table_as_index(self, shark):
+        """The paper's 'RDDs as indices' sketch: a keyed, partitioned view
+        over a SQL result answers point lookups without a full scan."""
+        from repro.datatypes import INT, STRING, Schema
+
+        shark.create_table(
+            "users", Schema.of(("uid", INT), ("name", STRING)), cached=True
+        )
+        shark.load_rows("users", [(i, f"user{i}") for i in range(200)])
+        table = shark.sql2rdd("SELECT uid, name FROM users")
+        index = table.rdd.map(lambda row: (row[0], row[1])).partition_by(
+            HashPartitioner(8)
+        ).cache()
+        index.count()
+        assert index.lookup(123) == ["user123"]
+        assert index.lookup(5000) == []

@@ -1,0 +1,103 @@
+"""Partitioner behaviour: stability, ranges, equality."""
+
+import pytest
+
+from repro.engine.partitioner import (
+    FunctionPartitioner,
+    HashPartitioner,
+    RangePartitioner,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic_for_strings(self):
+        assert stable_hash("shark") == stable_hash("shark")
+
+    def test_int_is_identity_like(self):
+        assert stable_hash(5) == 5
+        assert stable_hash(0) == 0
+
+    def test_negative_int_is_nonnegative(self):
+        assert stable_hash(-17) >= 0
+
+    def test_none_hashes_to_zero(self):
+        assert stable_hash(None) == 0
+
+    def test_bool_distinct_from_general_ints_semantics(self):
+        assert stable_hash(True) == 1
+        assert stable_hash(False) == 0
+
+    def test_tuple_order_sensitive(self):
+        assert stable_hash((1, 2)) != stable_hash((2, 1))
+
+    def test_float_and_bytes_supported(self):
+        assert stable_hash(3.14) >= 0
+        assert stable_hash(b"abc") >= 0
+
+    def test_arbitrary_objects_fall_back_to_repr(self):
+        class Weird:
+            def __repr__(self):
+                return "weird!"
+
+        assert stable_hash(Weird()) == stable_hash(Weird())
+
+
+class TestHashPartitioner:
+    def test_rejects_nonpositive_partitions(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    def test_partitions_in_range(self):
+        partitioner = HashPartitioner(7)
+        for key in ["a", "b", 1, 2.5, None, ("x", 1)]:
+            assert 0 <= partitioner.partition(key) < 7
+
+    def test_same_key_same_partition(self):
+        partitioner = HashPartitioner(16)
+        assert partitioner.partition("key") == partitioner.partition("key")
+
+    def test_equality_by_type_and_count(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(8)
+        assert hash(HashPartitioner(4)) == hash(HashPartitioner(4))
+
+    def test_spreads_keys(self):
+        partitioner = HashPartitioner(8)
+        used = {partitioner.partition(f"key{i}") for i in range(200)}
+        assert len(used) == 8
+
+
+class TestRangePartitioner:
+    def test_bounds_define_partitions(self):
+        partitioner = RangePartitioner([10, 20, 30])
+        assert partitioner.num_partitions == 4
+        assert partitioner.partition(5) == 0
+        assert partitioner.partition(10) == 0
+        assert partitioner.partition(15) == 1
+        assert partitioner.partition(35) == 3
+
+    def test_descending(self):
+        partitioner = RangePartitioner([10, 20], ascending=False)
+        assert partitioner.partition(5) == 2
+        assert partitioner.partition(25) == 0
+
+    def test_equality_includes_bounds(self):
+        assert RangePartitioner([1, 2]) == RangePartitioner([1, 2])
+        assert RangePartitioner([1, 2]) != RangePartitioner([1, 3])
+        assert RangePartitioner([1, 2]) != RangePartitioner(
+            [1, 2], ascending=False
+        )
+
+
+class TestFunctionPartitioner:
+    def test_uses_function_modulo(self):
+        partitioner = FunctionPartitioner(4, lambda key: key * 3)
+        assert partitioner.partition(2) == 6 % 4
+
+    def test_equality_is_identity_of_function(self):
+        fn = lambda key: key  # noqa: E731
+        assert FunctionPartitioner(4, fn) == FunctionPartitioner(4, fn)
+        assert FunctionPartitioner(4, fn) != FunctionPartitioner(
+            4, lambda key: key
+        )

@@ -1,0 +1,193 @@
+"""Pair-RDD operations: shuffles, joins, cogroup, key-wise combiners."""
+
+from collections import Counter, defaultdict
+
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.rdd import CoGroupedRDD, ShuffledRDD
+
+
+class TestKeyValueBasics:
+    def test_map_values(self, ctx):
+        result = ctx.parallelize([(1, 2), (3, 4)], 2).map_values(
+            lambda v: v * 10
+        )
+        assert result.collect() == [(1, 20), (3, 40)]
+
+    def test_flat_map_values(self, ctx):
+        result = ctx.parallelize([(1, "ab")], 1).flat_map_values(list)
+        assert result.collect() == [(1, "a"), (1, "b")]
+
+    def test_keys_values(self, ctx):
+        rdd = ctx.parallelize([(1, "a"), (2, "b")], 2)
+        assert rdd.keys().collect() == [1, 2]
+        assert rdd.values().collect() == ["a", "b"]
+
+    def test_count_by_key(self, ctx):
+        rdd = ctx.parallelize([("a", 1), ("a", 2), ("b", 3)], 2)
+        assert rdd.count_by_key() == {"a": 2, "b": 1}
+
+    def test_collect_as_map(self, ctx):
+        rdd = ctx.parallelize([("a", 1), ("b", 2)], 2)
+        assert rdd.collect_as_map() == {"a": 1, "b": 2}
+
+
+class TestReduceByKey:
+    def test_matches_counter(self, ctx):
+        words = ["a", "b", "a", "c", "b", "a"] * 20
+        pairs = ctx.parallelize([(w, 1) for w in words], 8)
+        result = dict(pairs.reduce_by_key(lambda a, b: a + b).collect())
+        assert result == dict(Counter(words))
+
+    def test_respects_num_partitions(self, ctx):
+        pairs = ctx.parallelize([(i, 1) for i in range(50)], 4)
+        reduced = pairs.reduce_by_key(lambda a, b: a + b, num_partitions=3)
+        assert reduced.num_partitions == 3
+        assert len(reduced.collect()) == 50
+
+    def test_noncommutative_order_within_key(self, ctx):
+        # fold_by_key with list append preserves per-key multiplicity.
+        pairs = ctx.parallelize([("k", i) for i in range(10)], 5)
+        result = pairs.fold_by_key(0, lambda a, b: a + b).collect()
+        assert result == [("k", 45)]
+
+    def test_reshuffle_skipped_when_partitioned(self, ctx):
+        partitioner = HashPartitioner(4)
+        pairs = ctx.parallelize([(i, 1) for i in range(40)], 4).partition_by(
+            partitioner
+        )
+        reduced = pairs.reduce_by_key(lambda a, b: a + b)
+        # Same partitioner: combine happens locally, no new shuffle node.
+        assert not isinstance(reduced, ShuffledRDD)
+        assert len(reduced.collect()) == 40
+
+
+class TestAggregations:
+    def test_aggregate_by_key(self, ctx):
+        pairs = ctx.parallelize(
+            [("a", 1), ("a", 5), ("b", 2)], 3
+        )
+        result = dict(
+            pairs.aggregate_by_key(
+                (0, 0),
+                lambda acc, v: (acc[0] + v, acc[1] + 1),
+                lambda x, y: (x[0] + y[0], x[1] + y[1]),
+            ).collect()
+        )
+        assert result == {"a": (6, 2), "b": (2, 1)}
+
+    def test_group_by_key(self, ctx):
+        pairs = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)], 3)
+        result = {k: sorted(v) for k, v in pairs.group_by_key().collect()}
+        assert result == {"a": [1, 3], "b": [2]}
+
+    def test_group_by(self, ctx):
+        result = ctx.parallelize(range(10), 4).group_by(lambda x: x % 3)
+        grouped = {k: sorted(v) for k, v in result.collect()}
+        assert grouped == {0: [0, 3, 6, 9], 1: [1, 4, 7], 2: [2, 5, 8]}
+
+    def test_combine_by_key_custom(self, ctx):
+        pairs = ctx.parallelize([("x", 3), ("x", 4), ("y", 9)], 2)
+        combined = pairs.combine_by_key(
+            create_combiner=lambda v: [v],
+            merge_value=lambda acc, v: acc + [v],
+            merge_combiners=lambda a, b: a + b,
+        )
+        result = {k: sorted(v) for k, v in combined.collect()}
+        assert result == {"x": [3, 4], "y": [9]}
+
+
+class TestJoins:
+    def setup_method(self):
+        self.left_data = [(1, "a"), (2, "b"), (2, "bb"), (3, "c")]
+        self.right_data = [(2, 20), (3, 30), (3, 33), (4, 40)]
+
+    def _reference_inner(self):
+        right = defaultdict(list)
+        for k, v in self.right_data:
+            right[k].append(v)
+        return sorted(
+            (k, (lv, rv))
+            for k, lv in self.left_data
+            for rv in right.get(k, [])
+        )
+
+    def test_inner_join(self, ctx):
+        left = ctx.parallelize(self.left_data, 2)
+        right = ctx.parallelize(self.right_data, 3)
+        assert sorted(left.join(right).collect()) == self._reference_inner()
+
+    def test_left_outer_join(self, ctx):
+        left = ctx.parallelize(self.left_data, 2)
+        right = ctx.parallelize(self.right_data, 2)
+        result = sorted(left.left_outer_join(right).collect())
+        assert (1, ("a", None)) in result
+        assert (2, ("b", 20)) in result
+        assert all(k != 4 for k, __ in result)
+
+    def test_right_outer_join(self, ctx):
+        left = ctx.parallelize(self.left_data, 2)
+        right = ctx.parallelize(self.right_data, 2)
+        result = sorted(left.right_outer_join(right).collect())
+        assert (4, (None, 40)) in result
+        assert all(k != 1 for k, __ in result)
+
+    def test_full_outer_join(self, ctx):
+        left = ctx.parallelize(self.left_data, 2)
+        right = ctx.parallelize(self.right_data, 2)
+        result = sorted(left.full_outer_join(right).collect())
+        assert (1, ("a", None)) in result
+        assert (4, (None, 40)) in result
+
+    def test_join_empty_side(self, ctx):
+        left = ctx.parallelize(self.left_data, 2)
+        empty = ctx.parallelize([], 1)
+        assert left.join(empty).collect() == []
+
+    def test_cogroup_arity(self, ctx):
+        left = ctx.parallelize([(1, "a")], 1)
+        right = ctx.parallelize([(1, 10), (2, 20)], 1)
+        result = dict(left.cogroup(right).collect())
+        assert result[1] == (["a"], [10])
+        assert result[2] == ([], [20])
+
+
+class TestCopartitionedNarrowJoin:
+    def test_cogroup_uses_narrow_deps_when_copartitioned(self, ctx):
+        partitioner = HashPartitioner(4)
+        left = ctx.parallelize([(i, i) for i in range(30)], 4).partition_by(
+            partitioner
+        ).cache()
+        right = ctx.parallelize(
+            [(i, i * 10) for i in range(30)], 4
+        ).partition_by(partitioner).cache()
+        left.count()
+        right.count()
+        grouped = CoGroupedRDD(ctx, [left, right], partitioner)
+        assert grouped.uses_only_narrow_deps
+        assert len(grouped.collect()) == 30
+
+    def test_mismatched_partitioner_shuffles(self, ctx):
+        partitioner = HashPartitioner(4)
+        left = ctx.parallelize([(1, 1)], 1).partition_by(partitioner)
+        right = ctx.parallelize([(1, 2)], 1)
+        grouped = CoGroupedRDD(ctx, [left, right], partitioner)
+        assert not grouped.uses_only_narrow_deps
+
+    def test_join_result_matches_shuffle_join(self, ctx):
+        data_left = [(i % 7, i) for i in range(50)]
+        data_right = [(i % 7, i * 2) for i in range(50)]
+        partitioner = HashPartitioner(3)
+        narrow_left = ctx.parallelize(data_left, 3).partition_by(partitioner)
+        narrow_right = ctx.parallelize(data_right, 3).partition_by(partitioner)
+        wide_left = ctx.parallelize(data_left, 4)
+        wide_right = ctx.parallelize(data_right, 5)
+        assert sorted(narrow_left.join(narrow_right).collect()) == sorted(
+            wide_left.join(wide_right).collect()
+        )
+
+
+class TestSortByKey:
+    def test_sorts_pairs(self, ctx):
+        pairs = [(3, "c"), (1, "a"), (2, "b")]
+        result = ctx.parallelize(pairs, 2).sort_by_key().collect()
+        assert result == [(1, "a"), (2, "b"), (3, "c")]

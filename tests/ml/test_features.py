@@ -1,0 +1,90 @@
+"""Feature extraction from SQL results (the sql2rdd -> mapRows pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro import SharkContext
+from repro.datatypes import DOUBLE, INT, STRING, Schema
+from repro.errors import MLError
+from repro.ml import (
+    LabeledPoint,
+    LogisticRegression,
+    label_feature_extractor,
+    vectorize_rows,
+)
+
+
+@pytest.fixture
+def shark_users():
+    shark = SharkContext(num_workers=2)
+    shark.create_table(
+        "users",
+        Schema.of(
+            ("uid", INT), ("age", INT), ("income", DOUBLE), ("label", INT)
+        ),
+        cached=True,
+    )
+    rows = [
+        (i, 20 + i % 40, 1000.0 * (i % 7), 1 if i % 2 else -1)
+        for i in range(100)
+    ]
+    shark.load_rows("users", rows)
+    return shark, rows
+
+
+class TestLabeledPoint:
+    def test_rejects_matrix_features(self):
+        with pytest.raises(MLError):
+            LabeledPoint(1.0, np.zeros((2, 2)))
+
+    def test_holds_vector(self):
+        point = LabeledPoint(-1.0, np.array([1.0, 2.0]))
+        assert point.label == -1.0
+        assert point.features.shape == (1, 2)[1:]
+
+
+class TestExtractors:
+    def test_label_feature_extractor(self, shark_users):
+        shark, rows = shark_users
+        table = shark.sql2rdd("SELECT age, income, label FROM users")
+        extract = label_feature_extractor("label", ["age", "income"])
+        points = table.map_rows(extract).collect()
+        assert len(points) == 100
+        assert points[0].features.shape == (2,)
+        assert points[0].label in (-1.0, 1.0)
+
+    def test_vectorize_rows(self, shark_users):
+        shark, rows = shark_users
+        table = shark.sql2rdd("SELECT age, income FROM users")
+        vectors = vectorize_rows(table, ["income", "age"]).collect()
+        assert vectors[0].shape == (2,)
+        # Column order follows the requested feature list.
+        assert vectors[0][0] == rows[0][2]
+        assert vectors[0][1] == rows[0][1]
+
+
+class TestListingOnePipeline:
+    """The paper's Listing 1: SQL -> mapRows -> logistic regression."""
+
+    def test_end_to_end(self, shark_users):
+        shark, rows = shark_users
+        users = shark.sql2rdd(
+            "SELECT age, income, label FROM users WHERE uid >= 0"
+        )
+
+        def extract(row):
+            return LabeledPoint(
+                float(row.get_int("label")),
+                np.array(
+                    [row.get_int("age") / 60.0,
+                     row.get_double("income") / 7000.0,
+                     1.0]
+                ),
+            )
+
+        features = users.map_rows(extract).cache()
+        model = LogisticRegression(iterations=3, learning_rate=0.1).fit(
+            features
+        )
+        assert np.all(np.isfinite(model.weights))
+        assert features.count() == 100

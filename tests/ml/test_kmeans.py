@@ -1,0 +1,74 @@
+"""k-means on RDDs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.ml import KMeans
+
+
+def _clustered_rdd(ctx, centers, points_per_center=80, seed=11):
+    rng = np.random.default_rng(seed)
+    points = []
+    for center in centers:
+        cluster = rng.normal(0.0, 0.3, size=(points_per_center, len(center)))
+        points.extend(np.asarray(center) + row for row in cluster)
+    rng.shuffle(points)
+    return ctx.parallelize(points, 6)
+
+
+class TestClustering:
+    def test_recovers_true_centers(self, ctx):
+        true_centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 5.0)]
+        points = _clustered_rdd(ctx, true_centers)
+        best = min(
+            (
+                KMeans(k=3, iterations=12, seed=seed).fit(points)
+                for seed in (1, 2, 3)
+            ),
+            key=lambda model: model.inertia,
+        )
+        for expected in true_centers:
+            distances = [
+                float(np.linalg.norm(np.asarray(expected) - center))
+                for center in best.centers
+            ]
+            assert min(distances) < 1.0, (expected, best.centers)
+
+    def test_inertia_decreases_with_iterations(self, ctx):
+        points = _clustered_rdd(ctx, [(0, 0), (8, 8)])
+        early = KMeans(k=2, iterations=1, seed=2).fit(points)
+        late = KMeans(k=2, iterations=10, seed=2).fit(points)
+        assert late.inertia <= early.inertia + 1e-9
+
+    def test_deterministic(self, ctx):
+        points = _clustered_rdd(ctx, [(0, 0), (5, 5)])
+        first = KMeans(k=2, iterations=4, seed=9).fit(points)
+        second = KMeans(k=2, iterations=4, seed=9).fit(points)
+        assert np.allclose(first.centers, second.centers)
+
+    def test_predict_assigns_nearest(self, ctx):
+        points = _clustered_rdd(ctx, [(0, 0), (10, 10)])
+        model = KMeans(k=2, iterations=5).fit(points)
+        near_origin = model.predict(np.array([0.1, -0.2]))
+        near_far = model.predict(np.array([9.8, 10.1]))
+        assert near_origin != near_far
+
+    def test_k_larger_than_data_rejected(self, ctx):
+        points = ctx.parallelize([np.array([1.0]), np.array([2.0])], 1)
+        with pytest.raises(MLError):
+            KMeans(k=5, iterations=1).fit(points)
+
+    def test_parameter_validation(self):
+        with pytest.raises(MLError):
+            KMeans(k=0)
+        with pytest.raises(MLError):
+            KMeans(k=2, iterations=0)
+
+    def test_survives_worker_loss(self, ctx):
+        points = _clustered_rdd(ctx, [(0, 0), (10, 10)]).cache()
+        points.count()
+        baseline = KMeans(k=2, iterations=5, seed=4).fit(points)
+        ctx.kill_worker(0)
+        recovered = KMeans(k=2, iterations=5, seed=4).fit(points)
+        assert np.allclose(baseline.centers, recovered.centers)

@@ -1,0 +1,79 @@
+"""Linear regression on RDDs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.ml import LabeledPoint, LinearRegression
+
+
+def _linear_rdd(ctx, slope=2.0, intercept=1.0, noise=0.01, n=300, seed=8):
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0, 1, size=n)
+    ys = slope * xs + intercept + rng.normal(0, noise, size=n)
+    points = [
+        LabeledPoint(float(y), np.array([float(x)])) for x, y in zip(xs, ys)
+    ]
+    return ctx.parallelize(points, 6)
+
+
+class TestFitting:
+    def test_recovers_line(self, ctx):
+        points = _linear_rdd(ctx)
+        model = LinearRegression(iterations=300, learning_rate=0.5).fit(points)
+        assert model.weights[0] == pytest.approx(2.0, abs=0.1)
+        assert model.intercept == pytest.approx(1.0, abs=0.1)
+
+    def test_without_intercept(self, ctx):
+        points = _linear_rdd(ctx, intercept=0.0)
+        model = LinearRegression(
+            iterations=300, learning_rate=0.5, fit_intercept=False
+        ).fit(points)
+        assert model.intercept == 0.0
+        assert model.weights[0] == pytest.approx(2.0, abs=0.1)
+
+    def test_multidimensional(self, ctx):
+        rng = np.random.default_rng(1)
+        true_w = np.array([1.0, -2.0, 0.5])
+        xs = rng.uniform(-1, 1, size=(400, 3))
+        ys = xs @ true_w + 0.3
+        points = ctx.parallelize(
+            [LabeledPoint(float(y), x) for x, y in zip(xs, ys)], 8
+        )
+        model = LinearRegression(iterations=400, learning_rate=0.5).fit(points)
+        assert np.allclose(model.weights, true_w, atol=0.1)
+        assert model.intercept == pytest.approx(0.3, abs=0.1)
+
+    def test_loss_decreases(self, ctx):
+        points = _linear_rdd(ctx)
+        model = LinearRegression(
+            iterations=50, learning_rate=0.5, track_loss=True
+        ).fit(points)
+        assert model.loss_history[-1] < model.loss_history[0]
+
+    def test_mse_small_after_fit(self, ctx):
+        points = _linear_rdd(ctx)
+        model = LinearRegression(iterations=300, learning_rate=0.5).fit(points)
+        local = points.collect()
+        assert model.mean_squared_error(local) < 0.01
+
+    def test_empty_rejected(self, ctx):
+        with pytest.raises(MLError):
+            LinearRegression(iterations=1).fit(ctx.parallelize([], 1))
+
+    def test_validation(self):
+        with pytest.raises(MLError):
+            LinearRegression(iterations=0)
+
+
+class TestModel:
+    def test_predict(self, ctx):
+        points = _linear_rdd(ctx)
+        model = LinearRegression(iterations=200, learning_rate=0.5).fit(points)
+        assert model.predict(np.array([0.5])) == pytest.approx(2.0, abs=0.2)
+
+    def test_mse_requires_points(self, ctx):
+        points = _linear_rdd(ctx, n=50)
+        model = LinearRegression(iterations=5).fit(points)
+        with pytest.raises(MLError):
+            model.mean_squared_error([])

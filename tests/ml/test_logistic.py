@@ -1,0 +1,108 @@
+"""Logistic regression on RDDs: convergence, determinism, fault tolerance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.ml import LabeledPoint, LogisticRegression
+from repro.workloads import mlgen
+
+
+def _points_rdd(ctx, num_rows=600, separation=2.5, seed=3):
+    data = mlgen.generate_points(num_rows, separation=separation, seed=seed)
+    rows = data.rows
+
+    def to_point(row):
+        return LabeledPoint(float(row[0]), np.asarray(row[1:], dtype=float))
+
+    return ctx.parallelize(rows, 8).map(to_point), rows
+
+
+class TestTraining:
+    def test_converges_on_separable_data(self, ctx):
+        points, rows = _points_rdd(ctx)
+        model = LogisticRegression(iterations=8, learning_rate=0.05).fit(
+            points.cache()
+        )
+        labeled = [
+            LabeledPoint(float(r[0]), np.asarray(r[1:], dtype=float))
+            for r in rows
+        ]
+        assert model.accuracy(labeled) > 0.95
+
+    def test_deterministic_given_seed(self, ctx):
+        points, __ = _points_rdd(ctx)
+        first = LogisticRegression(iterations=3, seed=7).fit(points)
+        second = LogisticRegression(iterations=3, seed=7).fit(points)
+        assert np.allclose(first.weights, second.weights)
+
+    def test_different_seed_different_start(self, ctx):
+        points, __ = _points_rdd(ctx)
+        first = LogisticRegression(iterations=1, seed=1).fit(points)
+        second = LogisticRegression(iterations=1, seed=2).fit(points)
+        assert not np.allclose(first.weights, second.weights)
+
+    def test_loss_decreases(self, ctx):
+        points, __ = _points_rdd(ctx)
+        model = LogisticRegression(
+            iterations=6, learning_rate=0.05, track_loss=True
+        ).fit(points.cache())
+        assert model.loss_history[-1] < model.loss_history[0]
+
+    def test_dimensions_inferred(self, ctx):
+        points, __ = _points_rdd(ctx)
+        model = LogisticRegression(iterations=1).fit(points)
+        assert len(model.weights) == mlgen.NUM_FEATURES
+
+    def test_empty_rdd_rejected(self, ctx):
+        empty = ctx.parallelize([], 1)
+        with pytest.raises(MLError):
+            LogisticRegression(iterations=1).fit(empty)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(MLError):
+            LogisticRegression(iterations=0)
+
+
+class TestModel:
+    def test_predict_signs(self, ctx):
+        points, rows = _points_rdd(ctx)
+        model = LogisticRegression(iterations=8, learning_rate=0.05).fit(
+            points
+        )
+        positive = next(r for r in rows if r[0] == 1)
+        negative = next(r for r in rows if r[0] == -1)
+        assert model.predict(np.asarray(positive[1:], dtype=float)) == 1
+        assert model.predict(np.asarray(negative[1:], dtype=float)) == -1
+
+    def test_probability_bounds(self, ctx):
+        points, rows = _points_rdd(ctx, num_rows=100)
+        model = LogisticRegression(iterations=2).fit(points)
+        p = model.predict_probability(np.asarray(rows[0][1:], dtype=float))
+        assert 0.0 <= p <= 1.0
+
+    def test_accuracy_requires_points(self, ctx):
+        points, __ = _points_rdd(ctx, num_rows=100)
+        model = LogisticRegression(iterations=1).fit(points)
+        with pytest.raises(MLError):
+            model.accuracy([])
+
+
+class TestFaultTolerance:
+    def test_training_survives_worker_loss(self, ctx):
+        points, rows = _points_rdd(ctx)
+        cached = points.cache()
+        cached.count()
+        baseline = LogisticRegression(iterations=4, seed=5).fit(cached)
+        ctx.kill_worker(1)
+        recovered = LogisticRegression(iterations=4, seed=5).fit(cached)
+        # Deterministic lineage recomputation: identical weights.
+        assert np.allclose(baseline.weights, recovered.weights)
+
+    def test_mid_training_injected_failure(self, ctx):
+        points, __ = _points_rdd(ctx)
+        cached = points.cache()
+        cached.count()
+        ctx.inject_failure(worker_id=2, after_tasks=5)
+        model = LogisticRegression(iterations=3, seed=5).fit(cached)
+        assert np.all(np.isfinite(model.weights))

@@ -1,0 +1,126 @@
+"""Analyzer: resolution, scoping, aggregate validation, error messages."""
+
+import pytest
+
+from repro import SharkContext
+from repro.datatypes import DOUBLE, INT, STRING, Schema
+from repro.errors import AnalysisError, CatalogError
+
+
+@pytest.fixture
+def shark():
+    shark = SharkContext(num_workers=2)
+    shark.create_table(
+        "t", Schema.of(("a", INT), ("b", STRING), ("c", DOUBLE)), cached=True
+    )
+    shark.load_rows("t", [(1, "x", 1.5), (2, "y", 2.5)])
+    shark.create_table(
+        "u", Schema.of(("a", INT), ("d", STRING)), cached=True
+    )
+    shark.load_rows("u", [(1, "q")])
+    return shark
+
+
+class TestResolutionErrors:
+    def test_unknown_table(self, shark):
+        with pytest.raises(CatalogError, match="no such table"):
+            shark.sql("SELECT * FROM missing")
+
+    def test_unknown_column_lists_available(self, shark):
+        with pytest.raises(AnalysisError, match="available"):
+            shark.sql("SELECT nope FROM t")
+
+    def test_unknown_qualifier(self, shark):
+        with pytest.raises(AnalysisError):
+            shark.sql("SELECT z.a FROM t")
+
+    def test_ambiguous_column_in_join(self, shark):
+        with pytest.raises(AnalysisError, match="ambiguous"):
+            shark.sql("SELECT a FROM t JOIN u ON t.a = u.a")
+
+    def test_qualified_disambiguation_works(self, shark):
+        result = shark.sql("SELECT t.a FROM t JOIN u ON t.a = u.a")
+        assert result.rows == [(1,)]
+
+    def test_unknown_function(self, shark):
+        with pytest.raises(AnalysisError, match="unknown function"):
+            shark.sql("SELECT frobnicate(a) FROM t")
+
+    def test_wrong_arity(self, shark):
+        with pytest.raises(AnalysisError, match="arguments"):
+            shark.sql("SELECT SUBSTR(b) FROM t")
+
+    def test_unknown_star_qualifier(self, shark):
+        with pytest.raises(AnalysisError):
+            shark.sql("SELECT z.* FROM t")
+
+
+class TestAggregateValidation:
+    def test_non_grouped_column_rejected(self, shark):
+        with pytest.raises(AnalysisError, match="GROUP BY"):
+            shark.sql("SELECT b, COUNT(*) FROM t GROUP BY a")
+
+    def test_aggregate_in_where_rejected(self, shark):
+        with pytest.raises(AnalysisError, match="WHERE"):
+            shark.sql("SELECT a FROM t WHERE SUM(a) > 1")
+
+    def test_having_without_group_needs_aggregate_select(self, shark):
+        # HAVING with a global aggregate is legal.
+        result = shark.sql("SELECT COUNT(*) FROM t HAVING COUNT(*) > 0")
+        assert result.scalar() == 2
+
+    def test_star_only_in_count(self, shark):
+        with pytest.raises(AnalysisError):
+            shark.sql("SELECT SUM(*) FROM t")
+
+    def test_group_by_position_out_of_range(self, shark):
+        with pytest.raises(AnalysisError, match="position"):
+            shark.sql("SELECT a FROM t GROUP BY 5")
+
+    def test_order_by_position_out_of_range(self, shark):
+        with pytest.raises(AnalysisError, match="position"):
+            shark.sql("SELECT a FROM t ORDER BY 3")
+
+    def test_group_by_alias(self, shark):
+        result = shark.sql(
+            "SELECT a % 2 AS parity, COUNT(*) FROM t GROUP BY parity"
+        )
+        assert sorted(result.rows) == [(0, 1), (1, 1)]
+
+    def test_qualified_group_key_matches_bare_select(self, shark):
+        result = shark.sql("SELECT a, COUNT(*) FROM t GROUP BY t.a")
+        assert sorted(result.rows) == [(1, 1), (2, 1)]
+
+
+class TestScoping:
+    def test_subquery_alias_scopes_columns(self, shark):
+        result = shark.sql(
+            "SELECT sub.x FROM (SELECT a AS x FROM t) sub WHERE sub.x = 2"
+        )
+        assert result.rows == [(2,)]
+
+    def test_outer_cannot_see_inner_alias(self, shark):
+        with pytest.raises(AnalysisError):
+            shark.sql("SELECT t.a FROM (SELECT a FROM t) sub")
+
+    def test_table_alias_hides_table_name(self, shark):
+        result = shark.sql("SELECT x.a FROM t AS x WHERE x.a = 1")
+        assert result.rows == [(1,)]
+
+    def test_duplicate_output_names_deduplicated(self, shark):
+        result = shark.sql("SELECT a, a FROM t WHERE a = 1")
+        assert len(set(result.column_names)) == 2
+
+
+class TestUnionValidation:
+    def test_mismatched_width_rejected(self, shark):
+        with pytest.raises(AnalysisError, match="UNION"):
+            shark.sql("SELECT a FROM t UNION ALL SELECT a, d FROM u")
+
+
+class TestConstantQueries:
+    def test_select_without_from(self, shark):
+        assert shark.sql("SELECT 1 + 2").scalar() == 3
+
+    def test_constant_functions(self, shark):
+        assert shark.sql("SELECT UPPER('abc')").scalar() == "ABC"

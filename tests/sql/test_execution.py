@@ -1,0 +1,442 @@
+"""End-to-end SQL correctness against a pure-Python reference.
+
+The fixture loads one cached and one external table with seeded data; each
+test runs a query through the full pipeline (parse -> analyze -> optimize
+-> plan -> execute on the virtual cluster) and checks the rows against an
+independently computed answer.
+"""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro import SharkContext
+from repro.datatypes import BOOLEAN, DOUBLE, INT, STRING, Schema
+
+SALES_SCHEMA = Schema.of(
+    ("sale_id", INT),
+    ("region", STRING),
+    ("product", STRING),
+    ("amount", DOUBLE),
+    ("quantity", INT),
+)
+
+PRODUCTS_SCHEMA = Schema.of(
+    ("product", STRING),
+    ("category", STRING),
+    ("price", DOUBLE),
+)
+
+REGIONS = ["north", "south", "east", "west"]
+PRODUCTS = [f"p{i}" for i in range(12)]
+CATEGORIES = ["toys", "tools", "food"]
+
+
+def _sales_rows(n=600, seed=5):
+    rng = random.Random(seed)
+    return [
+        (
+            i,
+            rng.choice(REGIONS),
+            rng.choice(PRODUCTS),
+            round(rng.uniform(1.0, 500.0), 2),
+            rng.randint(1, 9),
+        )
+        for i in range(n)
+    ]
+
+
+def _product_rows(seed=6):
+    rng = random.Random(seed)
+    return [
+        (p, rng.choice(CATEGORIES), round(rng.uniform(1.0, 50.0), 2))
+        for p in PRODUCTS[:10]  # two products have no catalog entry
+    ]
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    shark = SharkContext(num_workers=4, cores_per_worker=2)
+    shark.create_table("sales", SALES_SCHEMA, cached=True)
+    shark.load_rows("sales", _sales_rows())
+    shark.create_table("products", PRODUCTS_SCHEMA, cached=False)
+    shark.load_rows("products", _product_rows())
+    return shark, _sales_rows(), _product_rows()
+
+
+def assert_rows_equal(got, want, approx_columns=()):
+    got, want = sorted(got), sorted(want)
+    assert len(got) == len(want), f"{len(got)} rows != {len(want)}"
+    for got_row, want_row in zip(got, want):
+        for index, (g, w) in enumerate(zip(got_row, want_row)):
+            if index in approx_columns or isinstance(w, float):
+                assert g == pytest.approx(w, rel=1e-9), (got_row, want_row)
+            else:
+                assert g == w, (got_row, want_row)
+
+
+class TestSelectionAndProjection:
+    def test_filter_and_project(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT sale_id, amount FROM sales WHERE amount > 400"
+        )
+        want = [(s[0], s[3]) for s in sales if s[3] > 400]
+        assert_rows_equal(result.rows, want)
+
+    def test_expression_projection(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT sale_id, amount * quantity AS total FROM sales "
+            "WHERE region = 'north'"
+        )
+        want = [(s[0], s[3] * s[4]) for s in sales if s[1] == "north"]
+        assert_rows_equal(result.rows, want)
+
+    def test_compound_predicates(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT sale_id FROM sales "
+            "WHERE (region = 'east' OR region = 'west') "
+            "AND quantity BETWEEN 3 AND 5 AND NOT amount < 50"
+        )
+        want = [
+            (s[0],)
+            for s in sales
+            if s[1] in ("east", "west") and 3 <= s[4] <= 5 and s[3] >= 50
+        ]
+        assert_rows_equal(result.rows, want)
+
+    def test_in_and_like(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT sale_id FROM sales "
+            "WHERE product IN ('p1', 'p2') AND region LIKE '%th'"
+        )
+        want = [
+            (s[0],)
+            for s in sales
+            if s[2] in ("p1", "p2") and s[1].endswith("th")
+        ]
+        assert_rows_equal(result.rows, want)
+
+    def test_case_expression(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT sale_id, CASE WHEN amount > 250 THEN 'high' "
+            "ELSE 'low' END FROM sales"
+        )
+        want = [(s[0], "high" if s[3] > 250 else "low") for s in sales]
+        assert_rows_equal(result.rows, want)
+
+    def test_select_star(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql("SELECT * FROM sales")
+        assert_rows_equal(result.rows, sales)
+        assert result.column_names == [
+            "sale_id", "region", "product", "amount", "quantity",
+        ]
+
+    def test_scalar_functions(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT UPPER(region), SUBSTR(product, 1, 1) FROM sales "
+            "WHERE sale_id = 0"
+        )
+        want = [(sales[0][1].upper(), sales[0][2][:1])]
+        assert_rows_equal(result.rows, want)
+
+
+class TestAggregation:
+    def test_global_aggregates(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT COUNT(*), SUM(amount), AVG(quantity), "
+            "MIN(amount), MAX(amount) FROM sales"
+        )
+        amounts = [s[3] for s in sales]
+        want = [(
+            len(sales),
+            sum(amounts),
+            sum(s[4] for s in sales) / len(sales),
+            min(amounts),
+            max(amounts),
+        )]
+        assert_rows_equal(result.rows, want)
+
+    def test_group_by_with_reference(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT region, COUNT(*), SUM(amount) FROM sales GROUP BY region"
+        )
+        ref = defaultdict(lambda: [0, 0.0])
+        for s in sales:
+            ref[s[1]][0] += 1
+            ref[s[1]][1] += s[3]
+        want = [(k, v[0], v[1]) for k, v in ref.items()]
+        assert_rows_equal(result.rows, want)
+
+    def test_group_by_expression(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT quantity % 3, COUNT(*) FROM sales GROUP BY quantity % 3"
+        )
+        ref = defaultdict(int)
+        for s in sales:
+            ref[s[4] % 3] += 1
+        assert_rows_equal(result.rows, list(ref.items()))
+
+    def test_having(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT product, COUNT(*) c FROM sales GROUP BY product "
+            "HAVING COUNT(*) > 50"
+        )
+        ref = defaultdict(int)
+        for s in sales:
+            ref[s[2]] += 1
+        want = [(k, v) for k, v in ref.items() if v > 50]
+        assert_rows_equal(result.rows, want)
+
+    def test_count_distinct(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT region, COUNT(DISTINCT product) FROM sales "
+            "GROUP BY region"
+        )
+        ref = defaultdict(set)
+        for s in sales:
+            ref[s[1]].add(s[2])
+        want = [(k, len(v)) for k, v in ref.items()]
+        assert_rows_equal(result.rows, want)
+
+    def test_expression_over_aggregates(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT region, SUM(amount) / COUNT(*) FROM sales GROUP BY region"
+        )
+        ref = defaultdict(lambda: [0.0, 0])
+        for s in sales:
+            ref[s[1]][0] += s[3]
+            ref[s[1]][1] += 1
+        want = [(k, v[0] / v[1]) for k, v in ref.items()]
+        assert_rows_equal(result.rows, want)
+
+    def test_aggregate_with_where(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT COUNT(*) FROM sales WHERE region = 'south'"
+        )
+        assert result.scalar() == sum(1 for s in sales if s[1] == "south")
+
+    def test_stddev(self, loaded):
+        import numpy as np
+
+        shark, sales, __ = loaded
+        result = shark.sql("SELECT STDDEV(amount) FROM sales")
+        assert result.scalar() == pytest.approx(
+            float(np.std([s[3] for s in sales]))
+        )
+
+
+class TestOrderingAndLimits:
+    def test_order_by_desc_limit(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT sale_id, amount FROM sales ORDER BY amount DESC LIMIT 10"
+        )
+        want = sorted(
+            ((s[0], s[3]) for s in sales), key=lambda r: -r[1]
+        )[:10]
+        assert result.rows == want
+
+    def test_order_by_alias(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT region, COUNT(*) AS c FROM sales GROUP BY region "
+            "ORDER BY c"
+        )
+        counts = [row[1] for row in result.rows]
+        assert counts == sorted(counts)
+
+    def test_order_by_position(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT region, SUM(amount) FROM sales GROUP BY region "
+            "ORDER BY 2 DESC"
+        )
+        sums = [row[1] for row in result.rows]
+        assert sums == sorted(sums, reverse=True)
+
+    def test_order_by_hidden_expression(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT sale_id FROM sales ORDER BY amount * quantity LIMIT 5"
+        )
+        want = [
+            (s[0],)
+            for s in sorted(sales, key=lambda s: s[3] * s[4])[:5]
+        ]
+        assert result.rows == want
+
+    def test_limit_without_order(self, loaded):
+        shark, __, ___ = loaded
+        result = shark.sql("SELECT sale_id FROM sales LIMIT 7")
+        assert len(result.rows) == 7
+
+    def test_multi_key_mixed_order(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT region, quantity FROM sales "
+            "ORDER BY region ASC, quantity DESC LIMIT 20"
+        )
+        want = sorted(
+            ((s[1], s[4]) for s in sales),
+            key=lambda r: (r[0], -r[1]),
+        )[:20]
+        assert result.rows == want
+
+
+class TestDistinctAndUnion:
+    def test_distinct(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql("SELECT DISTINCT region FROM sales")
+        assert sorted(r[0] for r in result.rows) == sorted(set(REGIONS))
+
+    def test_union_all(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT sale_id FROM sales WHERE region = 'north' "
+            "UNION ALL SELECT sale_id FROM sales WHERE region = 'south'"
+        )
+        want = [(s[0],) for s in sales if s[1] in ("north", "south")]
+        assert_rows_equal(result.rows, want)
+
+
+class TestSubqueries:
+    def test_from_subquery(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT region, total FROM "
+            "(SELECT region, SUM(amount) total FROM sales GROUP BY region) t "
+            "WHERE total > 0"
+        )
+        ref = defaultdict(float)
+        for s in sales:
+            ref[s[1]] += s[3]
+        assert_rows_equal(result.rows, list(ref.items()))
+
+    def test_nested_subqueries(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT COUNT(*) FROM "
+            "(SELECT region FROM (SELECT region, amount FROM sales) a "
+            " WHERE amount > 100) b"
+        )
+        assert result.scalar() == sum(1 for s in sales if s[3] > 100)
+
+
+class TestJoinsEndToEnd:
+    def _reference_join(self, sales, products):
+        catalog = {p[0]: p for p in products}
+        out = []
+        for s in sales:
+            if s[2] in catalog:
+                out.append((s[0], s[2], catalog[s[2]][1]))
+        return out
+
+    def test_inner_join(self, loaded):
+        shark, sales, products = loaded
+        result = shark.sql(
+            "SELECT sale_id, s.product, category FROM sales s "
+            "JOIN products p ON s.product = p.product"
+        )
+        assert_rows_equal(
+            result.rows, self._reference_join(sales, products)
+        )
+
+    def test_left_join_preserves_unmatched(self, loaded):
+        shark, sales, products = loaded
+        result = shark.sql(
+            "SELECT sale_id, category FROM sales s "
+            "LEFT JOIN products p ON s.product = p.product"
+        )
+        catalog = {p[0]: p[1] for p in products}
+        want = [(s[0], catalog.get(s[2])) for s in sales]
+        assert_rows_equal(result.rows, want)
+
+    def test_join_with_aggregation(self, loaded):
+        shark, sales, products = loaded
+        result = shark.sql(
+            "SELECT category, SUM(amount) FROM sales s "
+            "JOIN products p ON s.product = p.product GROUP BY category"
+        )
+        catalog = {p[0]: p[1] for p in products}
+        ref = defaultdict(float)
+        for s in sales:
+            if s[2] in catalog:
+                ref[catalog[s[2]]] += s[3]
+        assert_rows_equal(result.rows, list(ref.items()))
+
+    def test_join_residual_condition(self, loaded):
+        shark, sales, products = loaded
+        result = shark.sql(
+            "SELECT sale_id FROM sales s JOIN products p "
+            "ON s.product = p.product AND s.amount > p.price * 10"
+        )
+        catalog = {p[0]: p for p in products}
+        want = [
+            (s[0],)
+            for s in sales
+            if s[2] in catalog and s[3] > catalog[s[2]][2] * 10
+        ]
+        assert_rows_equal(result.rows, want)
+
+    def test_self_join(self, loaded):
+        shark, sales, __ = loaded
+        result = shark.sql(
+            "SELECT COUNT(*) FROM "
+            "(SELECT sale_id FROM sales WHERE sale_id < 20) a "
+            "JOIN (SELECT sale_id FROM sales WHERE sale_id < 30) b "
+            "ON a.sale_id = b.sale_id"
+        )
+        assert result.scalar() == 20
+
+
+class TestNullHandling:
+    def test_null_filtering_and_aggregation(self):
+        shark = SharkContext(num_workers=2)
+        schema = Schema.of(("k", STRING), ("v", INT))
+        shark.create_table("t", schema, cached=True)
+        shark.load_rows("t", [("a", 1), ("a", None), ("b", None), (None, 5)])
+        assert shark.sql("SELECT COUNT(*) FROM t").scalar() == 4
+        assert shark.sql("SELECT COUNT(v) FROM t").scalar() == 2
+        result = shark.sql("SELECT k FROM t WHERE v > 0")
+        assert set(result.rows) == {(None,), ("a",)}
+        result = shark.sql("SELECT COUNT(*) FROM t WHERE k IS NULL")
+        assert result.scalar() == 1
+
+    def test_nulls_in_group_keys(self):
+        shark = SharkContext(num_workers=2)
+        schema = Schema.of(("k", STRING), ("v", INT))
+        shark.create_table("t", schema, cached=True)
+        shark.load_rows("t", [(None, 1), (None, 2), ("a", 3)])
+        result = dict(
+            shark.sql("SELECT k, SUM(v) FROM t GROUP BY k").rows
+        )
+        assert result == {None: 3, "a": 3}
+
+
+class TestUdfs:
+    def test_scalar_udf_in_projection_and_filter(self, loaded):
+        shark, sales, __ = loaded
+        shark.register_udf("tagit", lambda r: f"<{r}>", return_type=STRING)
+        shark.register_udf(
+            "pricey", lambda a: a > 300, return_type=BOOLEAN
+        )
+        result = shark.sql(
+            "SELECT tagit(region) FROM sales WHERE pricey(amount)"
+        )
+        want = [(f"<{s[1]}>",) for s in sales if s[3] > 300]
+        assert_rows_equal(result.rows, want)

@@ -1,0 +1,228 @@
+"""Builtin scalar functions, aggregates, UDF registry."""
+
+import math
+from datetime import date
+
+import pytest
+
+from repro.datatypes import BIGINT, BOOLEAN, DOUBLE, INT, STRING
+from repro.errors import AnalysisError
+from repro.sql.functions import (
+    AvgAggregate,
+    CountAggregate,
+    FunctionRegistry,
+    MaxAggregate,
+    MinAggregate,
+    StdDevAggregate,
+    SumAggregate,
+    builtin,
+    builtin_names,
+    make_aggregate,
+)
+
+
+class TestScalarBuiltins:
+    def test_substr_one_based(self):
+        fn = builtin("substr").fn
+        assert fn("sourceIP", 1, 6) == "source"
+        assert fn("abcdef", 3) == "cdef"
+        assert fn("abcdef", -2) == "ef"
+
+    def test_concat_upper_lower_length(self):
+        assert builtin("concat").fn("a", "b", 1) == "ab1"
+        assert builtin("upper").fn("ab") == "AB"
+        assert builtin("lower").fn("AB") == "ab"
+        assert builtin("length").fn("abc") == 3
+
+    def test_trim_family(self):
+        assert builtin("trim").fn("  x  ") == "x"
+        assert builtin("ltrim").fn("  x") == "x"
+        assert builtin("rtrim").fn("x  ") == "x"
+
+    def test_round_half_away_from_zero(self):
+        fn = builtin("round").fn
+        assert fn(2.5) == 3.0
+        assert fn(-2.5) == -3.0
+        assert fn(2.345, 2) == 2.35
+
+    def test_math_functions(self):
+        assert builtin("floor").fn(2.9) == 2
+        assert builtin("ceil").fn(2.1) == 3
+        assert builtin("sqrt").fn(9.0) == 3.0
+        assert builtin("abs").fn(-4) == 4
+        assert builtin("pow").fn(2, 10) == 1024
+
+    def test_date_functions(self):
+        assert builtin("date").fn("2000-01-15") == date(2000, 1, 15)
+        assert builtin("year").fn(date(2000, 3, 1)) == 2000
+        assert builtin("month").fn("2000-03-01") == 3
+        assert builtin("datediff").fn("2000-01-10", "2000-01-03") == 7
+
+    def test_conditional_functions(self):
+        assert builtin("coalesce").fn(None, None, 5) == 5
+        assert builtin("if").fn(True, "a", "b") == "a"
+        assert builtin("nvl").fn(None, 9) == 9
+        assert builtin("isnull").fn(None) is True
+
+    def test_instr_one_based(self):
+        assert builtin("instr").fn("hello", "ll") == 3
+        assert builtin("instr").fn("hello", "zz") == 0
+
+    def test_unknown_builtin_none(self):
+        assert builtin("nope") is None
+
+    def test_builtin_names_sorted(self):
+        names = builtin_names()
+        assert names == sorted(names)
+        assert "substr" in names
+
+    def test_result_type_resolution(self):
+        assert builtin("length").resolve_type([STRING]) == INT
+        assert builtin("abs").resolve_type([DOUBLE]) == DOUBLE
+        assert builtin("abs").resolve_type([INT]) == INT
+
+
+class TestCountAggregate:
+    def test_count_star_counts_nulls(self):
+        agg = CountAggregate(count_star=True)
+        acc = agg.initial()
+        for value in [1, None, 2]:
+            acc = agg.update(acc, value)
+        assert agg.finish(acc) == 3
+
+    def test_count_column_skips_nulls(self):
+        agg = CountAggregate()
+        acc = agg.initial()
+        for value in [1, None, 2]:
+            acc = agg.update(acc, value)
+        assert agg.finish(acc) == 2
+
+    def test_count_distinct(self):
+        agg = CountAggregate(distinct=True)
+        acc = agg.initial()
+        for value in [1, 1, 2, None]:
+            acc = agg.update(acc, value)
+        assert agg.finish(acc) == 2
+
+    def test_merge(self):
+        agg = CountAggregate()
+        assert agg.merge(3, 4) == 7
+        distinct = CountAggregate(distinct=True)
+        assert distinct.finish(distinct.merge({1, 2}, {2, 3})) == 3
+
+    def test_result_type(self):
+        assert CountAggregate().result_type(STRING) == BIGINT
+
+
+class TestSumAvgMinMax:
+    def test_sum_skips_nulls(self):
+        agg = SumAggregate()
+        acc = agg.initial()
+        for value in [1, None, 4]:
+            acc = agg.update(acc, value)
+        assert agg.finish(acc) == 5
+
+    def test_sum_all_null_is_null(self):
+        agg = SumAggregate()
+        acc = agg.initial()
+        acc = agg.update(acc, None)
+        assert agg.finish(acc) is None
+
+    def test_sum_rejects_strings(self):
+        with pytest.raises(AnalysisError):
+            SumAggregate().result_type(STRING)
+
+    def test_sum_distinct(self):
+        agg = SumAggregate(distinct=True)
+        acc = agg.initial()
+        for value in [5, 5, 3]:
+            acc = agg.update(acc, value)
+        assert agg.finish(acc) == 8
+
+    def test_avg_partials_merge_correctly(self):
+        agg = AvgAggregate()
+        left = agg.initial()
+        for value in [2, 4]:
+            left = agg.update(left, value)
+        right = agg.initial()
+        right = agg.update(right, 9)
+        assert agg.finish(agg.merge(left, right)) == 5.0
+
+    def test_avg_empty_is_null(self):
+        agg = AvgAggregate()
+        assert agg.finish(agg.initial()) is None
+
+    def test_min_max(self):
+        low, high = MinAggregate(), MaxAggregate()
+        acc_low, acc_high = low.initial(), high.initial()
+        for value in [5, None, 1, 9]:
+            acc_low = low.update(acc_low, value)
+            acc_high = high.update(acc_high, value)
+        assert low.finish(acc_low) == 1
+        assert high.finish(acc_high) == 9
+
+    def test_min_merge_with_none_side(self):
+        agg = MinAggregate()
+        assert agg.merge(None, 5) == 5
+        assert agg.merge(3, None) == 3
+
+
+class TestStdDev:
+    def test_matches_numpy(self):
+        import numpy as np
+
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        agg = StdDevAggregate()
+        acc = agg.initial()
+        for value in values:
+            acc = agg.update(acc, value)
+        assert agg.finish(acc) == pytest.approx(float(np.std(values)))
+
+    def test_empty_is_null(self):
+        agg = StdDevAggregate()
+        assert agg.finish(agg.initial()) is None
+
+    def test_merge(self):
+        agg = StdDevAggregate()
+        left = agg.initial()
+        right = agg.initial()
+        for value in [1.0, 2.0]:
+            left = agg.update(left, value)
+        for value in [3.0, 4.0]:
+            right = agg.update(right, value)
+        merged = agg.merge(left, right)
+        expected = math.sqrt(sum((v - 2.5) ** 2 for v in [1, 2, 3, 4]) / 4)
+        assert agg.finish(merged) == pytest.approx(expected)
+
+
+class TestMakeAggregate:
+    def test_known_names(self):
+        for name in ["count", "sum", "avg", "min", "max", "stddev"]:
+            assert make_aggregate(name, distinct=False) is not None
+
+    def test_unknown_rejected(self):
+        with pytest.raises(AnalysisError):
+            make_aggregate("median", distinct=False)
+
+
+class TestRegistry:
+    def test_udf_registration_and_lookup(self):
+        registry = FunctionRegistry()
+        registry.register("double_it", lambda x: x * 2, return_type=INT)
+        spec = registry.lookup("DOUBLE_IT")
+        assert spec.fn(21) == 42
+        assert registry.is_registered("double_it")
+        assert registry.udf_names() == ["double_it"]
+
+    def test_builtins_take_priority(self):
+        registry = FunctionRegistry()
+        registry.register("substr", lambda s: "hijacked")
+        assert registry.lookup("substr").fn("abcdef", 1, 2) == "ab"
+
+    def test_missing_function(self):
+        assert FunctionRegistry().lookup("nothing") is None
+
+    def test_boolean_udf(self):
+        registry = FunctionRegistry()
+        registry.register("is_even", lambda x: x % 2 == 0, return_type=BOOLEAN)
+        assert registry.lookup("is_even").fn(4) is True

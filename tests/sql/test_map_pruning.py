@@ -1,0 +1,130 @@
+"""Map pruning: partitions skipped by statistics (paper Section 3.5)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import SharkContext
+from repro.datatypes import INT, STRING, Schema
+from repro.sql.planner import PlannerConfig
+from repro.workloads import warehouse
+
+
+@pytest.fixture
+def clustered():
+    """A logs table loaded with one partition per day (natural clustering)."""
+    shark = SharkContext(num_workers=4)
+    shark.create_table(
+        "logs", Schema.of(("day", INT), ("country", STRING), ("hits", INT)),
+        cached=True,
+    )
+    rows = [
+        (day, ["US", "BR", "DE"][day % 3], day * 100 + i)
+        for day in range(20)
+        for i in range(30)
+    ]
+    shark.load_rows("logs", rows, num_partitions=20)
+    return shark, rows
+
+
+class TestPruningDecisions:
+    def test_equality_prunes_to_one_partition(self, clustered):
+        shark, rows = clustered
+        result = shark.sql("SELECT COUNT(*) FROM logs WHERE day = 7")
+        assert result.scalar() == 30
+        assert result.report.scanned_partitions == 1
+        assert result.report.pruned_partitions == 19
+
+    def test_range_prunes_partial(self, clustered):
+        shark, rows = clustered
+        result = shark.sql(
+            "SELECT COUNT(*) FROM logs WHERE day >= 5 AND day < 10"
+        )
+        assert result.scalar() == 150
+        assert result.report.scanned_partitions == 5
+
+    def test_between_prunes(self, clustered):
+        shark, rows = clustered
+        result = shark.sql(
+            "SELECT COUNT(*) FROM logs WHERE day BETWEEN 3 AND 4"
+        )
+        assert result.scalar() == 60
+        assert result.report.scanned_partitions == 2
+
+    def test_in_list_prunes_by_distinct_values(self, clustered):
+        shark, rows = clustered
+        result = shark.sql(
+            "SELECT COUNT(*) FROM logs WHERE day IN (1, 15)"
+        )
+        assert result.scalar() == 60
+        assert result.report.scanned_partitions == 2
+
+    def test_enum_column_pruning(self, clustered):
+        shark, rows = clustered
+        result = shark.sql(
+            "SELECT COUNT(*) FROM logs WHERE country = 'US'"
+        )
+        want = sum(1 for r in rows if r[1] == "US")
+        assert result.scalar() == want
+        # Only the US-bearing day-partitions scanned (one per 3 days).
+        assert result.report.scanned_partitions <= 7
+
+    def test_impossible_predicate_prunes_everything(self, clustered):
+        shark, rows = clustered
+        result = shark.sql("SELECT COUNT(*) FROM logs WHERE day = 999")
+        assert result.scalar() == 0
+        assert result.report.scanned_partitions == 0
+
+    def test_flipped_comparison_prunes(self, clustered):
+        shark, rows = clustered
+        result = shark.sql("SELECT COUNT(*) FROM logs WHERE 18 <= day")
+        assert result.scalar() == 60
+        assert result.report.scanned_partitions == 2
+
+    def test_unprunable_predicate_scans_all(self, clustered):
+        shark, rows = clustered
+        result = shark.sql(
+            "SELECT COUNT(*) FROM logs WHERE hits % 2 = 0"
+        )
+        assert result.report.pruned_partitions == 0
+
+
+class TestPruningSafety:
+    def test_disabled_pruning_matches_enabled(self, clustered):
+        shark, rows = clustered
+        query = "SELECT SUM(hits) FROM logs WHERE day BETWEEN 2 AND 9"
+        with_pruning = shark.sql(query).scalar()
+        shark.session.config = replace(
+            shark.session.config, enable_map_pruning=False
+        )
+        without = shark.sql(query).scalar()
+        assert with_pruning == without
+
+    def test_or_predicates_never_mispruned(self, clustered):
+        shark, rows = clustered
+        # OR is not a conjunct; pruning must stay conservative.
+        result = shark.sql(
+            "SELECT COUNT(*) FROM logs WHERE day = 1 OR day = 19"
+        )
+        assert result.scalar() == 60
+
+    def test_projection_with_pruning(self, clustered):
+        shark, rows = clustered
+        result = shark.sql(
+            "SELECT country, COUNT(*) FROM logs WHERE day = 6 "
+            "GROUP BY country"
+        )
+        assert dict(result.rows) == {"US": 30}
+
+
+class TestWarehousePruning:
+    def test_representative_queries_prune(self):
+        shark = SharkContext(num_workers=4)
+        data = warehouse.generate_sessions(num_days=15, rows_per_day=40)
+        shark.create_table("sessions", data.schema, cached=True)
+        shark.load_rows("sessions", data.rows, num_partitions=15)
+        queries = warehouse.representative_queries(day=6)
+        result = shark.sql(queries["q1"])
+        assert result.report.pruned_partitions > 0
+        q4 = shark.sql(queries["q4"])
+        assert q4.report.scanned_partitions == 1

@@ -1,0 +1,229 @@
+"""Optimizer rules: folding, pushdown, join-key derivation, pruning."""
+
+import pytest
+
+from repro.datatypes import INT, STRING, Schema
+from repro.sql import logical
+from repro.sql.analyzer import Analyzer
+from repro.sql.catalog import Catalog, TableEntry, CACHED
+from repro.sql.expressions import BoundLiteral
+from repro.sql.functions import FunctionRegistry
+from repro.sql.optimizer import (
+    fold_constants,
+    optimize,
+    prune_columns,
+    push_down_predicates,
+)
+from repro.sql.parser import parse
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.create(
+        TableEntry(
+            name="t",
+            schema=Schema.of(("a", INT), ("b", STRING), ("c", INT)),
+            kind=CACHED,
+        )
+    )
+    catalog.create(
+        TableEntry(
+            name="u",
+            schema=Schema.of(("a", INT), ("d", STRING)),
+            kind=CACHED,
+        )
+    )
+    return catalog
+
+
+def analyze(catalog, sql):
+    statement = parse(sql)
+    return Analyzer(catalog, FunctionRegistry()).analyze_select(statement)
+
+
+def find(plan, node_type):
+    return [n for n in logical.walk(plan) if isinstance(n, node_type)]
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self, catalog):
+        plan = analyze(catalog, "SELECT a + (1 + 2) FROM t")
+        folded = fold_constants(plan)
+        project = find(folded, logical.Project)[0]
+        # The (1+2) subtree became a literal 3.
+        right = project.expressions[0].right
+        assert isinstance(right, BoundLiteral)
+        assert right.value == 3
+
+    def test_function_of_literals_folds(self, catalog):
+        plan = fold_constants(
+            analyze(catalog, "SELECT a FROM t WHERE b = UPPER('x')")
+        )
+        condition = find(plan, logical.Filter)[0].condition
+        assert isinstance(condition.right, BoundLiteral)
+        assert condition.right.value == "X"
+
+    def test_column_expressions_untouched(self, catalog):
+        plan = fold_constants(analyze(catalog, "SELECT a + c FROM t"))
+        project = find(plan, logical.Project)[0]
+        assert not isinstance(project.expressions[0], BoundLiteral)
+
+
+class TestPredicatePushdown:
+    def test_where_splits_into_join_sides(self, catalog):
+        plan = optimize(
+            analyze(
+                catalog,
+                "SELECT t.a FROM t, u "
+                "WHERE t.a = u.a AND t.c > 5 AND u.d = 'x'",
+            )
+        )
+        join = find(plan, logical.Join)[0]
+        # Equi conjunct became a join key; per-side filters moved below.
+        assert len(join.left_keys) == 1
+        assert join.join_type == "inner"
+        left_filters = find(join.left, logical.Filter)
+        right_filters = find(join.right, logical.Filter)
+        assert left_filters and right_filters
+
+    def test_cross_join_becomes_inner(self, catalog):
+        plan = optimize(
+            analyze(catalog, "SELECT t.a FROM t, u WHERE t.a = u.a")
+        )
+        join = find(plan, logical.Join)[0]
+        assert join.join_type == "inner"
+        assert join.residual is None
+
+    def test_non_equi_stays_residual(self, catalog):
+        plan = optimize(
+            analyze(
+                catalog,
+                "SELECT t.a FROM t JOIN u ON t.a = u.a WHERE t.c > u.a",
+            )
+        )
+        join = find(plan, logical.Join)[0]
+        assert join.residual is not None
+
+    def test_left_join_blocks_right_side_pushdown(self, catalog):
+        plan = optimize(
+            analyze(
+                catalog,
+                "SELECT t.a FROM t LEFT JOIN u ON t.a = u.a "
+                "WHERE d = 'x'",
+            )
+        )
+        join = find(plan, logical.Join)[0]
+        # The filter on the null-extended side must stay above the join.
+        assert not find(join.right, logical.Filter)
+
+    def test_filters_merge_through_projection(self, catalog):
+        plan = optimize(
+            analyze(
+                catalog,
+                "SELECT x FROM (SELECT a AS x FROM t) sub WHERE x > 1",
+            )
+        )
+        # The filter crossed the subquery projection down to the scan.
+        filters = find(plan, logical.Filter)
+        assert filters
+        assert isinstance(filters[0].child, logical.Scan)
+
+    def test_filter_not_pushed_below_limit(self, catalog):
+        plan = optimize(
+            analyze(
+                catalog,
+                "SELECT x FROM (SELECT a AS x FROM t LIMIT 5) sub "
+                "WHERE x > 1",
+            )
+        )
+        limits = find(plan, logical.Limit)[0]
+        assert not find(limits.child, logical.Filter)
+
+
+class TestColumnPruning:
+    def test_scan_narrowed_to_used_columns(self, catalog):
+        plan = optimize(analyze(catalog, "SELECT b FROM t WHERE a > 1"))
+        scan = find(plan, logical.Scan)[0]
+        assert scan.projected_columns is not None
+        assert set(scan.projected_columns) == {"a", "b"}
+
+    def test_star_keeps_all_columns(self, catalog):
+        plan = optimize(analyze(catalog, "SELECT * FROM t"))
+        scan = find(plan, logical.Scan)[0]
+        assert scan.projected_columns is None
+
+    def test_aggregate_prunes_unused_input(self, catalog):
+        plan = optimize(
+            analyze(catalog, "SELECT b, COUNT(*) FROM t GROUP BY b")
+        )
+        scan = find(plan, logical.Scan)[0]
+        assert scan.projected_columns == ["b"]
+
+    def test_join_prunes_both_sides(self, catalog):
+        plan = optimize(
+            analyze(
+                catalog,
+                "SELECT t.b FROM t JOIN u ON t.a = u.a",
+            )
+        )
+        scans = find(plan, logical.Scan)
+        by_table = {s.table.name: s for s in scans}
+        assert set(by_table["t"].projected_columns) == {"a", "b"}
+        assert by_table["u"].projected_columns == ["a"]
+
+    def test_output_schema_preserved(self, catalog):
+        original = analyze(catalog, "SELECT c, a FROM t")
+        optimized = optimize(original)
+        assert optimized.schema.names == original.schema.names
+
+    def test_execution_correct_after_pruning(self):
+        # Integration guard: pruned plans still produce correct rows.
+        from repro import SharkContext
+
+        shark = SharkContext(num_workers=2)
+        shark.create_table(
+            "w", Schema.of(("a", INT), ("b", STRING), ("c", INT)), cached=True
+        )
+        shark.load_rows("w", [(1, "x", 10), (2, "y", 20), (3, "x", 30)])
+        result = shark.sql("SELECT b, SUM(c) FROM w WHERE a > 1 GROUP BY b")
+        assert sorted(result.rows) == [("x", 30), ("y", 20)]
+
+
+class TestPushdownSemanticsPreserved:
+    """Differential guard: optimization must not change results."""
+
+    def test_random_queries_match_unoptimized(self):
+        from repro import SharkContext
+        from repro.sql.planner import PhysicalPlanner
+        import random
+
+        shark = SharkContext(num_workers=2)
+        shark.create_table(
+            "t", Schema.of(("a", INT), ("b", STRING), ("c", INT)), cached=True
+        )
+        rng = random.Random(9)
+        rows = [
+            (rng.randint(0, 20), rng.choice("xyz"), rng.randint(0, 100))
+            for __ in range(200)
+        ]
+        shark.load_rows("t", rows)
+        queries = [
+            "SELECT a, c FROM t WHERE c > 50 AND b = 'x'",
+            "SELECT b, COUNT(*), SUM(c) FROM t WHERE a < 10 GROUP BY b",
+            "SELECT x.a FROM t x JOIN t y ON x.a = y.a WHERE x.c > 90",
+            "SELECT a + c FROM t WHERE b IN ('x', 'y') ORDER BY 1 LIMIT 9",
+        ]
+        analyzer = Analyzer(shark.session.catalog, shark.session.registry)
+        for query in queries:
+            statement = parse(query)
+            raw_plan = analyzer.analyze_select(statement)
+            planner = PhysicalPlanner(
+                shark.engine, shark.store, shark.session.config
+            )
+            unoptimized = sorted(planner.plan(raw_plan).rdd.collect())
+            optimized = sorted(shark.sql(query).rows)
+            if "LIMIT" in query:
+                assert len(unoptimized) == len(optimized)
+            else:
+                assert unoptimized == optimized, query

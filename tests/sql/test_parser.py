@@ -1,0 +1,233 @@
+"""Parser: statements, clauses, precedence, errors."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse, parse_expression
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        statement = parse("SELECT a, b FROM t")
+        assert isinstance(statement, ast.SelectStatement)
+        assert len(statement.items) == 2
+        assert isinstance(statement.relation, ast.TableRef)
+
+    def test_star_and_qualified_star(self):
+        statement = parse("SELECT *, t.* FROM t")
+        assert isinstance(statement.items[0].expr, ast.Star)
+        assert statement.items[1].expr.qualifier == "t"
+
+    def test_aliases_with_and_without_as(self):
+        statement = parse("SELECT a AS x, b y FROM t")
+        assert statement.items[0].alias == "x"
+        assert statement.items[1].alias == "y"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_where_group_having_order_limit(self):
+        statement = parse(
+            "SELECT a, COUNT(*) FROM t WHERE a > 1 GROUP BY a "
+            "HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 5"
+        )
+        assert statement.where is not None
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+        assert not statement.order_by[0].ascending
+        assert statement.limit == 5
+
+    def test_distribute_by(self):
+        statement = parse("SELECT * FROM t DISTRIBUTE BY k")
+        assert len(statement.distribute_by) == 1
+
+    def test_union_all(self):
+        statement = parse("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert len(statement.union_all) == 1
+
+    def test_select_without_from(self):
+        statement = parse("SELECT 1 + 1")
+        assert statement.relation is None
+
+    def test_trailing_semicolon(self):
+        parse("SELECT 1;")
+
+    def test_garbage_after_statement(self):
+        with pytest.raises(ParseError):
+            parse("SELECT 1 FROM t extra garbage ,")
+
+
+class TestJoins:
+    def test_inner_join_on(self):
+        statement = parse("SELECT * FROM a JOIN b ON a.k = b.k")
+        join = statement.relation
+        assert isinstance(join, ast.JoinRef)
+        assert join.join_type == "inner"
+        assert join.condition is not None
+
+    def test_outer_join_variants(self):
+        for sql_type, expected in [
+            ("LEFT JOIN", "left"),
+            ("LEFT OUTER JOIN", "left"),
+            ("RIGHT JOIN", "right"),
+            ("FULL OUTER JOIN", "full"),
+        ]:
+            join = parse(f"SELECT * FROM a {sql_type} b ON a.k = b.k").relation
+            assert join.join_type == expected
+
+    def test_comma_means_cross_join(self):
+        join = parse("SELECT * FROM a, b WHERE a.k = b.k").relation
+        assert isinstance(join, ast.JoinRef)
+        assert join.condition is None
+
+    def test_chained_joins(self):
+        join = parse(
+            "SELECT * FROM a JOIN b ON a.k = b.k JOIN c ON b.j = c.j"
+        ).relation
+        assert isinstance(join.left, ast.JoinRef)
+
+    def test_subquery_in_from(self):
+        statement = parse("SELECT x FROM (SELECT a x FROM t) sub")
+        assert isinstance(statement.relation, ast.SubqueryRef)
+        assert statement.relation.alias == "sub"
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_logic(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_not(self):
+        expr = parse_expression("NOT a > 1")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_unary_minus_and_plus(self):
+        assert isinstance(parse_expression("-x"), ast.UnaryOp)
+        assert isinstance(parse_expression("+x"), ast.ColumnRef)
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+        negated = parse_expression("x NOT BETWEEN 1 AND 10")
+        assert negated.negated
+
+    def test_in_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.options) == 3
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'a%'")
+        assert isinstance(expr, ast.Like)
+        assert parse_expression("name NOT LIKE 'a%'").negated
+
+    def test_is_null(self):
+        assert isinstance(parse_expression("x IS NULL"), ast.IsNull)
+        assert parse_expression("x IS NOT NULL").negated
+
+    def test_case_searched(self):
+        expr = parse_expression(
+            "CASE WHEN a > 1 THEN 'hi' WHEN a > 0 THEN 'mid' ELSE 'lo' END"
+        )
+        assert isinstance(expr, ast.CaseWhen)
+        assert expr.operand is None
+        assert len(expr.branches) == 2
+
+    def test_case_simple(self):
+        expr = parse_expression("CASE x WHEN 1 THEN 'one' END")
+        assert expr.operand is not None
+
+    def test_cast(self):
+        expr = parse_expression("CAST(x AS INT)")
+        assert isinstance(expr, ast.Cast)
+        assert expr.type_name == "int"
+
+    def test_function_calls(self):
+        expr = parse_expression("SUBSTR(ip, 1, 7)")
+        assert isinstance(expr, ast.FunctionCall)
+        assert len(expr.args) == 3
+
+    def test_count_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT x)")
+        assert expr.distinct
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_date_literal(self):
+        expr = parse_expression("DATE '2000-01-15'")
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "date"
+
+    def test_qualified_column(self):
+        expr = parse_expression("t.col")
+        assert expr.qualifier == "t"
+
+    def test_literals(self):
+        assert parse_expression("42").value == 42
+        assert parse_expression("4.5").value == 4.5
+        assert parse_expression("'s'").value == "s"
+        assert parse_expression("true").value is True
+        assert parse_expression("NULL").value is None
+
+    def test_soft_keyword_as_column(self):
+        expr = parse_expression("date > 5")
+        assert isinstance(expr.left, ast.ColumnRef)
+        assert expr.left.name == "date"
+
+
+class TestDdlDml:
+    def test_create_with_columns(self):
+        statement = parse("CREATE TABLE t (a INT, b STRING)")
+        assert [c.name for c in statement.columns] == ["a", "b"]
+
+    def test_create_if_not_exists(self):
+        assert parse("CREATE TABLE IF NOT EXISTS t (a INT)").if_not_exists
+
+    def test_create_with_properties_and_ctas(self):
+        statement = parse(
+            "CREATE TABLE m TBLPROPERTIES ('shark.cache' = 'true', "
+            "'copartition' = 'other') AS SELECT * FROM t DISTRIBUTE BY k"
+        )
+        assert statement.properties == {
+            "shark.cache": "true", "copartition": "other",
+        }
+        assert statement.as_select is not None
+
+    def test_boolean_property_value(self):
+        statement = parse(
+            'CREATE TABLE m TBLPROPERTIES ("shark.cache"=true) AS SELECT 1'
+        )
+        assert statement.properties["shark.cache"] == "true"
+
+    def test_drop(self):
+        assert parse("DROP TABLE t").name == "t"
+        assert parse("DROP TABLE IF EXISTS t").if_exists
+
+    def test_insert_values(self):
+        statement = parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert len(statement.values) == 2
+
+    def test_insert_select(self):
+        statement = parse("INSERT INTO t SELECT * FROM u")
+        assert statement.select is not None
+
+    def test_explain(self):
+        statement = parse("EXPLAIN SELECT 1")
+        assert isinstance(statement, ast.Explain)
+
+    def test_cache_uncache(self):
+        assert not parse("CACHE TABLE t").uncache
+        assert parse("UNCACHE TABLE t").uncache
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse("FROB THE TABLE")

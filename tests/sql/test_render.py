@@ -1,0 +1,53 @@
+"""AST -> SQL rendering: parse(render(parse(q))) round-trips."""
+
+import pytest
+
+from repro.sql.parser import parse, parse_expression
+from repro.sql.render import render_expr, render_select
+
+QUERIES = [
+    "SELECT a, b FROM t",
+    "SELECT DISTINCT a FROM t WHERE b > 1 AND c LIKE 'x%'",
+    "SELECT a, COUNT(*) AS c FROM t GROUP BY a HAVING COUNT(*) > 2",
+    "SELECT * FROM t ORDER BY a DESC, b ASC LIMIT 5",
+    "SELECT t.a, u.b FROM t JOIN u ON t.k = u.k WHERE t.a IS NOT NULL",
+    "SELECT a FROM t LEFT OUTER JOIN u ON t.k = u.k",
+    "SELECT a FROM (SELECT a FROM t WHERE a IN (1, 2)) AS sub",
+    "SELECT a FROM t UNION ALL SELECT b FROM u",
+    "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t",
+    "SELECT CAST(a AS DOUBLE), -b, NOT c FROM t",
+    "SELECT COUNT(DISTINCT a), SUBSTR(b, 1, 3) FROM t",
+    "SELECT a FROM t WHERE a BETWEEN 1 AND 9 OR a NOT IN (3, 4)",
+    "SELECT * FROM t DISTRIBUTE BY k",
+    "SELECT a FROM r, s WHERE r.x = s.x",
+    "SELECT a FROM t WHERE b NOT LIKE '%z' AND c IS NULL",
+]
+
+EXPRESSIONS = [
+    "a + b * 2",
+    "(a - 1) / b",
+    "x = 'it''s'",
+    "TRUE AND NOT FALSE OR NULL IS NULL",
+    "GREATEST(a, b, 3)",
+    "t.col BETWEEN DATE '2000-01-01' AND DATE '2000-02-01'",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_select_round_trips(self, query):
+        first = parse(query)
+        rendered = render_select(first)
+        second = parse(rendered)
+        assert second == first, rendered
+
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_expression_round_trips(self, text):
+        first = parse_expression(text)
+        rendered = render_expr(first)
+        second = parse_expression(rendered)
+        assert second == first, rendered
+
+    def test_string_escaping(self):
+        expr = parse_expression("'don''t'")
+        assert parse_expression(render_expr(expr)) == expr

@@ -1,0 +1,192 @@
+"""Session DDL/DML: CREATE [AS SELECT], INSERT, DROP, CACHE, EXPLAIN."""
+
+import pytest
+
+from repro import SharkContext
+from repro.datatypes import DOUBLE, INT, STRING, Schema
+from repro.errors import AnalysisError, CatalogError
+
+
+@pytest.fixture
+def shark():
+    shark = SharkContext(num_workers=2)
+    shark.sql("CREATE TABLE src (k INT, name STRING, v DOUBLE)")
+    shark.sql(
+        "INSERT INTO src VALUES (1, 'a', 1.5), (2, 'b', 2.5), (3, 'a', 3.5)"
+    )
+    return shark
+
+
+class TestCreate:
+    def test_create_and_describe_entry(self, shark):
+        entry = shark.table_entry("src")
+        assert entry.schema.names == ["k", "name", "v"]
+        assert not entry.is_cached
+        assert entry.row_count == 3
+
+    def test_duplicate_create_rejected(self, shark):
+        with pytest.raises(CatalogError):
+            shark.sql("CREATE TABLE src (x INT)")
+
+    def test_if_not_exists_skips(self, shark):
+        result = shark.sql("CREATE TABLE IF NOT EXISTS src (x INT)")
+        assert "exists" in result.rows[0][0]
+
+    def test_create_without_columns_rejected(self, shark):
+        with pytest.raises(AnalysisError):
+            shark.sql("CREATE TABLE empty_table")
+
+    def test_cached_create_via_property(self, shark):
+        shark.sql(
+            "CREATE TABLE mem (a INT) TBLPROPERTIES ('shark.cache'='true')"
+        )
+        assert shark.table_entry("mem").is_cached
+
+    def test_empty_cached_table_queryable(self, shark):
+        shark.sql(
+            "CREATE TABLE mem (a INT) TBLPROPERTIES ('shark.cache'='true')"
+        )
+        assert shark.sql("SELECT COUNT(*) FROM mem").scalar() == 0
+
+
+class TestCtas:
+    def test_ctas_external(self, shark):
+        shark.sql("CREATE TABLE derived AS SELECT k, v * 2 AS v2 FROM src")
+        result = shark.sql("SELECT k, v2 FROM derived")
+        assert sorted(result.rows) == [(1, 3.0), (2, 5.0), (3, 7.0)]
+        assert not shark.table_entry("derived").is_cached
+
+    def test_ctas_cached(self, shark):
+        shark.sql(
+            "CREATE TABLE hot TBLPROPERTIES ('shark.cache'='true') AS "
+            "SELECT name, COUNT(*) AS c FROM src GROUP BY name"
+        )
+        entry = shark.table_entry("hot")
+        assert entry.is_cached
+        assert entry.partition_stats
+        assert sorted(shark.sql("SELECT * FROM hot").rows) == [
+            ("a", 2), ("b", 1),
+        ]
+
+    def test_ctas_distribute_by_records_partitioner(self, shark):
+        shark.sql(
+            "CREATE TABLE dist TBLPROPERTIES ('shark.cache'='true') AS "
+            "SELECT * FROM src DISTRIBUTE BY k"
+        )
+        entry = shark.table_entry("dist")
+        assert entry.partitioner is not None
+        assert entry.distribute_column == "k"
+
+    def test_ctas_size_accounting(self, shark):
+        shark.sql(
+            "CREATE TABLE hot2 TBLPROPERTIES ('shark.cache'='true') AS "
+            "SELECT * FROM src"
+        )
+        entry = shark.table_entry("hot2")
+        assert entry.size_bytes > 0
+        assert entry.partition_bytes
+
+
+class TestInsert:
+    def test_insert_select(self, shark):
+        shark.sql("CREATE TABLE sink (k INT, name STRING, v DOUBLE)")
+        shark.sql("INSERT INTO sink SELECT * FROM src WHERE k > 1")
+        assert shark.sql("SELECT COUNT(*) FROM sink").scalar() == 2
+
+    def test_insert_values_width_check(self, shark):
+        with pytest.raises(AnalysisError, match="width"):
+            shark.sql("INSERT INTO src VALUES (1, 'x')")
+
+    def test_insert_select_width_check(self, shark):
+        with pytest.raises(AnalysisError, match="width"):
+            shark.sql("INSERT INTO src SELECT k FROM src")
+
+    def test_insert_appends_to_cached(self, shark):
+        shark.sql(
+            "CREATE TABLE mem TBLPROPERTIES ('shark.cache'='true') AS "
+            "SELECT * FROM src"
+        )
+        shark.sql("INSERT INTO mem VALUES (9, 'z', 9.9)")
+        assert shark.sql("SELECT COUNT(*) FROM mem").scalar() == 4
+        assert shark.table_entry("mem").row_count == 4
+
+    def test_insert_into_missing_table(self, shark):
+        with pytest.raises(CatalogError):
+            shark.sql("INSERT INTO ghost VALUES (1)")
+
+
+class TestDrop:
+    def test_drop_removes(self, shark):
+        shark.sql("DROP TABLE src")
+        with pytest.raises(CatalogError):
+            shark.sql("SELECT * FROM src")
+
+    def test_drop_missing_without_if_exists(self, shark):
+        with pytest.raises(CatalogError):
+            shark.sql("DROP TABLE ghost")
+
+    def test_drop_if_exists(self, shark):
+        shark.sql("DROP TABLE IF EXISTS ghost")
+
+    def test_drop_cached_unpersists(self, shark):
+        shark.sql(
+            "CREATE TABLE mem TBLPROPERTIES ('shark.cache'='true') AS "
+            "SELECT * FROM src"
+        )
+        rdd = shark.table_entry("mem").cached_rdd
+        shark.sql("DROP TABLE mem")
+        assert not rdd.is_cached
+
+
+class TestCacheStatements:
+    def test_cache_table_flips_kind(self, shark):
+        shark.sql("CACHE TABLE src")
+        entry = shark.table_entry("src")
+        assert entry.is_cached
+        assert shark.sql("SELECT COUNT(*) FROM src").scalar() == 3
+
+    def test_uncache_table_spills_to_store(self, shark):
+        shark.sql("CACHE TABLE src")
+        shark.sql("UNCACHE TABLE src")
+        entry = shark.table_entry("src")
+        assert not entry.is_cached
+        assert shark.sql("SELECT COUNT(*) FROM src").scalar() == 3
+
+    def test_cache_idempotent(self, shark):
+        shark.sql("CACHE TABLE src")
+        result = shark.sql("CACHE TABLE src")
+        assert "already" in result.rows[0][0]
+
+
+class TestExplain:
+    def test_explain_shows_plan_tree(self, shark):
+        text = shark.explain(
+            "SELECT name, COUNT(*) FROM src WHERE k > 1 GROUP BY name"
+        )
+        assert "Aggregate" in text
+        assert "Scan(src" in text
+        assert "Filter" in text
+
+    def test_explain_join_shows_keys(self, shark):
+        text = shark.explain(
+            "SELECT a.k FROM src a JOIN src b ON a.k = b.k"
+        )
+        assert "Join(inner" in text
+
+    def test_explain_ctas(self, shark):
+        result = shark.sql("EXPLAIN CREATE TABLE x AS SELECT k FROM src")
+        assert result.plan_text
+
+
+class TestQueryResultApi:
+    def test_column_accessors(self, shark):
+        result = shark.sql("SELECT k, name FROM src ORDER BY k")
+        assert result.column("k") == [1, 2, 3]
+        assert result.column_names == ["k", "name"]
+        assert result.to_dicts()[0] == {"k": 1, "name": "a"}
+        assert len(result) == 3
+        assert list(iter(result))[0] == (1, "a")
+
+    def test_scalar_validation(self, shark):
+        with pytest.raises(ValueError):
+            shark.sql("SELECT k FROM src").scalar()

@@ -1,0 +1,100 @@
+"""Extended Hive-style builtins: regex, padding, greatest/least, dates."""
+
+from datetime import date
+
+import pytest
+
+from repro import SharkContext
+from repro.datatypes import INT, STRING, Schema
+
+
+@pytest.fixture(scope="module")
+def shark():
+    shark = SharkContext(num_workers=2)
+    shark.create_table(
+        "t", Schema.of(("s", STRING), ("n", INT), ("m", INT)), cached=True
+    )
+    shark.load_rows(
+        "t",
+        [
+            ("alpha-1", 3, 9),
+            ("beta-22", 7, None),
+            ("gamma-333", None, 4),
+        ],
+    )
+    return shark
+
+
+class TestRegexFunctions:
+    def test_regexp_extract(self, shark):
+        result = shark.sql(
+            "SELECT REGEXP_EXTRACT(s, '([0-9]+)', 1) FROM t"
+        )
+        assert [row[0] for row in result.rows] == ["1", "22", "333"]
+
+    def test_regexp_extract_no_match(self, shark):
+        assert shark.sql(
+            "SELECT REGEXP_EXTRACT('abc', '([0-9]+)', 1)"
+        ).scalar() == ""
+
+    def test_regexp_replace(self, shark):
+        assert shark.sql(
+            "SELECT REGEXP_REPLACE('a1b2', '[0-9]', '#')"
+        ).scalar() == "a#b#"
+
+    def test_split(self, shark):
+        assert shark.sql("SELECT SPLIT('a-b-c', '-')").scalar() == [
+            "a", "b", "c",
+        ]
+
+
+class TestPadding:
+    def test_lpad_rpad(self, shark):
+        result = shark.sql("SELECT LPAD('ab', 5, '*'), RPAD('ab', 5, '*')")
+        assert result.rows[0] == ("***ab", "ab***")
+
+    def test_pad_truncates(self, shark):
+        assert shark.sql("SELECT LPAD('abcdef', 3, '*')").scalar() == "abc"
+
+
+class TestGreatestLeast:
+    def test_basic(self, shark):
+        result = shark.sql("SELECT GREATEST(n, m), LEAST(n, m) FROM t")
+        assert result.rows[0] == (9, 3)
+
+    def test_null_handling_skips_nulls(self, shark):
+        # Hive GREATEST returns the max over non-NULL inputs here.
+        result = shark.sql(
+            "SELECT GREATEST(n, m) FROM t WHERE s = 'beta-22'"
+        )
+        assert result.scalar() == 7
+
+    def test_strings(self, shark):
+        assert shark.sql("SELECT GREATEST('b', 'a', 'c')").scalar() == "c"
+
+
+class TestDateArithmetic:
+    def test_date_add_sub(self, shark):
+        result = shark.sql(
+            "SELECT DATE_ADD('2000-01-15', 7), DATE_SUB('2000-01-15', 14)"
+        )
+        assert result.rows[0] == (date(2000, 1, 22), date(2000, 1, 1))
+
+    def test_datediff_roundtrip(self, shark):
+        assert shark.sql(
+            "SELECT DATEDIFF(DATE_ADD('2020-05-01', 30), '2020-05-01')"
+        ).scalar() == 30
+
+    def test_date_comparisons_in_where(self, shark):
+        shark.sql(
+            "CREATE TABLE events (d STRING) "
+            "TBLPROPERTIES ('shark.cache'='true')"
+        )
+        shark.sql(
+            "INSERT INTO events VALUES ('2020-01-05'), ('2020-02-05')"
+        )
+        result = shark.sql(
+            "SELECT COUNT(*) FROM events "
+            "WHERE DATE(d) < DATE '2020-02-01'"
+        )
+        assert result.scalar() == 1

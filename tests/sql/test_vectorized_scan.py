@@ -1,0 +1,154 @@
+"""Vectorized scan filters: column-at-a-time predicates in the memstore.
+
+Correctness contract: any combination of pushed-down vector filters must
+produce exactly the rows the row-at-a-time interpreter produces, including
+NULL handling (a NULL operand is never TRUE).
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SharkContext
+from repro.datatypes import DOUBLE, INT, STRING, Schema
+from repro.sql.physical import VectorFilter, _filter_mask
+from repro.columnar import ColumnarPartition
+from repro.sql.planner import PlannerConfig
+
+
+@pytest.fixture(scope="module")
+def shark():
+    shark = SharkContext(num_workers=2)
+    shark.create_table(
+        "t", Schema.of(("a", INT), ("b", STRING), ("c", DOUBLE)),
+        cached=True,
+    )
+    rng = random.Random(7)
+    rows = []
+    for i in range(600):
+        c = None if i % 9 == 0 else round(rng.uniform(0, 100), 2)
+        b = None if i % 13 == 0 else rng.choice(["x", "y", "z"])
+        rows.append((rng.randint(0, 40), b, c))
+    shark.load_rows("t", rows)
+    return shark, rows
+
+
+QUERIES = [
+    "SELECT a FROM t WHERE a > 20",
+    "SELECT a FROM t WHERE a >= 20 AND a <= 30",
+    "SELECT a, b FROM t WHERE b = 'x'",
+    "SELECT a FROM t WHERE b <> 'x'",
+    "SELECT a FROM t WHERE a BETWEEN 5 AND 15",
+    "SELECT a FROM t WHERE b IN ('x', 'z')",
+    "SELECT a FROM t WHERE c IS NULL",
+    "SELECT a FROM t WHERE c IS NOT NULL AND c < 50",
+    "SELECT a FROM t WHERE 25 < a",
+    "SELECT a FROM t WHERE a = 7 AND b = 'y' AND c > 10",
+]
+
+
+class TestVectorizedMatchesInterpreted:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_query_equivalence(self, shark, query):
+        context, rows = shark
+        vectorized = sorted(context.sql(query).rows, key=repr)
+        original = context.session.config
+        try:
+            context.session.config = replace(
+                original, enable_vectorized_scan=False
+            )
+            interpreted = sorted(context.sql(query).rows, key=repr)
+        finally:
+            context.session.config = original
+        assert vectorized == interpreted, query
+
+    def test_report_notes_pushdown(self, shark):
+        context, __ = shark
+        result = context.sql("SELECT a FROM t WHERE a > 20 AND b = 'x'")
+        assert any("vectorized" in note for note in result.report.notes)
+
+    def test_udf_stays_row_level(self, shark):
+        context, rows = shark
+        context.register_udf("oddish", lambda v: v % 2 == 1)
+        result = context.sql(
+            "SELECT a FROM t WHERE a > 20 AND oddish(a)"
+        )
+        want = sorted(
+            (r[0],) for r in rows if r[0] > 20 and r[0] % 2 == 1
+        )
+        assert sorted(result.rows) == want
+
+
+class TestFilterMaskUnit:
+    schema = Schema.of(("n", INT), ("s", STRING))
+
+    def _block(self, rows):
+        return ColumnarPartition.from_rows(self.schema, rows)
+
+    def test_cmp_on_primitive_array(self):
+        block = self._block([(i, "a") for i in range(10)])
+        mask = _filter_mask(block, VectorFilter("n", "cmp", ">", (6,)))
+        assert list(mask) == [False] * 7 + [True] * 3
+
+    def test_null_string_excluded_from_not_equals(self):
+        block = self._block([(1, "x"), (2, None), (3, "y")])
+        mask = _filter_mask(block, VectorFilter("s", "cmp", "<>", ("x",)))
+        assert list(mask) == [False, False, True]
+
+    def test_in_with_nulls(self):
+        block = self._block([(1, "x"), (2, None), (3, "z")])
+        mask = _filter_mask(block, VectorFilter("s", "in", values=("x", "z")))
+        assert list(mask) == [True, False, True]
+
+    def test_isnull_and_notnull(self):
+        block = self._block([(1, "x"), (2, None)])
+        isnull = _filter_mask(block, VectorFilter("s", "isnull"))
+        notnull = _filter_mask(block, VectorFilter("s", "notnull"))
+        assert list(isnull) == [False, True]
+        assert list(notnull) == [True, False]
+
+    def test_isnull_on_primitive_is_all_false(self):
+        block = self._block([(1, "x"), (2, "y")])
+        mask = _filter_mask(block, VectorFilter("n", "isnull"))
+        assert list(mask) == [False, False]
+
+    def test_between(self):
+        block = self._block([(i, "a") for i in range(6)])
+        mask = _filter_mask(block, VectorFilter("n", "between", values=(2, 4)))
+        assert list(mask) == [False, False, True, True, True, False]
+
+    def test_incomparable_falls_back_to_none(self):
+        block = self._block([(1, "x"), (2, None)])
+        # '<' over a None-bearing string column cannot vectorize.
+        mask = _filter_mask(block, VectorFilter("s", "cmp", "<", ("y",)))
+        assert mask is None
+
+
+class TestPropertyEquivalence:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 30),
+                st.one_of(st.none(), st.sampled_from(["x", "y"])),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(0, 30),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_data_equivalence(self, rows, cutoff):
+        shark = SharkContext(num_workers=2)
+        shark.create_table(
+            "p", Schema.of(("n", INT), ("s", STRING)), cached=True
+        )
+        shark.load_rows("p", rows)
+        query = f"SELECT n FROM p WHERE n >= {cutoff} AND s = 'x'"
+        vectorized = sorted(shark.sql(query).rows)
+        shark.session.config = replace(
+            shark.session.config, enable_vectorized_scan=False
+        )
+        interpreted = sorted(shark.sql(query).rows)
+        assert vectorized == interpreted

@@ -1,0 +1,151 @@
+"""The shared type system."""
+
+from datetime import date, datetime
+
+import pytest
+
+from repro.datatypes import (
+    ArrayType,
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    Field,
+    INT,
+    MapType,
+    STRING,
+    Schema,
+    StructType,
+    TIMESTAMP,
+    infer_type,
+    is_numeric,
+    promote,
+    type_by_name,
+)
+from repro.errors import AnalysisError
+
+
+class TestTypeLookup:
+    def test_aliases(self):
+        assert type_by_name("INT") == INT
+        assert type_by_name("integer") == INT
+        assert type_by_name("varchar") == STRING
+        assert type_by_name("long") == BIGINT
+        assert type_by_name("float") == DOUBLE
+        assert type_by_name("bool") == BOOLEAN
+
+    def test_unknown_type(self):
+        with pytest.raises(AnalysisError):
+            type_by_name("geometry")
+
+
+class TestPromotion:
+    def test_numeric_ladder(self):
+        assert promote(INT, INT) == INT
+        assert promote(INT, BIGINT) == BIGINT
+        assert promote(BIGINT, DOUBLE) == DOUBLE
+        assert promote(INT, DOUBLE) == DOUBLE
+
+    def test_same_type_identity(self):
+        assert promote(STRING, STRING) == STRING
+
+    def test_incompatible_rejected(self):
+        with pytest.raises(AnalysisError):
+            promote(STRING, INT)
+
+    def test_is_numeric(self):
+        assert is_numeric(INT) and is_numeric(DOUBLE) and is_numeric(BIGINT)
+        assert not is_numeric(STRING)
+        assert not is_numeric(BOOLEAN)
+
+
+class TestInference:
+    def test_primitives(self):
+        assert infer_type(True) == BOOLEAN
+        assert infer_type(5) == INT
+        assert infer_type(2**40) == BIGINT
+        assert infer_type(1.5) == DOUBLE
+        assert infer_type("s") == STRING
+        assert infer_type(date(2000, 1, 1)) == DATE
+        assert infer_type(datetime(2000, 1, 1)) == TIMESTAMP
+
+    def test_complex(self):
+        array = infer_type(["a"])
+        assert isinstance(array, ArrayType)
+        assert array.element_type == STRING
+        mapping = infer_type({"k": 1})
+        assert isinstance(mapping, MapType)
+        assert mapping.value_type == INT
+
+    def test_empty_containers_default(self):
+        assert infer_type([]).element_type == STRING
+        assert infer_type({}).key_type == STRING
+
+    def test_uninferable(self):
+        with pytest.raises(AnalysisError):
+            infer_type(object())
+
+
+class TestValidation:
+    def test_validate_per_type(self):
+        assert INT.validate(3)
+        assert not INT.validate(True)  # bool is not an INT
+        assert DOUBLE.validate(3) and DOUBLE.validate(3.5)
+        assert BOOLEAN.validate(False)
+        assert DATE.validate(date(2020, 1, 1))
+        assert not DATE.validate(datetime(2020, 1, 1, 1))
+        assert TIMESTAMP.validate(datetime(2020, 1, 1, 1))
+
+    def test_str_forms(self):
+        assert str(INT) == "INT"
+        assert str(ArrayType(element_type=INT)) == "ARRAY<INT>"
+        assert str(MapType(key_type=STRING, value_type=INT)) == (
+            "MAP<STRING,INT>"
+        )
+        struct = StructType(
+            field_names=("a",), field_types=(INT,)
+        )
+        assert "a:INT" in str(struct)
+
+
+class TestSchema:
+    def test_of_and_lookup(self):
+        schema = Schema.of(("A", INT), ("b", STRING))
+        assert schema.index_of("a") == 0
+        assert schema.index_of("B") == 1
+        assert "a" in schema and "missing" not in schema
+        assert schema.field("b").data_type == STRING
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(AnalysisError):
+            Schema.of(("x", INT), ("X", STRING))
+
+    def test_unknown_column_error_lists_names(self):
+        schema = Schema.of(("a", INT))
+        with pytest.raises(AnalysisError, match="available"):
+            schema.index_of("zz")
+
+    def test_select_subset(self):
+        schema = Schema.of(("a", INT), ("b", STRING), ("c", DOUBLE))
+        narrowed = schema.select(["c", "a"])
+        assert narrowed.names == ["c", "a"]
+        assert narrowed.types == [DOUBLE, INT]
+
+    def test_from_rows_inference(self):
+        schema = Schema.from_rows(["x", "y"], [(1, "s")])
+        assert schema.types == [INT, STRING]
+
+    def test_from_rows_empty_defaults_string(self):
+        schema = Schema.from_rows(["x"], [])
+        assert schema.types == [STRING]
+
+    def test_from_rows_width_mismatch(self):
+        with pytest.raises(AnalysisError):
+            Schema.from_rows(["x", "y"], [(1,)])
+
+    def test_equality_and_iteration(self):
+        left = Schema.of(("a", INT))
+        right = Schema.of(("a", INT))
+        assert left == right
+        assert len(left) == 1
+        assert [f.name for f in left] == ["a"]

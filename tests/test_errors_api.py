@@ -1,0 +1,91 @@
+"""Error hierarchy and error-path behaviour across the public API."""
+
+import pytest
+
+from repro import SharkContext
+from repro.datatypes import INT, STRING, Schema
+from repro.errors import (
+    AnalysisError,
+    BlockLostError,
+    CatalogError,
+    EngineError,
+    FetchFailedError,
+    MLError,
+    ParseError,
+    ReproError,
+    SqlError,
+    StorageError,
+    TaskError,
+    TypeMismatchError,
+    UnsupportedFeatureError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            EngineError, SqlError, StorageError, MLError,
+            AnalysisError, CatalogError, ParseError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_sql_subtree(self):
+        assert issubclass(AnalysisError, SqlError)
+        assert issubclass(TypeMismatchError, AnalysisError)
+        assert issubclass(UnsupportedFeatureError, SqlError)
+        assert issubclass(CatalogError, SqlError)
+
+    def test_engine_subtree(self):
+        assert issubclass(TaskError, EngineError)
+        assert issubclass(FetchFailedError, EngineError)
+        assert issubclass(BlockLostError, EngineError)
+
+    def test_messages_carry_context(self):
+        fetch = FetchFailedError(shuffle_id=3, map_partition=7, worker_id=1)
+        assert "shuffle 3" in str(fetch)
+        assert fetch.map_partition == 7
+        task = TaskError(stage_id=2, partition=5, cause=ValueError("boom"))
+        assert "stage 2" in str(task) and "boom" in str(task)
+        parse = ParseError("bad token", position=10, line=2)
+        assert "line 2" in str(parse)
+
+
+class TestApiErrorPaths:
+    @pytest.fixture
+    def shark(self):
+        shark = SharkContext(num_workers=2)
+        shark.create_table("t", Schema.of(("a", INT), ("b", STRING)))
+        shark.load_rows("t", [(1, "x")])
+        return shark
+
+    def test_one_base_class_catches_everything(self, shark):
+        bad_inputs = [
+            "SELECT FROM WHERE",            # parse error
+            "SELECT nope FROM t",           # unknown column
+            "SELECT * FROM ghost",          # unknown table
+            "SELECT frob(a) FROM t",        # unknown function
+            "SELECT a FROM t GROUP BY 9",   # bad position
+        ]
+        for text in bad_inputs:
+            with pytest.raises(ReproError):
+                shark.sql(text)
+
+    def test_udf_exception_surfaces_as_task_error(self, shark):
+        shark.register_udf("explode", lambda v: 1 // 0)
+        with pytest.raises(TaskError, match="division"):
+            shark.sql("SELECT explode(a) FROM t")
+
+    def test_failed_statement_leaves_catalog_consistent(self, shark):
+        with pytest.raises(ReproError):
+            shark.sql("CREATE TABLE t2 AS SELECT missing FROM t")
+        assert not shark.session.catalog.exists("t2")
+        # And the session still works afterwards.
+        assert shark.sql("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_type_mismatch_at_analysis_time(self, shark):
+        with pytest.raises(ReproError):
+            shark.sql("SELECT b + b FROM t")  # '+' on strings
+
+    def test_arity_error_names_function(self, shark):
+        with pytest.raises(AnalysisError, match="SUBSTR"):
+            shark.sql("SELECT SUBSTR(b) FROM t")

@@ -1,0 +1,48 @@
+"""Smoke: every example script runs to completion and prints its story."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["traffic by country", "slow requests"],
+    "sql_ml_pipeline.py": ["training accuracy", "k-means centers"],
+    "warehouse_analytics.py": ["map pruning reduced data scanned"],
+    "fault_tolerance_demo.py": [
+        "answer still correct: True",
+        "final answer still matches baseline: True",
+    ],
+    "pde_join_demo.py": [
+        "results identical across strategies: True",
+        "strategy: shuffle",
+        "strategy: broadcast",
+    ],
+}
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.name for path in EXAMPLES]
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        cwd=str(script.parent.parent),
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in EXPECTED_MARKERS.get(script.name, []):
+        assert marker in result.stdout, (
+            f"{script.name} output missing {marker!r}"
+        )
+
+
+def test_all_examples_covered():
+    assert {path.name for path in EXAMPLES} == set(EXPECTED_MARKERS)

@@ -1,0 +1,146 @@
+"""Property-based tests: RDD operators vs Python list semantics.
+
+Each property checks a core engine invariant over randomized inputs:
+transformations agree with their sequential-list equivalents regardless of
+partitioning, and shuffles neither lose nor duplicate records.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import EngineContext
+
+#: Fresh context per example keeps shuffle/cache state isolated.
+def _ctx():
+    return EngineContext(num_workers=3, cores_per_worker=2)
+
+
+ints = st.lists(st.integers(-1000, 1000), max_size=120)
+partitions = st.integers(1, 9)
+pairs = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(-50, 50)), max_size=120
+)
+
+
+class TestListEquivalence:
+    @given(ints, partitions)
+    @settings(max_examples=40, deadline=None)
+    def test_collect_preserves_order(self, data, num_partitions):
+        assert _ctx().parallelize(data, num_partitions).collect() == data
+
+    @given(ints, partitions)
+    @settings(max_examples=40, deadline=None)
+    def test_map_matches_builtin(self, data, num_partitions):
+        rdd = _ctx().parallelize(data, num_partitions)
+        assert rdd.map(lambda x: x * 3 + 1).collect() == [
+            x * 3 + 1 for x in data
+        ]
+
+    @given(ints, partitions)
+    @settings(max_examples=40, deadline=None)
+    def test_filter_matches_comprehension(self, data, num_partitions):
+        rdd = _ctx().parallelize(data, num_partitions)
+        assert rdd.filter(lambda x: x % 2 == 0).collect() == [
+            x for x in data if x % 2 == 0
+        ]
+
+    @given(ints, partitions)
+    @settings(max_examples=40, deadline=None)
+    def test_count_and_sum(self, data, num_partitions):
+        rdd = _ctx().parallelize(data, num_partitions)
+        assert rdd.count() == len(data)
+        assert rdd.sum() == sum(data)
+
+    @given(ints, partitions)
+    @settings(max_examples=30, deadline=None)
+    def test_sort_matches_sorted(self, data, num_partitions):
+        rdd = _ctx().parallelize(data, num_partitions)
+        assert rdd.sort_by(lambda x: x).collect() == sorted(data)
+
+    @given(ints, partitions)
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_matches_set(self, data, num_partitions):
+        rdd = _ctx().parallelize(data, num_partitions)
+        assert sorted(rdd.distinct().collect()) == sorted(set(data))
+
+    @given(ints, partitions, st.integers(0, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_take_is_prefix(self, data, num_partitions, n):
+        rdd = _ctx().parallelize(data, num_partitions)
+        assert rdd.take(n) == data[:n]
+
+
+class TestShuffleInvariants:
+    @given(pairs, partitions)
+    @settings(max_examples=40, deadline=None)
+    def test_reduce_by_key_matches_counter(self, data, num_partitions):
+        rdd = _ctx().parallelize(data, num_partitions)
+        got = dict(rdd.reduce_by_key(lambda a, b: a + b).collect())
+        want: dict = {}
+        for key, value in data:
+            want[key] = want.get(key, 0) + value
+        assert got == want
+
+    @given(pairs, partitions, st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_by_preserves_multiset(
+        self, data, num_partitions, reducers
+    ):
+        from repro.engine.partitioner import HashPartitioner
+
+        rdd = _ctx().parallelize(data, num_partitions)
+        shuffled = rdd.partition_by(HashPartitioner(reducers))
+        assert Counter(shuffled.collect()) == Counter(data)
+
+    @given(pairs, partitions)
+    @settings(max_examples=30, deadline=None)
+    def test_group_by_key_collects_all_values(self, data, num_partitions):
+        rdd = _ctx().parallelize(data, num_partitions)
+        grouped = {
+            key: sorted(values)
+            for key, values in rdd.group_by_key().collect()
+        }
+        want: dict = {}
+        for key, value in data:
+            want.setdefault(key, []).append(value)
+        assert grouped == {key: sorted(v) for key, v in want.items()}
+
+    @given(pairs, pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_join_matches_nested_loop(self, left_data, right_data):
+        ctx = _ctx()
+        left = ctx.parallelize(left_data, 3)
+        right = ctx.parallelize(right_data, 2)
+        got = sorted(left.join(right).collect())
+        want = sorted(
+            (lk, (lv, rv))
+            for lk, lv in left_data
+            for rk, rv in right_data
+            if lk == rk
+        )
+        assert got == want
+
+
+class TestRecoveryInvariants:
+    @given(pairs)
+    @settings(max_examples=15, deadline=None)
+    def test_worker_loss_never_changes_results(self, data):
+        ctx = _ctx()
+        rdd = ctx.parallelize(data, 4).cache()
+        reduced = rdd.reduce_by_key(lambda a, b: a + b)
+        before = sorted(reduced.collect())
+        ctx.kill_worker(0)
+        assert sorted(reduced.collect()) == before
+
+    @given(pairs, st.integers(1, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_mid_query_injection_never_changes_results(self, data, delay):
+        ctx = _ctx()
+        rdd = ctx.parallelize(data, 4).map(lambda kv: (kv[0], kv[1]))
+        expected: dict = {}
+        for key, value in data:
+            expected[key] = expected.get(key, 0) + value
+        ctx.inject_failure(worker_id=1, after_tasks=delay)
+        got = dict(rdd.reduce_by_key(lambda a, b: a + b).collect())
+        assert got == expected

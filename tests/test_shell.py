@@ -1,0 +1,152 @@
+"""The interactive SQL shell."""
+
+import pytest
+
+from repro import SharkContext
+from repro.shell import Shell, format_table, run
+
+
+@pytest.fixture
+def session():
+    shark = SharkContext(num_workers=2)
+    output: list[str] = []
+    shell = Shell(shark=shark, write=output.append)
+    return shell, output
+
+
+def drive(shell, *lines):
+    for line in lines:
+        shell.feed(line)
+
+
+class TestFormatTable:
+    def test_alignment_and_nulls(self):
+        text = format_table(
+            ["name", "n"], [("alice", 1), (None, 12345)]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert any("NULL" in line for line in lines[2:])
+        assert all(len(line) == len(lines[0]) for line in lines[:2])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(1.5,), (2.0,)])
+        assert "1.5" in text
+        assert "2" in text
+
+
+class TestStatements:
+    def test_create_load_query(self, session):
+        shell, output = session
+        drive(
+            shell,
+            "CREATE TABLE t (a INT, b STRING) "
+            "TBLPROPERTIES ('shark.cache'='true');",
+            "INSERT INTO t VALUES (1, 'x'), (2, 'y');",
+            "SELECT b, a FROM t ORDER BY a;",
+        )
+        text = "\n".join(output)
+        assert "inserted 2 rows" in text
+        assert "2 row(s)" in text
+        assert "x" in text and "y" in text
+
+    def test_multiline_statement(self, session):
+        shell, output = session
+        drive(shell, "SELECT 1 + 1", "AS answer;")
+        assert any("answer" in line for line in output)
+        assert any("2" in line for line in output)
+
+    def test_prompt_reflects_buffer(self, session):
+        shell, __ = session
+        assert shell.prompt.strip() == "shark>"
+        shell.feed("SELECT 1")
+        assert shell.prompt.strip() == "->"
+
+    def test_error_reported_not_raised(self, session):
+        shell, output = session
+        drive(shell, "SELECT nope FROM missing;")
+        assert any("error:" in line for line in output)
+        assert shell.running
+
+    def test_truncation_notice(self, session):
+        shell, output = session
+        drive(
+            shell,
+            "CREATE TABLE big (n INT) TBLPROPERTIES ('shark.cache'='true');",
+        )
+        shell.shark.load_rows("big", [(i,) for i in range(100)])
+        drive(shell, "SELECT n FROM big;")
+        assert any("showing first" in line for line in output)
+
+
+class TestDotCommands:
+    def test_tables_and_describe(self, session):
+        shell, output = session
+        drive(
+            shell,
+            "CREATE TABLE t (a INT) TBLPROPERTIES ('shark.cache'='true');",
+            ".tables",
+            ".describe t",
+        )
+        text = "\n".join(output)
+        assert "t" in text
+        assert "columnar memstore" in text
+
+    def test_explain(self, session):
+        shell, output = session
+        drive(
+            shell,
+            "CREATE TABLE t (a INT) TBLPROPERTIES ('shark.cache'='true');",
+            ".explain SELECT COUNT(*) FROM t WHERE a > 1",
+        )
+        assert any("Aggregate" in line for line in output)
+
+    def test_workers_and_kill(self, session):
+        shell, output = session
+        drive(shell, ".workers")
+        assert sum("alive" in line for line in output) == 2
+        drive(shell, ".kill 0", ".workers")
+        assert any("DEAD" in line for line in output)
+
+    def test_kill_then_query_recovers(self, session):
+        shell, output = session
+        drive(
+            shell,
+            "CREATE TABLE t (a INT) TBLPROPERTIES ('shark.cache'='true');",
+        )
+        shell.shark.load_rows("t", [(i,) for i in range(20)])
+        drive(shell, "SELECT COUNT(*) FROM t;", ".kill 1",
+              "SELECT COUNT(*) FROM t;")
+        tables = [entry for entry in output if "\n20" in entry]
+        assert len(tables) == 2  # same answer before and after the kill
+
+    def test_help_quit_unknown(self, session):
+        shell, output = session
+        drive(shell, ".help", ".bogus", ".quit")
+        text = "\n".join(output)
+        assert "dot-commands" in text.lower() or "Dot-commands" in text
+        assert "unknown command" in text
+        assert not shell.running
+
+    def test_notes_after_query(self, session):
+        shell, output = session
+        drive(
+            shell,
+            "CREATE TABLE t (a INT) TBLPROPERTIES ('shark.cache'='true');",
+        )
+        shell.shark.load_rows("t", [(i,) for i in range(40)], 8)
+        drive(shell, "SELECT COUNT(*) FROM t WHERE a = 3;", ".notes")
+        assert any("map pruning" in line for line in output)
+
+
+class TestRunHelper:
+    def test_run_stops_at_quit(self):
+        output: list[str] = []
+        shell = run(
+            ["SELECT 1;", ".quit", "SELECT 2;"],
+            shark=SharkContext(num_workers=2),
+            write=output.append,
+        )
+        assert not shell.running
+        text = "\n".join(output)
+        assert "1" in text

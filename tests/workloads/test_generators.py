@@ -1,0 +1,175 @@
+"""Workload generators: determinism, distributions, paper-scale metadata."""
+
+from datetime import date
+
+import pytest
+
+from repro.workloads import mlgen, pavlo, tpch, warehouse
+from repro.workloads.base import GB, TB
+
+
+class TestPavlo:
+    def test_rankings_shape(self):
+        data = pavlo.generate_rankings(500)
+        assert len(data.rows) == 500
+        assert data.schema.names == ["pageURL", "pageRank", "avgDuration"]
+        assert all(0 <= r[1] <= 100 for r in data.rows)
+        urls = {r[0] for r in data.rows}
+        assert len(urls) == 500  # unique pages
+
+    def test_uservisits_dates_cover_filter_window(self):
+        data = pavlo.generate_uservisits(2000, num_pages=500)
+        dates = [r[2] for r in data.rows]
+        assert min(dates) >= date(2000, 1, 1)
+        in_window = [
+            d for d in dates if date(2000, 1, 15) <= d <= date(2000, 1, 22)
+        ]
+        assert 0 < len(in_window) < len(dates)
+
+    def test_zipfian_url_popularity(self):
+        data = pavlo.generate_uservisits(5000, num_pages=1000)
+        from collections import Counter
+
+        counts = Counter(r[1] for r in data.rows)
+        top = counts.most_common(10)
+        head = sum(c for __, c in top)
+        assert head > 0.2 * len(data.rows)  # heavy head
+
+    def test_deterministic(self):
+        assert (
+            pavlo.generate_rankings(100).rows
+            == pavlo.generate_rankings(100).rows
+        )
+
+    def test_represented_scale(self):
+        rankings = pavlo.generate_rankings(100)
+        visits = pavlo.generate_uservisits(100)
+        assert rankings.represented_bytes == 100 * GB
+        assert visits.represented_bytes == 2 * TB
+        assert rankings.scale_factor > 1000
+
+    def test_queries_parse(self):
+        from repro.sql.parser import parse
+
+        parse(pavlo.SELECTION_QUERY.format(cutoff=10))
+        parse(pavlo.AGGREGATION_FULL_QUERY)
+        parse(pavlo.AGGREGATION_SUBSTR_QUERY)
+        parse(pavlo.JOIN_QUERY)
+
+
+class TestTpch:
+    def test_lineitem_cardinalities(self):
+        data = tpch.generate_lineitem(8000)
+        shipmodes = {r[12] for r in data.rows}
+        assert shipmodes <= set(tpch.SHIP_MODES)
+        assert len(shipmodes) == 7
+        receipt_dates = {r[11] for r in data.rows}
+        assert len(receipt_dates) > 500
+        orders = {r[0] for r in data.rows}
+        # ~4 lines per order.
+        assert len(orders) == pytest.approx(2000, rel=0.2)
+
+    def test_supplier_ratio(self):
+        lineitem = tpch.generate_lineitem(6000)
+        suppliers = {r[2] for r in lineitem.rows}
+        assert len(suppliers) <= 6000 // tpch.LINEITEM_TO_SUPPLIER_RATIO
+
+    def test_supplier_table(self):
+        data = tpch.generate_supplier(100)
+        assert len(data.rows) == 100
+        assert all(r[0] == i + 1 for i, r in enumerate(data.rows))
+
+    def test_orders_and_customer(self):
+        orders = tpch.generate_orders(200)
+        customers = tpch.generate_customer(100)
+        assert len(orders.rows) == 200
+        assert len(customers.rows) == 100
+
+    def test_scales(self):
+        small = tpch.generate_lineitem(100, represented=tpch.SCALE_100GB)
+        big = tpch.generate_lineitem(100, represented=tpch.SCALE_1TB)
+        # 1 TB vs 100 GB (binary units: x10.24).
+        assert big.represented_bytes == pytest.approx(
+            10 * small.represented_bytes, rel=0.05
+        )
+
+    def test_queries_parse(self):
+        from repro.sql.parser import parse
+
+        for query in tpch.AGGREGATION_QUERIES.values():
+            parse(query)
+        parse(tpch.PDE_JOIN_QUERY)
+
+
+class TestWarehouse:
+    def test_schema_has_103_columns(self):
+        assert len(warehouse.SESSIONS_SCHEMA) == warehouse.TOTAL_COLUMNS
+
+    def test_rows_clustered_by_day(self):
+        data = warehouse.generate_sessions(num_days=5, rows_per_day=20)
+        days = [r[1] for r in data.rows]
+        assert days == sorted(days)
+
+    def test_country_clustered_within_day(self):
+        data = warehouse.generate_sessions(num_days=2, rows_per_day=30)
+        day0 = [r[3] for r in data.rows if r[1] == 0]
+        assert day0 == sorted(day0)
+
+    def test_complex_types_present(self):
+        data = warehouse.generate_sessions(num_days=1, rows_per_day=5)
+        row = data.rows[0]
+        events = row[data.schema.index_of("events")]
+        tags = row[data.schema.index_of("tags")]
+        assert isinstance(events, list)
+        assert isinstance(tags, dict)
+
+    def test_trace_statistics_from_paper(self):
+        assert warehouse.TRACE_TOTAL_QUERIES == 3833
+        assert warehouse.TRACE_PRUNABLE_QUERIES == 3277
+
+    def test_queries_parse(self):
+        from repro.sql.parser import parse
+
+        for query in warehouse.representative_queries().values():
+            parse(query)
+
+
+class TestMlgen:
+    def test_separable_classes(self):
+        data = mlgen.generate_points(500, separation=3.0)
+        positives = [r for r in data.rows if r[0] == 1]
+        negatives = [r for r in data.rows if r[0] == -1]
+        assert positives and negatives
+        mean_pos = sum(r[1] for r in positives) / len(positives)
+        mean_neg = sum(r[1] for r in negatives) / len(negatives)
+        assert mean_pos > 1.0 > -1.0 > mean_neg
+
+    def test_ten_features(self):
+        data = mlgen.generate_points(10)
+        assert len(data.rows[0]) == 1 + mlgen.NUM_FEATURES
+        assert len(data.schema) == 1 + mlgen.NUM_FEATURES
+
+    def test_deterministic(self):
+        assert (
+            mlgen.generate_points(50).rows == mlgen.generate_points(50).rows
+        )
+
+    def test_paper_scale(self):
+        data = mlgen.generate_points(10)
+        assert data.represented_bytes == 100 * GB
+        assert data.represented_rows == 10**9
+
+
+class TestDatasetContainer:
+    def test_local_bytes_and_scale(self):
+        data = pavlo.generate_rankings(100)
+        assert data.local_bytes > 0
+        assert data.scale_factor == pytest.approx(
+            data.represented_bytes / data.local_bytes
+        )
+        assert data.row_scale_factor == pytest.approx(
+            data.represented_rows / 100
+        )
+
+    def test_repr_mentions_scale(self):
+        assert "representing" in repr(pavlo.generate_rankings(10))
