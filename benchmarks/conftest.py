@@ -10,3 +10,23 @@ _SRC = _ROOT.parent / "src"
 for path in (str(_SRC), str(_ROOT)):
     if path not in sys.path:
         sys.path.insert(0, path)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out",
+        default=None,
+        help=(
+            "Directory for Chrome-trace JSON: every query measured through "
+            "harness.shark_cluster_seconds is traced and exported there "
+            "(open the files in https://ui.perfetto.dev)."
+        ),
+    )
+
+
+def pytest_configure(config):
+    trace_out = config.getoption("--trace-out", default=None)
+    if trace_out:
+        import harness
+
+        harness.TRACE_OUT = trace_out

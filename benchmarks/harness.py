@@ -16,6 +16,7 @@ Local wall-clock time is additionally measured by pytest-benchmark.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -37,6 +38,21 @@ from repro.workloads.base import Dataset
 
 #: The paper's main cluster size (Section 6.1).
 PAPER_NODES = 100
+
+#: When set (the benchmark suite's ``--trace-out DIR`` option, or assign
+#: directly), :func:`shark_cluster_seconds` enables span tracing around
+#: each measured query and writes one Chrome-trace JSON per query into
+#: this directory.  None (the default) leaves tracing off: the measured
+#: path pays only a disabled-flag check.
+TRACE_OUT: Optional[str] = None
+_trace_sequence = 0
+
+
+def _next_trace_path() -> str:
+    global _trace_sequence
+    _trace_sequence += 1
+    os.makedirs(TRACE_OUT, exist_ok=True)
+    return os.path.join(TRACE_OUT, f"query_{_trace_sequence:03d}.json")
 
 
 @dataclass
@@ -125,12 +141,24 @@ def shark_cluster_seconds(
 
     Returns (modelled seconds, result rows).
     """
+    tracing = TRACE_OUT is not None
+    if tracing:
+        shark.engine.enable_tracing(reset=True)
     shark.engine.reset_profiles()
     result = shark.sql(query)
     stages = stages_from_profiles(
         shark.engine.profiles, scale, reduce_tasks=reduce_tasks
     )
-    cost = ClusterSimulator(num_nodes, engine).simulate(stages)
+    simulator = ClusterSimulator(
+        num_nodes, engine, tracer=shark.engine.tracer if tracing else None
+    )
+    cost = simulator.simulate(stages)
+    if tracing:
+        shark.engine.trace.write_chrome_trace(
+            _next_trace_path(),
+            metadata={"query": query, "engine": engine.name},
+        )
+        shark.engine.disable_tracing()
     return cost.total_seconds, result.rows
 
 

@@ -7,7 +7,13 @@ survivors) and the query finishes with correct results — no restart.
 Run with::
 
     python examples/fault_tolerance_demo.py
+
+Pass ``--trace-out trace.json`` to record the whole run — worker kills,
+lineage re-execution, every task span — as Chrome-trace JSON viewable at
+https://ui.perfetto.dev.
 """
+
+import argparse
 
 from repro import SharkContext
 from repro.datatypes import DOUBLE, INT, STRING, Schema
@@ -19,8 +25,10 @@ QUERY = (
 )
 
 
-def main() -> None:
+def main(trace_out: str | None = None) -> None:
     shark = SharkContext(num_workers=6, cores_per_worker=2)
+    if trace_out:
+        shark.enable_tracing()
     shark.create_table(
         "readings",
         Schema.of(("bucket", STRING), ("day", INT), ("value", DOUBLE)),
@@ -87,6 +95,22 @@ def main() -> None:
     final = sorted(shark.sql(QUERY).rows)
     print("\nfinal answer still matches baseline:", final == baseline)
 
+    if trace_out:
+        trace = shark.trace
+        shark.trace.write_chrome_trace(
+            trace_out, metadata={"demo": "fault_tolerance"}
+        )
+        print(
+            f"\nwrote {len(trace.spans)} spans / {len(trace.events)} "
+            f"events to {trace_out} (open in https://ui.perfetto.dev)"
+        )
+
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the run's Chrome-trace JSON here",
+    )
+    main(trace_out=parser.parse_args().trace_out)

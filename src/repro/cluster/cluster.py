@@ -7,6 +7,7 @@ from typing import Any, Callable, Iterable
 
 from repro.cluster.worker import BlockStore, Worker
 from repro.errors import NoLiveWorkersError
+from repro.obs import Tracer
 
 
 @dataclass
@@ -39,15 +40,22 @@ class VirtualCluster:
         num_workers: int = 4,
         cores_per_worker: int = 8,
         memory_per_worker_bytes: int | None = None,
+        tracer: Tracer | None = None,
     ):
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         self.memory_per_worker_bytes = memory_per_worker_bytes
+        #: Shared with the owning EngineContext; a private disabled
+        #: tracer when the cluster is constructed standalone (tests).
+        self.tracer = tracer if tracer is not None else Tracer()
         self.workers = [
             Worker(
                 worker_id=i,
                 cores=cores_per_worker,
-                blocks=BlockStore(capacity_bytes=memory_per_worker_bytes),
+                blocks=BlockStore(
+                    capacity_bytes=memory_per_worker_bytes,
+                    tracer=self.tracer,
+                ),
             )
             for i in range(num_workers)
         ]
@@ -74,9 +82,16 @@ class VirtualCluster:
         worker = Worker(
             worker_id=len(self.workers),
             cores=cores,
-            blocks=BlockStore(capacity_bytes=self.memory_per_worker_bytes),
+            blocks=BlockStore(
+                capacity_bytes=self.memory_per_worker_bytes,
+                tracer=self.tracer,
+            ),
         )
         self.workers.append(worker)
+        self.tracer.metrics.inc("workers.added")
+        self.tracer.instant(
+            "worker.added", "cluster", lane=worker.worker_id, cores=cores
+        )
         return worker
 
     def kill_worker(self, worker_id: int) -> None:
@@ -84,7 +99,17 @@ class VirtualCluster:
         worker = self.workers[worker_id]
         if not worker.alive:
             return
+        lost_blocks = len(worker.blocks)
         worker.kill()
+        self.tracer.metrics.inc("workers.killed")
+        self.tracer.instant(
+            "worker.kill",
+            "cluster",
+            lane=worker_id,
+            worker_id=worker_id,
+            lost_blocks=lost_blocks,
+            tasks_run=worker.tasks_run,
+        )
         for callback in self._on_worker_killed:
             callback(worker_id)
         if not self.live_workers():
@@ -94,6 +119,10 @@ class VirtualCluster:
 
     def restart_worker(self, worker_id: int) -> None:
         self.workers[worker_id].restart()
+        self.tracer.metrics.inc("workers.restarted")
+        self.tracer.instant(
+            "worker.restart", "cluster", lane=worker_id, worker_id=worker_id
+        )
 
     def on_worker_killed(self, callback: Callable[[int], None]) -> None:
         """Register a callback invoked with the worker id on every kill."""

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Tracer
 
 
 def approximate_size_bytes(value: Any) -> int:
@@ -57,11 +60,17 @@ class BlockStore:
     behaviour: caching is best-effort; lineage makes eviction safe).
     """
 
-    def __init__(self, capacity_bytes: int | None = None) -> None:
+    def __init__(
+        self,
+        capacity_bytes: int | None = None,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
         self._blocks: dict[str, StoredBlock] = {}
         self.capacity_bytes = capacity_bytes
         #: Number of blocks dropped under memory pressure.
         self.evictions = 0
+        #: Optional observability hook (shared with the owning cluster).
+        self.tracer = tracer
 
     def put(
         self,
@@ -73,6 +82,9 @@ class BlockStore:
         size = approximate_size_bytes(value) if size_bytes is None else size_bytes
         self._blocks.pop(block_id, None)
         self._blocks[block_id] = StoredBlock(block_id, value, size, pinned)
+        if self.tracer is not None:
+            self.tracer.metrics.inc("blocks.put")
+            self.tracer.metrics.inc("blocks.put.bytes", size)
         self._enforce_capacity()
 
     def _enforce_capacity(self) -> None:
@@ -89,8 +101,15 @@ class BlockStore:
             )
             if victim is None:
                 return  # only pinned blocks remain; nothing to evict
+            size = self._blocks[victim].size_bytes
             del self._blocks[victim]
             self.evictions += 1
+            if self.tracer is not None:
+                self.tracer.metrics.inc("blocks.evicted")
+                self.tracer.metrics.inc("blocks.evicted.bytes", size)
+                self.tracer.instant(
+                    "block.evict", "cache", block_id=victim, bytes=size
+                )
 
     def get(self, block_id: str) -> Any:
         block = self._blocks.pop(block_id)  # re-insert: LRU refresh
@@ -140,7 +159,10 @@ class Worker:
 
     def restart(self) -> None:
         self.alive = True
-        self.blocks = BlockStore(capacity_bytes=self.blocks.capacity_bytes)
+        self.blocks = BlockStore(
+            capacity_bytes=self.blocks.capacity_bytes,
+            tracer=self.blocks.tracer,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         status = "alive" if self.alive else "dead"

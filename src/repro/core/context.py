@@ -105,6 +105,12 @@ class SharkContext:
         result = self.session.execute(f"EXPLAIN {text}")
         return result.plan_text or ""
 
+    def explain_analyze(self, text: str) -> str:
+        """Run a statement and return the plan annotated with per-stage
+        runtime statistics (task counts, rows, bytes, simulated seconds)."""
+        result = self.session.execute(f"EXPLAIN ANALYZE {text}")
+        return result.plan_text or ""
+
     @property
     def last_report(self) -> Optional[ExecutionReport]:
         """Run-time optimizer decisions of the most recent query."""
@@ -194,6 +200,29 @@ class SharkContext:
     @property
     def num_workers(self) -> int:
         return self.engine.cluster.num_workers
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        return self.engine.tracer
+
+    @property
+    def metrics(self):
+        """The engine's always-on metrics registry."""
+        return self.engine.metrics
+
+    @property
+    def trace(self):
+        """Spans and events recorded since tracing was enabled."""
+        return self.engine.trace
+
+    def enable_tracing(self, reset: bool = True):
+        return self.engine.enable_tracing(reset=reset)
+
+    def disable_tracing(self) -> None:
+        self.engine.disable_tracing()
 
     def __repr__(self) -> str:
         return (

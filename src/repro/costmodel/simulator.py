@@ -22,6 +22,7 @@ import heapq
 import math
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.costmodel.constants import (
     DEFAULT_HARDWARE,
@@ -30,6 +31,9 @@ from repro.costmodel.constants import (
     SHARK_MEM,
 )
 from repro.costmodel.models import TaskCostVector, estimate_task_seconds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Tracer
 
 
 @dataclass
@@ -102,6 +106,11 @@ class ClusterSimulator:
     speculation:
         Whether slow tasks get speculative backup copies (Spark/Hadoop do
         this; it caps straggler damage once spare slots exist).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; when enabled, each simulated
+        task is recorded as a ``sim``-category span on its slot's lane
+        (timestamps are the simulator's own schedule), and speculative
+        backups increment the ``speculation.launched`` counter.
     """
 
     def __init__(
@@ -111,6 +120,7 @@ class ClusterSimulator:
         hardware: HardwareProfile = DEFAULT_HARDWARE,
         seed: int = 42,
         speculation: bool = True,
+        tracer: Optional["Tracer"] = None,
     ):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
@@ -119,6 +129,7 @@ class ClusterSimulator:
         self.hardware = hardware
         self.seed = seed
         self.speculation = speculation
+        self.tracer = tracer
 
     @property
     def total_slots(self) -> int:
@@ -130,7 +141,9 @@ class ClusterSimulator:
         clock = 0.0
         results: list[StageResult] = []
         for stage in stages:
-            seconds, mean_s, max_s = self._simulate_stage(stage, rng)
+            seconds, mean_s, max_s = self._simulate_stage(
+                stage, rng, start=clock
+            )
             clock += seconds
             results.append(
                 StageResult(
@@ -160,29 +173,49 @@ class ClusterSimulator:
                     # is capped near 2x normal plus the relaunch overhead.
                     capped = 2.0 * seconds + self.engine.task_launch_overhead_s
                     seconds = min(straggler_seconds, capped)
+                    if self.tracer is not None and seconds == capped:
+                        self.tracer.metrics.inc("speculation.launched")
                 else:
                     seconds = straggler_seconds
             durations.append(seconds)
         return durations
 
     def _simulate_stage(
-        self, stage: StageCost, rng: random.Random
+        self, stage: StageCost, rng: random.Random, start: float = 0.0
     ) -> tuple[float, float, float]:
         """List-schedule one stage; returns (makespan, mean task, max task)."""
         durations = self._task_durations(stage, rng)
         if not durations:
             return 0.0, 0.0, 0.0
+        tracer = self.tracer if (
+            self.tracer is not None and self.tracer.enabled
+        ) else None
         heartbeat = self.engine.scheduling_wave_delay_s
-        slots = [0.0] * min(self.total_slots, len(durations))
+        slots = [
+            (0.0, index)
+            for index in range(min(self.total_slots, len(durations)))
+        ]
         heapq.heapify(slots)
         finish = 0.0
-        for duration in durations:
-            free_at = heapq.heappop(slots)
+        for task_index, duration in enumerate(durations):
+            free_at, slot_index = heapq.heappop(slots)
             if heartbeat > 0:
                 # Workers only receive tasks on heartbeat boundaries.
                 free_at = math.ceil(free_at / heartbeat) * heartbeat
             done = free_at + duration
             finish = max(finish, done)
-            heapq.heappush(slots, done)
+            heapq.heappush(slots, (done, slot_index))
+            if tracer is not None:
+                cores = self.hardware.cores_per_node
+                tracer.record_span(
+                    f"{stage.name}[{task_index}]",
+                    "sim",
+                    lane=f"sim node {slot_index // cores}"
+                    f" core {slot_index % cores}",
+                    start=start + free_at,
+                    end=start + done,
+                    stage=stage.name,
+                    task=task_index,
+                )
         mean_task = sum(durations) / len(durations)
         return finish, mean_task, max(durations)

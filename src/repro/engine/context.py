@@ -12,6 +12,7 @@ from repro.engine.rdd import RDD, DataRDD, ShuffledRDD
 from repro.engine.scheduler import DAGScheduler
 from repro.engine.shuffle import MapOutputStats, ShuffleManager
 from repro.engine.task import CacheTracker
+from repro.obs import MetricsRegistry, QueryTrace, Tracer
 
 
 class EngineContext:
@@ -35,12 +36,16 @@ class EngineContext:
         default_parallelism: Optional[int] = None,
         memory_per_worker_bytes: Optional[int] = None,
     ):
+        #: One tracer per context, disabled until enable_tracing(); its
+        #: metrics registry is always live.  Every subsystem shares it.
+        self.tracer = Tracer()
         self.cluster = VirtualCluster(
             num_workers,
             cores_per_worker,
             memory_per_worker_bytes=memory_per_worker_bytes,
+            tracer=self.tracer,
         )
-        self.shuffle_manager = ShuffleManager(self.cluster)
+        self.shuffle_manager = ShuffleManager(self.cluster, tracer=self.tracer)
         self.cache_tracker = CacheTracker(self.cluster)
         self.scheduler = DAGScheduler(self)
         self.default_parallelism = (
@@ -128,6 +133,26 @@ class EngineContext:
         """Profiles of every job since the last reset (a single SQL query
         may span several: PDE pre-shuffles, sampling, the final collect)."""
         return list(self.scheduler.history)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The always-on metrics registry (counters/gauges/histograms)."""
+        return self.tracer.metrics
+
+    @property
+    def trace(self) -> QueryTrace:
+        """Spans and events recorded since tracing was last enabled."""
+        return self.tracer.trace
+
+    def enable_tracing(self, reset: bool = True) -> Tracer:
+        """Turn span/event collection on; returns the tracer."""
+        return self.tracer.enable(reset=reset)
+
+    def disable_tracing(self) -> None:
+        self.tracer.disable()
 
     # ------------------------------------------------------------------
     # Cluster control (failure experiments, elasticity)

@@ -88,6 +88,10 @@ class StageProfile:
         return sum(task.shuffle_write_bytes for task in self.tasks)
 
     @property
+    def shuffle_read_bytes(self) -> int:
+        return sum(task.shuffle_read_bytes for task in self.tasks)
+
+    @property
     def total_attempts(self) -> int:
         return sum(task.attempts for task in self.tasks)
 
@@ -112,6 +116,18 @@ class QueryProfile:
     def total_tasks(self) -> int:
         return sum(stage.num_tasks for stage in self.stages)
 
+    @property
+    def total_attempts(self) -> int:
+        return sum(stage.total_attempts for stage in self.stages)
+
+    @property
+    def shuffle_read_bytes(self) -> int:
+        return sum(stage.shuffle_read_bytes for stage in self.stages)
+
+    @property
+    def shuffle_write_bytes(self) -> int:
+        return sum(stage.shuffle_write_bytes for stage in self.stages)
+
     def stage_named(self, name: str) -> StageProfile:
         for stage in self.stages:
             if stage.name == name:
@@ -124,8 +140,12 @@ class QueryProfile:
             kind = "shuffle-map" if stage.is_shuffle_map else "result"
             lines.append(
                 f"  stage {stage.stage_id} ({kind}, {stage.name}): "
-                f"{stage.num_tasks} tasks, {stage.records_in} records in, "
-                f"{stage.records_out} records out"
+                f"{stage.num_tasks} tasks "
+                f"({stage.total_attempts} attempts), "
+                f"{stage.records_in} records in, "
+                f"{stage.records_out} records out, "
+                f"shuffle read {stage.shuffle_read_bytes} B, "
+                f"shuffle write {stage.shuffle_write_bytes} B"
             )
         if self.recovered_tasks:
             lines.append(f"  recovered tasks: {self.recovered_tasks}")

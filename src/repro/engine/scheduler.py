@@ -100,18 +100,44 @@ class DAGScheduler:
         job_id = self._next_job_id
         self._next_job_id += 1
         profile = QueryProfile(job_id=job_id)
+        tracer = self._ctx.tracer
+        tracer.metrics.inc("jobs.submitted")
+        job_span = tracer.begin_span(
+            f"job {job_id}",
+            "job",
+            rdd=rdd.name,
+            partitions=len(partitions),
+        )
+        try:
+            final_stage = Stage(self._new_stage_id(), rdd)
+            final_stage.parents = self._parent_stages(rdd)
+            self._ensure_parents(final_stage, profile)
 
-        final_stage = Stage(self._new_stage_id(), rdd)
-        final_stage.parents = self._parent_stages(rdd)
-        self._ensure_parents(final_stage, profile)
-
-        stage_profile = self._stage_profile(profile, final_stage)
-        results = []
-        for partition in partitions:
-            results.append(
-                self._run_with_recovery(
-                    final_stage, partition, profile, stage_profile, func
-                )
+            stage_profile = self._stage_profile(profile, final_stage)
+            stage_span = tracer.begin_span(
+                f"stage {final_stage.stage_id}",
+                "stage",
+                rdd=rdd.name,
+                kind="result",
+                tasks=len(partitions),
+            )
+            tracer.metrics.inc("stages.run")
+            try:
+                results = []
+                for partition in partitions:
+                    results.append(
+                        self._run_with_recovery(
+                            final_stage, partition, profile, stage_profile,
+                            func,
+                        )
+                    )
+            finally:
+                tracer.end_span(stage_span)
+        finally:
+            tracer.end_span(
+                job_span,
+                stages=profile.num_stages,
+                recovered_tasks=profile.recovered_tasks,
             )
         self.last_profile = profile
         self.history.append(profile)
@@ -123,8 +149,20 @@ class DAGScheduler:
         job_id = self._next_job_id
         self._next_job_id += 1
         profile = QueryProfile(job_id=job_id)
-        stage = self._stage_for_shuffle(dep)
-        self._ensure_shuffle_stage(stage, profile)
+        tracer = self._ctx.tracer
+        tracer.metrics.inc("jobs.submitted")
+        tracer.metrics.inc("pde.pre_shuffles")
+        job_span = tracer.begin_span(
+            f"job {job_id}",
+            "job",
+            kind="pde-pre-shuffle",
+            shuffle_id=dep.shuffle_id,
+        )
+        try:
+            stage = self._stage_for_shuffle(dep)
+            self._ensure_shuffle_stage(stage, profile)
+        finally:
+            tracer.end_span(job_span, stages=profile.num_stages)
         self.last_profile = profile
         self.history.append(profile)
         return self._ctx.shuffle_manager.stats(dep.shuffle_id)
@@ -181,40 +219,78 @@ class DAGScheduler:
         manager = self._ctx.shuffle_manager
         manager.register(dep, stage.num_partitions)
         stage_profile = self._stage_profile(profile, stage)
+        tracer = self._ctx.tracer
+        stage_span = None
 
-        for round_number in range(MAX_RECOVERY_ROUNDS):
-            missing = manager.missing_maps(dep.shuffle_id)
-            if not missing:
-                return
-            if round_number > 0:
-                profile.recovered_tasks += len(missing)
-            self._ensure_parents(stage, profile)
-            for partition in missing:
-                try:
-                    self._run_map_task(stage, partition, stage_profile)
-                except FetchFailedError:
-                    # An ancestor shuffle lost data while we were running;
-                    # loop around, re-ensure parents, retry what's missing.
-                    break
-        else:
-            raise EngineError(
-                f"stage {stage.stage_id} failed to materialize after "
-                f"{MAX_RECOVERY_ROUNDS} recovery rounds"
-            )
-        # The for/else above raises on exhaustion; re-check for the break
-        # path by tail-recursing once more.
-        if manager.missing_maps(dep.shuffle_id):
-            raise EngineError(
-                f"stage {stage.stage_id} failed to materialize after "
-                f"{MAX_RECOVERY_ROUNDS} recovery rounds"
-            )
+        try:
+            for round_number in range(MAX_RECOVERY_ROUNDS):
+                missing = manager.missing_maps(dep.shuffle_id)
+                if not missing:
+                    if stage_span is None:
+                        tracer.metrics.inc("stages.skipped")
+                    return
+                if stage_span is None:
+                    stage_span = tracer.begin_span(
+                        f"stage {stage.stage_id}",
+                        "stage",
+                        rdd=stage.rdd.name,
+                        kind="shuffle-map",
+                        shuffle_id=dep.shuffle_id,
+                        tasks=len(missing),
+                    )
+                    tracer.metrics.inc("stages.run")
+                if round_number > 0:
+                    profile.recovered_tasks += len(missing)
+                    tracer.metrics.inc("tasks.recovered", len(missing))
+                    tracer.instant(
+                        "lineage.recovery",
+                        "recovery",
+                        stage_id=stage.stage_id,
+                        shuffle_id=dep.shuffle_id,
+                        lost_maps=len(missing),
+                        round=round_number,
+                    )
+                self._ensure_parents(stage, profile)
+                for partition in missing:
+                    try:
+                        self._run_map_task(
+                            stage,
+                            partition,
+                            stage_profile,
+                            recovery=round_number > 0,
+                        )
+                    except FetchFailedError:
+                        # An ancestor shuffle lost data while we were
+                        # running; loop around, re-ensure parents, retry
+                        # what's missing.
+                        break
+            else:
+                raise EngineError(
+                    f"stage {stage.stage_id} failed to materialize after "
+                    f"{MAX_RECOVERY_ROUNDS} recovery rounds"
+                )
+            # The for/else above raises on exhaustion; re-check for the
+            # break path by tail-recursing once more.
+            if manager.missing_maps(dep.shuffle_id):
+                raise EngineError(
+                    f"stage {stage.stage_id} failed to materialize after "
+                    f"{MAX_RECOVERY_ROUNDS} recovery rounds"
+                )
+        finally:
+            tracer.end_span(stage_span)
 
     def _run_map_task(
-        self, stage: Stage, partition: int, stage_profile: StageProfile
+        self,
+        stage: Stage,
+        partition: int,
+        stage_profile: StageProfile,
+        recovery: bool = False,
     ) -> None:
         worker = self._ctx.cluster.assign_worker(
             preferred=stage.rdd.preferred_workers(partition)
         )
+        tracer = self._ctx.tracer
+        tracer.metrics.inc("tasks.launched")
         metrics = TaskMetrics(
             stage_id=stage.stage_id,
             partition=partition,
@@ -239,6 +315,26 @@ class DAGScheduler:
         )
         metrics.records_out = len(records)
         stage_profile.tasks.append(metrics)
+        tracer.task_span(
+            f"map task {stage.stage_id}.{partition}",
+            lane=worker.worker_id,
+            vector=metrics.to_cost_vector(),
+            stage_id=stage.stage_id,
+            partition=partition,
+            kind="shuffle-map",
+            records_out=metrics.records_out,
+            shuffle_write_bytes=metrics.shuffle_write_bytes,
+            recovery=recovery,
+        )
+        if recovery:
+            tracer.instant(
+                "task.reexecution",
+                "recovery",
+                lane=worker.worker_id,
+                stage_id=stage.stage_id,
+                partition=partition,
+                kind="shuffle-map",
+            )
         self._ctx.cluster.task_completed(worker)
 
     def _run_with_recovery(
@@ -250,13 +346,23 @@ class DAGScheduler:
         func: Callable[[list], object],
     ) -> object:
         """Run one result task, recovering lost ancestor shuffles on demand."""
-        for _ in range(MAX_RECOVERY_ROUNDS):
+        tracer = self._ctx.tracer
+        for attempt in range(1, MAX_RECOVERY_ROUNDS + 1):
             try:
                 return self._run_result_task(
-                    stage, partition, stage_profile, func
+                    stage, partition, stage_profile, func, attempt=attempt
                 )
             except FetchFailedError as failure:
                 profile.recovered_tasks += 1
+                tracer.metrics.inc("tasks.recovered")
+                tracer.instant(
+                    "task.reexecution",
+                    "recovery",
+                    stage_id=stage.stage_id,
+                    partition=partition,
+                    shuffle_id=failure.shuffle_id,
+                    attempt=attempt,
+                )
                 self._recover_shuffle(failure.shuffle_id, profile)
         raise EngineError(
             f"result partition {partition} failed after "
@@ -269,15 +375,19 @@ class DAGScheduler:
         partition: int,
         stage_profile: StageProfile,
         func: Callable[[list], object],
+        attempt: int = 1,
     ) -> object:
         worker = self._ctx.cluster.assign_worker(
             preferred=stage.rdd.preferred_workers(partition)
         )
+        tracer = self._ctx.tracer
+        tracer.metrics.inc("tasks.launched")
         metrics = TaskMetrics(
             stage_id=stage.stage_id,
             partition=partition,
             worker_id=worker.worker_id,
         )
+        metrics.attempts = attempt
         task_ctx = TaskContext(
             stage_id=stage.stage_id,
             partition=partition,
@@ -295,6 +405,16 @@ class DAGScheduler:
             raise TaskError(stage.stage_id, partition, exc) from exc
         metrics.records_out = len(data)
         stage_profile.tasks.append(metrics)
+        tracer.task_span(
+            f"result task {stage.stage_id}.{partition}",
+            lane=worker.worker_id,
+            vector=metrics.to_cost_vector(),
+            stage_id=stage.stage_id,
+            partition=partition,
+            kind="result",
+            records_out=metrics.records_out,
+            attempt=attempt,
+        )
         self._ctx.cluster.task_completed(worker)
         return result
 

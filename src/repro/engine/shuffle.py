@@ -22,6 +22,7 @@ import pickle
 from repro.cluster.worker import approximate_size_bytes
 from repro.engine.accumulator import log_decode_size, log_encode_size
 from repro.errors import FetchFailedError
+from repro.obs import Tracer
 
 
 def serialized_size_bytes(records: list) -> int:
@@ -95,8 +96,11 @@ class MapOutputStats:
 class ShuffleManager:
     """Tracks every shuffle's map outputs, their locations, and statistics."""
 
-    def __init__(self, cluster: "VirtualCluster"):
+    def __init__(
+        self, cluster: "VirtualCluster", tracer: Tracer = None
+    ):
         self._cluster = cluster
+        self._tracer = tracer if tracer is not None else cluster.tracer
         #: shuffle_id -> {map_partition: worker_id}
         self._locations: dict[int, dict[int, int]] = {}
         self._stats: dict[int, MapOutputStats] = {}
@@ -177,10 +181,21 @@ class ShuffleManager:
             else:
                 stats.custom[collector.name] = partial
 
+        total_bytes = sum(bucket_bytes)
         if metrics is not None:
-            total_bytes = sum(bucket_bytes)
             metrics.shuffle_write_bytes += total_bytes
             metrics.shuffle_write_records += len(output)
+        self._tracer.metrics.inc("shuffle.write.bytes", total_bytes)
+        self._tracer.metrics.inc("shuffle.write.records", len(output))
+        self._tracer.instant(
+            "shuffle.write",
+            "shuffle",
+            lane=worker_id,
+            shuffle_id=dep.shuffle_id,
+            map_partition=map_partition,
+            bytes=total_bytes,
+            records=len(output),
+        )
 
     # ------------------------------------------------------------------
     # Reduce-side fetches
@@ -198,20 +213,53 @@ class ShuffleManager:
         """
         locations = self._locations[shuffle_id]
         stats = self._stats[shuffle_id]
+        reader_lane = metrics.worker_id if metrics is not None else "driver"
         fetched: list = []
         for map_partition in range(stats.num_maps):
             worker_id = locations.get(map_partition)
             if worker_id is None:
+                self._record_fetch_failure(
+                    shuffle_id, map_partition, -1, reader_lane
+                )
                 raise FetchFailedError(shuffle_id, map_partition, -1)
             worker = self._cluster.worker(worker_id)
             block_id = _shuffle_block_id(shuffle_id, map_partition)
             if not worker.alive or block_id not in worker.blocks:
+                self._record_fetch_failure(
+                    shuffle_id, map_partition, worker_id, reader_lane
+                )
                 raise FetchFailedError(shuffle_id, map_partition, worker_id)
             buckets = worker.blocks.get(block_id)
             fetched.extend(buckets[reduce_partition])
         if metrics is not None:
-            metrics.shuffle_read_bytes += serialized_size_bytes(fetched)
+            read_bytes = serialized_size_bytes(fetched)
+            metrics.shuffle_read_bytes += read_bytes
+            self._tracer.metrics.inc("shuffle.read.bytes", read_bytes)
+            self._tracer.instant(
+                "shuffle.fetch",
+                "shuffle",
+                lane=reader_lane,
+                shuffle_id=shuffle_id,
+                reduce_partition=reduce_partition,
+                bytes=read_bytes,
+                records=len(fetched),
+            )
+        self._tracer.metrics.inc("shuffle.fetches")
         return fetched
+
+    def _record_fetch_failure(
+        self, shuffle_id: int, map_partition: int, worker_id: int, lane
+    ) -> None:
+        """One lost-map-output fetch: the trigger for lineage recovery."""
+        self._tracer.metrics.inc("shuffle.fetch_failures")
+        self._tracer.instant(
+            "shuffle.fetch_failed",
+            "shuffle",
+            lane=lane,
+            shuffle_id=shuffle_id,
+            map_partition=map_partition,
+            lost_worker=worker_id,
+        )
 
     def missing_maps(self, shuffle_id: int) -> list[int]:
         """Map partitions whose output is registered but no longer available."""

@@ -27,6 +27,7 @@ class CacheTracker:
 
     def __init__(self, cluster: "VirtualCluster"):
         self._cluster = cluster
+        self._tracer = cluster.tracer
         #: (rdd_id, partition) -> worker_id
         self._locations: dict[tuple[int, int], int] = {}
         cluster.on_worker_killed(self._handle_worker_killed)
@@ -35,12 +36,22 @@ class CacheTracker:
         """Return (worker_id, value) for a cached partition, or None."""
         worker_id = self._locations.get((rdd_id, partition))
         if worker_id is None:
+            self._tracer.metrics.inc("cache.misses")
             return None
         worker = self._cluster.worker(worker_id)
         block_id = _rdd_block_id(rdd_id, partition)
         if not worker.alive or block_id not in worker.blocks:
             self._locations.pop((rdd_id, partition), None)
+            self._tracer.metrics.inc("cache.misses")
             return None
+        self._tracer.metrics.inc("cache.hits")
+        self._tracer.instant(
+            "cache.hit",
+            "cache",
+            lane=worker_id,
+            rdd_id=rdd_id,
+            partition=partition,
+        )
         return worker_id, worker.blocks.get(block_id)
 
     def location(self, rdd_id: int, partition: int) -> int | None:

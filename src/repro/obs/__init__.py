@@ -1,0 +1,53 @@
+"""Observability: structured tracing and a metrics registry.
+
+Everything the engine emits while executing — job/stage/task spans,
+shuffle writes and fetches, PDE re-planning decisions, worker kills and
+lineage recoveries, cache and block-store activity — flows through one
+:class:`~repro.obs.tracer.Tracer` per :class:`~repro.engine.context.
+EngineContext`.  Timestamps come from a **simulated** discrete-event
+clock (:class:`~repro.obs.clock.VirtualClock`) advanced by the cost
+model's per-task second estimates; ``src/repro`` never reads the wall
+clock, so traces are deterministic and reproducible.
+
+Consumers:
+
+* ``EXPLAIN ANALYZE <query>`` — runs the query and renders the optimized
+  plan annotated with per-stage task counts, rows, bytes, attempts, and
+  simulated seconds (:mod:`repro.obs.analyze`);
+* :meth:`~repro.obs.tracer.QueryTrace.to_chrome_trace` — exports the
+  span timeline as Chrome ``chrome://tracing`` / Perfetto JSON keyed by
+  virtual worker;
+* the shell's ``.profile`` / ``.metrics`` / ``.trace`` dot-commands and
+  the benchmark harness's ``--trace-out`` option.
+
+Tracing is **off by default**: every emit method returns immediately
+when the tracer is disabled, so the benchmark path pays nothing beyond
+a predicate check.  The metrics registry is always on — plain counter
+increments — because the shell's ``.metrics`` view must work without
+opting into span collection.
+"""
+
+from repro.obs.analyze import QueryAnalysis, StageAnalysis, analyze_profiles
+from repro.obs.clock import VirtualClock
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import QueryTrace, Span, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryAnalysis",
+    "QueryTrace",
+    "Span",
+    "StageAnalysis",
+    "TraceEvent",
+    "Tracer",
+    "VirtualClock",
+    "analyze_profiles",
+]

@@ -1,0 +1,166 @@
+"""``EXPLAIN ANALYZE``: executed-stage statistics behind the plan text.
+
+The session runs the query for real, collects every job's
+:class:`~repro.engine.metrics.QueryProfile` (PDE pre-shuffles, sampling
+jobs, the final collect), and hands them here.  Each executed stage is
+annotated with task counts, attempts, rows, shuffle bytes, and the
+simulated seconds the discrete-event
+:class:`~repro.costmodel.simulator.ClusterSimulator` charges for it on
+the session's own virtual cluster (not the paper's 100 nodes — the
+point is to show where *this* query spent its modelled time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.costmodel.constants import (
+    DEFAULT_HARDWARE,
+    EngineProfile,
+    SHARK_MEM,
+)
+from repro.costmodel.simulator import ClusterSimulator, StageCost
+from repro.engine.metrics import QueryProfile, StageProfile
+
+
+@dataclass
+class StageAnalysis:
+    """One executed stage's annotations."""
+
+    job_id: int
+    stage_id: int
+    name: str
+    kind: str  # "shuffle-map" | "result"
+    num_tasks: int
+    total_attempts: int
+    records_in: int
+    records_out: int
+    bytes_in: int
+    shuffle_read_bytes: int
+    shuffle_write_bytes: int
+    sim_seconds: float
+
+    def render(self) -> str:
+        parts = [f"{self.num_tasks} tasks"]
+        if self.total_attempts != self.num_tasks:
+            parts[-1] += f" ({self.total_attempts} attempts)"
+        parts.append(
+            f"rows {self.records_in} -> {self.records_out}"
+        )
+        parts.append(f"input {_bytes(self.bytes_in)}")
+        if self.shuffle_read_bytes:
+            parts.append(f"shuffle read {_bytes(self.shuffle_read_bytes)}")
+        if self.shuffle_write_bytes:
+            parts.append(
+                f"shuffle write {_bytes(self.shuffle_write_bytes)}"
+            )
+        parts.append(f"{self.sim_seconds:.3f} sim-s")
+        return (
+            f"stage {self.stage_id} ({self.kind}, {self.name}): "
+            + ", ".join(parts)
+        )
+
+
+@dataclass
+class QueryAnalysis:
+    """The full EXPLAIN ANALYZE payload."""
+
+    plan_text: str
+    stages: list[StageAnalysis] = field(default_factory=list)
+    total_sim_seconds: float = 0.0
+    recovered_tasks: int = 0
+    num_jobs: int = 0
+    result_rows: Optional[int] = None
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = self.plan_text.splitlines()
+        lines.append("")
+        lines.append(
+            f"== runtime profile ({self.num_jobs} job"
+            f"{'s' if self.num_jobs != 1 else ''}, "
+            f"{self.total_sim_seconds:.3f} simulated seconds) =="
+        )
+        for stage in self.stages:
+            lines.append("  " + stage.render())
+        if self.recovered_tasks:
+            lines.append(
+                f"  recovered tasks (lineage re-execution): "
+                f"{self.recovered_tasks}"
+            )
+        if self.result_rows is not None:
+            lines.append(f"  result: {self.result_rows} row(s)")
+        for note in self.notes:
+            lines.append(f"  -- {note}")
+        return "\n".join(lines)
+
+
+def analyze_profiles(
+    plan_text: str,
+    profiles: list[QueryProfile],
+    num_workers: int,
+    cores_per_worker: int,
+    engine: EngineProfile = SHARK_MEM,
+    result_rows: Optional[int] = None,
+    notes: Optional[list[str]] = None,
+) -> QueryAnalysis:
+    """Annotate ``plan_text`` with the executed profiles' statistics.
+
+    Simulated seconds come from list-scheduling each executed stage's
+    measured per-task cost vectors onto the session's own virtual
+    cluster geometry (``num_workers`` x ``cores_per_worker``).
+    """
+    hardware = replace(DEFAULT_HARDWARE, cores_per_node=cores_per_worker)
+    simulator = ClusterSimulator(
+        max(num_workers, 1), engine=engine, hardware=hardware
+    )
+    analysis = QueryAnalysis(
+        plan_text=plan_text,
+        num_jobs=len(profiles),
+        result_rows=result_rows,
+        notes=list(notes or []),
+    )
+    executed: list[tuple[QueryProfile, StageProfile]] = []
+    for profile in profiles:
+        analysis.recovered_tasks += profile.recovered_tasks
+        for stage in profile.stages:
+            if stage.num_tasks == 0:
+                continue  # skipped: shuffle outputs reused
+            executed.append((profile, stage))
+    costs = simulator.simulate(
+        [
+            StageCost(name=stage.name, tasks=stage.cost_vectors())
+            for __, stage in executed
+        ]
+    )
+    analysis.total_sim_seconds = costs.total_seconds
+    for (profile, stage), result in zip(executed, costs.stages):
+        analysis.stages.append(
+            StageAnalysis(
+                job_id=profile.job_id,
+                stage_id=stage.stage_id,
+                name=stage.name,
+                kind="shuffle-map" if stage.is_shuffle_map else "result",
+                num_tasks=stage.num_tasks,
+                total_attempts=stage.total_attempts,
+                records_in=stage.records_in,
+                records_out=stage.records_out,
+                bytes_in=stage.bytes_in,
+                shuffle_read_bytes=stage.shuffle_read_bytes,
+                shuffle_write_bytes=stage.shuffle_write_bytes,
+                sim_seconds=result.seconds,
+            )
+        )
+    return analysis
+
+
+def _bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return f"{int(value)}{unit}"
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{int(count)}B"  # pragma: no cover - unreachable

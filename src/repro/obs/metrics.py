@@ -1,0 +1,170 @@
+"""Named counters, gauges and histograms for the whole engine.
+
+One :class:`MetricsRegistry` lives on each tracer (and therefore each
+:class:`~repro.engine.context.EngineContext`).  Unlike span collection,
+the registry is always on: increments are plain dict operations, cheap
+enough for the hot path, and the shell's ``.metrics`` dot-command must
+show engine activity without the user having opted into tracing.
+
+Naming convention: dotted lowercase paths grouped by subsystem, e.g.
+``tasks.launched``, ``shuffle.write.bytes``, ``blocks.evicted``,
+``pde.join_decisions``, ``workers.killed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """All named metrics of one engine context."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors (create on first use)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # ------------------------------------------------------------------
+    # One-line emit helpers (the instrumented call sites use these)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Current value of a counter or gauge (0 when never emitted)."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        return default
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """Plain-data view, stable key order, for tests and exporters."""
+        return {
+            "counters": {
+                name: metric.value
+                for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: metric.value
+                for name, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": metric.count,
+                    "sum": metric.total,
+                    "min": metric.min if metric.count else 0.0,
+                    "max": metric.max if metric.count else 0.0,
+                    "mean": metric.mean,
+                }
+                for name, metric in sorted(self._histograms.items())
+            },
+        }
+
+    def describe(self) -> str:
+        """Human-readable dump for the shell's ``.metrics`` command."""
+        lines: list[str] = []
+        for name, metric in sorted(self._counters.items()):
+            lines.append(f"{name} = {_number(metric.value)}")
+        for name, metric in sorted(self._gauges.items()):
+            lines.append(f"{name} = {_number(metric.value)} (gauge)")
+        for name, metric in sorted(self._histograms.items()):
+            if metric.count:
+                lines.append(
+                    f"{name}: count={metric.count} mean={metric.mean:.3f} "
+                    f"min={_number(metric.min)} max={_number(metric.max)}"
+                )
+            else:
+                lines.append(f"{name}: count=0")
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+
+def _number(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:.3f}"

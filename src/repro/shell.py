@@ -29,6 +29,10 @@ Enter SQL terminated by ';'.  Dot-commands:
   .tables               list catalog tables
   .describe <table>     show a table's schema and storage
   .explain <query>      optimized logical plan without executing
+  .profile <query>      EXPLAIN ANALYZE: run and annotate the plan with
+                        per-stage tasks/rows/bytes/simulated seconds
+  .metrics              engine counters (tasks, shuffle bytes, evictions)
+  .trace [on|off|<path>] toggle span tracing / export Chrome-trace JSON
   .workers              virtual cluster status
   .kill <worker_id>     kill a worker (lineage recovery demo)
   .notes                run-time optimizer decisions of the last query
@@ -146,6 +150,18 @@ class Shell:
             except ReproError as error:
                 self._write(f"error: {error}")
             return
+        if name == ".profile":
+            try:
+                self._write(self.shark.explain_analyze(argument.rstrip(";")))
+            except ReproError as error:
+                self._write(f"error: {error}")
+            return
+        if name == ".metrics":
+            self._write(self.shark.metrics.describe())
+            return
+        if name == ".trace":
+            self._trace_command(argument)
+            return
         if name == ".workers":
             for worker in self.shark.engine.cluster.workers:
                 status = "alive" if worker.alive else "DEAD"
@@ -175,6 +191,33 @@ class Shell:
                     self._write(f"-- {note}")
             return
         self._write(f"unknown command {name!r}; try .help")
+
+    def _trace_command(self, argument: str) -> None:
+        tracer = self.shark.tracer
+        if argument in ("", "on"):
+            self.shark.enable_tracing(reset=argument == "on")
+            self._write("tracing enabled")
+            return
+        if argument == "off":
+            self.shark.disable_tracing()
+            self._write("tracing disabled")
+            return
+        # Anything else is a path: export what was recorded.
+        trace = self.shark.trace
+        if len(trace) == 0:
+            self._write(
+                "(no spans recorded — run `.trace on`, then a query)"
+            )
+            return
+        try:
+            trace.write_chrome_trace(argument)
+        except OSError as error:
+            self._write(f"error: {error}")
+            return
+        self._write(
+            f"wrote {len(trace.spans)} spans / {len(trace.events)} events "
+            f"to {argument} (open in https://ui.perfetto.dev)"
+        )
 
     def _describe(self, name: str) -> None:
         try:

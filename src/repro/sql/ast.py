@@ -263,6 +263,9 @@ class InsertInto(Statement):
 @dataclass(frozen=True)
 class Explain(Statement):
     statement: Statement
+    #: EXPLAIN ANALYZE: execute the statement and annotate the plan with
+    #: per-stage runtime metrics.
+    analyze: bool = False
 
 
 @dataclass(frozen=True)

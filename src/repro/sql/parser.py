@@ -107,7 +107,12 @@ class Parser:
     # ------------------------------------------------------------------
     def parse_statement(self) -> Statement:
         if self._keyword("explain"):
-            return Explain(self.parse_statement())
+            analyze = False
+            token = self._peek()
+            if token.kind == "ident" and token.value.lower() == "analyze":
+                self._advance()
+                analyze = True
+            return Explain(self.parse_statement(), analyze=analyze)
         if self._check("keyword", "select"):
             statement = self._parse_select()
         elif self._check("keyword", "create"):

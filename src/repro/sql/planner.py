@@ -132,6 +132,24 @@ class PhysicalPlanner:
         self.config = config or PlannerConfig()
         self.report = ExecutionReport()
 
+    def _record_join_decision(
+        self, decision: JoinDecision, mechanism: str
+    ) -> None:
+        """Log one run-time join selection to the report and the tracer."""
+        self.report.join_decisions.append(decision)
+        tracer = self.ctx.tracer
+        tracer.metrics.inc("pde.join_decisions")
+        tracer.instant(
+            "pde.decision",
+            "pde",
+            decision="join_strategy",
+            mechanism=mechanism,
+            strategy=decision.strategy,
+            reason=decision.reason,
+            left_bytes=decision.left_bytes,
+            right_bytes=decision.right_bytes,
+        )
+
     def plan(self, node: logical.LogicalPlan) -> PlannedQuery:
         rdd = self._plan(node)
         planned = PlannedQuery(
@@ -353,6 +371,16 @@ class PhysicalPlanner:
                 self.config.target_partition_bytes,
                 max_reducers=fine,
             )
+            tracer = self.ctx.tracer
+            tracer.metrics.inc("pde.reducer_decisions")
+            tracer.instant(
+                "pde.decision",
+                "pde",
+                decision="num_reducers",
+                fine_buckets=fine,
+                reducers=reducers,
+                observed_bytes=total,
+            )
             if reducers < fine:
                 if self.config.pde_skew_binpack:
                     groups = pack_partitions(sizes, reducers)
@@ -426,13 +454,13 @@ class PhysicalPlanner:
                 right_broadcastable,
             )
             if decision.strategy != "shuffle":
-                self.report.join_decisions.append(decision)
+                self._record_join_decision(decision, "static")
                 self.report.note(f"static join selection: {decision.reason}")
                 return self._broadcast(node, decision.strategy,
                                        left_width, right_width)
             if left_est is not None and right_est is not None:
                 # Both sides known and big: commit to a shuffle join.
-                self.report.join_decisions.append(decision)
+                self._record_join_decision(decision, "static")
                 self.report.note(f"static join selection: {decision.reason}")
                 return self._shuffle_join(node, left_width, right_width)
 
@@ -447,7 +475,7 @@ class PhysicalPlanner:
             )
 
         decision = JoinDecision("shuffle", "fallback: no PDE, no estimates")
-        self.report.join_decisions.append(decision)
+        self._record_join_decision(decision, "fallback")
         return self._shuffle_join(node, left_width, right_width)
 
     def _try_copartitioned(
@@ -469,8 +497,9 @@ class PhysicalPlanner:
             f"{left_info.column} = {right_info.table_name}."
             f"{right_info.column}: no shuffle"
         )
-        self.report.join_decisions.append(
-            JoinDecision("copartitioned", "tables co-partitioned on join key")
+        self._record_join_decision(
+            JoinDecision("copartitioned", "tables co-partitioned on join key"),
+            "copartitioned",
         )
         return physical.copartitioned_join(
             self.ctx,
@@ -585,7 +614,7 @@ class PhysicalPlanner:
                 self.config.broadcast_threshold_bytes,
                 left_broadcastable, right_broadcastable,
             )
-        self.report.join_decisions.append(decision)
+        self._record_join_decision(decision, "pde")
         self.report.note(
             f"PDE join selection: pre-shuffled "
             f"{'left' if probe_left else 'right'} side, observed "

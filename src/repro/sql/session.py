@@ -18,6 +18,7 @@ from repro.datatypes import Field, Schema, type_by_name
 from repro.engine.context import EngineContext
 from repro.engine.rdd import RDD
 from repro.errors import AnalysisError, CatalogError, UnsupportedFeatureError
+from repro.obs import analyze_profiles
 from repro.sql import ast
 from repro.sql.analyzer import Analyzer, Scope
 from repro.sql.catalog import CACHED, Catalog, EXTERNAL, TableEntry
@@ -107,10 +108,15 @@ class SqlSession:
 
     def execute_statement(self, statement: ast.Statement) -> QueryResult:
         if isinstance(statement, ast.SelectStatement):
-            planned = self.plan_select(statement)
-            rows = planned.rdd.collect()
+            tracer = self.ctx.tracer
+            tracer.metrics.inc("queries.executed")
+            with tracer.span("query", "query", kind="select"):
+                planned = self.plan_select(statement)
+                rows = planned.rdd.collect()
             return QueryResult(rows, planned.schema, planned.report)
         if isinstance(statement, ast.Explain):
+            if statement.analyze:
+                return self._explain_analyze(statement.statement)
             return self._explain(statement.statement)
         # Catalog-mutating statements: execute, then journal on success.
         previously_in_statement = self._in_statement
@@ -162,6 +168,49 @@ class SqlSession:
         return QueryResult(
             rows=[(line,) for line in text.splitlines()],
             schema=schema,
+            plan_text=text,
+        )
+
+    def _explain_analyze(self, statement: ast.Statement) -> QueryResult:
+        """EXPLAIN ANALYZE: run the query for real, then annotate the
+        optimized plan with each executed stage's task counts, attempts,
+        rows, shuffle bytes, and simulated seconds."""
+        if isinstance(statement, ast.CreateTable) and statement.as_select:
+            statement = statement.as_select
+        if not isinstance(statement, ast.SelectStatement):
+            raise UnsupportedFeatureError(
+                "EXPLAIN ANALYZE supports SELECT and CTAS"
+            )
+        analyzer = Analyzer(self.catalog, self.registry)
+        plan = analyzer.analyze_select(statement)
+        optimized = optimize(plan)
+        plan_text = optimized.pretty()
+
+        self.ctx.reset_profiles()
+        tracer = self.ctx.tracer
+        tracer.metrics.inc("queries.executed")
+        with tracer.span("query", "query", kind="explain-analyze"):
+            planner = PhysicalPlanner(self.ctx, self.store, self.config)
+            planned = planner.plan(optimized)
+            self.last_report = planned.report
+            rows = planned.rdd.collect()
+
+        cluster = self.ctx.cluster
+        cores = cluster.workers[0].cores if cluster.workers else 1
+        analysis = analyze_profiles(
+            plan_text,
+            self.ctx.profiles,
+            num_workers=cluster.num_workers,
+            cores_per_worker=cores,
+            result_rows=len(rows),
+            notes=planned.report.notes,
+        )
+        text = analysis.render()
+        schema = Schema([Field("plan", type_by_name("string"))])
+        return QueryResult(
+            rows=[(line,) for line in text.splitlines()],
+            schema=schema,
+            report=planned.report,
             plan_text=text,
         )
 
