@@ -63,6 +63,9 @@ class VirtualCluster:
         self.total_tasks_completed = 0
         self._failure_injectors: list[FailureInjector] = []
         self._on_worker_killed: list[Callable[[int], None]] = []
+        #: worker_id -> total_tasks_completed count at which the worker's
+        #: probation ends and it becomes schedulable again.
+        self._blacklist: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Membership
@@ -129,24 +132,83 @@ class VirtualCluster:
         self._on_worker_killed.append(callback)
 
     # ------------------------------------------------------------------
+    # Blacklisting with probation
+    # ------------------------------------------------------------------
+    def blacklist_worker(self, worker_id: int, probation_tasks: int) -> None:
+        """Stop scheduling on a worker until ``probation_tasks`` more tasks
+        complete cluster-wide, after which it is eligible again."""
+        self._blacklist[worker_id] = (
+            self.total_tasks_completed + probation_tasks
+        )
+        self.tracer.metrics.inc("workers.blacklisted")
+        self.tracer.instant(
+            "worker.blacklisted",
+            "cluster",
+            lane=worker_id,
+            worker_id=worker_id,
+            probation_tasks=probation_tasks,
+        )
+
+    def is_blacklisted(self, worker_id: int) -> bool:
+        expiry = self._blacklist.get(worker_id)
+        if expiry is None:
+            return False
+        if self.total_tasks_completed >= expiry:
+            # Probation served: the worker rejoins the schedulable pool.
+            del self._blacklist[worker_id]
+            self.tracer.instant(
+                "worker.probation",
+                "cluster",
+                lane=worker_id,
+                worker_id=worker_id,
+            )
+            return False
+        return True
+
+    def blacklisted_workers(self) -> list[int]:
+        return [wid for wid in list(self._blacklist) if self.is_blacklisted(wid)]
+
+    # ------------------------------------------------------------------
     # Task placement
     # ------------------------------------------------------------------
-    def assign_worker(self, preferred: Iterable[int] = ()) -> Worker:
+    def assign_worker(
+        self, preferred: Iterable[int] = (), exclude: Iterable[int] = ()
+    ) -> Worker:
         """Pick a worker for a task, honoring locality preferences.
 
         Preferred workers (those already holding the task's input blocks)
-        win if alive; otherwise round-robin over live workers, mirroring
-        delay-scheduling's behaviour once locality is unobtainable.
+        win if alive and not excluded/blacklisted; otherwise round-robin
+        over the eligible live workers, mirroring delay-scheduling's
+        behaviour once locality is unobtainable.  ``exclude`` lists workers
+        a retry or speculative copy must avoid.  Blacklisted and excluded
+        workers are only used when no other live worker exists (progress
+        beats probation).
         """
+        excluded = set(exclude)
         for worker_id in preferred:
             if 0 <= worker_id < len(self.workers):
                 candidate = self.workers[worker_id]
-                if candidate.alive:
+                if (
+                    candidate.alive
+                    and worker_id not in excluded
+                    and not self.is_blacklisted(worker_id)
+                ):
                     return candidate
         live = self.live_workers()
         if not live:
             raise NoLiveWorkersError("no live workers to assign a task to")
-        worker = live[self._next_assignment % len(live)]
+        pool = [
+            worker
+            for worker in live
+            if worker.worker_id not in excluded
+            and not self.is_blacklisted(worker.worker_id)
+        ]
+        if not pool:
+            # Everything eligible is excluded or on probation; schedule
+            # anyway rather than deadlock.
+            pool = live
+            self.tracer.metrics.inc("blacklist.overridden")
+        worker = pool[self._next_assignment % len(pool)]
         self._next_assignment += 1
         return worker
 

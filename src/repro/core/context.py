@@ -40,11 +40,15 @@ class SharkContext:
         config: Optional[PlannerConfig] = None,
         store: Optional[DistributedFileStore] = None,
         enable_master_recovery: bool = False,
+        fault_injector=None,
+        scheduler_config=None,
     ):
         self.engine = EngineContext(
             num_workers=num_workers,
             cores_per_worker=cores_per_worker,
             default_parallelism=default_parallelism,
+            fault_injector=fault_injector,
+            scheduler_config=scheduler_config,
         )
         self.store = store if store is not None else DistributedFileStore()
         self.session = SqlSession(

@@ -35,19 +35,34 @@ class EngineContext:
         cores_per_worker: int = 2,
         default_parallelism: Optional[int] = None,
         memory_per_worker_bytes: Optional[int] = None,
+        fault_injector=None,
+        scheduler_config=None,
     ):
         #: One tracer per context, disabled until enable_tracing(); its
         #: metrics registry is always live.  Every subsystem shares it.
         self.tracer = Tracer()
+        #: Optional repro.faults.FaultInjector; None means fault-free
+        #: execution (and speculation stays off in its auto mode).
+        self.fault_injector = fault_injector
         self.cluster = VirtualCluster(
             num_workers,
             cores_per_worker,
             memory_per_worker_bytes=memory_per_worker_bytes,
             tracer=self.tracer,
         )
-        self.shuffle_manager = ShuffleManager(self.cluster, tracer=self.tracer)
+        self.shuffle_manager = ShuffleManager(
+            self.cluster, tracer=self.tracer, fault_injector=fault_injector
+        )
         self.cache_tracker = CacheTracker(self.cluster)
-        self.scheduler = DAGScheduler(self)
+        self.scheduler = DAGScheduler(self, config=scheduler_config)
+        if (
+            fault_injector is not None
+            and fault_injector.kill_worker_id is not None
+        ):
+            self.cluster.inject_failure(
+                fault_injector.kill_worker_id,
+                fault_injector.kill_after_tasks,
+            )
         self.default_parallelism = (
             default_parallelism
             if default_parallelism is not None

@@ -40,6 +40,8 @@ class TaskMetrics:
     #: Number of times this task was attempted (>1 after failures or
     #: speculation).
     attempts: int = 1
+    #: True when the kept result came from a speculative backup copy.
+    speculative: bool = False
 
     def to_cost_vector(self) -> TaskCostVector:
         """Convert to the cost-model representation."""
@@ -107,6 +109,12 @@ class QueryProfile:
     stages: list[StageProfile] = field(default_factory=list)
     #: Tasks re-executed due to worker failures (lineage recovery).
     recovered_tasks: int = 0
+    #: Task attempts retried after transient failures (with backoff).
+    retried_tasks: int = 0
+    #: Speculative backup copies launched against stragglers.
+    speculative_tasks: int = 0
+    #: Workers placed on the blacklist during this job.
+    blacklisted_workers: int = 0
 
     @property
     def num_stages(self) -> int:
@@ -149,4 +157,14 @@ class QueryProfile:
             )
         if self.recovered_tasks:
             lines.append(f"  recovered tasks: {self.recovered_tasks}")
+        if self.retried_tasks:
+            lines.append(f"  retried tasks: {self.retried_tasks}")
+        if self.speculative_tasks:
+            lines.append(
+                f"  speculative tasks: {self.speculative_tasks}"
+            )
+        if self.blacklisted_workers:
+            lines.append(
+                f"  blacklisted workers: {self.blacklisted_workers}"
+            )
         return "\n".join(lines)

@@ -103,12 +103,32 @@ class RangePartitioner(Partitioner):
 
 
 class FunctionPartitioner(Partitioner):
-    """Partitions with an arbitrary user function (used by co-partitioning)."""
+    """Partitions with an arbitrary user function (used by co-partitioning).
 
-    def __init__(self, num_partitions: int, fn: Callable[[Any], int], name: str = ""):
+    Equality contract: two FunctionPartitioners are equal when they have
+    the same ``num_partitions`` and the same ``label``.  The label is the
+    caller's promise that the functions partition identically — labelled
+    partitioners built in different sessions (or from distinct-but-equal
+    lambdas) compare equal, so co-partitioned join detection works across
+    plan rebuilds.  Unlabelled partitioners fall back to function identity
+    (``fn is fn``): safe, but never equal across sessions.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        fn: Callable[[Any], int],
+        name: str = "",
+        label: str | None = None,
+    ):
         super().__init__(num_partitions)
         self._fn = fn
         self._name = name or getattr(fn, "__name__", "fn")
+        self.label = label
+
+    def _key(self) -> Any:
+        """Identity key: the caller's label, or function identity."""
+        return self.label if self.label is not None else id(self._fn)
 
     def partition(self, key: Any) -> int:
         return self._fn(key) % self.num_partitions
@@ -117,11 +137,13 @@ class FunctionPartitioner(Partitioner):
         return (
             isinstance(other, FunctionPartitioner)
             and self.num_partitions == other.num_partitions
-            and self._fn is other._fn
+            and self._key() == other._key()
         )
 
     def __hash__(self) -> int:
-        return hash(("FunctionPartitioner", self.num_partitions, id(self._fn)))
+        return hash(
+            ("FunctionPartitioner", self.num_partitions, self._key())
+        )
 
     def __repr__(self) -> str:
         return f"FunctionPartitioner({self.num_partitions}, {self._name})"

@@ -13,22 +13,48 @@ behaviour implements the paper's fault-tolerance guarantees (Section 2.3):
 * shuffle outputs that already exist are *not* recomputed — a stage whose
   map outputs are all present is skipped, which is also what lets PDE
   pre-run the map side of a shuffle and reuse it (Section 3.1).
+
+Layered on top of lineage recovery is per-attempt robustness (Section 7's
+straggler/failure discussion), governed by :class:`SchedulerConfig`:
+
+* **retry with backoff** — a :class:`~repro.errors.TransientTaskFailure`
+  (from the fault-injection harness or a flaky worker) retries the task on
+  a different worker after a capped exponential *simulated-clock* backoff,
+  up to ``max_task_attempts``; this is per-attempt and distinct from
+  lineage-recovery rounds, which re-run tasks whose *output* was lost;
+* **speculative execution** — when a completed task's simulated runtime
+  exceeds a quantile of its stage peers, a backup copy runs on another
+  worker and the faster finisher's result is kept;
+* **worker blacklisting** — workers accumulating ``blacklist_threshold``
+  failures are taken out of the schedulable pool for a probation period.
+
+Correctness under re-execution: each attempt buffers its accumulator
+updates on its :class:`~repro.engine.task.TaskContext`, and the scheduler
+merges only the kept attempt's buffer — exactly once per map partition
+(guarded across lineage re-runs) and once per result partition — so
+retries, speculation, and recovery never inflate accumulator values.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.engine.dependencies import (
     NarrowDependency,
     ShuffleDependency,
 )
 from repro.engine.metrics import QueryProfile, StageProfile, TaskMetrics
-from repro.engine.task import TaskContext
+from repro.engine.task import (
+    TaskContext,
+    pop_task_context,
+    push_task_context,
+)
 from repro.errors import (
     EngineError,
     FetchFailedError,
     TaskError,
+    TransientTaskFailure,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -38,6 +64,48 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Upper bound on recovery rounds for one job before giving up.
 MAX_RECOVERY_ROUNDS = 16
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs for the scheduler's robustness machinery.
+
+    ``speculation=None`` means *auto*: speculative execution turns on when
+    the engine context carries a fault injector (so fault-free runs keep
+    their exact seed behaviour) and stays off otherwise.
+    """
+
+    #: Attempts per task (first run + retries) before the job fails.
+    max_task_attempts: int = 4
+    #: First retry waits this many simulated seconds; doubles per retry.
+    retry_backoff_base_s: float = 0.05
+    #: Ceiling on the simulated backoff delay.
+    retry_backoff_cap_s: float = 2.0
+    #: True/False forces speculation on/off; None = auto (see above).
+    speculation: Optional[bool] = None
+    #: A task is a straggler when its runtime exceeds this quantile of
+    #: completed stage peers times ``speculation_multiplier``.
+    speculation_quantile: float = 0.75
+    speculation_multiplier: float = 1.5
+    #: Minimum completed peers before the quantile is trusted.
+    speculation_min_peers: int = 3
+    #: Failures before a worker is blacklisted.
+    blacklist_threshold: int = 3
+    #: Probation length, in cluster-wide task completions.
+    blacklist_probation_tasks: int = 25
+
+
+@dataclass
+class _Attempt:
+    """One finished task attempt the scheduler may keep or discard."""
+
+    worker_id: int
+    metrics: TaskMetrics
+    task_ctx: TaskContext
+    result: Any
+    records_out: int
+    #: Simulated runtime (None when nothing downstream needs durations).
+    seconds: Optional[float] = None
 
 
 class Stage:
@@ -71,8 +139,11 @@ class Stage:
 class DAGScheduler:
     """Builds stages from lineage and executes them with recovery."""
 
-    def __init__(self, ctx: "EngineContext"):
+    def __init__(
+        self, ctx: "EngineContext", config: Optional[SchedulerConfig] = None
+    ):
         self._ctx = ctx
+        self.config = config if config is not None else SchedulerConfig()
         self._next_stage_id = 0
         self._next_job_id = 0
         #: shuffle_id -> Stage, shared across jobs so PDE pre-shuffles and
@@ -84,6 +155,13 @@ class DAGScheduler:
         #: query can span several jobs (PDE pre-shuffles, sort sampling,
         #: the final collect), and cost accounting needs all of them.
         self.history: list[QueryProfile] = []
+        #: worker_id -> failures since its last blacklisting.
+        self._worker_failures: dict[int, int] = {}
+        #: (shuffle_id, map_partition) whose accumulator buffer was merged
+        #: — lineage re-runs of a map task must not merge again.
+        self._merged_map_acc: set[tuple[int, int]] = set()
+        #: stage_id -> kept-attempt simulated durations (speculation peers).
+        self._stage_durations: dict[int, list[float]] = {}
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -221,6 +299,7 @@ class DAGScheduler:
         stage_profile = self._stage_profile(profile, stage)
         tracer = self._ctx.tracer
         stage_span = None
+        status = "ok"
 
         try:
             for round_number in range(MAX_RECOVERY_ROUNDS):
@@ -258,26 +337,33 @@ class DAGScheduler:
                             partition,
                             stage_profile,
                             recovery=round_number > 0,
+                            profile=profile,
                         )
                     except FetchFailedError:
                         # An ancestor shuffle lost data while we were
                         # running; loop around, re-ensure parents, retry
                         # what's missing.
                         break
-            else:
-                raise EngineError(
-                    f"stage {stage.stage_id} failed to materialize after "
-                    f"{MAX_RECOVERY_ROUNDS} recovery rounds"
-                )
-            # The for/else above raises on exhaustion; re-check for the
-            # break path by tail-recursing once more.
-            if manager.missing_maps(dep.shuffle_id):
-                raise EngineError(
-                    f"stage {stage.stage_id} failed to materialize after "
-                    f"{MAX_RECOVERY_ROUNDS} recovery rounds"
-                )
+            # Recovery rounds exhausted with map outputs still missing:
+            # record the failure so traces don't show a perpetually-open,
+            # apparently-successful stage.
+            status = "error"
+            still_missing = manager.missing_maps(dep.shuffle_id)
+            tracer.metrics.inc("tasks.failed", max(len(still_missing), 1))
+            raise EngineError(
+                f"stage {stage.stage_id} failed to materialize after "
+                f"{MAX_RECOVERY_ROUNDS} recovery rounds "
+                f"({len(still_missing)} map outputs still missing)"
+            )
+        except EngineError:
+            status = "error"
+            raise
         finally:
-            tracer.end_span(stage_span)
+            if status == "error":
+                tracer.metrics.inc("stages.failed")
+                tracer.end_span(stage_span, status="error")
+            else:
+                tracer.end_span(stage_span)
 
     def _run_map_task(
         self,
@@ -285,57 +371,17 @@ class DAGScheduler:
         partition: int,
         stage_profile: StageProfile,
         recovery: bool = False,
+        profile: Optional[QueryProfile] = None,
     ) -> None:
-        worker = self._ctx.cluster.assign_worker(
-            preferred=stage.rdd.preferred_workers(partition)
-        )
-        tracer = self._ctx.tracer
-        tracer.metrics.inc("tasks.launched")
-        metrics = TaskMetrics(
-            stage_id=stage.stage_id,
-            partition=partition,
-            worker_id=worker.worker_id,
-        )
-        task_ctx = TaskContext(
-            stage_id=stage.stage_id,
-            partition=partition,
-            worker=worker,
-            shuffle_manager=self._ctx.shuffle_manager,
-            cache_tracker=self._ctx.cache_tracker,
-            metrics=metrics,
-        )
-        try:
-            records = stage.rdd.iterator(partition, task_ctx)
-        except (FetchFailedError, EngineError):
-            raise
-        except Exception as exc:
-            raise TaskError(stage.stage_id, partition, exc) from exc
-        self._ctx.shuffle_manager.write_map_output(
-            stage.shuffle_dep, partition, worker.worker_id, records, metrics
-        )
-        metrics.records_out = len(records)
-        stage_profile.tasks.append(metrics)
-        tracer.task_span(
-            f"map task {stage.stage_id}.{partition}",
-            lane=worker.worker_id,
-            vector=metrics.to_cost_vector(),
-            stage_id=stage.stage_id,
-            partition=partition,
+        self._run_resilient_task(
+            stage,
+            partition,
+            stage_profile,
+            func=None,
             kind="shuffle-map",
-            records_out=metrics.records_out,
-            shuffle_write_bytes=metrics.shuffle_write_bytes,
             recovery=recovery,
+            profile=profile,
         )
-        if recovery:
-            tracer.instant(
-                "task.reexecution",
-                "recovery",
-                lane=worker.worker_id,
-                stage_id=stage.stage_id,
-                partition=partition,
-                kind="shuffle-map",
-            )
-        self._ctx.cluster.task_completed(worker)
 
     def _run_with_recovery(
         self,
@@ -349,8 +395,14 @@ class DAGScheduler:
         tracer = self._ctx.tracer
         for attempt in range(1, MAX_RECOVERY_ROUNDS + 1):
             try:
-                return self._run_result_task(
-                    stage, partition, stage_profile, func, attempt=attempt
+                return self._run_resilient_task(
+                    stage,
+                    partition,
+                    stage_profile,
+                    func=func,
+                    kind="result",
+                    prior_attempts=attempt - 1,
+                    profile=profile,
                 )
             except FetchFailedError as failure:
                 profile.recovered_tasks += 1
@@ -364,59 +416,347 @@ class DAGScheduler:
                     attempt=attempt,
                 )
                 self._recover_shuffle(failure.shuffle_id, profile)
+        tracer.metrics.inc("tasks.failed")
         raise EngineError(
             f"result partition {partition} failed after "
             f"{MAX_RECOVERY_ROUNDS} recovery rounds"
         )
 
-    def _run_result_task(
+    # ------------------------------------------------------------------
+    # Resilient task execution: retry, speculation, blacklisting
+    # ------------------------------------------------------------------
+    def _speculation_enabled(self) -> bool:
+        if self.config.speculation is not None:
+            return self.config.speculation
+        return self._ctx.fault_injector is not None
+
+    def _run_resilient_task(
         self,
         stage: Stage,
         partition: int,
         stage_profile: StageProfile,
-        func: Callable[[list], object],
-        attempt: int = 1,
+        func: Optional[Callable[[list], object]],
+        kind: str,
+        recovery: bool = False,
+        prior_attempts: int = 0,
+        profile: Optional[QueryProfile] = None,
     ) -> object:
-        worker = self._ctx.cluster.assign_worker(
-            preferred=stage.rdd.preferred_workers(partition)
-        )
+        """Run one task to a kept result: retries transient failures with
+        backoff, launches a speculative copy against stragglers, feeds the
+        blacklist, and merges the winning attempt's accumulator buffer
+        exactly once."""
+        config = self.config
         tracer = self._ctx.tracer
+        excluded: set[int] = set()
+        winner: Optional[_Attempt] = None
+        attempts_used = 0
+        last_failure: Optional[TransientTaskFailure] = None
+        for attempt in range(1, config.max_task_attempts + 1):
+            attempts_used = attempt
+            try:
+                winner = self._attempt_task(
+                    stage,
+                    partition,
+                    prior_attempts + attempt,
+                    speculative=False,
+                    exclude=excluded,
+                    func=func,
+                    kind=kind,
+                    recovery=recovery,
+                )
+                break
+            except TransientTaskFailure as failure:
+                last_failure = failure
+                excluded.add(failure.worker_id)
+                self._note_worker_failure(failure.worker_id, profile)
+                if attempt < config.max_task_attempts:
+                    self._retry_with_backoff(
+                        stage, partition, failure, attempt, profile
+                    )
+        if winner is None:
+            tracer.metrics.inc("tasks.failed")
+            raise TaskError(stage.stage_id, partition, last_failure)
+
+        winner = self._maybe_speculate(
+            stage,
+            partition,
+            winner,
+            excluded,
+            func,
+            kind,
+            prior_attempts + attempts_used,
+            profile,
+        )
+        if winner.seconds is not None:
+            self._stage_durations.setdefault(stage.stage_id, []).append(
+                winner.seconds
+            )
+        self._merge_accumulators(stage, partition, winner, kind)
+        winner.metrics.attempts = prior_attempts + attempts_used + (
+            1 if winner.metrics.speculative else 0
+        )
+        stage_profile.tasks.append(winner.metrics)
+        return winner.result
+
+    def _attempt_task(
+        self,
+        stage: Stage,
+        partition: int,
+        attempt: int,
+        speculative: bool,
+        exclude: set[int],
+        func: Optional[Callable[[list], object]],
+        kind: str,
+        recovery: bool = False,
+    ) -> _Attempt:
+        """Execute one attempt of a task on a freshly assigned worker."""
+        ctx = self._ctx
+        tracer = ctx.tracer
+        worker = ctx.cluster.assign_worker(
+            preferred=stage.rdd.preferred_workers(partition),
+            exclude=exclude,
+        )
         tracer.metrics.inc("tasks.launched")
+        injector = ctx.fault_injector
+        if injector is not None:
+            reason = injector.fail_task(
+                stage.stage_id, partition, attempt, worker.worker_id
+            )
+            if reason is not None:
+                raise TransientTaskFailure(
+                    stage.stage_id,
+                    partition,
+                    worker.worker_id,
+                    reason,
+                    attempt,
+                )
         metrics = TaskMetrics(
             stage_id=stage.stage_id,
             partition=partition,
             worker_id=worker.worker_id,
+            speculative=speculative,
         )
-        metrics.attempts = attempt
         task_ctx = TaskContext(
             stage_id=stage.stage_id,
             partition=partition,
             worker=worker,
-            shuffle_manager=self._ctx.shuffle_manager,
-            cache_tracker=self._ctx.cache_tracker,
+            shuffle_manager=ctx.shuffle_manager,
+            cache_tracker=ctx.cache_tracker,
             metrics=metrics,
+            attempt=attempt,
+            speculative=speculative,
         )
+        push_task_context(task_ctx)
         try:
-            data = stage.rdd.iterator(partition, task_ctx)
-            result = func(data)
-        except (FetchFailedError, EngineError):
-            raise
-        except Exception as exc:
-            raise TaskError(stage.stage_id, partition, exc) from exc
-        metrics.records_out = len(data)
-        stage_profile.tasks.append(metrics)
-        tracer.task_span(
-            f"result task {stage.stage_id}.{partition}",
-            lane=worker.worker_id,
-            vector=metrics.to_cost_vector(),
+            try:
+                records = stage.rdd.iterator(partition, task_ctx)
+                result = func(records) if func is not None else None
+            except (FetchFailedError, EngineError):
+                raise
+            except Exception as exc:
+                raise TaskError(stage.stage_id, partition, exc) from exc
+        finally:
+            pop_task_context(task_ctx)
+        if kind == "shuffle-map":
+            ctx.shuffle_manager.write_map_output(
+                stage.shuffle_dep,
+                partition,
+                worker.worker_id,
+                records,
+                metrics,
+            )
+        metrics.records_out = len(records)
+        vector = metrics.to_cost_vector()
+        # Durations are only priced out when something consumes them: the
+        # trace, the fault injector's stragglers, or speculation.
+        seconds: Optional[float] = None
+        if (
+            tracer.enabled
+            or injector is not None
+            or self._speculation_enabled()
+        ):
+            seconds = tracer.estimate_seconds(vector)
+            if injector is not None:
+                seconds *= injector.straggler_factor(
+                    stage.stage_id, partition, stage.num_partitions, attempt
+                )
+        span_name = (
+            f"map task {stage.stage_id}.{partition}"
+            if kind == "shuffle-map"
+            else f"result task {stage.stage_id}.{partition}"
+        )
+        span_args = dict(
             stage_id=stage.stage_id,
             partition=partition,
-            kind="result",
+            kind=kind,
             records_out=metrics.records_out,
             attempt=attempt,
         )
-        self._ctx.cluster.task_completed(worker)
-        return result
+        if kind == "shuffle-map":
+            span_args["shuffle_write_bytes"] = metrics.shuffle_write_bytes
+            span_args["recovery"] = recovery
+        if speculative:
+            span_args["speculative"] = True
+        tracer.task_span(
+            span_name,
+            lane=worker.worker_id,
+            vector=vector,
+            seconds=seconds,
+            **span_args,
+        )
+        if kind == "shuffle-map" and recovery:
+            tracer.instant(
+                "task.reexecution",
+                "recovery",
+                lane=worker.worker_id,
+                stage_id=stage.stage_id,
+                partition=partition,
+                kind="shuffle-map",
+            )
+        ctx.cluster.task_completed(worker)
+        return _Attempt(
+            worker_id=worker.worker_id,
+            metrics=metrics,
+            task_ctx=task_ctx,
+            result=result,
+            records_out=metrics.records_out,
+            seconds=seconds,
+        )
+
+    def _retry_with_backoff(
+        self,
+        stage: Stage,
+        partition: int,
+        failure: TransientTaskFailure,
+        attempt: int,
+        profile: Optional[QueryProfile],
+    ) -> None:
+        """Record a retry and charge its backoff delay to simulated time."""
+        config = self.config
+        tracer = self._ctx.tracer
+        delay = min(
+            config.retry_backoff_base_s * (2 ** (attempt - 1)),
+            config.retry_backoff_cap_s,
+        )
+        tracer.metrics.inc("tasks.retried")
+        if profile is not None:
+            profile.retried_tasks += 1
+        tracer.instant(
+            "task.retry",
+            "recovery",
+            lane=failure.worker_id,
+            stage_id=stage.stage_id,
+            partition=partition,
+            attempt=attempt,
+            backoff_s=delay,
+            reason=failure.reason,
+        )
+        # The wait occupies the failed worker's lane so traces show the
+        # gap; category "recovery" keeps it out of task-overlap checks.
+        tracer.task_span(
+            f"retry backoff {stage.stage_id}.{partition}",
+            lane=failure.worker_id,
+            seconds=delay,
+            category="recovery",
+            stage_id=stage.stage_id,
+            partition=partition,
+            attempt=attempt,
+        )
+
+    def _note_worker_failure(
+        self, worker_id: int, profile: Optional[QueryProfile]
+    ) -> None:
+        """Count one failure against a worker; blacklist on threshold."""
+        count = self._worker_failures.get(worker_id, 0) + 1
+        self._worker_failures[worker_id] = count
+        if count >= self.config.blacklist_threshold:
+            self._worker_failures[worker_id] = 0
+            self._ctx.cluster.blacklist_worker(
+                worker_id, self.config.blacklist_probation_tasks
+            )
+            if profile is not None:
+                profile.blacklisted_workers += 1
+
+    def _maybe_speculate(
+        self,
+        stage: Stage,
+        partition: int,
+        primary: _Attempt,
+        excluded: set[int],
+        func: Optional[Callable[[list], object]],
+        kind: str,
+        next_attempt: int,
+        profile: Optional[QueryProfile],
+    ) -> _Attempt:
+        """Launch a backup copy when the primary looks like a straggler;
+        return whichever attempt finished faster (simulated time)."""
+        if not self._speculation_enabled() or primary.seconds is None:
+            return primary
+        threshold = self._speculation_threshold(stage)
+        if threshold is None or primary.seconds <= threshold:
+            return primary
+        tracer = self._ctx.tracer
+        tracer.metrics.inc("tasks.speculative")
+        if profile is not None:
+            profile.speculative_tasks += 1
+        tracer.instant(
+            "task.speculative",
+            "recovery",
+            stage_id=stage.stage_id,
+            partition=partition,
+            primary_worker=primary.worker_id,
+            primary_seconds=primary.seconds,
+            threshold=threshold,
+        )
+        try:
+            copy = self._attempt_task(
+                stage,
+                partition,
+                next_attempt + 1,
+                speculative=True,
+                exclude=excluded | {primary.worker_id},
+                func=func,
+                kind=kind,
+            )
+        except (TransientTaskFailure, FetchFailedError):
+            # The backup died; the primary result stands.
+            return primary
+        if copy.seconds is not None and copy.seconds < primary.seconds:
+            # The copy wins; for map tasks it also wrote last, so the
+            # shuffle locations already point at its worker.
+            return copy
+        if kind == "shuffle-map":
+            # The primary wins but the copy's write stole the location;
+            # point reads back at the primary's output.
+            self._ctx.shuffle_manager.repoint_map_output(
+                stage.shuffle_dep.shuffle_id, partition, primary.worker_id
+            )
+        return primary
+
+    def _speculation_threshold(self, stage: Stage) -> Optional[float]:
+        """Straggler cutoff from completed peers, or None if too few."""
+        durations = self._stage_durations.get(stage.stage_id, ())
+        if len(durations) < self.config.speculation_min_peers:
+            return None
+        ordered = sorted(durations)
+        index = min(
+            int(len(ordered) * self.config.speculation_quantile),
+            len(ordered) - 1,
+        )
+        return ordered[index] * self.config.speculation_multiplier
+
+    def _merge_accumulators(
+        self, stage: Stage, partition: int, winner: _Attempt, kind: str
+    ) -> None:
+        """Apply the kept attempt's buffered accumulator updates, exactly
+        once per partition (lineage re-runs of a map task skip)."""
+        if kind == "shuffle-map":
+            key = (stage.shuffle_dep.shuffle_id, partition)
+            if key in self._merged_map_acc:
+                return
+            self._merged_map_acc.add(key)
+        for accumulator, delta in winner.task_ctx.acc_updates:
+            accumulator.apply(delta)
 
     def _recover_shuffle(self, shuffle_id: int, profile: QueryProfile) -> None:
         stage = self._shuffle_stages.get(shuffle_id)

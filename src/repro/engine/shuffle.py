@@ -61,8 +61,35 @@ class MapOutputStats:
     #: encoded_bucket_sizes[map][reduce] -> one-byte size code.
     encoded_bucket_sizes: list[list[int]] = field(default_factory=list)
     record_counts: list[int] = field(default_factory=list)
-    #: Merged results of pluggable collectors, keyed by collector name.
-    custom: dict[str, Any] = field(default_factory=dict)
+    #: Per-map-partition collector partials, keyed by collector name then
+    #: map partition.  Kept per partition (not merged eagerly) so a re-run
+    #: of a map task — retry, speculation, or lineage recovery — simply
+    #: overwrites its own partial instead of double-merging (exactly-once
+    #: PDE statistics).
+    custom_partials: dict[str, dict[int, Any]] = field(default_factory=dict)
+    #: collector name -> merge function, recorded at first observe.
+    mergers: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def custom(self) -> dict[str, Any]:
+        """Merged collector results, keyed by collector name.
+
+        Computed on demand from the per-partition partials; the merge
+        order is map-partition order, so results are deterministic and
+        independent of task scheduling or re-execution.
+        """
+        merged: dict[str, Any] = {}
+        for name, partials in self.custom_partials.items():
+            merge = self.mergers[name]
+            result = None
+            for map_partition in sorted(partials):
+                partial = partials[map_partition]
+                result = (
+                    partial if result is None else merge(result, partial)
+                )
+            if result is not None:
+                merged[name] = result
+        return merged
 
     @property
     def maps_reported(self) -> int:
@@ -97,10 +124,14 @@ class ShuffleManager:
     """Tracks every shuffle's map outputs, their locations, and statistics."""
 
     def __init__(
-        self, cluster: "VirtualCluster", tracer: Tracer = None
+        self,
+        cluster: "VirtualCluster",
+        tracer: Tracer = None,
+        fault_injector=None,
     ):
         self._cluster = cluster
         self._tracer = tracer if tracer is not None else cluster.tracer
+        self._fault_injector = fault_injector
         #: shuffle_id -> {map_partition: worker_id}
         self._locations: dict[int, dict[int, int]] = {}
         self._stats: dict[int, MapOutputStats] = {}
@@ -174,12 +205,10 @@ class ShuffleManager:
         stats.record_counts[map_partition] = len(output)
         for collector in dep.stats_collectors:
             partial = collector.observe(output)
-            if collector.name in stats.custom:
-                stats.custom[collector.name] = collector.merge(
-                    stats.custom[collector.name], partial
-                )
-            else:
-                stats.custom[collector.name] = partial
+            stats.mergers[collector.name] = collector.merge
+            stats.custom_partials.setdefault(collector.name, {})[
+                map_partition
+            ] = partial
 
         total_bytes = sum(bucket_bytes)
         if metrics is not None:
@@ -214,6 +243,25 @@ class ShuffleManager:
         locations = self._locations[shuffle_id]
         stats = self._stats[shuffle_id]
         reader_lane = metrics.worker_id if metrics is not None else "driver"
+        injector = self._fault_injector
+        if injector is not None and injector.corrupt_fetch(
+            shuffle_id, reduce_partition
+        ):
+            # A corrupted map output is indistinguishable from a lost one:
+            # drop the block so lineage recovery recomputes it.
+            victim = min(locations) if locations else 0
+            owner = locations.pop(victim, None)
+            if owner is not None:
+                worker = self._cluster.worker(owner)
+                worker.blocks.remove(_shuffle_block_id(shuffle_id, victim))
+            self._tracer.metrics.inc("shuffle.corrupt_fetches")
+            self._record_fetch_failure(
+                shuffle_id, victim, owner if owner is not None else -1,
+                reader_lane,
+            )
+            raise FetchFailedError(
+                shuffle_id, victim, owner if owner is not None else -1
+            )
         fetched: list = []
         for map_partition in range(stats.num_maps):
             worker_id = locations.get(map_partition)
@@ -282,6 +330,17 @@ class ShuffleManager:
 
     def map_location(self, shuffle_id: int, map_partition: int) -> int | None:
         return self._locations.get(shuffle_id, {}).get(map_partition)
+
+    def repoint_map_output(
+        self, shuffle_id: int, map_partition: int, worker_id: int
+    ) -> None:
+        """Make ``worker_id`` the authoritative holder of a map output.
+
+        Used when a speculative copy finishes first: both the original and
+        the copy wrote identical buckets, so reduces may fetch from the
+        winner without re-running statistics collection.
+        """
+        self._locations[shuffle_id][map_partition] = worker_id
 
     # ------------------------------------------------------------------
     # Failure handling

@@ -17,6 +17,30 @@ def _rdd_block_id(rdd_id: int, partition: int) -> str:
     return f"rdd_{rdd_id}_{partition}"
 
 
+#: Stack of task contexts currently executing on this driver process.
+#: Tasks run inline, so "the current task" is whatever the scheduler most
+#: recently pushed; accumulators consult it to buffer task-side updates
+#: per attempt instead of mutating driver state mid-task (which would
+#: double count on retries, speculation, and lineage recovery).
+_ACTIVE_TASKS: list["TaskContext"] = []
+
+
+def current_task_context() -> "TaskContext | None":
+    """The innermost running task's context, or None on the driver."""
+    return _ACTIVE_TASKS[-1] if _ACTIVE_TASKS else None
+
+
+def push_task_context(task_ctx: "TaskContext") -> None:
+    _ACTIVE_TASKS.append(task_ctx)
+
+
+def pop_task_context(task_ctx: "TaskContext") -> None:
+    """Pop ``task_ctx`` (and anything an exception left above it)."""
+    while _ACTIVE_TASKS:
+        if _ACTIVE_TASKS.pop() is task_ctx:
+            return
+
+
 class CacheTracker:
     """Master-side registry of which worker holds each cached RDD partition.
 
@@ -106,7 +130,14 @@ class CacheTracker:
 
 class TaskContext:
     """Everything a running task can reach: its identity, worker, shuffle
-    manager, cache tracker, and the metrics object it fills in."""
+    manager, cache tracker, and the metrics object it fills in.
+
+    ``attempt`` numbers retries of the same task (1-based); ``speculative``
+    marks backup copies launched against stragglers.  Accumulator updates
+    made while the task runs land in ``acc_updates`` and are merged into
+    driver state exactly once — only for the attempt whose result the
+    scheduler actually keeps.
+    """
 
     def __init__(
         self,
@@ -116,6 +147,8 @@ class TaskContext:
         shuffle_manager: "ShuffleManager",
         cache_tracker: CacheTracker,
         metrics: "TaskMetrics",
+        attempt: int = 1,
+        speculative: bool = False,
     ):
         self.stage_id = stage_id
         self.partition = partition
@@ -123,6 +156,14 @@ class TaskContext:
         self.shuffle_manager = shuffle_manager
         self.cache_tracker = cache_tracker
         self.metrics = metrics
+        self.attempt = attempt
+        self.speculative = speculative
+        #: Buffered (accumulator, delta) pairs from this attempt.
+        self.acc_updates: list[tuple[Any, Any]] = []
+
+    def record_accumulator(self, accumulator: Any, delta: Any) -> None:
+        """Buffer a task-side accumulator update for driver-side merge."""
+        self.acc_updates.append((accumulator, delta))
 
     def read_cached(self, rdd_id: int, partition: int) -> Any | None:
         """Read a cached partition, recording memory-source metrics."""

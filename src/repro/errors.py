@@ -29,6 +29,35 @@ class TaskError(EngineError):
         self.cause = cause
 
 
+class TransientTaskFailure(EngineError):
+    """A task attempt failed for a transient reason (an injected fault or a
+    flaky worker).
+
+    The scheduler catches this internally: the attempt is retried on
+    another worker after a capped exponential (simulated-clock) backoff.
+    It only escapes to user code when ``max_task_attempts`` is exhausted,
+    wrapped in :class:`TaskError`.
+    """
+
+    def __init__(
+        self,
+        stage_id: int,
+        partition: int,
+        worker_id: int,
+        reason: str,
+        attempt: int = 1,
+    ):
+        super().__init__(
+            f"transient failure of task {stage_id}.{partition} "
+            f"(attempt {attempt}) on worker {worker_id}: {reason}"
+        )
+        self.stage_id = stage_id
+        self.partition = partition
+        self.worker_id = worker_id
+        self.reason = reason
+        self.attempt = attempt
+
+
 class FetchFailedError(EngineError):
     """A reduce task could not fetch map output (the worker died).
 

@@ -70,6 +70,9 @@ class QueryAnalysis:
     stages: list[StageAnalysis] = field(default_factory=list)
     total_sim_seconds: float = 0.0
     recovered_tasks: int = 0
+    retried_tasks: int = 0
+    speculative_tasks: int = 0
+    blacklisted_workers: int = 0
     num_jobs: int = 0
     result_rows: Optional[int] = None
     notes: list[str] = field(default_factory=list)
@@ -88,6 +91,20 @@ class QueryAnalysis:
             lines.append(
                 f"  recovered tasks (lineage re-execution): "
                 f"{self.recovered_tasks}"
+            )
+        if self.retried_tasks:
+            lines.append(
+                f"  retried tasks (transient failures): "
+                f"{self.retried_tasks}"
+            )
+        if self.speculative_tasks:
+            lines.append(
+                f"  speculative tasks (straggler backups): "
+                f"{self.speculative_tasks}"
+            )
+        if self.blacklisted_workers:
+            lines.append(
+                f"  blacklisted workers: {self.blacklisted_workers}"
             )
         if self.result_rows is not None:
             lines.append(f"  result: {self.result_rows} row(s)")
@@ -124,6 +141,9 @@ def analyze_profiles(
     executed: list[tuple[QueryProfile, StageProfile]] = []
     for profile in profiles:
         analysis.recovered_tasks += profile.recovered_tasks
+        analysis.retried_tasks += profile.retried_tasks
+        analysis.speculative_tasks += profile.speculative_tasks
+        analysis.blacklisted_workers += profile.blacklisted_workers
         for stage in profile.stages:
             if stage.num_tasks == 0:
                 continue  # skipped: shuffle outputs reused

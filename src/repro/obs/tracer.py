@@ -14,9 +14,14 @@ Span taxonomy (the ``category`` field):
     ``shuffle.fetch_failed``.
 ``recovery``
     Instants: ``lineage.recovery`` (lost map outputs recomputed),
-    ``task.reexecution``.
+    ``task.reexecution``, ``task.retry`` (transient failure, attempt will
+    be retried with backoff), ``task.speculative`` (straggler backup copy
+    launched); plus ``retry backoff`` spans charging the backoff delay to
+    the failed worker's lane.
 ``cluster``
-    Instants: ``worker.kill``, ``worker.restart``, ``worker.added``.
+    Instants: ``worker.kill``, ``worker.restart``, ``worker.added``,
+    ``worker.blacklisted`` (repeated failures; probation starts),
+    ``worker.probation`` (probation served, schedulable again).
 ``cache``
     Instants: ``cache.hit``, ``block.evict``.
 ``pde``

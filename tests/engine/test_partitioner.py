@@ -101,3 +101,28 @@ class TestFunctionPartitioner:
         assert FunctionPartitioner(4, fn) != FunctionPartitioner(
             4, lambda key: key
         )
+
+    def test_label_makes_distinct_functions_equal(self):
+        """The co-partitioning contract: a caller-supplied label asserts
+        two functions partition identically, so rebuilt plans compare
+        equal (the id()-based hash defeated this)."""
+        a = FunctionPartitioner(4, lambda key: key * 3, label="x3")
+        b = FunctionPartitioner(4, lambda key: key * 3, label="x3")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_label_mismatch_is_unequal(self):
+        a = FunctionPartitioner(4, lambda key: key, label="id")
+        b = FunctionPartitioner(4, lambda key: key, label="other")
+        assert a != b
+
+    def test_label_with_different_num_partitions_is_unequal(self):
+        a = FunctionPartitioner(4, lambda key: key, label="id")
+        b = FunctionPartitioner(8, lambda key: key, label="id")
+        assert a != b
+
+    def test_labelled_never_equals_unlabelled(self):
+        fn = lambda key: key  # noqa: E731
+        assert FunctionPartitioner(4, fn, label="id") != FunctionPartitioner(
+            4, fn
+        )

@@ -14,6 +14,9 @@ EXPECTED_MARKERS = {
     "quickstart.py": ["traffic by country", "slow requests"],
     "sql_ml_pipeline.py": ["training accuracy", "k-means centers"],
     "warehouse_analytics.py": ["map pruning reduced data scanned"],
+    "chaos_demo.py": [
+        "OK: every query returned results identical to the fault-free run",
+    ],
     "fault_tolerance_demo.py": [
         "answer still correct: True",
         "final answer still matches baseline: True",
