@@ -37,6 +37,9 @@ _EXPORTS = {
     "Row": "repro.core",
     "EngineContext": "repro.engine",
     "RDD": "repro.engine",
+    "LifecycleConfig": "repro.engine",
+    "QueryHandle": "repro.engine",
+    "QueryLifecycleManager": "repro.engine",
 }
 
 __all__ = ["__version__", *_EXPORTS]

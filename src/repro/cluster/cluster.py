@@ -239,6 +239,18 @@ class VirtualCluster:
     ) -> None:
         self.workers[worker_id].blocks.put(block_id, value, size_bytes)
 
+    def pinned_block_ids(self) -> set[str]:
+        """Pinned (shuffle map output) block ids across live workers.
+
+        Cross-checked against ``ShuffleManager.registered_block_ids`` by
+        lifecycle tests: every pinned block must belong to a registered
+        shuffle — a cancelled query may not leak pinned storage.
+        """
+        ids: set[str] = set()
+        for worker in self.live_workers():
+            ids |= worker.blocks.pinned_ids()
+        return ids
+
     def find_block(self, block_id: str) -> tuple[int, Any] | None:
         """Locate a block on any live worker; returns (worker_id, value)."""
         for worker in self.workers:

@@ -128,6 +128,14 @@ class BlockStore:
     def block_ids(self) -> Iterator[str]:
         return iter(list(self._blocks))
 
+    def pinned_ids(self) -> set[str]:
+        """Ids of pinned (shuffle map output) blocks held here."""
+        return {
+            block_id
+            for block_id, block in self._blocks.items()
+            if block.pinned
+        }
+
     @property
     def used_bytes(self) -> int:
         return sum(block.size_bytes for block in self._blocks.values())

@@ -42,11 +42,13 @@ class SharkContext:
         enable_master_recovery: bool = False,
         fault_injector=None,
         scheduler_config=None,
+        memory_per_worker_bytes: Optional[int] = None,
     ):
         self.engine = EngineContext(
             num_workers=num_workers,
             cores_per_worker=cores_per_worker,
             default_parallelism=default_parallelism,
+            memory_per_worker_bytes=memory_per_worker_bytes,
             fault_injector=fault_injector,
             scheduler_config=scheduler_config,
         )
@@ -119,6 +121,50 @@ class SharkContext:
     def last_report(self) -> Optional[ExecutionReport]:
         """Run-time optimizer decisions of the most recent query."""
         return self.session.last_report
+
+    # ------------------------------------------------------------------
+    # Query lifecycle (admission, deadlines, cancellation, fairness)
+    # ------------------------------------------------------------------
+    def enable_lifecycle(self, config=None):
+        """Attach a query lifecycle manager to the engine; returns it.
+
+        See :mod:`repro.engine.lifecycle` for the semantics (admission
+        control, deadlines, cooperative cancellation, fairness, circuit
+        breaking).
+        """
+        return self.engine.enable_lifecycle(config=config)
+
+    @property
+    def lifecycle(self):
+        """The lifecycle manager, or None until enable_lifecycle()."""
+        return self.engine.lifecycle
+
+    def submit_sql(
+        self,
+        text: str,
+        name: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+        key: Optional[str] = None,
+    ):
+        """Submit a SQL statement for concurrent execution; returns a
+        :class:`~repro.engine.lifecycle.QueryHandle`.
+
+        Requires :meth:`enable_lifecycle`.  The statement runs when the
+        lifecycle manager is driven (``handle.result_or_raise()`` or
+        ``ctx.lifecycle.drain()``), interleaved fairly with other
+        submitted queries.  Raises
+        :class:`~repro.errors.AdmissionRejected` at capacity.
+        """
+        if self.engine.lifecycle is None:
+            raise RuntimeError(
+                "call enable_lifecycle() before submit_sql()"
+            )
+        return self.engine.lifecycle.submit(
+            lambda: self.session.execute(text),
+            name=name,
+            deadline_s=deadline_s,
+            key=key if key is not None else text,
+        )
 
     # ------------------------------------------------------------------
     # Catalog and loading

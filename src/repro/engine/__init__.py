@@ -27,9 +27,17 @@ from repro.engine.accumulator import (
     HistogramStat,
 )
 from repro.engine.metrics import TaskMetrics, StageProfile, QueryProfile
+from repro.engine.lifecycle import (
+    LifecycleConfig,
+    QueryHandle,
+    QueryLifecycleManager,
+)
 
 __all__ = [
     "EngineContext",
+    "LifecycleConfig",
+    "QueryHandle",
+    "QueryLifecycleManager",
     "RDD",
     "HashPartitioner",
     "RangePartitioner",

@@ -55,6 +55,9 @@ class EngineContext:
         )
         self.cache_tracker = CacheTracker(self.cluster)
         self.scheduler = DAGScheduler(self, config=scheduler_config)
+        #: Optional QueryLifecycleManager (admission control, deadlines,
+        #: cancellation, fairness); None until enable_lifecycle().
+        self.lifecycle = None
         if (
             fault_injector is not None
             and fault_injector.kill_worker_id is not None
@@ -168,6 +171,23 @@ class EngineContext:
 
     def disable_tracing(self) -> None:
         self.tracer.disable()
+
+    # ------------------------------------------------------------------
+    # Query lifecycle (admission, deadlines, cancellation, fairness)
+    # ------------------------------------------------------------------
+    def enable_lifecycle(self, config=None):
+        """Attach a :class:`~repro.engine.lifecycle.QueryLifecycleManager`
+        so queries can be submitted concurrently with admission control,
+        deadlines, and cooperative cancellation; returns the manager.
+
+        Idempotent when called without a config; a new config replaces
+        the manager (only safe while no queries are in flight).
+        """
+        from repro.engine.lifecycle import QueryLifecycleManager
+
+        if self.lifecycle is None or config is not None:
+            self.lifecycle = QueryLifecycleManager(self, config=config)
+        return self.lifecycle
 
     # ------------------------------------------------------------------
     # Cluster control (failure experiments, elasticity)

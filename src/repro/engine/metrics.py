@@ -115,6 +115,10 @@ class QueryProfile:
     speculative_tasks: int = 0
     #: Workers placed on the blacklist during this job.
     blacklisted_workers: int = 0
+    #: Cached blocks the workers' LRU dropped under memory pressure while
+    #: this job ran (lineage recomputes them on the next read).
+    evicted_blocks: int = 0
+    evicted_bytes: int = 0
 
     @property
     def num_stages(self) -> int:
@@ -166,5 +170,10 @@ class QueryProfile:
         if self.blacklisted_workers:
             lines.append(
                 f"  blacklisted workers: {self.blacklisted_workers}"
+            )
+        if self.evicted_blocks:
+            lines.append(
+                f"  evicted cache blocks: {self.evicted_blocks} "
+                f"({self.evicted_bytes} B)"
             )
         return "\n".join(lines)

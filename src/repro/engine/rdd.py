@@ -69,6 +69,10 @@ class RDD:
 
     def iterator(self, split: int, task_ctx: "TaskContext") -> list:
         """Read a partition through the cache if this RDD is persisted."""
+        # Cooperative cancellation point: every RDD in a narrow chain
+        # passes through here, so an in-flight attempt of a cancelled
+        # query stops at the next operator boundary.
+        task_ctx.check_cancelled()
         if self._cached:
             cached = task_ctx.read_cached(self.id, split)
             if cached is not None:

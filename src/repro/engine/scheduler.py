@@ -53,6 +53,7 @@ from repro.engine.task import (
 from repro.errors import (
     EngineError,
     FetchFailedError,
+    QueryLifecycleError,
     TaskError,
     TransientTaskFailure,
 )
@@ -180,6 +181,9 @@ class DAGScheduler:
         profile = QueryProfile(job_id=job_id)
         tracer = self._ctx.tracer
         tracer.metrics.inc("jobs.submitted")
+        evicted_before = tracer.metrics.value("blocks.evicted")
+        evicted_bytes_before = tracer.metrics.value("blocks.evicted.bytes")
+        job_status = "ok"
         job_span = tracer.begin_span(
             f"job {job_id}",
             "job",
@@ -209,13 +213,28 @@ class DAGScheduler:
                             func,
                         )
                     )
+            except QueryLifecycleError:
+                tracer.end_span(stage_span, status="cancelled")
+                stage_span = None
+                raise
             finally:
                 tracer.end_span(stage_span)
+        except QueryLifecycleError:
+            job_status = "cancelled"
+            raise
         finally:
+            profile.evicted_blocks = int(
+                tracer.metrics.value("blocks.evicted") - evicted_before
+            )
+            profile.evicted_bytes = int(
+                tracer.metrics.value("blocks.evicted.bytes")
+                - evicted_bytes_before
+            )
             tracer.end_span(
                 job_span,
                 stages=profile.num_stages,
                 recovered_tasks=profile.recovered_tasks,
+                status=job_status,
             )
         self.last_profile = profile
         self.history.append(profile)
@@ -230,6 +249,8 @@ class DAGScheduler:
         tracer = self._ctx.tracer
         tracer.metrics.inc("jobs.submitted")
         tracer.metrics.inc("pde.pre_shuffles")
+        evicted_before = tracer.metrics.value("blocks.evicted")
+        evicted_bytes_before = tracer.metrics.value("blocks.evicted.bytes")
         job_span = tracer.begin_span(
             f"job {job_id}",
             "job",
@@ -240,6 +261,13 @@ class DAGScheduler:
             stage = self._stage_for_shuffle(dep)
             self._ensure_shuffle_stage(stage, profile)
         finally:
+            profile.evicted_blocks = int(
+                tracer.metrics.value("blocks.evicted") - evicted_before
+            )
+            profile.evicted_bytes = int(
+                tracer.metrics.value("blocks.evicted.bytes")
+                - evicted_bytes_before
+            )
             tracer.end_span(job_span, stages=profile.num_stages)
         self.last_profile = profile
         self.history.append(profile)
@@ -247,6 +275,28 @@ class DAGScheduler:
 
     def reset_history(self) -> None:
         self.history = []
+
+    def release_query_shuffles(self, shuffle_ids) -> int:
+        """Forget a dead query's shuffles entirely; returns blocks freed.
+
+        Called by the lifecycle manager when a query is cancelled,
+        deadline-expired, or failed: its map outputs are dropped from the
+        workers (they are pinned, so nothing else would ever reclaim
+        them), its stages leave the reusable-stage cache, its speculation
+        peer durations are forgotten, and its exactly-once accumulator
+        guards are cleared so a resubmission of the same computation
+        merges accumulator buffers afresh.
+        """
+        released = 0
+        for shuffle_id in sorted(shuffle_ids):
+            stage = self._shuffle_stages.pop(shuffle_id, None)
+            if stage is not None:
+                self._stage_durations.pop(stage.stage_id, None)
+            released += self._ctx.shuffle_manager.release_shuffle(shuffle_id)
+            self._merged_map_acc = {
+                key for key in self._merged_map_acc if key[0] != shuffle_id
+            }
+        return released
 
     # ------------------------------------------------------------------
     # Stage graph construction
@@ -296,6 +346,11 @@ class DAGScheduler:
         dep = stage.shuffle_dep
         manager = self._ctx.shuffle_manager
         manager.register(dep, stage.num_partitions)
+        lifecycle = self._ctx.lifecycle
+        if lifecycle is not None:
+            # The owning query claims this shuffle: if it is cancelled or
+            # fails, the lifecycle manager releases the map outputs.
+            lifecycle.note_shuffle(dep.shuffle_id)
         stage_profile = self._stage_profile(profile, stage)
         tracer = self._ctx.tracer
         stage_span = None
@@ -355,6 +410,11 @@ class DAGScheduler:
                 f"{MAX_RECOVERY_ROUNDS} recovery rounds "
                 f"({len(still_missing)} map outputs still missing)"
             )
+        except QueryLifecycleError:
+            # Cancellation/deadline is not a stage failure: the span ends
+            # with a distinct status and no stages.failed increment.
+            status = "cancelled"
+            raise
         except EngineError:
             status = "error"
             raise
@@ -362,6 +422,8 @@ class DAGScheduler:
             if status == "error":
                 tracer.metrics.inc("stages.failed")
                 tracer.end_span(stage_span, status="error")
+            elif status == "cancelled":
+                tracer.end_span(stage_span, status="cancelled")
             else:
                 tracer.end_span(stage_span)
 
@@ -512,6 +574,14 @@ class DAGScheduler:
         """Execute one attempt of a task on a freshly assigned worker."""
         ctx = self._ctx
         tracer = ctx.tracer
+        lifecycle = ctx.lifecycle
+        if lifecycle is not None:
+            # Cooperative scheduling point: observe cancellation/deadline
+            # and hand the baton to another admitted query's task.  A
+            # retry or speculative attempt passes through here too, so a
+            # cancel issued mid-recovery stops the next attempt from ever
+            # launching (the cancellation-races-retry case).
+            lifecycle.checkpoint()
         worker = ctx.cluster.assign_worker(
             preferred=stage.rdd.preferred_workers(partition),
             exclude=exclude,
@@ -545,6 +615,9 @@ class DAGScheduler:
             metrics=metrics,
             attempt=attempt,
             speculative=speculative,
+            cancel_token=(
+                lifecycle.current_token() if lifecycle is not None else None
+            ),
         )
         push_task_context(task_ctx)
         try:
@@ -574,12 +647,17 @@ class DAGScheduler:
             tracer.enabled
             or injector is not None
             or self._speculation_enabled()
+            or (lifecycle is not None and lifecycle.in_query())
         ):
             seconds = tracer.estimate_seconds(vector)
             if injector is not None:
                 seconds *= injector.straggler_factor(
                     stage.stage_id, partition, stage.num_partitions, attempt
                 )
+        if lifecycle is not None and seconds is not None:
+            # Deadline accounting: every completed attempt's simulated
+            # cost counts against the owning query's deadline.
+            lifecycle.on_task_seconds(seconds)
         span_name = (
             f"map task {stage.stage_id}.{partition}"
             if kind == "shuffle-map"

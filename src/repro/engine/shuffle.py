@@ -343,6 +343,46 @@ class ShuffleManager:
         self._locations[shuffle_id][map_partition] = worker_id
 
     # ------------------------------------------------------------------
+    # Release (query cancellation / cleanup)
+    # ------------------------------------------------------------------
+    def release_shuffle(self, shuffle_id: int) -> int:
+        """Drop one shuffle's registration and its pinned map-output
+        blocks; returns the number of blocks removed.
+
+        The lifecycle manager calls this when a query is cancelled,
+        deadline-expired, or failed: its map outputs can never be
+        fetched again, and because they are pinned they would otherwise
+        occupy worker memory forever (the "no orphaned pinned blocks"
+        invariant).
+        """
+        locations = self._locations.pop(shuffle_id, None)
+        if locations is None:
+            return 0
+        stats = self._stats.pop(shuffle_id, None)
+        self._deps.pop(shuffle_id, None)
+        released = 0
+        for map_partition, worker_id in locations.items():
+            worker = self._cluster.worker(worker_id)
+            block_id = _shuffle_block_id(shuffle_id, map_partition)
+            if worker.alive and block_id in worker.blocks:
+                worker.blocks.remove(block_id)
+                released += 1
+        if released or stats is not None:
+            self._tracer.metrics.inc("shuffle.released")
+            self._tracer.metrics.inc("shuffle.released.blocks", released)
+        return released
+
+    def registered_block_ids(self) -> set[str]:
+        """Block ids of every registered map output (test/debug helper:
+        cross-check against the workers' pinned blocks to prove no
+        cancelled query leaked shuffle storage)."""
+        return {
+            _shuffle_block_id(shuffle_id, map_partition)
+            for shuffle_id, locations in self._locations.items()
+            for map_partition in locations
+        }
+
+    # ------------------------------------------------------------------
     # Failure handling
     # ------------------------------------------------------------------
     def _handle_worker_killed(self, worker_id: int) -> None:

@@ -137,6 +137,13 @@ class TaskContext:
     made while the task runs land in ``acc_updates`` and are merged into
     driver state exactly once — only for the attempt whose result the
     scheduler actually keeps.
+
+    ``cancel_token`` is the owning query's cooperative cancellation flag
+    (when the task runs under a lifecycle manager): in-flight attempts
+    observe it via :meth:`check_cancelled` at RDD iterator boundaries, so
+    a cancelled query stops computing without waiting for the stage to
+    finish — and the dead attempt's buffered accumulator updates are
+    simply discarded, never merged.
     """
 
     def __init__(
@@ -149,6 +156,7 @@ class TaskContext:
         metrics: "TaskMetrics",
         attempt: int = 1,
         speculative: bool = False,
+        cancel_token: Any | None = None,
     ):
         self.stage_id = stage_id
         self.partition = partition
@@ -158,8 +166,15 @@ class TaskContext:
         self.metrics = metrics
         self.attempt = attempt
         self.speculative = speculative
+        self.cancel_token = cancel_token
         #: Buffered (accumulator, delta) pairs from this attempt.
         self.acc_updates: list[tuple[Any, Any]] = []
+
+    def check_cancelled(self) -> None:
+        """Raise the owning query's typed cancellation error if its
+        token is armed (no-op for tasks outside a lifecycle manager)."""
+        if self.cancel_token is not None:
+            self.cancel_token.raise_if_cancelled()
 
     def record_accumulator(self, accumulator: Any, delta: Any) -> None:
         """Buffer a task-side accumulator update for driver-side merge."""

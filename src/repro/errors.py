@@ -92,6 +92,78 @@ class QueryAbortedError(EngineError):
     """A coarse-grained engine (the MPP baseline) aborted a query mid-run."""
 
 
+class QueryLifecycleError(EngineError):
+    """Base class for query-lifecycle failures (admission, cancellation,
+    deadlines, circuit breaking) raised by
+    :class:`~repro.engine.lifecycle.QueryLifecycleManager`."""
+
+
+class AdmissionRejected(QueryLifecycleError):
+    """The engine is at capacity: the admission queue is full.
+
+    Backpressure, not silent queueing: the caller should resubmit after
+    ``retry_after_s`` simulated seconds (a hint derived from recent query
+    durations and the current queue depth).
+    """
+
+    def __init__(self, name: str, running: int, queued: int, retry_after_s: float):
+        super().__init__(
+            f"query {name!r} rejected: {running} running and {queued} queued "
+            f"queries at capacity; retry after ~{retry_after_s:.2f}s"
+        )
+        self.name = name
+        self.running = running
+        self.queued = queued
+        self.retry_after_s = retry_after_s
+
+
+class QueryCancelledError(QueryLifecycleError):
+    """The query was cancelled mid-flight (user request or deadline).
+
+    Raised inside the query at the next cooperative cancellation point;
+    the lifecycle manager then releases the query's admission slot and
+    cleans up its shuffle outputs, spans, and accumulator buffers.
+    """
+
+    def __init__(self, name: str, reason: str = "cancelled"):
+        super().__init__(f"query {name!r} cancelled: {reason}")
+        self.name = name
+        self.reason = reason
+
+
+class QueryDeadlineExceeded(QueryCancelledError):
+    """The query ran past its simulated-clock deadline and was cancelled
+    mid-flight (subclasses :class:`QueryCancelledError` so one handler
+    catches both forms of cooperative cancellation)."""
+
+    def __init__(self, name: str, deadline_s: float, elapsed_s: float):
+        super().__init__(
+            name,
+            reason=(
+                f"deadline of {deadline_s:.3f}s exceeded "
+                f"({elapsed_s:.3f} simulated seconds charged)"
+            ),
+        )
+        self.deadline_s = deadline_s
+        self.elapsed_s = elapsed_s
+
+
+class QueryCircuitOpenError(QueryLifecycleError):
+    """Submissions for this query key are failing fast: previous runs
+    repeatedly exhausted their recovery budget, so the per-query circuit
+    breaker is open until ``retry_after_completions`` more queries finish."""
+
+    def __init__(self, key: str, failures: int, retry_after_completions: int):
+        super().__init__(
+            f"circuit open for query key {key!r} after {failures} consecutive "
+            f"engine failures; retry after {retry_after_completions} more "
+            f"query completions"
+        )
+        self.key = key
+        self.failures = failures
+        self.retry_after_completions = retry_after_completions
+
+
 class StorageError(ReproError):
     """Base class for storage-layer failures."""
 

@@ -73,6 +73,8 @@ class QueryAnalysis:
     retried_tasks: int = 0
     speculative_tasks: int = 0
     blacklisted_workers: int = 0
+    evicted_blocks: int = 0
+    evicted_bytes: int = 0
     num_jobs: int = 0
     result_rows: Optional[int] = None
     notes: list[str] = field(default_factory=list)
@@ -105,6 +107,11 @@ class QueryAnalysis:
         if self.blacklisted_workers:
             lines.append(
                 f"  blacklisted workers: {self.blacklisted_workers}"
+            )
+        if self.evicted_blocks:
+            lines.append(
+                f"  evicted cache blocks (memory pressure): "
+                f"{self.evicted_blocks} ({_bytes(self.evicted_bytes)})"
             )
         if self.result_rows is not None:
             lines.append(f"  result: {self.result_rows} row(s)")
@@ -144,6 +151,8 @@ def analyze_profiles(
         analysis.retried_tasks += profile.retried_tasks
         analysis.speculative_tasks += profile.speculative_tasks
         analysis.blacklisted_workers += profile.blacklisted_workers
+        analysis.evicted_blocks += profile.evicted_blocks
+        analysis.evicted_bytes += profile.evicted_bytes
         for stage in profile.stages:
             if stage.num_tasks == 0:
                 continue  # skipped: shuffle outputs reused

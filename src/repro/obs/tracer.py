@@ -3,7 +3,11 @@
 Span taxonomy (the ``category`` field):
 
 ``query``
-    One SQL statement, driver lane.
+    One SQL statement, driver lane.  Under the lifecycle manager
+    (:mod:`repro.engine.lifecycle`) also the lifecycle instants:
+    ``query.admitted``, ``query.queued``, ``query.rejected`` (admission
+    control or open circuit), ``query.cancelled``, ``query.deadline``,
+    ``query.circuit_open``, and ``query.shuffles_released``.
 ``job`` / ``stage``
     Scheduler activity, driver lane; stages nest under jobs.
 ``task``
@@ -36,6 +40,27 @@ A disabled tracer's emit methods return immediately — the engine's hot
 path pays one predicate check and nothing else.  The embedded
 :class:`~repro.obs.metrics.MetricsRegistry` is always live (see its
 module docstring for why).
+
+Cancellation and cleanup invariants
+-----------------------------------
+
+When queries run concurrently under the lifecycle manager, each query
+owns a private span stack that the manager swaps in via
+:meth:`Tracer.use_stack` at every cooperative handoff — so interleaved
+queries' spans nest correctly and never parent across queries.  A query
+that reaches a terminal state (done, cancelled, deadline-expired, or
+failed) must leave:
+
+* **no open spans** — its query span and any abandoned job/stage spans
+  are force-closed with the terminal status (``end_span`` pops through
+  children; the manager drains any stragglers on the private stack);
+* **no orphaned pinned shuffle blocks** — map outputs it registered are
+  released (``ShuffleManager.release_shuffle``) unless the query
+  completed normally;
+* **no accumulator contributions from cancelled attempts** — attempts
+  buffer accumulator updates in their :class:`~repro.engine.task.TaskContext`
+  and the scheduler merges only kept attempts, so an attempt killed by
+  the cancellation token simply discards its buffer.
 """
 
 from __future__ import annotations
@@ -259,6 +284,17 @@ class Tracer:
         self.trace.clear()
         self.clock.reset()
         self._stack.clear()
+
+    def use_stack(self, stack: list) -> list:
+        """Swap in a different span stack, returning the previous one.
+
+        The lifecycle manager gives each concurrent query a private
+        stack so interleaved queries' spans nest under their own query
+        span instead of whichever span another query left open.
+        """
+        previous = self._stack
+        self._stack = stack
+        return previous
 
     # ------------------------------------------------------------------
     # Driver-side spans

@@ -36,6 +36,12 @@ Enter SQL terminated by ';'.  Dot-commands:
   .workers              virtual cluster status
   .kill <worker_id>     kill a worker (lineage recovery demo)
   .notes                run-time optimizer decisions of the last query
+  .submit <query>       submit SQL for concurrent execution (queued under
+                        admission control; run with .drain)
+  .queries              lifecycle status of every submitted query
+  .cancel <id>          cooperatively cancel a submitted query
+  .drain                run all submitted queries to completion, fairly
+                        interleaved
   .quit                 exit"""
 
 #: Truncate result sets in the shell beyond this many rows.
@@ -189,6 +195,64 @@ class Shell:
             else:
                 for note in report.notes:
                     self._write(f"-- {note}")
+            return
+        if name == ".submit":
+            try:
+                handle = self.shark.submit_sql(argument.rstrip(";"))
+                self._write(
+                    f"submitted query {handle.query_id} "
+                    f"({handle.state}); run with .drain"
+                )
+            except RuntimeError:
+                self.shark.enable_lifecycle()
+                self._dot_command(command)
+            except ReproError as error:
+                self._write(f"error: {error}")
+            return
+        if name == ".queries":
+            lifecycle = self.shark.lifecycle
+            if lifecycle is None or not lifecycle.handles:
+                self._write("(no submitted queries)")
+            else:
+                for handle in lifecycle.handles:
+                    self._write(handle.describe())
+                self._write(lifecycle.describe())
+            return
+        if name == ".cancel":
+            lifecycle = self.shark.lifecycle
+            try:
+                query_id = int(argument)
+                handle = next(
+                    h
+                    for h in (lifecycle.handles if lifecycle else [])
+                    if h.query_id == query_id
+                )
+            except (ValueError, StopIteration):
+                self._write(f"error: no submitted query {argument!r}")
+                return
+            if handle.done:
+                self._write(
+                    f"query {query_id} already finished ({handle.state})"
+                )
+                return
+            handle.cancel()
+            self._write(
+                f"cancellation requested for query {query_id} (takes "
+                f"effect at its next task boundary)"
+            )
+            return
+        if name == ".drain":
+            lifecycle = self.shark.lifecycle
+            if lifecycle is None:
+                self._write("(no submitted queries)")
+                return
+            try:
+                finished = lifecycle.drain()
+            except ReproError as error:
+                self._write(f"error: {error}")
+                return
+            for handle in finished:
+                self._write(handle.describe())
             return
         self._write(f"unknown command {name!r}; try .help")
 

@@ -197,13 +197,16 @@ class SqlSession:
 
         cluster = self.ctx.cluster
         cores = cluster.workers[0].cores if cluster.workers else 1
+        notes = list(planned.report.notes)
+        if self.ctx.lifecycle is not None:
+            notes.append(self.ctx.lifecycle.describe())
         analysis = analyze_profiles(
             plan_text,
             self.ctx.profiles,
             num_workers=cluster.num_workers,
             cores_per_worker=cores,
             result_rows=len(rows),
-            notes=planned.report.notes,
+            notes=notes,
         )
         text = analysis.render()
         schema = Schema([Field("plan", type_by_name("string"))])

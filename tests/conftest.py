@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import signal
 import sys
 from pathlib import Path
 
@@ -14,6 +15,39 @@ if str(_SRC) not in sys.path:
 
 from repro import SharkContext  # noqa: E402
 from repro.engine import EngineContext  # noqa: E402
+
+#: Hang guard: an admission/cancellation deadlock in the cooperative
+#: lifecycle scheduler must fail the test run fast, not hang it.  Must
+#: exceed the example-subprocess timeouts in test_examples.py (240s) so
+#: slow-but-progressing tests never false-positive.  CI additionally
+#: installs pytest-timeout and sets job-level timeout-minutes.
+_TEST_TIMEOUT_S = 300
+
+
+@pytest.fixture(autouse=True)
+def _hang_guard():
+    if (
+        not hasattr(signal, "SIGALRM")
+        or signal.getsignal(signal.SIGALRM) not in
+        (signal.SIG_DFL, signal.SIG_IGN, None)
+    ):
+        # No SIGALRM (non-POSIX) or something else owns it: skip the guard.
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {_TEST_TIMEOUT_S}s hang guard "
+            "(cooperative-scheduling deadlock?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.alarm(_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

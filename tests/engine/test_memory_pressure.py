@@ -110,3 +110,55 @@ class TestEngineUnderMemoryPressure:
             shark.sql("SELECT g, COUNT(*) FROM t GROUP BY g").rows
         )
         assert result == {f"g{i}": 800 for i in range(5)}
+
+
+class TestEvictionThenRecompute:
+    """Regression: a cached table whose partitions were LRU-evicted must
+    recompute via lineage and answer byte-identically — and the eviction
+    must be visible in QueryProfile.describe() and EXPLAIN ANALYZE."""
+
+    def _build(self):
+        from repro import SharkContext
+        from repro.datatypes import INT, STRING, Schema
+
+        # Small enough that the cached columnar partitions cannot all
+        # fit: every query re-reads some partitions through lineage.
+        shark = SharkContext(
+            num_workers=2, memory_per_worker_bytes=2_500
+        )
+        shark.create_table(
+            "t", Schema.of(("g", STRING), ("v", INT)), cached=True
+        )
+        shark.load_rows(
+            "t", [(f"g{i % 7}", i) for i in range(6000)], num_partitions=8
+        )
+        return shark
+
+    def test_recompute_is_byte_identical(self):
+        shark = self._build()
+        query = "SELECT g, COUNT(*) AS n, SUM(v) AS s FROM t GROUP BY g"
+        first = sorted(shark.sql(query).rows)
+        evicted = shark.metrics.value("blocks.evicted")
+        assert evicted > 0, "capacity was not small enough to force eviction"
+        # Evicted partitions recompute from lineage on the second read.
+        second = sorted(shark.sql(query).rows)
+        assert first == second
+
+    def test_eviction_surfaced_in_profile_describe(self):
+        shark = self._build()
+        shark.engine.reset_profiles()
+        shark.sql("SELECT g, COUNT(*) FROM t GROUP BY g")
+        profiles = shark.engine.profiles
+        evicted = sum(p.evicted_blocks for p in profiles)
+        evicted_bytes = sum(p.evicted_bytes for p in profiles)
+        assert evicted > 0
+        assert evicted_bytes > 0
+        described = "\n".join(p.describe() for p in profiles)
+        assert "evicted cache blocks" in described
+
+    def test_eviction_surfaced_in_explain_analyze(self):
+        shark = self._build()
+        text = shark.explain_analyze(
+            "SELECT g, COUNT(*) FROM t GROUP BY g"
+        )
+        assert "evicted cache blocks" in text

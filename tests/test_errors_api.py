@@ -5,6 +5,7 @@ import pytest
 from repro import SharkContext
 from repro.datatypes import INT, STRING, Schema
 from repro.errors import (
+    AdmissionRejected,
     AnalysisError,
     BlockLostError,
     CatalogError,
@@ -12,6 +13,10 @@ from repro.errors import (
     FetchFailedError,
     MLError,
     ParseError,
+    QueryCancelledError,
+    QueryCircuitOpenError,
+    QueryDeadlineExceeded,
+    QueryLifecycleError,
     ReproError,
     SqlError,
     StorageError,
@@ -39,6 +44,32 @@ class TestHierarchy:
         assert issubclass(TaskError, EngineError)
         assert issubclass(FetchFailedError, EngineError)
         assert issubclass(BlockLostError, EngineError)
+
+    def test_lifecycle_subtree(self):
+        assert issubclass(QueryLifecycleError, EngineError)
+        for exc_type in (
+            AdmissionRejected,
+            QueryCancelledError,
+            QueryCircuitOpenError,
+        ):
+            assert issubclass(exc_type, QueryLifecycleError)
+        # A deadline expiry IS a cancellation: one handler catches both.
+        assert issubclass(QueryDeadlineExceeded, QueryCancelledError)
+
+    def test_lifecycle_messages_carry_context(self):
+        rejected = AdmissionRejected(
+            "q1", running=2, queued=3, retry_after_s=1.5
+        )
+        assert rejected.retry_after_s == 1.5
+        assert "retry after" in str(rejected)
+        deadline = QueryDeadlineExceeded("q2", deadline_s=0.5, elapsed_s=0.7)
+        assert deadline.deadline_s == 0.5
+        assert "deadline" in str(deadline)
+        circuit = QueryCircuitOpenError(
+            "SELECT 1", failures=2, retry_after_completions=4
+        )
+        assert circuit.failures == 2
+        assert "circuit open" in str(circuit)
 
     def test_messages_carry_context(self):
         fetch = FetchFailedError(shuffle_id=3, map_partition=7, worker_id=1)

@@ -17,6 +17,11 @@ EXPECTED_MARKERS = {
     "chaos_demo.py": [
         "OK: every query returned results identical to the fault-free run",
     ],
+    "concurrent_queries_demo.py": [
+        "admission control:",
+        "cancelled: cancelled, deadlined: deadline",
+        "OK: survivors identical to serial",
+    ],
     "fault_tolerance_demo.py": [
         "answer still correct: True",
         "final answer still matches baseline: True",

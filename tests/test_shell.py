@@ -138,6 +138,45 @@ class TestDotCommands:
         drive(shell, "SELECT COUNT(*) FROM t WHERE a = 3;", ".notes")
         assert any("map pruning" in line for line in output)
 
+    def test_submit_queries_drain(self, session):
+        shell, output = session
+        drive(shell, "CREATE TABLE t (a INT);")
+        shell.shark.load_rows("t", [(i,) for i in range(40)], 4)
+        drive(
+            shell,
+            ".submit SELECT COUNT(*) FROM t",
+            ".submit SELECT a, COUNT(*) FROM t GROUP BY a",
+            ".queries",
+            ".drain",
+        )
+        text = "\n".join(output)
+        # First .submit lazily enables the lifecycle manager.
+        assert "submitted query 0" in text
+        assert "submitted query 1" in text
+        assert "lifecycle: 2 submitted" in text
+        assert "done" in text
+
+    def test_cancel_submitted_query(self, session):
+        shell, output = session
+        drive(shell, "CREATE TABLE t (a INT);")
+        shell.shark.load_rows("t", [(i,) for i in range(40)], 4)
+        drive(
+            shell,
+            ".submit SELECT COUNT(*) FROM t",
+            ".cancel 0",
+            ".cancel 99",
+            ".drain",
+        )
+        text = "\n".join(output)
+        assert "cancellation requested for query 0" in text
+        assert "no submitted query '99'" in text
+        assert "cancelled" in text
+
+    def test_queries_without_lifecycle(self, session):
+        shell, output = session
+        drive(shell, ".queries", ".drain")
+        assert output.count("(no submitted queries)") == 2
+
 
 class TestRunHelper:
     def test_run_stops_at_quit(self):
