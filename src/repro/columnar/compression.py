@@ -72,6 +72,17 @@ class EncodedColumn:
     def memory_footprint_bytes(self) -> int:
         return self.compressed_bytes
 
+    def dictionary_view(self) -> Optional[tuple[np.ndarray, list]]:
+        """(codes, dictionary) when the encoding is code-addressable.
+
+        Late materialization hook: a batch consumer that only needs group
+        identity (e.g. a hash aggregate keyed on this column) can operate
+        on the integer codes directly and look values up once per distinct
+        code, instead of decoding every row.  None for encodings that do
+        not keep an explicit dictionary.
+        """
+        return None
+
 
 class CompressionScheme:
     """Interface: decide applicability and encode."""
@@ -229,6 +240,9 @@ class _DictionaryColumn(EncodedColumn):
     @property
     def cardinality(self) -> int:
         return len(self._dictionary)
+
+    def dictionary_view(self) -> Optional[tuple[np.ndarray, list]]:
+        return self._codes, self._dictionary
 
     def __len__(self) -> int:
         return len(self._codes)

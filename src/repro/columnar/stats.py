@@ -65,6 +65,10 @@ class ColumnStats:
     # -- pruning predicates -------------------------------------------------
     def may_contain(self, value: Any) -> bool:
         """Could ``column = value`` hold for any row in this partition?"""
+        if self.row_count == 0:
+            # Never-observed stats (a placeholder published before the
+            # load, or reset since): cannot prune, same as may_overlap.
+            return True
         if self.distinct_values is not None:
             return value in self.distinct_values
         if self.minimum is None or not _comparable(value):

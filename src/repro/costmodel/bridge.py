@@ -75,6 +75,7 @@ def _stage_totals(stage: StageProfile, scale: float) -> TaskCostVector:
     sources = Counter(task.source for task in stage.tasks)
     dominant = sources.most_common(1)[0][0] if sources else SOURCE_GENERATED
     totals = TaskCostVector(source=dominant)
+    vectorized_records = 0.0
     for task in stage.tasks:
         vector = task.to_cost_vector()
         totals.records_in += vector.records_in
@@ -83,6 +84,10 @@ def _stage_totals(stage: StageProfile, scale: float) -> TaskCostVector:
         totals.bytes_out += vector.bytes_out
         totals.shuffle_write_bytes += vector.shuffle_write_bytes
         totals.shuffle_read_bytes += vector.shuffle_read_bytes
+        vectorized_records += vector.records_in * vector.vectorized_fraction
+    if totals.records_in > 0:
+        # Records-weighted: the fraction survives volume scaling unchanged.
+        totals.vectorized_fraction = vectorized_records / totals.records_in
     return totals.scaled(scale)
 
 

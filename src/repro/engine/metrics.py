@@ -42,9 +42,18 @@ class TaskMetrics:
     attempts: int = 1
     #: True when the kept result came from a speculative backup copy.
     speculative: bool = False
+    #: Input records processed batch-at-a-time by vectorized kernels
+    #: (<= records_in); the cost model charges those a cheaper per-record
+    #: CPU rate.
+    batch_rows: int = 0
 
     def to_cost_vector(self) -> TaskCostVector:
         """Convert to the cost-model representation."""
+        vectorized_fraction = 0.0
+        if self.records_in > 0:
+            vectorized_fraction = min(
+                self.batch_rows / self.records_in, 1.0
+            )
         return TaskCostVector(
             records_in=float(self.records_in),
             bytes_in=float(self.bytes_in),
@@ -53,6 +62,7 @@ class TaskMetrics:
             shuffle_write_bytes=float(self.shuffle_write_bytes),
             shuffle_read_bytes=float(self.shuffle_read_bytes),
             source=self.source,
+            vectorized_fraction=vectorized_fraction,
         )
 
 

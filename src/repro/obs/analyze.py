@@ -78,6 +78,9 @@ class QueryAnalysis:
     num_jobs: int = 0
     result_rows: Optional[int] = None
     notes: list[str] = field(default_factory=list)
+    #: (operator label, mode) pairs from the planner: which operators ran
+    #: vectorized (batch kernels) and which ran row-at-a-time.
+    operator_modes: list[tuple[str, str]] = field(default_factory=list)
 
     def render(self) -> str:
         lines = self.plan_text.splitlines()
@@ -115,6 +118,10 @@ class QueryAnalysis:
             )
         if self.result_rows is not None:
             lines.append(f"  result: {self.result_rows} row(s)")
+        if self.operator_modes:
+            lines.append("  == operator modes ==")
+            for operator, mode in self.operator_modes:
+                lines.append(f"  {operator}: {mode}")
         for note in self.notes:
             lines.append(f"  -- {note}")
         return "\n".join(lines)
@@ -128,6 +135,7 @@ def analyze_profiles(
     engine: EngineProfile = SHARK_MEM,
     result_rows: Optional[int] = None,
     notes: Optional[list[str]] = None,
+    operator_modes: Optional[list[tuple[str, str]]] = None,
 ) -> QueryAnalysis:
     """Annotate ``plan_text`` with the executed profiles' statistics.
 
@@ -144,6 +152,7 @@ def analyze_profiles(
         num_jobs=len(profiles),
         result_rows=result_rows,
         notes=list(notes or []),
+        operator_modes=list(operator_modes or []),
     )
     executed: list[tuple[QueryProfile, StageProfile]] = []
     for profile in profiles:

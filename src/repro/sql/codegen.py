@@ -277,3 +277,465 @@ def compile_predicate(expr: BoundExpr) -> Optional[Callable[[tuple], bool]]:
         return compiled(row) is True
 
     return predicate
+
+
+# ---------------------------------------------------------------------------
+# Vector kernels (batch-at-a-time compilation)
+# ---------------------------------------------------------------------------
+#
+# The row compiler above turns an expression tree into one Python function
+# per *row*; the vector compiler below turns the same tree into one closure
+# per *operator* that maps a ColumnBatch to a Vector.  Numeric columns stay
+# numpy arrays end to end (NULLs as validity masks, three-valued logic as
+# true/false mask pairs); subtrees the compiler cannot vectorize fall back
+# to an elementwise interpreter over the batch, so compilation is total —
+# the caller only learns *how much* of the tree ran interpreted.
+#
+# Parity contract: every kernel reproduces the corresponding BoundExpr.eval
+# semantics exactly (NULL propagation, division by zero -> NULL, Kleene
+# AND/OR, BETWEEN's non-decomposable NULL handling).
+
+import numpy as np  # noqa: E402
+
+from repro.columnar.batch import ColumnBatch, Vector  # noqa: E402
+
+
+class _Const:
+    """A compile-time scalar operand (literal or folded sub-result)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class _VectorCompileState:
+    """Counts subtrees that fell back to the elementwise interpreter."""
+
+    __slots__ = ("interpreted",)
+
+    def __init__(self) -> None:
+        self.interpreted = 0
+
+
+def _values_list(operand, n: int) -> list:
+    if isinstance(operand, _Const):
+        return [operand.value] * n
+    return operand.to_python_list()
+
+
+def _numeric_operand(operand):
+    """(data, valid) with data an upcast ndarray or a Python scalar;
+    None when the operand is not numpy-numeric."""
+    if isinstance(operand, _Const):
+        value = operand.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        return value, None
+    data = operand.data
+    if not isinstance(data, np.ndarray):
+        return None
+    if data.dtype == np.bool_ or not np.issubdtype(data.dtype, np.number):
+        return None
+    if np.issubdtype(data.dtype, np.integer) and data.dtype != np.int64:
+        data = data.astype(np.int64)
+    return data, operand.valid
+
+
+def _combine_valid(*valids) -> Optional[np.ndarray]:
+    out = None
+    for valid in valids:
+        if valid is None:
+            continue
+        out = valid if out is None else (out & valid)
+    return out
+
+
+def _all_null(n: int) -> Vector:
+    return Vector(np.zeros(n, dtype=np.float64), np.zeros(n, dtype=bool))
+
+
+def _bool_masks(operand, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Three-valued truth of a boolean operand as (is_true, is_false)."""
+    if isinstance(operand, _Const):
+        true = np.full(n, operand.value is True)
+        false = np.full(n, operand.value is False)
+        return true, false
+    data = operand.data
+    if isinstance(data, np.ndarray) and data.dtype == np.bool_:
+        if operand.valid is None:
+            return data, ~data
+        return data & operand.valid, ~data & operand.valid
+    values = _values_list(operand, n)
+    true = np.fromiter((v is True for v in values), dtype=bool, count=n)
+    false = np.fromiter((v is False for v in values), dtype=bool, count=n)
+    return true, false
+
+
+def _arith_kernel(op: str, fn, left, right, n: int):
+    if isinstance(left, _Const) and isinstance(right, _Const):
+        a, b = left.value, right.value
+        if a is None or b is None:
+            return _Const(None)
+        if op in ("/", "%") and b == 0:
+            return _Const(None)
+        return _Const(a / b if op == "/" else fn(a, b))
+    if (isinstance(left, _Const) and left.value is None) or (
+        isinstance(right, _Const) and right.value is None
+    ):
+        return _all_null(n)
+    if (
+        op in ("/", "%")
+        and isinstance(right, _Const)
+        and right.value == 0
+    ):
+        return _all_null(n)
+    a = _numeric_operand(left)
+    b = _numeric_operand(right)
+    if a is not None and b is not None:
+        (ad, av), (bd, bv) = a, b
+        valid = _combine_valid(av, bv)
+        if op in ("/", "%") and isinstance(bd, np.ndarray):
+            zero = bd == 0
+            if np.any(zero):
+                nonzero = ~zero
+                valid = nonzero if valid is None else (valid & nonzero)
+                bd = np.where(zero, 1, bd)
+        with np.errstate(all="ignore"):
+            if op == "/":
+                vals = np.true_divide(ad, bd)
+            elif op == "%":
+                vals = np.mod(ad, bd)
+            elif op == "+":
+                vals = ad + bd
+            elif op == "-":
+                vals = ad - bd
+            else:
+                vals = ad * bd
+        return Vector(vals, valid)
+    out = []
+    for x, y in zip(_values_list(left, n), _values_list(right, n)):
+        if x is None or y is None:
+            out.append(None)
+        elif op in ("/", "%") and y == 0:
+            out.append(None)
+        elif op == "/":
+            out.append(x / y)
+        else:
+            out.append(fn(x, y))
+    return Vector(out)
+
+
+_NUMPY_CMP = {
+    "=": np.equal, "<>": np.not_equal, "<": np.less,
+    "<=": np.less_equal, ">": np.greater, ">=": np.greater_equal,
+}
+
+
+def _compare_kernel(op: str, fn, left, right, n: int):
+    if isinstance(left, _Const) and isinstance(right, _Const):
+        a, b = left.value, right.value
+        if a is None or b is None:
+            return _Const(None)
+        return _Const(fn(a, b))
+    if (isinstance(left, _Const) and left.value is None) or (
+        isinstance(right, _Const) and right.value is None
+    ):
+        return Vector(np.zeros(n, dtype=bool), np.zeros(n, dtype=bool))
+    a = _numeric_operand(left)
+    b = _numeric_operand(right)
+    if a is not None and b is not None:
+        (ad, av), (bd, bv) = a, b
+        return Vector(_NUMPY_CMP[op](ad, bd), _combine_valid(av, bv))
+    out = []
+    for x, y in zip(_values_list(left, n), _values_list(right, n)):
+        out.append(None if x is None or y is None else fn(x, y))
+    return Vector(out)
+
+
+def _between_kernel(value, low, high, negated: bool, n: int):
+    consts = [value, low, high]
+    if all(isinstance(c, _Const) for c in consts):
+        v, lo, hi = (c.value for c in consts)
+        if v is None or lo is None or hi is None:
+            return _Const(None)
+        result = lo <= v <= hi
+        return _Const(not result if negated else result)
+    if any(isinstance(c, _Const) and c.value is None for c in consts):
+        return Vector(np.zeros(n, dtype=bool), np.zeros(n, dtype=bool))
+    v = _numeric_operand(value)
+    lo = _numeric_operand(low)
+    hi = _numeric_operand(high)
+    if v is not None and lo is not None and hi is not None:
+        (vd, vv), (lod, lov), (hid, hiv) = v, lo, hi
+        vals = (lod <= vd) & (vd <= hid)
+        if negated:
+            vals = ~vals
+        return Vector(vals, _combine_valid(vv, lov, hiv))
+    out = []
+    for x, lo_v, hi_v in zip(
+        _values_list(value, n), _values_list(low, n), _values_list(high, n)
+    ):
+        if x is None or lo_v is None or hi_v is None:
+            out.append(None)
+        else:
+            result = lo_v <= x <= hi_v
+            out.append(not result if negated else result)
+    return Vector(out)
+
+
+def _in_kernel(operand, constant_set: frozenset, negated: bool, n: int):
+    if isinstance(operand, _Const):
+        if operand.value is None:
+            return _Const(None)
+        result = operand.value in constant_set
+        return _Const(not result if negated else result)
+    numeric = _numeric_operand(operand)
+    if numeric is not None:
+        data, valid = numeric
+        options = [
+            option for option in constant_set
+            if isinstance(option, (int, float))
+            and not isinstance(option, bool)
+        ]
+        vals = np.isin(data, options)
+        if negated:
+            vals = ~vals
+        return Vector(vals, valid)
+    out = []
+    for v in _values_list(operand, n):
+        if v is None:
+            out.append(None)
+        else:
+            result = v in constant_set
+            out.append(not result if negated else result)
+    return Vector(out)
+
+
+def _is_null_kernel(operand, negated: bool, n: int):
+    if isinstance(operand, _Const):
+        result = operand.value is None
+        return _Const(not result if negated else result)
+    data = operand.data
+    if isinstance(data, np.ndarray):
+        if operand.valid is None:
+            vals = np.zeros(n, dtype=bool)
+        else:
+            vals = ~operand.valid
+    else:
+        vals = np.fromiter(
+            (v is None for v in data), dtype=bool, count=n
+        )
+    if negated:
+        vals = ~vals
+    return Vector(vals)
+
+
+def _interpret_subtree(expr: BoundExpr, width: int, state: _VectorCompileState):
+    """Whole-subtree fallback: evaluate ``expr.eval`` per batch row.
+
+    Still batch-granular (columns are materialized once per batch, rows
+    are reused buffers), and exactly the row semantics by construction.
+    """
+    state.interpreted += 1
+    references = sorted(expr.references())
+    evaluate = expr.eval
+
+    def run(batch: ColumnBatch):
+        columns = [
+            (index, batch.vector(index).to_python_list())
+            for index in references
+        ]
+        row = [None] * width
+        out = []
+        for r in range(batch.num_rows):
+            for index, values in columns:
+                row[index] = values[r]
+            out.append(evaluate(row))
+        return Vector(out)
+
+    return run
+
+
+def _vector_node(expr: BoundExpr, width: int, state: _VectorCompileState):
+    """Compile one expression node to a closure ``batch -> Vector|_Const``."""
+    if isinstance(expr, BoundLiteral):
+        constant = _Const(expr.value)
+        return lambda batch: constant
+    if isinstance(expr, BoundColumn):
+        index = expr.index
+        return lambda batch: batch.vector(index)
+    if isinstance(expr, BoundArithmetic):
+        left = _vector_node(expr.left, width, state)
+        right = _vector_node(expr.right, width, state)
+        op, fn = expr.op, expr._fn
+        return lambda batch: _arith_kernel(
+            op, fn, left(batch), right(batch), batch.num_rows
+        )
+    if isinstance(expr, BoundComparison):
+        left = _vector_node(expr.left, width, state)
+        right = _vector_node(expr.right, width, state)
+        op, fn = expr.op, expr._fn
+        return lambda batch: _compare_kernel(
+            op, fn, left(batch), right(batch), batch.num_rows
+        )
+    if isinstance(expr, BoundAnd):
+        left = _vector_node(expr.left, width, state)
+        right = _vector_node(expr.right, width, state)
+
+        def kernel_and(batch: ColumnBatch):
+            n = batch.num_rows
+            lt, lf = _bool_masks(left(batch), n)
+            rt, rf = _bool_masks(right(batch), n)
+            true = lt & rt
+            false = lf | rf
+            return Vector(true, true | false)
+
+        return kernel_and
+    if isinstance(expr, BoundOr):
+        left = _vector_node(expr.left, width, state)
+        right = _vector_node(expr.right, width, state)
+
+        def kernel_or(batch: ColumnBatch):
+            n = batch.num_rows
+            lt, lf = _bool_masks(left(batch), n)
+            rt, rf = _bool_masks(right(batch), n)
+            true = lt | rt
+            false = lf & rf
+            return Vector(true, true | false)
+
+        return kernel_or
+    if isinstance(expr, BoundNot):
+        operand = _vector_node(expr.operand, width, state)
+
+        def kernel_not(batch: ColumnBatch):
+            true, false = _bool_masks(operand(batch), batch.num_rows)
+            return Vector(false, true | false)
+
+        return kernel_not
+    if isinstance(expr, BoundNegate):
+        operand = _vector_node(expr.operand, width, state)
+
+        def kernel_negate(batch: ColumnBatch):
+            value = operand(batch)
+            if isinstance(value, _Const):
+                if value.value is None:
+                    return _Const(None)
+                return _Const(-value.value)
+            numeric = _numeric_operand(value)
+            if numeric is not None:
+                data, valid = numeric
+                return Vector(-data, valid)
+            return Vector([
+                None if v is None else -v
+                for v in _values_list(value, batch.num_rows)
+            ])
+
+        return kernel_negate
+    if isinstance(expr, BoundBetween):
+        value = _vector_node(expr.operand, width, state)
+        low = _vector_node(expr.low, width, state)
+        high = _vector_node(expr.high, width, state)
+        negated = expr.negated
+        return lambda batch: _between_kernel(
+            value(batch), low(batch), high(batch), negated, batch.num_rows
+        )
+    if isinstance(expr, BoundIn) and expr._constant_set is not None:
+        operand = _vector_node(expr.operand, width, state)
+        constant_set, negated = expr._constant_set, expr.negated
+        return lambda batch: _in_kernel(
+            operand(batch), constant_set, negated, batch.num_rows
+        )
+    if isinstance(expr, BoundIsNull):
+        operand = _vector_node(expr.operand, width, state)
+        negated = expr.negated
+        return lambda batch: _is_null_kernel(
+            operand(batch), negated, batch.num_rows
+        )
+    if isinstance(expr, BoundLike) and expr._compiled is not None:
+        operand = _vector_node(expr.operand, width, state)
+        regex, negated = expr._compiled, expr.negated
+
+        def kernel_like(batch: ColumnBatch):
+            value = operand(batch)
+            if isinstance(value, _Const):
+                if value.value is None:
+                    return _Const(None)
+                result = regex.match(value.value) is not None
+                return _Const(not result if negated else result)
+            out = []
+            for v in _values_list(value, batch.num_rows):
+                if v is None:
+                    out.append(None)
+                else:
+                    result = regex.match(v) is not None
+                    out.append(not result if negated else result)
+            return Vector(out)
+
+        return kernel_like
+    # CASE, CAST, scalar calls, correlated IN, dynamic LIKE: interpret the
+    # whole subtree against batch columns.
+    return _interpret_subtree(expr, width, state)
+
+
+def _broadcast(result, n: int) -> Vector:
+    if isinstance(result, _Const):
+        return Vector([result.value] * n)
+    return result
+
+
+def compile_vector_expression(
+    expr: BoundExpr, width: int
+) -> tuple[Callable[[ColumnBatch], Vector], int]:
+    """Compile ``expr`` to a batch kernel.
+
+    Returns ``(kernel, interpreted)``: the kernel maps a ColumnBatch to a
+    Vector of ``batch.num_rows`` results; ``interpreted`` counts subtrees
+    that run through the elementwise fallback rather than numpy.
+    Compilation is total — every expression gets a kernel.
+    """
+    state = _VectorCompileState()
+    node = _vector_node(expr, width, state)
+    return (lambda batch: _broadcast(node(batch), batch.num_rows),
+            state.interpreted)
+
+
+def compile_vector_predicate(
+    expr: BoundExpr, width: int
+) -> tuple[Callable[[ColumnBatch], np.ndarray], int]:
+    """Compile a predicate to a kernel producing a keep-mask (TRUE only;
+    NULL and FALSE both drop the row, as in the row path)."""
+    state = _VectorCompileState()
+    node = _vector_node(expr, width, state)
+
+    def predicate(batch: ColumnBatch) -> np.ndarray:
+        n = batch.num_rows
+        result = node(batch)
+        true, _ = _bool_masks(result, n)
+        return true
+
+    return predicate, state.interpreted
+
+
+def compile_vector_projection(
+    expressions: list[BoundExpr], width: int
+) -> tuple[list, int]:
+    """Compile a SELECT list to per-output plans.
+
+    Each element is ``("col", ordinal)`` for a bare column reference —
+    the pipeline moves the (possibly still encoded) entry without
+    decoding — or ``("expr", kernel)`` for a computed output.
+    """
+    state = _VectorCompileState()
+    plans: list = []
+    for expr in expressions:
+        if isinstance(expr, BoundColumn):
+            plans.append(("col", expr.index))
+        else:
+            node = _vector_node(expr, width, state)
+            plans.append(
+                ("expr",
+                 (lambda kernel: lambda batch: _broadcast(
+                     kernel(batch), batch.num_rows))(node))
+            )
+    return plans, state.interpreted

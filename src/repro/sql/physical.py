@@ -25,6 +25,13 @@ from repro.engine.rdd import (
     ShuffledRDD,
 )
 from repro.sql.expressions import BoundExpr
+from repro.sql.functions import (
+    AvgAggregate,
+    CountAggregate,
+    MaxAggregate,
+    MinAggregate,
+    SumAggregate,
+)
 from repro.sql.logical import AggregateSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,6 +59,41 @@ class VectorFilter:
     kind: str
     op: str = ""
     values: tuple = ()
+
+
+def _row_fallback_value(spec: VectorFilter, value) -> bool:
+    """Row-level re-check of one vector filter, for blocks where the
+    column could not be evaluated vectorized (mixed/object arrays)."""
+    if spec.kind == "cmp":
+        if value is None:
+            return False
+        target = spec.values[0]
+        try:
+            return {
+                "=": value == target,
+                "<>": value != target,
+                "<": value < target,
+                "<=": value <= target,
+                ">": value > target,
+                ">=": value >= target,
+            }[spec.op]
+        except TypeError:
+            return False
+    if spec.kind == "between":
+        if value is None:
+            return False
+        low, high = spec.values
+        try:
+            return low <= value <= high
+        except TypeError:
+            return False
+    if spec.kind == "in":
+        return value is not None and value in spec.values
+    if spec.kind == "isnull":
+        return value is None
+    if spec.kind == "notnull":
+        return value is not None
+    return True
 
 
 def _filter_mask(block: ColumnarPartition, spec: VectorFilter):
@@ -151,36 +193,7 @@ class MemstoreScanRDD(RDD):
         #: the row-level fallback ourselves for failed specs.
 
     def _row_fallback(self, spec: VectorFilter, value) -> bool:
-        if spec.kind == "cmp":
-            if value is None:
-                return False
-            target = spec.values[0]
-            try:
-                return {
-                    "=": value == target,
-                    "<>": value != target,
-                    "<": value < target,
-                    "<=": value <= target,
-                    ">": value > target,
-                    ">=": value >= target,
-                }[spec.op]
-            except TypeError:
-                return False
-        if spec.kind == "between":
-            if value is None:
-                return False
-            low, high = spec.values
-            try:
-                return low <= value <= high
-            except TypeError:
-                return False
-        if spec.kind == "in":
-            return value is not None and value in spec.values
-        if spec.kind == "isnull":
-            return value is None
-        if spec.kind == "notnull":
-            return value is not None
-        return True
+        return _row_fallback_value(spec, value)
 
     def compute(self, split: int, task_ctx: "TaskContext") -> list:
         blocks = self._parent.iterator(split, task_ctx)
@@ -261,6 +274,436 @@ def scan_memstore(
         base = PrunedRDD(base, kept_partitions)
     return MemstoreScanRDD(
         base, entry.schema, projected, vector_filters=vector_filters
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batch pipeline (vectorized execution past the scan)
+# ---------------------------------------------------------------------------
+
+
+def _vector_validity(vector, n: int):
+    """Positions holding non-NULL values, or None when all are valid."""
+    data = vector.data
+    if isinstance(data, np.ndarray):
+        return vector.valid
+    return np.fromiter((v is not None for v in data), dtype=bool, count=n)
+
+
+class BatchAggregator:
+    """Vectorized task-local hash aggregation over ColumnBatches.
+
+    Produces exactly the ``(group_key, accumulators)`` pairs of
+    :func:`_partial_aggregate_partition` — downstream merge/finish stages
+    are shared with the row path, so the two pipelines differ only in how
+    partials are built.  Group identity is resolved batch-at-a-time:
+    dictionary-encoded group columns aggregate directly on their integer
+    codes (never decoding the column), primitive columns go through
+    ``np.unique``, and everything else falls back to a per-row dict probe.
+    Accumulator updates use per-group numpy reductions whose accumulation
+    order matches the row path's left-to-right updates.
+    """
+
+    def __init__(
+        self,
+        group_kernels: list,
+        group_ordinals: list,
+        specs: list[AggregateSpec],
+        arg_kernels: list,
+    ):
+        self.group_kernels = group_kernels
+        self.group_ordinals = group_ordinals
+        self.specs = specs
+        self.arg_kernels = arg_kernels
+        self.groups: dict[tuple, list] = {}
+
+    # -- group identity -------------------------------------------------
+    def _group_ids(self, batch) -> tuple[np.ndarray, list]:
+        """(group id per row, local key list) for one batch."""
+        n = batch.num_rows
+        if not self.group_kernels:
+            return np.zeros(n, dtype=np.int64), [()]
+        if len(self.group_kernels) == 1 and self.group_ordinals[0] is not None:
+            view = batch.codes(self.group_ordinals[0])
+            if view is not None:
+                codes, dictionary = view
+                uniq, gids = np.unique(codes, return_inverse=True)
+                to_python = ColumnarPartition._to_python
+                keys = [(to_python(dictionary[code]),) for code in uniq]
+                return gids, keys
+        vectors = [kernel(batch) for kernel in self.group_kernels]
+        if len(vectors) == 1:
+            vector = vectors[0]
+            data = vector.data
+            if (
+                isinstance(data, np.ndarray)
+                and data.dtype != object
+                and vector.valid is None
+                and not (
+                    np.issubdtype(data.dtype, np.floating)
+                    and np.isnan(data).any()
+                )
+            ):
+                uniq, gids = np.unique(data, return_inverse=True)
+                keys = [(value,) for value in uniq.tolist()]
+                return gids, keys
+        columns = [vector.to_python_list() for vector in vectors]
+        mapping: dict[tuple, int] = {}
+        keys: list[tuple] = []
+        gids = np.empty(n, dtype=np.int64)
+        for r in range(n):
+            key = tuple(column[r] for column in columns)
+            gid = mapping.get(key)
+            if gid is None:
+                gid = len(keys)
+                mapping[key] = gid
+                keys.append(key)
+            gids[r] = gid
+        return gids, keys
+
+    # -- accumulator updates --------------------------------------------
+    @staticmethod
+    def _masked(data: np.ndarray, valid, gids: np.ndarray):
+        if valid is None:
+            return data, gids
+        return data[valid], gids[valid]
+
+    def _numeric_data(self, vector, n: int):
+        """(values, group-able validity) when the argument is a numeric
+        array the grouped reductions can run on; None otherwise."""
+        data = vector.data
+        if not isinstance(data, np.ndarray):
+            return None
+        if data.dtype == np.bool_ or not np.issubdtype(data.dtype, np.number):
+            return None
+        return data, _vector_validity(vector, n)
+
+    def _update_count(self, j, fn, kernel, batch, gids, group_accs):
+        k = len(group_accs)
+        n = batch.num_rows
+        if fn.count_star or kernel is None:
+            counts = np.bincount(gids, minlength=k)
+        else:
+            vector = kernel(batch)
+            valid = _vector_validity(vector, n)
+            if valid is None:
+                counts = np.bincount(gids, minlength=k)
+            else:
+                counts = np.bincount(gids[valid], minlength=k)
+        for g in range(k):
+            count = counts[g]
+            if count:
+                accs = group_accs[g]
+                accs[j] = accs[j] + int(count)
+
+    def _update_sum(self, j, fn, kernel, batch, gids, group_accs):
+        k = len(group_accs)
+        vector = kernel(batch)
+        numeric = self._numeric_data(vector, batch.num_rows)
+        if numeric is None:
+            self._update_generic(j, fn, vector, batch, gids, group_accs)
+            return
+        data, valid = numeric
+        sub_data, sub_gids = self._masked(data, valid, gids)
+        counts = np.bincount(sub_gids, minlength=k)
+        if np.issubdtype(sub_data.dtype, np.integer):
+            # Exact integer sums; bail to the row loop if a 64-bit
+            # accumulator could overflow where Python ints would not.
+            if sub_data.size and int(np.abs(sub_data).max()) > (2**62) // max(
+                int(counts.max()), 1
+            ):
+                self._update_generic(j, fn, vector, batch, gids, group_accs)
+                return
+            sums = np.zeros(k, dtype=np.int64)
+            np.add.at(sums, sub_gids, sub_data.astype(np.int64, copy=False))
+            convert = int
+        else:
+            # np.bincount adds weights in input order: the same
+            # left-to-right accumulation sequence as the row path.
+            sums = np.bincount(sub_gids, weights=sub_data, minlength=k)
+            convert = float
+        for g in range(k):
+            if counts[g]:
+                accs = group_accs[g]
+                value = convert(sums[g])
+                accs[j] = value if accs[j] is None else accs[j] + value
+
+    def _update_avg(self, j, fn, kernel, batch, gids, group_accs):
+        k = len(group_accs)
+        vector = kernel(batch)
+        numeric = self._numeric_data(vector, batch.num_rows)
+        if numeric is None:
+            self._update_generic(j, fn, vector, batch, gids, group_accs)
+            return
+        data, valid = numeric
+        sub_data, sub_gids = self._masked(data, valid, gids)
+        if sub_data.size and np.issubdtype(sub_data.dtype, np.integer) and int(
+            np.abs(sub_data).max()
+        ) > 2**52:
+            # Float64 weights would round large ints differently per batch.
+            self._update_generic(j, fn, vector, batch, gids, group_accs)
+            return
+        sums = np.bincount(sub_gids, weights=sub_data, minlength=k)
+        counts = np.bincount(sub_gids, minlength=k)
+        for g in range(k):
+            if counts[g]:
+                accs = group_accs[g]
+                total, count = accs[j]
+                accs[j] = (total + float(sums[g]), count + int(counts[g]))
+
+    def _update_min_max(self, j, fn, kernel, batch, gids, group_accs):
+        k = len(group_accs)
+        vector = kernel(batch)
+        numeric = self._numeric_data(vector, batch.num_rows)
+        if numeric is None:
+            self._update_generic(j, fn, vector, batch, gids, group_accs)
+            return
+        data, valid = numeric
+        sub_data, sub_gids = self._masked(data, valid, gids)
+        is_float = np.issubdtype(sub_data.dtype, np.floating)
+        if is_float and np.isnan(sub_data).any():
+            # NaN poisons np.minimum/maximum but not Python comparisons.
+            self._update_generic(j, fn, vector, batch, gids, group_accs)
+            return
+        minimum = isinstance(fn, MinAggregate)
+        if is_float:
+            fill = np.inf if minimum else -np.inf
+            extremes = np.full(k, fill, dtype=np.float64)
+            convert = float
+        else:
+            info = np.iinfo(np.int64)
+            fill = info.max if minimum else info.min
+            extremes = np.full(k, fill, dtype=np.int64)
+            convert = int
+        reducer = np.minimum if minimum else np.maximum
+        reducer.at(extremes, sub_gids, sub_data)
+        counts = np.bincount(sub_gids, minlength=k)
+        for g in range(k):
+            if counts[g]:
+                accs = group_accs[g]
+                accs[j] = fn.merge(accs[j], convert(extremes[g]))
+
+    def _update_generic(self, j, fn, vector, batch, gids, group_accs):
+        """Row-order fn.update loop: exact semantics for any aggregate."""
+        values = vector.to_python_list() if vector is not None else None
+        update = fn.update
+        for r in range(batch.num_rows):
+            accs = group_accs[gids[r]]
+            accs[j] = update(
+                accs[j], values[r] if values is not None else None
+            )
+
+    # -- public API ------------------------------------------------------
+    def consume(self, batch) -> None:
+        gids, keys = self._group_ids(batch)
+        group_accs = []
+        for key in keys:
+            accs = self.groups.get(key)
+            if accs is None:
+                accs = [spec.function.initial() for spec in self.specs]
+                self.groups[key] = accs
+            group_accs.append(accs)
+        for j, spec in enumerate(self.specs):
+            fn = spec.function
+            kernel = self.arg_kernels[j]
+            if fn.distinct:
+                vector = kernel(batch) if kernel is not None else None
+                self._update_generic(j, fn, vector, batch, gids, group_accs)
+            elif isinstance(fn, CountAggregate):
+                self._update_count(j, fn, kernel, batch, gids, group_accs)
+            elif isinstance(fn, SumAggregate):
+                self._update_sum(j, fn, kernel, batch, gids, group_accs)
+            elif isinstance(fn, AvgAggregate):
+                self._update_avg(j, fn, kernel, batch, gids, group_accs)
+            elif isinstance(fn, (MinAggregate, MaxAggregate)):
+                self._update_min_max(j, fn, kernel, batch, gids, group_accs)
+            else:
+                vector = kernel(batch) if kernel is not None else None
+                self._update_generic(j, fn, vector, batch, gids, group_accs)
+
+    def finish(self) -> list:
+        if not self.group_kernels and not self.groups:
+            # Global aggregation over an empty partition still yields one
+            # group (COUNT(*) over zero rows is 0, not zero rows).
+            self.groups[()] = [spec.function.initial() for spec in self.specs]
+        return list(self.groups.items())
+
+
+class BatchPipelineRDD(RDD):
+    """A fused columnar pipeline over cached blocks.
+
+    scan -> [vector filters] -> [residual predicate kernel] ->
+    chain of filter/project kernels -> late materialization (row tuples)
+    or a :class:`BatchAggregator` (partial ``(key, accs)`` pairs).
+
+    Columns stay (possibly compressed) arrays throughout; Python row
+    tuples only exist past the pipeline's exit.  One compute() call
+    processes each ColumnarPartition block as one batch.
+    """
+
+    def __init__(
+        self,
+        parent: RDD,
+        table_schema: Schema,
+        column_indices: list[int],
+        projected: Optional[list[str]],
+        vector_filters: tuple = (),
+        residual_predicate: Optional[Callable] = None,
+        chain: tuple = (),
+        aggregate_factory: Optional[Callable[[], BatchAggregator]] = None,
+        name: str = "batch_scan",
+    ):
+        super().__init__(
+            parent.ctx,
+            parent.num_partitions,
+            [OneToOneDependency(parent)],
+            name=name,
+        )
+        self._parent = parent
+        self._table_schema = table_schema
+        self._column_indices = list(column_indices)
+        self._projected = projected
+        self._vector_filters = tuple(vector_filters)
+        self._residual = residual_predicate
+        self._chain = tuple(chain)
+        self._aggregate_factory = aggregate_factory
+
+    def _scan_selection(self, block: ColumnarPartition):
+        """Row positions surviving the pushed-down vector filters, or
+        None when every row survives trivially (no filters)."""
+        mask = None
+        fallback_specs: list[VectorFilter] = []
+        for spec in self._vector_filters:
+            spec_mask = _filter_mask(block, spec)
+            if spec_mask is None:
+                fallback_specs.append(spec)
+                continue
+            mask = spec_mask if mask is None else (mask & spec_mask)
+        if mask is None and not fallback_specs:
+            return None
+        if mask is not None:
+            selection = np.nonzero(mask)[0]
+        else:
+            selection = np.arange(block.num_rows)
+        if fallback_specs:
+            columns = [
+                block.column_by_name(spec.column) for spec in fallback_specs
+            ]
+            kept = [
+                index
+                for index in selection
+                if all(
+                    _row_fallback_value(spec, column[index])
+                    for spec, column in zip(fallback_specs, columns)
+                )
+            ]
+            selection = np.asarray(kept, dtype=np.int64)
+        return selection
+
+    def compute(self, split: int, task_ctx: "TaskContext") -> list:
+        from repro.columnar.batch import ColumnBatch
+
+        counters = self.ctx.tracer.metrics
+        aggregator = (
+            self._aggregate_factory() if self._aggregate_factory else None
+        )
+        rows: list[tuple] = []
+        total_records = 0
+        total_bytes = 0
+        num_batches = 0
+        for block in self._parent.iterator(split, task_ctx):
+            if not isinstance(block, ColumnarPartition):
+                raise TypeError(
+                    f"memstore partition holds {type(block).__name__}, "
+                    f"expected ColumnarPartition"
+                )
+            total_records += block.num_rows
+            if self._projected is None:
+                total_bytes += block.memory_footprint_bytes()
+            else:
+                total_bytes += sum(
+                    block.encoded_column(
+                        block.schema.index_of(name)
+                    ).compressed_bytes
+                    for name in self._projected
+                )
+            num_batches += 1
+            selection = self._scan_selection(block)
+            batch = ColumnBatch.from_block(
+                block, self._column_indices, selection
+            )
+            if self._residual is not None:
+                keep = self._residual(batch)
+                batch = batch.take(np.nonzero(keep)[0])
+                counters.inc("batch.kernel.filter")
+            for kind, payload in self._chain:
+                if kind == "filter":
+                    keep = payload(batch)
+                    batch = batch.take(np.nonzero(keep)[0])
+                    counters.inc("batch.kernel.filter")
+                else:  # project
+                    entries = [
+                        batch.entries[plan]
+                        if plan_kind == "col"
+                        else plan(batch)
+                        for plan_kind, plan in payload
+                    ]
+                    batch = ColumnBatch(entries, batch.num_rows)
+                    counters.inc("batch.kernel.project")
+            if aggregator is not None:
+                aggregator.consume(batch)
+                counters.inc("batch.kernel.aggregate")
+            else:
+                rows.extend(batch.materialize_rows())
+        counters.inc("batch.batches", num_batches)
+        counters.inc("batch.rows", total_records)
+        self.ctx.tracer.instant(
+            "batch.pipeline",
+            "task",
+            lane=task_ctx.worker.worker_id,
+            stage_id=task_ctx.stage_id,
+            partition=task_ctx.partition,
+            batches=num_batches,
+            rows=total_records,
+            output_rows=len(rows) if aggregator is None else None,
+        )
+        task_ctx.metrics.source = SOURCE_MEMORY
+        task_ctx.metrics.records_in += total_records
+        task_ctx.metrics.bytes_in += total_bytes
+        task_ctx.metrics.batch_rows += total_records
+        return aggregator.finish() if aggregator is not None else rows
+
+
+def scan_batch_pipeline(
+    entry: "TableEntry",
+    projected: Optional[list[str]],
+    kept_partitions: Optional[list[int]],
+    column_indices: list[int],
+    vector_filters: tuple = (),
+    residual_predicate: Optional[Callable] = None,
+    chain: tuple = (),
+    aggregate_factory: Optional[Callable[[], BatchAggregator]] = None,
+    name: str = "batch_scan",
+) -> RDD:
+    """Build the fused batch dataflow for a cached table (same pruning
+    contract as :func:`scan_memstore`)."""
+    base = entry.cached_rdd
+    if base is None:
+        raise ValueError(f"table {entry.name} has no cached data")
+    if kept_partitions is not None and kept_partitions != list(
+        range(base.num_partitions)
+    ):
+        base = PrunedRDD(base, kept_partitions)
+    return BatchPipelineRDD(
+        base,
+        entry.schema,
+        column_indices,
+        projected,
+        vector_filters=vector_filters,
+        residual_predicate=residual_predicate,
+        chain=chain,
+        aggregate_factory=aggregate_factory,
+        name=name,
     )
 
 
@@ -421,6 +864,7 @@ def aggregate_rows(
     stats_collectors: tuple = (),
     coalesce_groups: Optional[list[list[int]]] = None,
     fine_grained_partitions: Optional[int] = None,
+    partials: Optional[RDD] = None,
 ) -> RDD:
     """Two-phase hash aggregation.
 
@@ -428,11 +872,14 @@ def aggregate_rows(
     aggregations", Section 6.2.2); phase 2 shuffles (group key, partials)
     and merges.  With ``fine_grained_partitions`` set, the shuffle uses
     many fine buckets which PDE then coalesces via ``coalesce_groups``
-    (the skew mitigation of Section 3.1.2).
+    (the skew mitigation of Section 3.1.2).  A caller that already built
+    the ``(key, accs)`` partials (the vectorized batch pipeline) passes
+    them via ``partials`` and skips the row-at-a-time phase 1.
     """
-    partials = child.map_partitions(
-        lambda part: _partial_aggregate_partition(part, group_exprs, specs)
-    ).set_name("partial_aggregate")
+    if partials is None:
+        partials = child.map_partitions(
+            lambda part: _partial_aggregate_partition(part, group_exprs, specs)
+        ).set_name("partial_aggregate")
 
     merge = _merge_accumulators(specs)
     reduce_partitions = fine_grained_partitions or num_partitions
@@ -459,9 +906,12 @@ def aggregate_rows(
     return merged.map(finish).set_name("final_aggregate")
 
 
-def global_aggregate_rows(child: RDD, specs: list[AggregateSpec]) -> RDD:
+def global_aggregate_rows(
+    child: RDD, specs: list[AggregateSpec], partials: Optional[RDD] = None
+) -> RDD:
     """Aggregation with no GROUP BY: all partials merge on one reducer."""
-    return aggregate_rows(child, [], specs, num_partitions=1)
+    return aggregate_rows(child, [], specs, num_partitions=1,
+                          partials=partials)
 
 
 # ---------------------------------------------------------------------------

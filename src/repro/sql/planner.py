@@ -85,6 +85,11 @@ class PlannerConfig:
     #: columnar layout, Section 3.2); rows are only materialized for
     #: survivors.
     enable_vectorized_scan: bool = True
+    #: Run scan->filter->project->partial-aggregate chains over cached
+    #: tables batch-at-a-time (ColumnBatch kernels, late materialization)
+    #: instead of the row-at-a-time operators.  Results are identical;
+    #: this knob exists as an ablation axis and for differential testing.
+    vectorize: bool = True
 
 
 @dataclass
@@ -95,9 +100,17 @@ class ExecutionReport:
     scanned_partitions: int = 0
     pruned_partitions: int = 0
     join_decisions: list[JoinDecision] = field(default_factory=list)
+    #: (operator label, execution mode) per lowered operator: "vectorized"
+    #: for batch-pipeline kernels (with an interpreted-subtree count when
+    #: some expressions fell back to the elementwise evaluator), "row" for
+    #: the tuple-at-a-time operators.  EXPLAIN ANALYZE renders these.
+    operator_modes: list[tuple[str, str]] = field(default_factory=list)
 
     def note(self, message: str) -> None:
         self.notes.append(message)
+
+    def mode(self, operator: str, mode: str) -> None:
+        self.operator_modes.append((operator, mode))
 
     def describe(self) -> str:
         lines = list(self.notes)
@@ -171,6 +184,12 @@ class PhysicalPlanner:
     def _plan(self, node: logical.LogicalPlan, no_prune: bool = False) -> RDD:
         if isinstance(node, logical.Values):
             return physical.values_rdd(self.ctx, node.rows)
+        if self.config.vectorize and isinstance(
+            node, (logical.Scan, logical.Filter, logical.Project)
+        ):
+            batch = self._try_batch_pipeline(node, no_prune)
+            if batch is not None:
+                return batch
         if isinstance(node, logical.Scan):
             return self._plan_scan(node, condition=None, no_prune=no_prune)
         if isinstance(node, logical.Filter):
@@ -179,11 +198,13 @@ class PhysicalPlanner:
                     node.child, condition=node.condition, no_prune=no_prune
                 )
             child = self._plan(node.child)
+            self.report.mode("filter", "row")
             return physical.filter_rows(
                 child, node.condition, self.config.enable_codegen
             )
         if isinstance(node, logical.Project):
             child = self._plan(node.child, no_prune=no_prune)
+            self.report.mode("project", "row")
             return physical.project_rows(
                 child, node.expressions, self.config.enable_codegen
             )
@@ -251,39 +272,12 @@ class PhysicalPlanner:
                 )
             return rdd
         if entry.is_cached:
-            kept = None
-            total = (
-                entry.cached_rdd.num_partitions
-                if entry.cached_rdd is not None
-                else 0
+            kept, vector_filters, condition = self._scan_prep(
+                scan, condition, no_prune
             )
-            if (
-                condition is not None
-                and self.config.enable_map_pruning
-                and not no_prune
-                and entry.partition_stats
-            ):
-                kept = self._prune_partitions(scan, condition)
-                self.report.scanned_partitions += len(kept)
-                self.report.pruned_partitions += total - len(kept)
-                if len(kept) < total:
-                    self.report.note(
-                        f"map pruning on {entry.name}: scanning "
-                        f"{len(kept)}/{total} partitions"
-                    )
-                if kept == list(range(total)):
-                    kept = None
-            vector_filters: tuple = ()
-            if condition is not None and self.config.enable_vectorized_scan:
-                vector_filters, condition = _extract_vector_filters(
-                    condition, scan.schema.names
-                )
-                if vector_filters:
-                    self.report.note(
-                        f"vectorized scan filters on {entry.name}: "
-                        f"{len(vector_filters)} conjuncts pushed into the "
-                        f"columnar scan"
-                    )
+            self.report.mode(f"scan({entry.name})", "row")
+            if condition is not None:
+                self.report.mode("filter", "row")
             rdd = physical.scan_memstore(
                 entry, scan.projected_columns, kept,
                 vector_filters=vector_filters,
@@ -306,6 +300,198 @@ class PhysicalPlanner:
             )
         return rdd
 
+    def _scan_prep(
+        self,
+        scan: logical.Scan,
+        condition: Optional[BoundExpr],
+        no_prune: bool,
+    ) -> tuple[Optional[list[int]], tuple, Optional[BoundExpr]]:
+        """Map pruning + vector-filter extraction for a cached scan.
+
+        Shared by the row scan and the batch pipeline so both modes prune
+        and push down identically.  Returns (kept partitions or None,
+        vector filter specs, residual condition or None).
+        """
+        entry = scan.table
+        kept = None
+        total = (
+            entry.cached_rdd.num_partitions
+            if entry.cached_rdd is not None
+            else 0
+        )
+        if (
+            condition is not None
+            and self.config.enable_map_pruning
+            and not no_prune
+            and entry.partition_stats
+        ):
+            kept = self._prune_partitions(scan, condition)
+            self.report.scanned_partitions += len(kept)
+            self.report.pruned_partitions += total - len(kept)
+            if len(kept) < total:
+                self.report.note(
+                    f"map pruning on {entry.name}: scanning "
+                    f"{len(kept)}/{total} partitions"
+                )
+            if kept == list(range(total)):
+                kept = None
+        vector_filters: tuple = ()
+        if condition is not None and self.config.enable_vectorized_scan:
+            vector_filters, condition = _extract_vector_filters(
+                condition, scan.schema.names
+            )
+            if vector_filters:
+                self.report.note(
+                    f"vectorized scan filters on {entry.name}: "
+                    f"{len(vector_filters)} conjuncts pushed into the "
+                    f"columnar scan"
+                )
+        return kept, vector_filters, condition
+
+    # ------------------------------------------------------------------
+    # Batch pipeline (vectorize=on)
+    # ------------------------------------------------------------------
+    def _match_batch_chain(self, node: logical.LogicalPlan):
+        """Match a Project/Filter chain over a cached-table scan.
+
+        Returns (scan, scan-level condition, bottom-up chain ops) when the
+        whole subtree can run as one fused batch pipeline; None otherwise
+        (uncached table, unloaded table, or a non-chain operator).
+        """
+        ops: list[tuple[str, object]] = []
+        current = node
+        while True:
+            if isinstance(current, logical.Scan):
+                scan, scan_condition = current, None
+                break
+            if isinstance(current, logical.Filter) and isinstance(
+                current.child, logical.Scan
+            ):
+                scan, scan_condition = current.child, current.condition
+                break
+            if isinstance(current, logical.Project):
+                ops.append(("project", current.expressions))
+                current = current.child
+                continue
+            if isinstance(current, logical.Filter):
+                ops.append(("filter", current.condition))
+                current = current.child
+                continue
+            return None
+        entry = scan.table
+        if not entry.is_cached or entry.cached_rdd is None:
+            return None
+        ops.reverse()
+        return scan, scan_condition, ops
+
+    def _try_batch_pipeline(
+        self, node: logical.LogicalPlan, no_prune: bool
+    ) -> Optional[RDD]:
+        match = self._match_batch_chain(node)
+        if match is None:
+            return None
+        scan, scan_condition, ops = match
+        return self._build_batch_pipeline(
+            scan, scan_condition, ops, no_prune, aggregate=None
+        )
+
+    @staticmethod
+    def _mode_detail(interpreted: int) -> str:
+        if interpreted:
+            return f"vectorized ({interpreted} interpreted)"
+        return "vectorized"
+
+    def _build_batch_pipeline(
+        self,
+        scan: logical.Scan,
+        scan_condition: Optional[BoundExpr],
+        ops: list,
+        no_prune: bool,
+        aggregate: Optional[tuple] = None,
+    ) -> RDD:
+        """Lower a matched chain to one :class:`BatchPipelineRDD`."""
+        from repro.sql.codegen import (
+            compile_vector_expression,
+            compile_vector_predicate,
+            compile_vector_projection,
+        )
+
+        entry = scan.table
+        kept, vector_filters, residual = self._scan_prep(
+            scan, scan_condition, no_prune
+        )
+        width = len(scan.schema)
+        self.report.mode(f"scan({entry.name})", "vectorized")
+        residual_kernel = None
+        if residual is not None:
+            residual_kernel, interpreted = compile_vector_predicate(
+                residual, width
+            )
+            self.report.mode("filter", self._mode_detail(interpreted))
+        chain: list[tuple[str, object]] = []
+        for kind, payload in ops:
+            if kind == "filter":
+                kernel, interpreted = compile_vector_predicate(
+                    payload, width
+                )
+                chain.append(("filter", kernel))
+                self.report.mode("filter", self._mode_detail(interpreted))
+            else:
+                plans, interpreted = compile_vector_projection(
+                    payload, width
+                )
+                chain.append(("project", plans))
+                width = len(payload)
+                self.report.mode("project", self._mode_detail(interpreted))
+        aggregate_factory = None
+        name = f"batch_scan({entry.name})"
+        if aggregate is not None:
+            group_exprs, specs = aggregate
+            group_kernels = []
+            group_ordinals = []
+            interpreted = 0
+            for expr in group_exprs:
+                kernel, count = compile_vector_expression(expr, width)
+                interpreted += count
+                group_kernels.append(kernel)
+                group_ordinals.append(
+                    expr.index if isinstance(expr, BoundColumn) else None
+                )
+            arg_kernels = []
+            for spec in specs:
+                if spec.argument is None:
+                    arg_kernels.append(None)
+                else:
+                    kernel, count = compile_vector_expression(
+                        spec.argument, width
+                    )
+                    interpreted += count
+                    arg_kernels.append(kernel)
+
+            def aggregate_factory() -> physical.BatchAggregator:
+                return physical.BatchAggregator(
+                    group_kernels, group_ordinals, specs, arg_kernels
+                )
+
+            name = "batch_partial_aggregate"
+            self.report.mode(
+                "aggregate.partial", self._mode_detail(interpreted)
+            )
+        self.ctx.tracer.metrics.inc("batch.pipelines")
+        return physical.scan_batch_pipeline(
+            entry,
+            scan.projected_columns,
+            kept,
+            column_indices=[
+                entry.schema.index_of(column) for column in scan.schema.names
+            ],
+            vector_filters=vector_filters,
+            residual_predicate=residual_kernel,
+            chain=chain,
+            aggregate_factory=aggregate_factory,
+            name=name,
+        )
+
     def _prune_partitions(
         self, scan: logical.Scan, condition: BoundExpr
     ) -> list[int]:
@@ -326,9 +512,30 @@ class PhysicalPlanner:
     # Aggregation
     # ------------------------------------------------------------------
     def _plan_aggregate(self, node: logical.Aggregate) -> RDD:
-        child = self._plan(node.child)
+        partials: Optional[RDD] = None
+        child: Optional[RDD] = None
+        if self.config.vectorize:
+            match = self._match_batch_chain(node.child)
+            if match is not None:
+                # Fuse the partial aggregation into the batch pipeline:
+                # the scan..project chain and the task-local hash
+                # aggregation run as one vectorized stage emitting
+                # (group key, accumulators) pairs.
+                scan, scan_condition, ops = match
+                partials = self._build_batch_pipeline(
+                    scan,
+                    scan_condition,
+                    ops,
+                    no_prune=False,
+                    aggregate=(node.group_expressions, node.aggregates),
+                )
+        if partials is None:
+            child = self._plan(node.child)
+            self.report.mode("aggregate.partial", "row")
         if not node.group_expressions:
-            return physical.global_aggregate_rows(child, node.aggregates)
+            return physical.global_aggregate_rows(
+                child, node.aggregates, partials=partials
+            )
 
         if self.config.num_reducers is not None:
             return physical.aggregate_rows(
@@ -336,6 +543,7 @@ class PhysicalPlanner:
                 node.group_expressions,
                 node.aggregates,
                 num_partitions=self.config.num_reducers,
+                partials=partials,
             )
         if not self.config.enable_pde:
             return physical.aggregate_rows(
@@ -343,17 +551,19 @@ class PhysicalPlanner:
                 node.group_expressions,
                 node.aggregates,
                 num_partitions=self.ctx.default_parallelism,
+                partials=partials,
             )
 
         # PDE path (Section 3.1.2): shuffle into fine-grained buckets, read
         # observed bucket sizes, then pick the reduce parallelism and
         # optionally bin-pack buckets into balanced coalesced partitions.
         fine = self.ctx.default_parallelism * self.config.pde_fine_grained_factor
-        partials = child.map_partitions(
-            lambda part: physical._partial_aggregate_partition(
-                part, node.group_expressions, node.aggregates
-            )
-        ).set_name("partial_aggregate")
+        if partials is None:
+            partials = child.map_partitions(
+                lambda part: physical._partial_aggregate_partition(
+                    part, node.group_expressions, node.aggregates
+                )
+            ).set_name("partial_aggregate")
         merge = physical._merge_accumulators(node.aggregates)
         merged = partials.combine_by_key(
             create_combiner=lambda accs: accs,

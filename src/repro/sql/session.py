@@ -207,6 +207,7 @@ class SqlSession:
             cores_per_worker=cores,
             result_rows=len(rows),
             notes=notes,
+            operator_modes=list(planned.report.operator_modes),
         )
         text = analysis.render()
         schema = Schema([Field("plan", type_by_name("string"))])
@@ -407,9 +408,16 @@ class SqlSession:
         statistics map pruning needs; the master keeps only the metadata.
         """
         schema = entry.schema
+        # TBLPROPERTIES ('shark.compress' = 'false') keeps columns plain —
+        # an ablation/differential-testing axis for the compression codecs.
+        compress = (
+            entry.properties.get("shark.compress", "").lower()
+            not in ("false", "0", "no")
+        )
 
         def build(part: list) -> list:
-            return [ColumnarPartition.from_rows(schema, part)]
+            return [ColumnarPartition.from_rows(schema, part,
+                                                compress=compress)]
 
         blocks = rows_rdd.map_partitions(build).set_name(
             f"load:{entry.name}"

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.columnar import ColumnarPartition
 from repro.columnar.compression import (
     BITPACK,
     BITSET,
@@ -20,6 +21,7 @@ from repro.datatypes import (
     INT,
     BIGINT,
     STRING,
+    Schema,
 )
 from repro.errors import CompressionError
 
@@ -219,3 +221,94 @@ class TestPropertyRoundtrips:
         scheme = choose_scheme(values, DOUBLE)
         decoded = _decode_list(scheme.encode(values, DOUBLE))
         assert decoded == pytest.approx(values)
+
+
+class TestAdversarialRoundtrips:
+    """Adversarial inputs the auto-selector must survive losslessly.
+
+    These are the loading-task edge cases: empty partitions, columns
+    that are entirely NULL, degenerate single-value runs, integers
+    spanning every width class in one column, and non-ASCII strings.
+    Each case round-trips both through ``choose_scheme`` directly and
+    through a full :class:`ColumnarPartition` load.
+    """
+
+    def _roundtrip(self, values, data_type):
+        scheme = choose_scheme(values, data_type)
+        encoded = scheme.encode(values, data_type)
+        assert len(encoded) == len(values)
+        assert _decode_list(encoded) == values
+
+    def _partition_roundtrip(self, values, data_type, compress=True):
+        schema = Schema.of(("c", data_type))
+        part = ColumnarPartition.from_rows(
+            schema, [(value,) for value in values], compress=compress
+        )
+        assert [row[0] for row in part.iter_rows()] == values
+
+    def test_empty_partition(self):
+        for data_type in (INT, BIGINT, DOUBLE, STRING, BOOLEAN):
+            self._roundtrip([], data_type)
+            self._partition_roundtrip([], data_type)
+            self._partition_roundtrip([], data_type, compress=False)
+
+    def test_all_null_column(self):
+        values = [None] * 64
+        for data_type in (INT, DOUBLE, STRING):
+            self._roundtrip(values, data_type)
+            self._partition_roundtrip(values, data_type)
+            self._partition_roundtrip(values, data_type, compress=False)
+
+    def test_single_value_runs(self):
+        self._roundtrip([7] * 500, INT)
+        self._roundtrip(["only"] * 500, STRING)
+        self._partition_roundtrip([7] * 500, INT)
+        self._partition_roundtrip(["only"] * 500, STRING)
+
+    def test_mixed_int_widths(self):
+        values = [0, 1, -1, 127, -128, 2**15, -(2**15), 2**31 - 1,
+                  -(2**31), 2**62, -(2**62)]
+        self._roundtrip(values, BIGINT)
+        self._partition_roundtrip(values, BIGINT)
+        self._partition_roundtrip(values, BIGINT, compress=False)
+
+    def test_unicode_strings(self):
+        values = ["", "über", "naïve", "日本語", "🦈" * 10, "a\x00b",
+                  " line", "ﬀ ligature"]
+        self._roundtrip(values, STRING)
+        self._partition_roundtrip(values, STRING)
+        self._partition_roundtrip(values, STRING, compress=False)
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.none(),
+                st.integers(-(2**62), 2**62),
+            ),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nullable_bigint_partition_roundtrip(self, values):
+        self._partition_roundtrip(values, BIGINT)
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.text(max_size=12)),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nullable_unicode_partition_roundtrip(self, values):
+        self._partition_roundtrip(values, STRING)
+
+    @given(
+        st.lists(st.integers(-5, 5), max_size=120),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_runs_and_narrow_ints_partition_roundtrip(
+        self, values, compress
+    ):
+        # Small domains drive the selector toward RLE/dictionary/bitpack.
+        self._partition_roundtrip(values, INT, compress=compress)

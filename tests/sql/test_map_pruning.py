@@ -5,6 +5,7 @@ from dataclasses import replace
 import pytest
 
 from repro import SharkContext
+from repro.columnar.stats import ColumnStats, PartitionStats
 from repro.datatypes import INT, STRING, Schema
 from repro.sql.planner import PlannerConfig
 from repro.workloads import warehouse
@@ -115,6 +116,73 @@ class TestPruningSafety:
             "GROUP BY country"
         )
         assert dict(result.rows) == {"US": 30}
+
+
+class TestMissingOrStaleStats:
+    """Pruning must stay conservative when statistics are absent or
+    stale: a partition whose stats cannot vouch for its contents is
+    always scanned, never skipped."""
+
+    def test_partition_with_no_stats_never_pruned(self, clustered):
+        shark, rows = clustered
+        entry = shark.session.catalog.get("logs")
+        # As if the loading task died before publishing partition 7's
+        # statistics: no per-column entries at all.
+        entry.partition_stats[7] = PartitionStats({})
+        result = shark.sql("SELECT COUNT(*) FROM logs WHERE day = 5")
+        assert result.scalar() == 30
+        # day-5 partition kept by its stats, partition 7 kept because
+        # nothing vouches for it; the other 18 pruned.
+        assert result.report.scanned_partitions == 2
+        assert result.report.pruned_partitions == 18
+
+    def test_partition_missing_one_column_never_pruned(self, clustered):
+        shark, rows = clustered
+        entry = shark.session.catalog.get("logs")
+        # Stats exist but not for the predicate column (schema drift:
+        # 'day' added after this partition's stats were collected).
+        stale = {
+            name: stats
+            for name, stats in entry.partition_stats[3]._columns.items()
+            if name != "day"
+        }
+        entry.partition_stats[3] = PartitionStats(stale)
+        result = shark.sql("SELECT COUNT(*) FROM logs WHERE day = 5")
+        assert result.scalar() == 30
+        assert result.report.scanned_partitions == 2
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "SELECT COUNT(*) FROM logs WHERE day = 5",
+            "SELECT COUNT(*) FROM logs WHERE day > 15",
+            "SELECT COUNT(*) FROM logs WHERE day BETWEEN 2 AND 4",
+            "SELECT COUNT(*) FROM logs WHERE country IN ('US', 'DE')",
+        ],
+    )
+    def test_stale_empty_stats_never_pruned(self, clustered, query):
+        shark, rows = clustered
+        entry = shark.session.catalog.get("logs")
+        baseline = shark.sql(query).scalar()
+        # Stale placeholder stats: entries exist for every column but
+        # observed zero rows, while the partition itself holds data.
+        for index in range(len(entry.partition_stats)):
+            entry.partition_stats[index] = PartitionStats(
+                {name: ColumnStats() for name in ("day", "country", "hits")}
+            )
+        result = shark.sql(query)
+        assert result.scalar() == baseline
+        assert result.report.pruned_partitions == 0
+
+    def test_stale_stats_same_rows_both_modes(self, clustered):
+        shark, rows = clustered
+        entry = shark.session.catalog.get("logs")
+        entry.partition_stats[0] = PartitionStats({})
+        query = "SELECT country, SUM(hits) FROM logs WHERE day < 3 GROUP BY country"
+        vectorized = shark.sql(query).rows
+        shark.session.config = replace(shark.session.config, vectorize=False)
+        row_mode = shark.sql(query).rows
+        assert sorted(vectorized) == sorted(row_mode)
 
 
 class TestWarehousePruning:

@@ -1,0 +1,188 @@
+"""Exhaustive vectorized-vs-row parity harness.
+
+The batch pipeline (``PlannerConfig.vectorize=True``, the default) must
+be an invisible optimization: every query returns byte-identical rows to
+the serial row-at-a-time interpreter.  This harness runs every TPC-H and
+Pavlo workload query with vectorization on and off, across compression
+on/off (``shark.compress`` table property) and 1 vs 4 partitions, and
+compares sorted results with exact types — ``repr`` equality on floats,
+so ``-0.0`` vs ``0.0`` or any accumulation-order drift fails loudly.
+
+A chaos section repeats the comparison under the fault injector (task
+retries plus speculative stragglers): recovery re-execution must not
+perturb batch results either.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import SharkContext
+from repro.datatypes import BOOLEAN
+from repro.faults.injector import FaultInjector
+from repro.workloads import pavlo, tpch
+
+TPCH_Q1 = """
+    SELECT L_RETURNFLAG, L_LINESTATUS,
+           SUM(L_QUANTITY) AS sum_qty,
+           SUM(L_EXTENDEDPRICE) AS sum_base,
+           SUM(L_EXTENDEDPRICE * (1 - L_DISCOUNT)) AS sum_disc,
+           AVG(L_QUANTITY) AS avg_qty,
+           COUNT(*) AS count_order
+    FROM lineitem
+    WHERE L_SHIPDATE <= DATE '1998-09-02'
+    GROUP BY L_RETURNFLAG, L_LINESTATUS
+    ORDER BY L_RETURNFLAG, L_LINESTATUS
+"""
+
+TPCH_Q3 = """
+    SELECT o.O_ORDERKEY,
+           SUM(l.L_EXTENDEDPRICE * (1 - l.L_DISCOUNT)) AS revenue,
+           o.O_ORDERDATE
+    FROM customer c
+    JOIN orders o ON c.C_CUSTKEY = o.O_CUSTKEY
+    JOIN lineitem l ON l.L_ORDERKEY = o.O_ORDERKEY
+    WHERE c.C_MKTSEGMENT = 'BUILDING'
+      AND o.O_ORDERDATE < DATE '1995-03-15'
+    GROUP BY o.O_ORDERKEY, o.O_ORDERDATE
+    ORDER BY revenue DESC
+    LIMIT 10
+"""
+
+TPCH_Q6 = """
+    SELECT SUM(L_EXTENDEDPRICE * L_DISCOUNT) AS revenue
+    FROM lineitem
+    WHERE L_SHIPDATE >= DATE '1994-01-01'
+      AND L_SHIPDATE < DATE '1995-01-01'
+      AND L_DISCOUNT BETWEEN 0.01 AND 0.06
+      AND L_QUANTITY < 24
+"""
+
+QUERIES = {
+    "tpch_q1": TPCH_Q1,
+    "tpch_q3": TPCH_Q3,
+    "tpch_q6": TPCH_Q6,
+    "tpch_agg_1": tpch.AGGREGATION_QUERIES[1],
+    "tpch_agg_7": tpch.AGGREGATION_QUERIES[7],
+    "tpch_agg_2500": tpch.AGGREGATION_QUERIES[2500],
+    "tpch_agg_max": tpch.AGGREGATION_QUERIES["max"],
+    "tpch_pde_join": tpch.PDE_JOIN_QUERY,
+    "pavlo_selection": pavlo.SELECTION_QUERY.format(cutoff=50),
+    "pavlo_agg_full": pavlo.AGGREGATION_FULL_QUERY,
+    "pavlo_agg_substr": pavlo.AGGREGATION_SUBSTR_QUERY,
+    "pavlo_join": pavlo.JOIN_QUERY,
+}
+
+
+def _datasets():
+    return {
+        "lineitem": tpch.generate_lineitem(3000),
+        "orders": tpch.generate_orders(800),
+        "customer": tpch.generate_customer(100),
+        "supplier": tpch.generate_supplier(60),
+        "rankings": pavlo.generate_rankings(600),
+        "uservisits": pavlo.generate_uservisits(
+            1500, num_pages=600, num_ips=120
+        ),
+    }
+
+
+def _build(compress: bool, partitions: int, **context_kwargs):
+    shark = SharkContext(num_workers=4, cores_per_worker=2, **context_kwargs)
+    properties = None if compress else {"shark.compress": "false"}
+    for name, data in _datasets().items():
+        shark.create_table(
+            name, data.schema, cached=True, properties=properties
+        )
+        shark.load_rows(name, data.rows, num_partitions=partitions)
+    shark.register_udf(
+        "SOME_UDF", lambda addr: addr.endswith("7"), return_type=BOOLEAN
+    )
+    return shark
+
+
+def _run(shark, query, vectorize):
+    shark.session.config = replace(shark.session.config, vectorize=vectorize)
+    return shark.sql(query).rows
+
+
+def _canonical(rows):
+    return sorted((tuple(row) for row in rows), key=repr)
+
+
+def assert_byte_identical(vectorized, row_mode):
+    assert len(vectorized) == len(row_mode)
+    for got, want in zip(_canonical(vectorized), _canonical(row_mode)):
+        assert len(got) == len(want)
+        for x, y in zip(got, want):
+            assert type(x) is type(y), (x, y)
+            # repr equality: catches -0.0 vs 0.0 and any float drift
+            # that value equality would forgive.
+            assert repr(x) == repr(y), (x, y)
+
+
+@pytest.fixture(
+    scope="module",
+    params=[
+        pytest.param((True, 1), id="compressed-1part"),
+        pytest.param((True, 4), id="compressed-4part"),
+        pytest.param((False, 1), id="uncompressed-1part"),
+        pytest.param((False, 4), id="uncompressed-4part"),
+    ],
+)
+def warehouse(request):
+    compress, partitions = request.param
+    return _build(compress, partitions)
+
+
+class TestVectorizedParity:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_query_parity(self, warehouse, name):
+        query = QUERIES[name]
+        assert_byte_identical(
+            _run(warehouse, query, vectorize=True),
+            _run(warehouse, query, vectorize=False),
+        )
+
+    def test_vectorize_off_reports_row_modes(self, warehouse):
+        _run(warehouse, QUERIES["tpch_agg_7"], vectorize=False)
+        modes = dict(warehouse.last_report.operator_modes)
+        assert modes and all(mode == "row" for mode in modes.values())
+
+    def test_vectorize_on_reports_vectorized_scan(self, warehouse):
+        _run(warehouse, QUERIES["tpch_agg_7"], vectorize=True)
+        modes = dict(warehouse.last_report.operator_modes)
+        assert any(
+            op.startswith("scan(") and mode.startswith("vectorized")
+            for op, mode in modes.items()
+        )
+
+
+class TestChaosParity:
+    """Batch pipeline under fault injection == clean serial row path.
+
+    Task retries and speculative straggler backups re-execute batch
+    tasks from lineage; the recovered results must still match the row
+    interpreter bit for bit.
+    """
+
+    CHAOS_QUERIES = ["tpch_q1", "tpch_agg_max", "pavlo_agg_full"]
+
+    @pytest.fixture(scope="class")
+    def clean_rows(self):
+        shark = _build(True, 4)
+        return {
+            name: _run(shark, QUERIES[name], vectorize=False)
+            for name in self.CHAOS_QUERIES
+        }
+
+    @pytest.mark.parametrize("name", CHAOS_QUERIES)
+    def test_chaos_batch_matches_clean_rows(self, clean_rows, name):
+        injector = FaultInjector(
+            seed=13,
+            transient_failure_rate=0.25,
+            stragglers_per_stage=1,
+        )
+        chaotic = _build(True, 4, fault_injector=injector)
+        got = _run(chaotic, QUERIES[name], vectorize=True)
+        assert_byte_identical(got, clean_rows[name])
