@@ -218,6 +218,7 @@ def run_tiny(rows, out_path, min_speedup, reps=3):
     }
     with open(out_path, "w") as handle:
         json.dump(payload, handle, indent=2)
+    shark.close_event_log()
     print(f"geomean wall speedup {geomean:.2f}x -> {out_path}")
     if geomean < min_speedup:
         print(
@@ -237,7 +238,17 @@ def main(argv=None):
     parser.add_argument("--out", default="BENCH_fig07.json")
     parser.add_argument("--min-speedup", type=float, default=2.0)
     parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument(
+        "--event-log-out",
+        default=None,
+        help="directory for persistent query event logs "
+        "(python -m repro.obs.history <dir> to inspect)",
+    )
     options = parser.parse_args(argv)
+    if options.event_log_out:
+        import harness
+
+        harness.EVENT_LOG_OUT = options.event_log_out
     return run_tiny(
         options.rows, options.out, options.min_speedup, options.reps
     )

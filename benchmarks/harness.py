@@ -47,12 +47,30 @@ PAPER_NODES = 100
 TRACE_OUT: Optional[str] = None
 _trace_sequence = 0
 
+#: When set to a directory, every :func:`make_shark` context opens a
+#: persistent event log there (``events_NNN.jsonl``), so each measured
+#: query's records — plan, profile, counters, timeline — survive the
+#: run for ``python -m repro.obs.history`` post-mortems.  Unlike
+#: TRACE_OUT this does not enable span tracing; the event log records
+#: what the always-on layer knows.
+EVENT_LOG_OUT: Optional[str] = None
+_event_log_sequence = 0
+
 
 def _next_trace_path() -> str:
     global _trace_sequence
     _trace_sequence += 1
     os.makedirs(TRACE_OUT, exist_ok=True)
     return os.path.join(TRACE_OUT, f"query_{_trace_sequence:03d}.json")
+
+
+def _next_event_log_path() -> str:
+    global _event_log_sequence
+    _event_log_sequence += 1
+    os.makedirs(EVENT_LOG_OUT, exist_ok=True)
+    return os.path.join(
+        EVENT_LOG_OUT, f"events_{_event_log_sequence:03d}.jsonl"
+    )
 
 
 @dataclass
@@ -110,6 +128,8 @@ def make_shark(
     for name, dataset in datasets.items():
         shark.create_table(name, dataset.schema, cached=cached)
         shark.load_rows(name, dataset.rows, partitions_per_table)
+    if EVENT_LOG_OUT is not None:
+        shark.enable_event_log(_next_event_log_path(), source="bench")
     return shark
 
 

@@ -77,7 +77,11 @@ def run_queries(shark: SharkContext) -> dict[str, list]:
     }
 
 
-def main(seed: int = 7, trace_out: str | None = None) -> int:
+def main(
+    seed: int = 7,
+    trace_out: str | None = None,
+    event_log_out: str | None = None,
+) -> int:
     print("=== fault-free run ===")
     baseline = run_queries(build_context())
     for name, rows in baseline.items():
@@ -96,6 +100,10 @@ def main(seed: int = 7, trace_out: str | None = None) -> int:
     chaos = build_context(fault_injector=injector)
     if trace_out:
         chaos.enable_tracing()
+    if event_log_out:
+        chaos.enable_event_log(
+            event_log_out, source="chaos_demo", seed=seed
+        )
     chaos.engine.reset_profiles()
     chaotic = run_queries(chaos)
 
@@ -128,6 +136,13 @@ def main(seed: int = 7, trace_out: str | None = None) -> int:
             f"\nwrote {len(chaos.trace.spans)} spans / "
             f"{len(chaos.trace.events)} events to {trace_out}"
         )
+    if event_log_out:
+        logged = chaos.engine.event_log.queries_logged
+        chaos.close_event_log()
+        print(
+            f"wrote {logged} query records to {event_log_out} "
+            f"(python -m repro.obs.history {event_log_out})"
+        )
 
     if divergent:
         print(f"\nFAIL: results diverged under faults: {divergent}")
@@ -145,5 +160,17 @@ if __name__ == "__main__":
         default=None,
         help="write the chaos run's Chrome-trace JSON here",
     )
+    parser.add_argument(
+        "--event-log-out",
+        default=None,
+        help="write the chaos run's persistent event log here "
+        "(inspect with python -m repro.obs.history)",
+    )
     args = parser.parse_args()
-    sys.exit(main(seed=args.seed, trace_out=args.trace_out))
+    sys.exit(
+        main(
+            seed=args.seed,
+            trace_out=args.trace_out,
+            event_log_out=args.event_log_out,
+        )
+    )

@@ -111,10 +111,23 @@ class SharkContext:
         result = self.session.execute(f"EXPLAIN {text}")
         return result.plan_text or ""
 
-    def explain_analyze(self, text: str) -> str:
+    def explain_analyze(self, text: str, log=None) -> str:
         """Run a statement and return the plan annotated with per-stage
-        runtime statistics (task counts, rows, bytes, simulated seconds)."""
-        result = self.session.execute(f"EXPLAIN ANALYZE {text}")
+        runtime statistics (task counts, rows, bytes, simulated seconds).
+
+        ``log``: optional event-log path — the query's full record set
+        (plan, timeline, profile, counters) is appended there.  With an
+        event log already enabled on the engine, this query streams to
+        it regardless.
+        """
+        transient = log is not None and self.engine.event_log is None
+        if transient:
+            self.engine.enable_event_log(log)
+        try:
+            result = self.session.execute(f"EXPLAIN ANALYZE {text}")
+        finally:
+            if transient:
+                self.engine.close_event_log()
         return result.plan_text or ""
 
     @property
@@ -273,6 +286,14 @@ class SharkContext:
 
     def disable_tracing(self) -> None:
         self.engine.disable_tracing()
+
+    def enable_event_log(self, path, **header_extra):
+        """Stream every query's records to a persistent event log at
+        ``path`` (see :mod:`repro.obs.events`); returns the writer."""
+        return self.engine.enable_event_log(path, **header_extra)
+
+    def close_event_log(self) -> None:
+        self.engine.close_event_log()
 
     def __repr__(self) -> str:
         return (

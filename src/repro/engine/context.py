@@ -58,6 +58,8 @@ class EngineContext:
         #: Optional QueryLifecycleManager (admission control, deadlines,
         #: cancellation, fairness); None until enable_lifecycle().
         self.lifecycle = None
+        #: Optional EventLogWriter; None until enable_event_log().
+        self.event_log = None
         if (
             fault_injector is not None
             and fault_injector.kill_worker_id is not None
@@ -171,6 +173,36 @@ class EngineContext:
 
     def disable_tracing(self) -> None:
         self.tracer.disable()
+
+    def enable_event_log(self, path, **header_extra):
+        """Open a persistent event log at ``path`` (gzip when the name
+        ends in ``.gz``); every query executed through the SQL session
+        or the lifecycle manager streams its records there, and flight-
+        recorder dumps go into the same file.  Returns the writer."""
+        from repro.obs.events import EventLogWriter
+
+        if self.event_log is not None:
+            self.close_event_log()
+        self.event_log = EventLogWriter(
+            path,
+            workers=self.cluster.num_workers,
+            cores_per_worker=(
+                self.cluster.workers[0].cores
+                if self.cluster.workers
+                else 1
+            ),
+            metrics=self.tracer.metrics,
+            **header_extra,
+        )
+        self.tracer.flight.sink = self.event_log.write
+        return self.event_log
+
+    def close_event_log(self) -> None:
+        """Flush and detach the event log (idempotent)."""
+        if self.event_log is not None:
+            self.event_log.close()
+            self.event_log = None
+            self.tracer.flight.sink = None
 
     # ------------------------------------------------------------------
     # Query lifecycle (admission, deadlines, cancellation, fairness)

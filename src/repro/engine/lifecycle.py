@@ -608,9 +608,16 @@ class QueryLifecycleManager:
             handle._span = None
         # end_span pops through abandoned children, but be exhaustive:
         # anything still on this query's private stack is force-closed.
-        while handle._trace_stack:
-            tracer.end_span(handle._trace_stack[-1], status=status)
+        # drain_stack works even when tracing was disabled mid-query
+        # (end_span no-ops while disabled, so a loop built on it would
+        # spin forever and leak the stack entries) and is idempotent.
+        tracer.drain_stack(handle._trace_stack, status=status)
         if handle.state in (CANCELLED, DEADLINE, FAILED):
+            # Post-mortem: dump the flight recorder's recent events (it
+            # is live even with tracing off) keyed to this query.
+            tracer.flight_dump(
+                status, query=f"lifecycle-{handle.query_id}"
+            )
             released = self._ctx.scheduler.release_query_shuffles(
                 handle.shuffle_ids
             )
@@ -625,6 +632,29 @@ class QueryLifecycleManager:
         metrics = self._ctx.tracer.metrics
         self.finish_order.append(handle)
         self._completions += 1
+        log = self._ctx.event_log
+        if log is not None:
+            status = {
+                DONE: "ok",
+                CANCELLED: "cancelled",
+                DEADLINE: "deadline",
+            }.get(handle.state, "error")
+            log.write_query(
+                name=handle.name,
+                kind="lifecycle",
+                status=status,
+                error=(
+                    f"{type(handle.error).__name__}: {handle.error}"
+                    if handle.error is not None
+                    else None
+                ),
+                sim_seconds=handle.charged_seconds,
+                ended=self._ctx.tracer.clock.now(),
+                query_id=f"lifecycle-{handle.query_id}",
+            )
+            metrics.observe(
+                "query.sim_seconds", handle.charged_seconds
+            )
         if handle.state == DONE:
             self.completed += 1
             metrics.inc("queries.completed")

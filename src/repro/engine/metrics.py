@@ -157,6 +157,10 @@ class QueryProfile:
         raise KeyError(f"no stage named {name!r} in job {self.job_id}")
 
     def describe(self) -> str:
+        # Imported here, not at module level: repro.obs.analyze imports
+        # this module, so a top-level obs import would be circular.
+        from repro.obs.metrics import percentiles_of
+
         lines = [f"job {self.job_id}: {self.num_stages} stages"]
         for stage in self.stages:
             kind = "shuffle-map" if stage.is_shuffle_map else "result"
@@ -169,6 +173,14 @@ class QueryProfile:
                 f"shuffle read {stage.shuffle_read_bytes} B, "
                 f"shuffle write {stage.shuffle_write_bytes} B"
             )
+            if stage.num_tasks > 1:
+                p50, p95, p99 = percentiles_of(
+                    [float(task.records_in) for task in stage.tasks]
+                )
+                lines.append(
+                    f"    rows/task p50={int(p50)} "
+                    f"p95={int(p95)} p99={int(p99)}"
+                )
         if self.recovered_tasks:
             lines.append(f"  recovered tasks: {self.recovered_tasks}")
         if self.retried_tasks:

@@ -553,6 +553,9 @@ class DAGScheduler:
             self._stage_durations.setdefault(stage.stage_id, []).append(
                 winner.seconds
             )
+            self._ctx.tracer.metrics.observe(
+                "task.seconds", winner.seconds
+            )
         self._merge_accumulators(stage, partition, winner, kind)
         winner.metrics.attempts = prior_attempts + attempts_used + (
             1 if winner.metrics.speculative else 0

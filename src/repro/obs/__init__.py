@@ -27,7 +27,6 @@ increments — because the shell's ``.metrics`` view must work without
 opting into span collection.
 """
 
-from repro.obs.analyze import QueryAnalysis, StageAnalysis, analyze_profiles
 from repro.obs.clock import VirtualClock
 from repro.obs.metrics import (
     Counter,
@@ -36,6 +35,21 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.tracer import QueryTrace, Span, TraceEvent, Tracer
+
+#: repro.obs.analyze imports the engine (which imports this package), so
+#: its symbols load lazily — eager import would be circular when this
+#: package is the import entry point (``python -m repro.obs.history``).
+_ANALYZE_EXPORTS = ("QueryAnalysis", "StageAnalysis", "analyze_profiles")
+
+
+def __getattr__(name: str):
+    if name in _ANALYZE_EXPORTS:
+        from repro.obs import analyze
+
+        return getattr(analyze, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 __all__ = [
     "Counter",

@@ -1,0 +1,478 @@
+"""Persistent query event log and the always-on flight recorder.
+
+PR 1's tracer and metrics die with the process; this module is what
+makes them durable.  Two pieces:
+
+* :class:`EventLogWriter` — streams one JSONL record per event to a
+  (optionally gzipped) file: a ``header`` with the schema version and
+  cluster geometry, then for each query its begin/plan/operator-modes
+  records, the span+instant timeline in simulated-clock order, the
+  executed job/stage/task profile (every
+  :class:`~repro.engine.metrics.TaskMetrics` field, so
+  :class:`~repro.obs.history.HistoryStore` can rebuild the exact
+  :class:`~repro.engine.metrics.QueryProfile` aggregates), counter
+  deltas, and a ``query_end`` with status and simulated seconds.  Every
+  record is schema-checked on write (:data:`_REQUIRED`); a malformed
+  record raises :class:`EventLogSchemaError` instead of producing a log
+  the history store cannot parse.
+
+* :class:`FlightRecorder` — a bounded ring buffer the tracer feeds on
+  *every* span/instant emit, before the enabled check, so it is live
+  even with tracing off.  When a query fails, is cancelled, or expires
+  its deadline, the tracer dumps the last N events as a ``flight_dump``
+  record — into the open event log if one is attached, else to a file
+  under :attr:`FlightRecorder.dump_dir`, else kept in memory — giving
+  chaos-test post-mortems a partial timeline with no opt-in tracing.
+
+Schema versioning rules live in DESIGN.md §10: adding optional fields is
+backward-compatible within a version; removing or renaming a field, or
+changing a record type's meaning, bumps :data:`SCHEMA_VERSION` and the
+history store refuses unknown major versions rather than misreading
+them.  Timestamps are simulated seconds (never wall clock), so two runs
+of the same query produce byte-identical logs.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.metrics import QueryProfile
+
+#: Event-log schema version written into every ``header`` record.
+SCHEMA_VERSION = 1
+
+#: Flight-recorder ring capacity (events kept for post-mortems).
+FLIGHT_CAPACITY = 512
+
+
+class EventLogSchemaError(ValueError):
+    """A record failed schema validation at write time (or load time)."""
+
+
+#: Required fields per record type — the schema, version 1.  ``seq`` is
+#: stamped by the writer; everything else must be present at write time.
+_REQUIRED: dict[str, tuple[str, ...]] = {
+    "header": ("version", "workers", "cores_per_worker"),
+    "query_begin": ("query_id", "name", "kind", "ts"),
+    "plan": ("query_id", "text"),
+    "operator_modes": ("query_id", "modes"),
+    "span": ("query_id", "name", "category", "lane", "start", "end"),
+    "instant": ("query_id", "name", "category", "lane", "ts"),
+    "job": ("query_id", "job_id", "num_stages"),
+    "stage": (
+        "query_id",
+        "job_id",
+        "stage_id",
+        "name",
+        "is_shuffle_map",
+        "num_tasks",
+    ),
+    "task": (
+        "query_id",
+        "job_id",
+        "stage_id",
+        "partition",
+        "worker_id",
+        "records_in",
+        "bytes_in",
+        "records_out",
+        "bytes_out",
+        "shuffle_read_bytes",
+        "shuffle_write_bytes",
+        "shuffle_write_records",
+        "source",
+        "attempts",
+        "speculative",
+        "batch_rows",
+    ),
+    "counters": ("query_id", "deltas"),
+    "query_end": ("query_id", "status", "ts", "sim_seconds"),
+    "flight_dump": ("reason", "events"),
+}
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of span/instant args to JSON-safe data."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+def validate_record(record: dict) -> dict:
+    """Schema-check one record; returns it unchanged or raises."""
+    record_type = record.get("type")
+    if record_type not in _REQUIRED:
+        raise EventLogSchemaError(
+            f"unknown event-log record type {record_type!r}"
+        )
+    missing = [
+        key for key in _REQUIRED[record_type] if key not in record
+    ]
+    if missing:
+        raise EventLogSchemaError(
+            f"{record_type} record missing fields {missing}"
+        )
+    return record
+
+
+class FlightRecorder:
+    """Bounded ring of the engine's most recent trace-shaped events.
+
+    Fed by the tracer before its ``enabled`` check, so it costs one
+    deque append on the hot path and is never off.  Records are plain
+    dicts in the event-log ``span``/``instant`` shape (without
+    ``query_id`` — the enclosing ``flight_dump`` record carries that).
+    """
+
+    def __init__(self, capacity: int = FLIGHT_CAPACITY) -> None:
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        #: When set, dumps also stream into the open event log.
+        self.sink: Optional[Callable[[dict], None]] = None
+        #: When set (and no sink), dumps are written here as one-record
+        #: JSONL files the history CLI loads like any other log.
+        self.dump_dir: Optional[str] = None
+        #: The most recent dump, always kept in memory.
+        self.last_dump: Optional[dict] = None
+        self._dump_count = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen or 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def record(self, event: dict) -> None:
+        self._ring.append(event)
+
+    def events(self) -> list[dict]:
+        return list(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def dump(
+        self, reason: str, query: Optional[str] = None
+    ) -> dict:
+        """Snapshot the ring as a ``flight_dump`` record and persist it.
+
+        Deterministic: the dump sequence number, not the wall clock,
+        names on-disk dump files.
+        """
+        record = validate_record(
+            {
+                "type": "flight_dump",
+                "reason": reason,
+                "query_id": query,
+                "seq": self._dump_count,
+                "events": [
+                    {
+                        key: _jsonable(value)
+                        for key, value in event.items()
+                    }
+                    for event in self._ring
+                ],
+            }
+        )
+        self._dump_count += 1
+        self.last_dump = record
+        if self.sink is not None:
+            self.sink(record)
+        elif self.dump_dir:
+            os.makedirs(self.dump_dir, exist_ok=True)
+            path = os.path.join(
+                self.dump_dir, f"flight-{record['seq']:04d}.jsonl"
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return record
+
+
+class EventLogWriter:
+    """Streams schema-checked JSONL records to one event-log file.
+
+    Gzip-compressed when ``path`` ends in ``.gz``.  The constructor
+    writes the ``header`` record; :meth:`write_query` emits one query's
+    records in canonical order.  Pass the context's metrics registry to
+    keep ``events.logged`` / ``eventlog.queries`` live.
+    """
+
+    def __init__(
+        self,
+        path,
+        workers: int,
+        cores_per_worker: int,
+        metrics=None,
+        **header_extra: Any,
+    ) -> None:
+        self.path = str(path)
+        self.metrics = metrics
+        self.queries_logged = 0
+        self._seq = 0
+        self._closed = False
+        if self.path.endswith(".gz"):
+            self._handle = gzip.open(self.path, "wt", encoding="utf-8")
+        else:
+            self._handle = open(self.path, "w", encoding="utf-8")
+        self.write(
+            {
+                "type": "header",
+                "version": SCHEMA_VERSION,
+                "workers": workers,
+                "cores_per_worker": cores_per_worker,
+                **{
+                    key: _jsonable(value)
+                    for key, value in header_extra.items()
+                },
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Low-level record writing
+    # ------------------------------------------------------------------
+    def write(self, record: dict) -> None:
+        if self._closed:
+            raise EventLogSchemaError(
+                f"event log {self.path} is closed"
+            )
+        validate_record(record)
+        record = {"seq": self._seq, **record}
+        self._seq += 1
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        if self.metrics is not None:
+            self.metrics.inc("events.logged")
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._handle.close()
+
+    def __enter__(self) -> "EventLogWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # One query, canonical record order
+    # ------------------------------------------------------------------
+    def write_query(
+        self,
+        *,
+        name: str,
+        kind: str = "sql",
+        text: Optional[str] = None,
+        status: str = "ok",
+        error: Optional[str] = None,
+        profiles: Optional[list[QueryProfile]] = None,
+        spans: Optional[list] = None,
+        events: Optional[list] = None,
+        counter_deltas: Optional[dict[str, float]] = None,
+        plan_text: Optional[str] = None,
+        operator_modes: Optional[list[tuple[str, str]]] = None,
+        result_rows: Optional[int] = None,
+        sim_seconds: float = 0.0,
+        stage_sim: Optional[list[dict]] = None,
+        started: float = 0.0,
+        ended: float = 0.0,
+        query_id: Optional[str] = None,
+        flight: Optional[dict] = None,
+    ) -> str:
+        """Write one query's complete record set; returns its id.
+
+        ``spans``/``events`` are the tracer's
+        :class:`~repro.obs.tracer.Span` / ``TraceEvent`` objects for
+        this query; their timeline is merged deterministically by
+        (simulated timestamp, emission order).  ``profiles`` round-trip
+        every TaskMetrics field so the history store reproduces the
+        live aggregates exactly.
+        """
+        if query_id is None:
+            query_id = f"q{self.queries_logged:04d}"
+        self.queries_logged += 1
+        self.write(
+            {
+                "type": "query_begin",
+                "query_id": query_id,
+                "name": name,
+                "kind": kind,
+                "text": text,
+                "ts": started,
+            }
+        )
+        if plan_text:
+            self.write(
+                {"type": "plan", "query_id": query_id, "text": plan_text}
+            )
+        if operator_modes:
+            self.write(
+                {
+                    "type": "operator_modes",
+                    "query_id": query_id,
+                    "modes": [
+                        [operator, mode]
+                        for operator, mode in operator_modes
+                    ],
+                }
+            )
+        for record in _timeline_records(query_id, spans, events):
+            self.write(record)
+        for profile in profiles or []:
+            self.write(
+                {
+                    "type": "job",
+                    "query_id": query_id,
+                    "job_id": profile.job_id,
+                    "num_stages": profile.num_stages,
+                    "recovered_tasks": profile.recovered_tasks,
+                    "retried_tasks": profile.retried_tasks,
+                    "speculative_tasks": profile.speculative_tasks,
+                    "blacklisted_workers": profile.blacklisted_workers,
+                    "evicted_blocks": profile.evicted_blocks,
+                    "evicted_bytes": profile.evicted_bytes,
+                }
+            )
+            for stage in profile.stages:
+                self.write(
+                    {
+                        "type": "stage",
+                        "query_id": query_id,
+                        "job_id": profile.job_id,
+                        "stage_id": stage.stage_id,
+                        "name": stage.name,
+                        "is_shuffle_map": stage.is_shuffle_map,
+                        "map_side_combined": stage.map_side_combined,
+                        "num_tasks": stage.num_tasks,
+                    }
+                )
+                for task in stage.tasks:
+                    self.write(
+                        {
+                            "type": "task",
+                            "query_id": query_id,
+                            "job_id": profile.job_id,
+                            "stage_id": task.stage_id,
+                            "partition": task.partition,
+                            "worker_id": task.worker_id,
+                            "records_in": task.records_in,
+                            "bytes_in": task.bytes_in,
+                            "records_out": task.records_out,
+                            "bytes_out": task.bytes_out,
+                            "shuffle_read_bytes": task.shuffle_read_bytes,
+                            "shuffle_write_bytes": (
+                                task.shuffle_write_bytes
+                            ),
+                            "shuffle_write_records": (
+                                task.shuffle_write_records
+                            ),
+                            "source": task.source,
+                            "attempts": task.attempts,
+                            "speculative": task.speculative,
+                            "batch_rows": task.batch_rows,
+                        }
+                    )
+        if counter_deltas:
+            self.write(
+                {
+                    "type": "counters",
+                    "query_id": query_id,
+                    "deltas": {
+                        key: value
+                        for key, value in sorted(counter_deltas.items())
+                        if value
+                    },
+                }
+            )
+        if flight is not None:
+            self.write({**flight, "query_id": query_id})
+        self.write(
+            {
+                "type": "query_end",
+                "query_id": query_id,
+                "status": status,
+                "error": error,
+                "ts": ended,
+                "sim_seconds": sim_seconds,
+                "stage_sim": stage_sim or [],
+                "result_rows": result_rows,
+            }
+        )
+        if self.metrics is not None:
+            self.metrics.set_gauge("eventlog.queries", self.queries_logged)
+        return query_id
+
+
+def _timeline_records(
+    query_id: str, spans: Optional[list], events: Optional[list]
+) -> list[dict]:
+    """Span + instant records merged by (simulated time, emit order)."""
+    entries: list[tuple[float, int, dict]] = []
+    order = 0
+    for span in spans or []:
+        end = span.end if span.end is not None else span.start
+        entries.append(
+            (
+                span.start,
+                order,
+                {
+                    "type": "span",
+                    "query_id": query_id,
+                    "name": span.name,
+                    "category": span.category,
+                    "lane": _jsonable(span.lane),
+                    "start": span.start,
+                    "end": end,
+                    "args": _jsonable(span.args),
+                },
+            )
+        )
+        order += 1
+    for event in events or []:
+        entries.append(
+            (
+                event.timestamp,
+                order,
+                {
+                    "type": "instant",
+                    "query_id": query_id,
+                    "name": event.name,
+                    "category": event.category,
+                    "lane": _jsonable(event.lane),
+                    "ts": event.timestamp,
+                    "args": _jsonable(event.args),
+                },
+            )
+        )
+        order += 1
+    entries.sort(key=lambda entry: (entry[0], entry[1]))
+    return [record for __, __, record in entries]
+
+
+def read_event_log(path) -> list[dict]:
+    """Load one event-log file (``.jsonl`` or ``.jsonl.gz``), validating
+    each record; the history store builds on this."""
+    path = str(path)
+    opener = gzip.open if path.endswith(".gz") else open
+    records: list[dict] = []
+    with opener(path, "rt", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise EventLogSchemaError(
+                    f"{path}:{line_no}: not valid JSON ({error})"
+                ) from None
+            records.append(validate_record(record))
+    return records

@@ -1,0 +1,615 @@
+"""History store: load persisted event logs and answer questions.
+
+``python -m repro.obs.history <file-or-dir>`` loads every event log
+(``*.jsonl`` / ``*.jsonl.gz``, including flight-recorder dump files)
+under a path and renders a report: per-query status and simulated
+seconds, per-worker utilization over the run, shuffle-skew and
+cache-churn summaries, and — per query — the reconstructed timeline.
+The same loader backs the shell's ``.history`` dot-command and the
+perf-regression sentinel's baseline comparisons.
+
+Reconstruction is exact: ``task`` records carry every
+:class:`~repro.engine.metrics.TaskMetrics` field, so
+:meth:`QueryRecord.rebuild_profiles` returns
+:class:`~repro.engine.metrics.QueryProfile` objects whose stage/task/
+shuffle aggregates equal the live run's, and the ``header``'s cluster
+geometry lets :func:`~repro.obs.analyze.analyze_profiles` recompute the
+same simulated seconds the writer recorded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob as globlib
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.obs.events import (
+    EventLogSchemaError,
+    SCHEMA_VERSION,
+    read_event_log,
+)
+
+
+@dataclass
+class QueryRecord:
+    """Everything one event log said about one query."""
+
+    query_id: str
+    source: str = ""
+    name: str = ""
+    kind: str = "sql"
+    text: Optional[str] = None
+    status: str = "unknown"
+    error: Optional[str] = None
+    started: float = 0.0
+    ended: float = 0.0
+    sim_seconds: float = 0.0
+    result_rows: Optional[int] = None
+    plan_text: Optional[str] = None
+    operator_modes: list[tuple[str, str]] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    stage_sim: list[dict] = field(default_factory=list)
+    #: Raw ``job`` / ``stage`` / ``task`` records, writer order.
+    jobs: list[dict] = field(default_factory=list)
+    stages: list[dict] = field(default_factory=list)
+    tasks: list[dict] = field(default_factory=list)
+    #: Timeline entries: ``span`` and ``instant`` records (also the
+    #: events of any flight dump attributed to this query).
+    timeline: list[dict] = field(default_factory=list)
+    #: True when the only evidence is a flight-recorder dump.
+    flight_only: bool = False
+    header: dict = field(default_factory=dict)
+
+    def rebuild_profiles(self):
+        """The live run's QueryProfile list, reconstructed exactly."""
+        from repro.engine.metrics import (
+            QueryProfile,
+            StageProfile,
+            TaskMetrics,
+        )
+
+        profiles: dict[int, QueryProfile] = {}
+        for job in self.jobs:
+            profiles[job["job_id"]] = QueryProfile(
+                job_id=job["job_id"],
+                recovered_tasks=job.get("recovered_tasks", 0),
+                retried_tasks=job.get("retried_tasks", 0),
+                speculative_tasks=job.get("speculative_tasks", 0),
+                blacklisted_workers=job.get("blacklisted_workers", 0),
+                evicted_blocks=job.get("evicted_blocks", 0),
+                evicted_bytes=job.get("evicted_bytes", 0),
+            )
+        stage_index: dict[tuple[int, int], Any] = {}
+        for stage in self.stages:
+            profile = profiles.get(stage["job_id"])
+            if profile is None:  # pragma: no cover - defensive
+                continue
+            rebuilt = StageProfile(
+                stage_id=stage["stage_id"],
+                name=stage["name"],
+                is_shuffle_map=stage["is_shuffle_map"],
+                map_side_combined=stage.get("map_side_combined", False),
+            )
+            profile.stages.append(rebuilt)
+            stage_index[(stage["job_id"], stage["stage_id"])] = rebuilt
+        for task in self.tasks:
+            rebuilt = stage_index.get((task["job_id"], task["stage_id"]))
+            if rebuilt is None:  # pragma: no cover - defensive
+                continue
+            rebuilt.tasks.append(
+                TaskMetrics(
+                    stage_id=task["stage_id"],
+                    partition=task["partition"],
+                    worker_id=task["worker_id"],
+                    records_in=task["records_in"],
+                    bytes_in=task["bytes_in"],
+                    records_out=task["records_out"],
+                    bytes_out=task["bytes_out"],
+                    shuffle_read_bytes=task["shuffle_read_bytes"],
+                    shuffle_write_bytes=task["shuffle_write_bytes"],
+                    shuffle_write_records=task["shuffle_write_records"],
+                    source=task["source"],
+                    attempts=task["attempts"],
+                    speculative=task["speculative"],
+                    batch_rows=task["batch_rows"],
+                )
+            )
+        return [profiles[job_id] for job_id in sorted(profiles)]
+
+    def analyze(self):
+        """Recompute the run's QueryAnalysis from the rebuilt profiles
+        on the header's cluster geometry."""
+        from repro.obs.analyze import analyze_profiles
+
+        return analyze_profiles(
+            self.plan_text or "",
+            self.rebuild_profiles(),
+            num_workers=self.header.get("workers", 1),
+            cores_per_worker=self.header.get("cores_per_worker", 1),
+            result_rows=self.result_rows,
+            operator_modes=self.operator_modes,
+        )
+
+    def to_query_trace(self):
+        """Rebuild a QueryTrace from the timeline (Perfetto export)."""
+        from repro.obs.tracer import QueryTrace, Span, TraceEvent
+
+        trace = QueryTrace()
+        span_id = 0
+        for entry in self.timeline:
+            lane = entry.get("lane", "driver")
+            args = dict(entry.get("args") or {})
+            if entry["type"] == "span":
+                trace.spans.append(
+                    Span(
+                        span_id=span_id,
+                        parent_id=None,
+                        name=entry["name"],
+                        category=entry.get("category", ""),
+                        lane=lane,
+                        start=entry["start"],
+                        end=entry["end"],
+                        args=args,
+                    )
+                )
+                span_id += 1
+            else:
+                trace.events.append(
+                    TraceEvent(
+                        name=entry["name"],
+                        category=entry.get("category", ""),
+                        lane=lane,
+                        timestamp=entry.get("ts", 0.0),
+                        args=args,
+                    )
+                )
+        return trace
+
+    # ------------------------------------------------------------------
+    # Per-query summaries
+    # ------------------------------------------------------------------
+    def worker_busy_seconds(self) -> dict[Any, float]:
+        """Per-lane busy simulated seconds from task spans."""
+        busy: dict[Any, float] = {}
+        for entry in self.timeline:
+            if (
+                entry["type"] == "span"
+                and entry.get("category") == "task"
+            ):
+                lane = entry.get("lane", "driver")
+                busy[lane] = busy.get(lane, 0.0) + (
+                    entry["end"] - entry["start"]
+                )
+        return busy
+
+    def makespan(self) -> float:
+        """Simulated span of the query's timeline (0 when empty)."""
+        times: list[float] = []
+        for entry in self.timeline:
+            if entry["type"] == "span":
+                times.extend((entry["start"], entry["end"]))
+            elif "ts" in entry:
+                times.append(entry["ts"])
+        if not times:
+            return max(self.ended - self.started, 0.0)
+        return max(times) - min(times)
+
+    def shuffle_skew(self) -> list[dict]:
+        """Per map stage: max/mean shuffle-write bytes across tasks."""
+        out: list[dict] = []
+        for stage in self.stages:
+            if not stage["is_shuffle_map"]:
+                continue
+            writes = [
+                task["shuffle_write_bytes"]
+                for task in self.tasks
+                if task["job_id"] == stage["job_id"]
+                and task["stage_id"] == stage["stage_id"]
+            ]
+            if not writes or not any(writes):
+                continue
+            mean = sum(writes) / len(writes)
+            out.append(
+                {
+                    "job_id": stage["job_id"],
+                    "stage_id": stage["stage_id"],
+                    "name": stage["name"],
+                    "max_bytes": max(writes),
+                    "mean_bytes": mean,
+                    "skew": (max(writes) / mean) if mean else 0.0,
+                }
+            )
+        return out
+
+
+class HistoryStore:
+    """Event logs loaded from disk, grouped per query."""
+
+    def __init__(self) -> None:
+        self.queries: list[QueryRecord] = []
+        self.headers: list[dict] = []
+        #: Standalone flight dumps not attributable to a logged query.
+        self.flight_dumps: list[dict] = []
+        self.files: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path) -> "HistoryStore":
+        """Load one file, or every ``*.jsonl`` / ``*.jsonl.gz`` under a
+        directory (sorted, so reports are deterministic)."""
+        store = cls()
+        path = str(path)
+        if os.path.isdir(path):
+            names = sorted(
+                globlib.glob(os.path.join(path, "**", "*.jsonl*"),
+                             recursive=True)
+            )
+        else:
+            names = [path]
+        if not names:
+            raise FileNotFoundError(f"no event logs under {path}")
+        for name in names:
+            store.load_file(name)
+        return store
+
+    def load_file(self, path) -> None:
+        records = read_event_log(path)
+        self.files.append(str(path))
+        header: dict = {}
+        by_id: dict[str, QueryRecord] = {}
+        order: list[QueryRecord] = []
+
+        def query(query_id: str) -> QueryRecord:
+            record = by_id.get(query_id)
+            if record is None:
+                record = QueryRecord(
+                    query_id=query_id, source=str(path)
+                )
+                by_id[query_id] = record
+                order.append(record)
+            return record
+
+        for record in records:
+            kind = record["type"]
+            if kind == "header":
+                header = record
+                if record.get("version", 0) > SCHEMA_VERSION:
+                    raise EventLogSchemaError(
+                        f"{path}: event-log schema version "
+                        f"{record.get('version')} is newer than this "
+                        f"reader ({SCHEMA_VERSION})"
+                    )
+                continue
+            if kind == "flight_dump":
+                query_id = record.get("query_id")
+                if query_id is None:
+                    self.flight_dumps.append(record)
+                    continue
+                target = query(query_id)
+                if not target.timeline and target.status == "unknown":
+                    target.flight_only = True
+                    target.name = query_id
+                    target.status = record.get("reason", "unknown")
+                target.timeline.extend(record["events"])
+                continue
+            target = query(record["query_id"])
+            if kind == "query_begin":
+                target.name = record["name"]
+                target.kind = record["kind"]
+                target.text = record.get("text")
+                target.started = record["ts"]
+                target.flight_only = False
+                if target.status in ("unknown",):
+                    target.status = "incomplete"
+            elif kind == "plan":
+                target.plan_text = record["text"]
+            elif kind == "operator_modes":
+                target.operator_modes = [
+                    (operator, mode)
+                    for operator, mode in record["modes"]
+                ]
+            elif kind in ("span", "instant"):
+                target.timeline.append(record)
+            elif kind == "job":
+                target.jobs.append(record)
+            elif kind == "stage":
+                target.stages.append(record)
+            elif kind == "task":
+                target.tasks.append(record)
+            elif kind == "counters":
+                target.counters.update(record["deltas"])
+            elif kind == "query_end":
+                target.status = record["status"]
+                target.error = record.get("error")
+                target.ended = record["ts"]
+                target.sim_seconds = record["sim_seconds"]
+                target.stage_sim = list(record.get("stage_sim") or [])
+                target.result_rows = record.get("result_rows")
+        for record in order:
+            record.header = header
+        self.queries.extend(order)
+        self.headers.append(header)
+
+    # ------------------------------------------------------------------
+    # Lookup and aggregation
+    # ------------------------------------------------------------------
+    def query(self, key: str) -> QueryRecord:
+        """By query_id first, then by name (first match)."""
+        for record in self.queries:
+            if record.query_id == key:
+                return record
+        for record in self.queries:
+            if record.name == key:
+                return record
+        raise KeyError(f"no query {key!r} in history")
+
+    def worker_utilization(self) -> list[dict]:
+        """Per worker lane, busy seconds vs the whole history's span."""
+        busy: dict[Any, float] = {}
+        total = 0.0
+        for record in self.queries:
+            total = max(total, record.makespan())
+            for lane, seconds in record.worker_busy_seconds().items():
+                busy[lane] = busy.get(lane, 0.0) + seconds
+        span = max(
+            (record.makespan() for record in self.queries), default=0.0
+        )
+        span = max(span, total)
+        return [
+            {
+                "lane": lane,
+                "busy_seconds": seconds,
+                "utilization": (seconds / span) if span else 0.0,
+            }
+            for lane, seconds in sorted(
+                busy.items(), key=lambda item: str(item[0])
+            )
+        ]
+
+    def cache_churn(self) -> dict[str, float]:
+        """Cache/eviction counter totals across all logged queries."""
+        totals: dict[str, float] = {}
+        for record in self.queries:
+            for name, value in record.counters.items():
+                if name.startswith(("cache.", "blocks.")):
+                    totals[name] = totals.get(name, 0.0) + value
+        return dict(sorted(totals.items()))
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    def report(
+        self, markdown: bool = False, query: Optional[str] = None
+    ) -> str:
+        if query is not None:
+            return self._query_report(self.query(query), markdown)
+        lines: list[str] = []
+        h1 = "# " if markdown else ""
+        h2 = "## " if markdown else "== "
+        h2end = "" if markdown else " =="
+        lines.append(
+            f"{h1}query history: {len(self.queries)} quer"
+            f"{'y' if len(self.queries) == 1 else 'ies'} from "
+            f"{len(self.files)} log file(s)"
+        )
+        lines.append("")
+        lines.append(f"{h2}queries{h2end}")
+        if markdown:
+            lines.append("| query | kind | status | sim-s | tasks |")
+            lines.append("|---|---|---|---|---|")
+        for record in self.queries:
+            label = record.name or record.query_id
+            if markdown:
+                lines.append(
+                    f"| {record.query_id}: {_short(label)} "
+                    f"| {record.kind} | {record.status} "
+                    f"| {record.sim_seconds:.3f} "
+                    f"| {len(record.tasks)} |"
+                )
+            else:
+                lines.append(
+                    f"  {record.query_id} [{record.kind}] "
+                    f"{record.status:<9} {record.sim_seconds:8.3f} sim-s"
+                    f"  {len(record.tasks):3d} tasks  {_short(label)}"
+                )
+            if record.flight_only:
+                lines.append(
+                    ("  " if not markdown else "")
+                    + f"    (flight-recorder dump only: "
+                    f"{len(record.timeline)} events)"
+                )
+        utilization = self.worker_utilization()
+        if utilization:
+            lines.append("")
+            lines.append(f"{h2}worker utilization{h2end}")
+            for row in utilization:
+                lines.append(
+                    f"  {_lane(row['lane']):<10} "
+                    f"busy {row['busy_seconds']:.3f}s "
+                    f"({row['utilization'] * 100.0:.0f}%)"
+                )
+        skew = [
+            (record, entry)
+            for record in self.queries
+            for entry in record.shuffle_skew()
+        ]
+        if skew:
+            lines.append("")
+            lines.append(f"{h2}shuffle skew (map stages){h2end}")
+            for record, entry in skew:
+                lines.append(
+                    f"  {record.query_id} job {entry['job_id']} "
+                    f"stage {entry['stage_id']} "
+                    f"({entry['name']}): max {entry['max_bytes']}B / "
+                    f"mean {entry['mean_bytes']:.0f}B "
+                    f"= x{entry['skew']:.2f}"
+                )
+        churn = self.cache_churn()
+        if churn:
+            lines.append("")
+            lines.append(f"{h2}cache churn{h2end}")
+            for name, value in churn.items():
+                lines.append(f"  {name} = {value:g}")
+        if self.flight_dumps:
+            lines.append("")
+            lines.append(
+                f"{h2}unattributed flight dumps: "
+                f"{len(self.flight_dumps)}{h2end}"
+            )
+        return "\n".join(lines)
+
+    def _query_report(
+        self, record: QueryRecord, markdown: bool
+    ) -> str:
+        h2 = "## " if markdown else "== "
+        h2end = "" if markdown else " =="
+        lines = [
+            f"{'# ' if markdown else ''}query {record.query_id} "
+            f"[{record.kind}] {record.status}"
+        ]
+        if record.name and record.name != record.query_id:
+            lines.append(f"  name: {_short(record.name, 120)}")
+        if record.error:
+            lines.append(f"  error: {record.error}")
+        lines.append(
+            f"  simulated seconds: {record.sim_seconds:.3f} "
+            f"(clock {record.started:.3f} -> {record.ended:.3f})"
+        )
+        if record.result_rows is not None:
+            lines.append(f"  result rows: {record.result_rows}")
+        if record.stage_sim:
+            lines.append("")
+            lines.append(f"{h2}stages{h2end}")
+            for stage in record.stage_sim:
+                lines.append(
+                    f"  stage {stage['stage_id']} ({stage['kind']}, "
+                    f"{stage['name']}): {stage['num_tasks']} tasks, "
+                    f"rows {stage['records_in']} -> "
+                    f"{stage['records_out']}, "
+                    f"shuffle write {stage['shuffle_write_bytes']}B, "
+                    f"{stage['sim_seconds']:.3f} sim-s"
+                )
+        if record.operator_modes:
+            lines.append("")
+            lines.append(f"{h2}operator modes{h2end}")
+            for operator, mode in record.operator_modes:
+                lines.append(f"  {operator}: {mode}")
+        if record.counters:
+            lines.append("")
+            lines.append(f"{h2}counter deltas{h2end}")
+            for name, value in sorted(record.counters.items()):
+                lines.append(f"  {name} = {value:g}")
+        if record.timeline:
+            lines.append("")
+            label = (
+                "timeline (flight-recorder partial)"
+                if record.flight_only
+                else "timeline"
+            )
+            lines.append(f"{h2}{label}{h2end}")
+            for entry in _timeline_sorted(record.timeline)[-60:]:
+                if entry["type"] == "span":
+                    lines.append(
+                        f"  {entry['start']:9.3f}s "
+                        f"{_lane(entry.get('lane', '?')):<10} "
+                        f"{entry['name']} "
+                        f"(+{entry['end'] - entry['start']:.3f}s)"
+                    )
+                else:
+                    lines.append(
+                        f"  {entry.get('ts', 0.0):9.3f}s "
+                        f"{_lane(entry.get('lane', '?')):<10} "
+                        f"* {entry['name']}"
+                    )
+        return "\n".join(lines)
+
+    def export_perfetto(self, key: str, path) -> None:
+        """Write one query's timeline as Chrome-trace JSON."""
+        record = self.query(key)
+        trace = record.to_query_trace()
+        trace.write_chrome_trace(
+            path,
+            metadata={
+                "query_id": record.query_id,
+                "name": record.name,
+                "status": record.status,
+                "source": record.source,
+            },
+        )
+
+
+def _timeline_sorted(timeline: list[dict]) -> list[dict]:
+    return sorted(
+        timeline,
+        key=lambda entry: entry.get("start", entry.get("ts", 0.0)),
+    )
+
+
+def _short(text: str, limit: int = 60) -> str:
+    flat = " ".join(str(text).split())
+    return flat if len(flat) <= limit else flat[: limit - 3] + "..."
+
+
+def _lane(lane) -> str:
+    if isinstance(lane, int):
+        return f"worker {lane}"
+    return str(lane)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.history",
+        description=(
+            "Load persisted query event logs and render a report."
+        ),
+    )
+    parser.add_argument(
+        "path", help="event-log file or directory of *.jsonl(.gz)"
+    )
+    parser.add_argument(
+        "--query",
+        help="report a single query (by query_id or name)",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="Markdown output"
+    )
+    parser.add_argument(
+        "--perfetto-out",
+        help=(
+            "directory to write per-query Chrome-trace JSON exports "
+            "(or, with --query, used for that query only)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    try:
+        store = HistoryStore.load(args.path)
+    except (FileNotFoundError, EventLogSchemaError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        print(store.report(markdown=args.markdown, query=args.query))
+    except BrokenPipeError:  # `| head` closed stdout; not an error
+        return 0
+    if args.perfetto_out:
+        os.makedirs(args.perfetto_out, exist_ok=True)
+        targets = (
+            [store.query(args.query)]
+            if args.query
+            else [q for q in store.queries if q.timeline]
+        )
+        for record in targets:
+            out = os.path.join(
+                args.perfetto_out, f"{record.query_id}.trace.json"
+            )
+            store.export_perfetto(record.query_id, out)
+            print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

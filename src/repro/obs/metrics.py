@@ -13,6 +13,7 @@ Naming convention: dotted lowercase paths grouped by subsystem, e.g.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
@@ -40,15 +41,55 @@ class Gauge:
         self.value = value
 
 
+#: Raw samples kept per histogram for exact percentiles; beyond this the
+#: log-scale buckets answer (bounded memory, ~12% relative error).
+_EXACT_SAMPLE_CAP = 4096
+
+#: Log-scale bucket resolution: buckets per decade of value.
+_BUCKETS_PER_DECADE = 20
+
+
+def _bucket_of(value: float) -> int:
+    """Bucket index for a positive value (log-scale)."""
+    return math.floor(math.log10(value) * _BUCKETS_PER_DECADE)
+
+
+def _bucket_upper(index: int) -> float:
+    """Upper bound of a bucket (its representative value)."""
+    return 10.0 ** ((index + 1) / _BUCKETS_PER_DECADE)
+
+
+def percentiles_of(values: list[float], quantiles=(0.5, 0.95, 0.99)):
+    """Exact nearest-rank percentiles of an in-memory value list."""
+    if not values:
+        return [0.0 for __ in quantiles]
+    ordered = sorted(values)
+    out = []
+    for quantile in quantiles:
+        rank = max(math.ceil(quantile * len(ordered)), 1) - 1
+        out.append(ordered[min(rank, len(ordered) - 1)])
+    return out
+
+
 @dataclass
 class Histogram:
-    """Streaming summary of observed values (count/sum/min/max/mean)."""
+    """Streaming summary of observed values with percentile estimates.
+
+    Keeps every sample up to :data:`_EXACT_SAMPLE_CAP` (exact
+    percentiles), then falls back to log-scale buckets: bounded memory,
+    deterministic, and within ~12% relative error — enough for the
+    p50/p95/p99 the shell's ``.metrics`` view reports.
+    """
 
     name: str
     count: int = 0
     total: float = 0.0
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
+    _samples: list[float] = field(default_factory=list, repr=False)
+    _buckets: dict[int, int] = field(default_factory=dict, repr=False)
+    #: Observations <= 0 (log buckets cannot hold them).
+    _nonpositive: int = field(default=0, repr=False)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -57,10 +98,48 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self._samples) < _EXACT_SAMPLE_CAP:
+            self._samples.append(value)
+        if value > 0:
+            bucket = _bucket_of(value)
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        else:
+            self._nonpositive += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, quantile: float) -> float:
+        """Value at ``quantile`` (0..1): exact while the sample buffer is
+        complete, log-bucket estimate after, clamped to [min, max]."""
+        if self.count == 0:
+            return 0.0
+        if len(self._samples) == self.count:
+            return percentiles_of(self._samples, (quantile,))[0]
+        target = max(math.ceil(quantile * self.count), 1)
+        seen = self._nonpositive
+        if seen >= target:
+            return max(self.min, 0.0) if self.min <= 0 else self.min
+        for bucket in sorted(self._buckets):
+            seen += self._buckets[bucket]
+            if seen >= target:
+                estimate = _bucket_upper(bucket)
+                return min(max(estimate, self.min), self.max)
+        return self.max  # pragma: no cover - defensive
+
+    def summary(self) -> dict[str, float]:
+        """count/sum/min/max/mean plus p50/p95/p99, JSON-ready."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
 
 
 class MetricsRegistry:
@@ -127,13 +206,7 @@ class MetricsRegistry:
                 for name, metric in sorted(self._gauges.items())
             },
             "histograms": {
-                name: {
-                    "count": metric.count,
-                    "sum": metric.total,
-                    "min": metric.min if metric.count else 0.0,
-                    "max": metric.max if metric.count else 0.0,
-                    "mean": metric.mean,
-                }
+                name: metric.summary()
                 for name, metric in sorted(self._histograms.items())
             },
         }
@@ -149,6 +222,9 @@ class MetricsRegistry:
             if metric.count:
                 lines.append(
                     f"{name}: count={metric.count} mean={metric.mean:.3f} "
+                    f"p50={_number(metric.percentile(0.50))} "
+                    f"p95={_number(metric.percentile(0.95))} "
+                    f"p99={_number(metric.percentile(0.99))} "
                     f"min={_number(metric.min)} max={_number(metric.max)}"
                 )
             else:

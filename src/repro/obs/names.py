@@ -1,0 +1,155 @@
+"""The canonical registry of every metric and instant name the engine emits.
+
+One declaration per name, grouped by subsystem.  Call sites must use a
+name declared here — ``tests/obs/check_metric_names.py`` scans
+``src/repro`` for ``metrics.inc/observe/set_gauge`` and
+``tracer.instant`` literals and fails on any drift in either direction
+(an emitted name missing here, or a declared name nothing emits).  This
+is what keeps ``task.retry`` from growing a ``tasks.retried`` twin in
+another module: new telemetry starts by adding one line to this file.
+
+The registry is also the event-log contract: the history store and the
+perf-regression sentinel key their summaries by these names, so renames
+are schema changes (see DESIGN.md §10 on event-log versioning).
+"""
+
+from __future__ import annotations
+
+#: Monotonic counters (``metrics.inc``), dotted lowercase, grouped by
+#: subsystem.
+COUNTERS = frozenset(
+    {
+        # engine: jobs, stages, tasks
+        "jobs.submitted",
+        "stages.run",
+        "stages.skipped",
+        "stages.failed",
+        "tasks.launched",
+        "tasks.failed",
+        "tasks.recovered",
+        "tasks.retried",
+        "tasks.speculative",
+        "speculation.launched",
+        # shuffle
+        "shuffle.fetches",
+        "shuffle.fetch_failures",
+        "shuffle.corrupt_fetches",
+        "shuffle.read.bytes",
+        "shuffle.write.bytes",
+        "shuffle.write.records",
+        "shuffle.released",
+        "shuffle.released.blocks",
+        # block store / cache
+        "blocks.put",
+        "blocks.put.bytes",
+        "blocks.evicted",
+        "blocks.evicted.bytes",
+        "cache.hits",
+        "cache.misses",
+        # cluster membership
+        "workers.added",
+        "workers.killed",
+        "workers.restarted",
+        "workers.blacklisted",
+        "blacklist.overridden",
+        # PDE
+        "pde.pre_shuffles",
+        "pde.join_decisions",
+        "pde.reducer_decisions",
+        # vectorized pipeline
+        "batch.pipelines",
+        "batch.rows",
+        "batch.batches",
+        "batch.kernel.filter",
+        "batch.kernel.project",
+        "batch.kernel.aggregate",
+        # query lifecycle
+        "queries.executed",
+        "queries.submitted",
+        "queries.admitted",
+        "queries.queued",
+        "queries.rejected",
+        "queries.completed",
+        "queries.cancelled",
+        "queries.deadline_expired",
+        "queries.failed",
+        "queries.circuit_opened",
+        "queries.circuit_rejected",
+        # persistent observability (event log / flight recorder)
+        "events.logged",
+        "flight.dumps",
+    }
+)
+
+#: Point-in-time gauges (``metrics.set_gauge``).
+GAUGES = frozenset(
+    {
+        "eventlog.queries",
+    }
+)
+
+#: Streaming distributions (``metrics.observe``); ``.metrics`` renders
+#: their p50/p95/p99.
+HISTOGRAMS = frozenset(
+    {
+        "task.seconds",
+        "query.sim_seconds",
+    }
+)
+
+#: Zero-duration trace instants (``tracer.instant``).
+INSTANTS = frozenset(
+    {
+        # shuffle
+        "shuffle.write",
+        "shuffle.fetch",
+        "shuffle.fetch_failed",
+        # recovery / robustness
+        "lineage.recovery",
+        "task.reexecution",
+        "task.retry",
+        "task.speculative",
+        # cluster
+        "worker.kill",
+        "worker.restart",
+        "worker.added",
+        "worker.blacklisted",
+        "worker.probation",
+        # cache
+        "cache.hit",
+        "block.evict",
+        # PDE and the vectorized pipeline
+        "pde.decision",
+        "batch.pipeline",
+        # query lifecycle
+        "query.admitted",
+        "query.queued",
+        "query.rejected",
+        "query.cancelled",
+        "query.deadline",
+        "query.circuit_open",
+        "query.shuffles_released",
+        # persistent observability
+        "flight.dump",
+    }
+)
+
+_KINDS = {
+    "counter": COUNTERS,
+    "gauge": GAUGES,
+    "histogram": HISTOGRAMS,
+    "instant": INSTANTS,
+}
+
+
+def is_declared(name: str, kind: str) -> bool:
+    """True when ``name`` is registered as a metric of ``kind``."""
+    try:
+        return name in _KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown metric kind {kind!r}") from None
+
+
+def all_names() -> dict[str, frozenset[str]]:
+    """Every registered name, keyed by kind (a copy, safe to mutate)."""
+    return dict(_KINDS)

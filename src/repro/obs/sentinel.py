@@ -1,0 +1,326 @@
+"""Perf-regression sentinel: compare a fresh run against a baseline.
+
+``python -m repro.obs.sentinel --baseline BENCH_baseline.json`` runs a
+small fixed suite — the Figure 7 aggregation micro-benchmarks plus
+TPC-H Q1/Q3/Q6 — on a fresh virtual cluster, measures each query's
+simulated seconds and key counters, and compares them against the
+committed baseline.  Any query whose simulated seconds regress beyond
+``--threshold`` (default 25%) fails the run (nonzero exit) with a
+per-stage attribution line, e.g.::
+
+    REGRESSION Q1 +96% sim-seconds (0.034 -> 0.067):
+      stage 1 (partial_aggregate) +0.031 sim-s, rows/task x1.0,
+      shuffle write bytes x1.0
+
+Everything is measured on the simulated clock, so the baseline is exact
+and machine-independent: an unchanged engine reproduces it bit-for-bit,
+and CI can gate on it without noise margins.  ``--write-baseline``
+(re)seeds the baseline after an intentional performance change;
+``--vectorize off`` demonstrates a deliberate regression against a
+vectorize-on baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+BASELINE_VERSION = 1
+
+#: Suite geometry: small enough for CI, large enough that per-record
+#: CPU cost dominates the fixed per-task launch overhead — otherwise a
+#: CPU-side regression (like losing vectorization) hides inside the
+#: overhead and the sentinel can't see it.  Two fat partitions per big
+#: table give ~50K rows per task: the CPU term is ~2x the 5 ms launch
+#: overhead, so a 10x per-record slowdown moves total sim-seconds well
+#: past the 25% gate.
+WORKERS = 4
+CORES_PER_WORKER = 2
+LINEITEM_ROWS = 100_000
+ORDERS_ROWS = 25_000
+CUSTOMER_ROWS = 2_500
+LOAD_PARTITIONS = 2
+
+#: Counters recorded per query (deltas across its execution).
+TRACKED_COUNTERS = (
+    "tasks.launched",
+    "stages.run",
+    "shuffle.write.bytes",
+    "shuffle.read.bytes",
+    "batch.rows",
+)
+
+
+def suite_queries() -> dict[str, str]:
+    """Query name -> SQL text, in fixed report order."""
+    from repro.workloads import tpch
+
+    queries = {
+        f"agg_{key}": text
+        for key, text in tpch.AGGREGATION_QUERIES.items()
+    }
+    queries.update(tpch.TPCH_QUERIES)
+    return queries
+
+
+def build_warehouse(vectorize: bool = True):
+    """A fresh SharkContext with the suite's cached TPC-H tables."""
+    from repro.core.context import SharkContext
+    from repro.sql.planner import PlannerConfig
+    from repro.workloads import tpch
+
+    shark = SharkContext(
+        num_workers=WORKERS,
+        cores_per_worker=CORES_PER_WORKER,
+        config=PlannerConfig(vectorize=vectorize),
+    )
+    for name, data, partitions in (
+        ("lineitem", tpch.generate_lineitem(LINEITEM_ROWS), LOAD_PARTITIONS),
+        ("orders", tpch.generate_orders(ORDERS_ROWS), LOAD_PARTITIONS),
+        ("customer", tpch.generate_customer(CUSTOMER_ROWS), 1),
+    ):
+        shark.create_table(name, data.schema, cached=True)
+        shark.load_rows(name, data.rows, num_partitions=partitions)
+    return shark
+
+
+def run_suite(shark) -> dict[str, dict]:
+    """Execute every suite query; returns per-query measurements."""
+    from repro.obs.analyze import analyze_profiles
+
+    engine = shark.engine
+    metrics = engine.tracer.metrics
+    results: dict[str, dict] = {}
+    for name, text in suite_queries().items():
+        before = {
+            key: metrics.value(key) for key in TRACKED_COUNTERS
+        }
+        engine.reset_profiles()
+        result = shark.sql(text)
+        analysis = analyze_profiles(
+            "",
+            engine.profiles,
+            num_workers=WORKERS,
+            cores_per_worker=CORES_PER_WORKER,
+        )
+        results[name] = {
+            "sim_seconds": analysis.total_sim_seconds,
+            "result_rows": len(result.rows),
+            "counters": {
+                key: metrics.value(key) - before[key]
+                for key in TRACKED_COUNTERS
+            },
+            "stages": [
+                {
+                    "stage_id": stage.stage_id,
+                    "name": stage.name,
+                    "kind": stage.kind,
+                    "num_tasks": stage.num_tasks,
+                    "sim_seconds": stage.sim_seconds,
+                    "records_in": stage.records_in,
+                    "records_out": stage.records_out,
+                    "shuffle_read_bytes": stage.shuffle_read_bytes,
+                    "shuffle_write_bytes": stage.shuffle_write_bytes,
+                }
+                for stage in analysis.stages
+            ],
+        }
+    return results
+
+
+def baseline_document(queries: dict[str, dict]) -> dict:
+    return {
+        "version": BASELINE_VERSION,
+        "config": {
+            "workers": WORKERS,
+            "cores_per_worker": CORES_PER_WORKER,
+            "lineitem_rows": LINEITEM_ROWS,
+            "orders_rows": ORDERS_ROWS,
+            "customer_rows": CUSTOMER_ROWS,
+        },
+        "queries": queries,
+    }
+
+
+def _ratio(current: float, base: float) -> float:
+    if base <= 0:
+        return 1.0 if current <= 0 else float("inf")
+    return current / base
+
+
+def _attribution(base_entry: dict, entry: dict) -> str:
+    """The stage that gained the most simulated time, with the volume
+    ratios that explain it (stages matched by position)."""
+    pairs = list(zip(base_entry.get("stages", []), entry["stages"]))
+    if not pairs:
+        return "no stage data to attribute"
+    worst = max(
+        pairs,
+        key=lambda pair: pair[1]["sim_seconds"] - pair[0]["sim_seconds"],
+    )
+    base_stage, stage = worst
+    details = [
+        f"stage {stage['stage_id']} ({stage['name']}) "
+        f"+{stage['sim_seconds'] - base_stage['sim_seconds']:.3f} sim-s"
+    ]
+    for label, key in (
+        ("rows in", "records_in"),
+        ("shuffle write bytes", "shuffle_write_bytes"),
+        ("shuffle read bytes", "shuffle_read_bytes"),
+        ("tasks", "num_tasks"),
+    ):
+        base_value = base_stage.get(key, 0)
+        value = stage.get(key, 0)
+        if base_value or value:
+            details.append(
+                f"{label} x{_ratio(value, base_value):.1f}"
+            )
+    return ", ".join(details)
+
+
+def compare(
+    baseline: dict, current: dict[str, dict], threshold: float
+) -> tuple[list[str], list[str]]:
+    """Returns (regression lines, info lines)."""
+    regressions: list[str] = []
+    info: list[str] = []
+    base_queries = baseline.get("queries", {})
+    for name, base_entry in base_queries.items():
+        entry = current.get(name)
+        if entry is None:
+            regressions.append(
+                f"MISSING {name}: query in baseline but not in this run"
+            )
+            continue
+        base_s = base_entry["sim_seconds"]
+        cur_s = entry["sim_seconds"]
+        ratio = _ratio(cur_s, base_s)
+        delta_pct = (ratio - 1.0) * 100.0
+        line = (
+            f"{name}: {base_s:.3f} -> {cur_s:.3f} sim-s "
+            f"({delta_pct:+.0f}%)"
+        )
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                f"REGRESSION {name} {delta_pct:+.0f}% sim-seconds "
+                f"({base_s:.3f} -> {cur_s:.3f}): "
+                + _attribution(base_entry, entry)
+            )
+        elif ratio < 1.0 - threshold:
+            info.append(f"IMPROVED {line}")
+        else:
+            info.append(f"ok {line}")
+    for name in current:
+        if name not in base_queries:
+            info.append(f"new {name}: not in baseline (no gate)")
+    return regressions, info
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.sentinel",
+        description=(
+            "Run the benchmark suite and fail on simulated-seconds "
+            "regressions against a committed baseline."
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_baseline.json",
+        help="baseline JSON path (default: BENCH_baseline.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative sim-seconds regression that fails (default 0.25)",
+    )
+    parser.add_argument(
+        "--vectorize",
+        choices=("on", "off"),
+        default="on",
+        help="planner vectorization (off = deliberate regression demo)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the measured suite as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--event-log-out",
+        help="also stream every suite query to this event-log path",
+    )
+    parser.add_argument(
+        "--report", help="also write the comparison report to this file"
+    )
+    args = parser.parse_args(argv)
+
+    shark = build_warehouse(vectorize=args.vectorize == "on")
+    if args.event_log_out:
+        shark.enable_event_log(
+            args.event_log_out, source="sentinel",
+            vectorize=args.vectorize,
+        )
+    try:
+        current = run_suite(shark)
+    finally:
+        if args.event_log_out:
+            shark.close_event_log()
+
+    if args.write_baseline:
+        document = baseline_document(current)
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"wrote baseline for {len(current)} queries to "
+            f"{args.baseline}"
+        )
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        print(
+            f"error: no baseline at {args.baseline} "
+            "(seed one with --write-baseline)",
+            file=sys.stderr,
+        )
+        return 2
+    if baseline.get("version") != BASELINE_VERSION:
+        print(
+            f"error: baseline version {baseline.get('version')!r} != "
+            f"{BASELINE_VERSION}",
+            file=sys.stderr,
+        )
+        return 2
+
+    regressions, info = compare(baseline, current, args.threshold)
+    lines = [
+        f"sentinel: {len(current)} queries vs {args.baseline} "
+        f"(threshold {args.threshold * 100.0:.0f}%, "
+        f"vectorize {args.vectorize})"
+    ]
+    lines.extend(f"  {line}" for line in info)
+    lines.extend(f"  {line}" for line in regressions)
+    lines.append(
+        f"sentinel: "
+        + (
+            f"{len(regressions)} regression(s) FAILED"
+            if regressions
+            else "all queries within threshold"
+        )
+    )
+    report = "\n".join(lines)
+    print(report)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -78,6 +78,7 @@ from repro.costmodel.constants import (
 )
 from repro.costmodel.models import TaskCostVector, estimate_task_seconds
 from repro.obs.clock import DRIVER_LANE, VirtualClock
+from repro.obs.events import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -150,7 +151,9 @@ class QueryTrace:
     # Chrome trace export
     # ------------------------------------------------------------------
     def to_chrome_trace(
-        self, metadata: Optional[dict[str, Any]] = None
+        self,
+        metadata: Optional[dict[str, Any]] = None,
+        style: str = "complete",
     ) -> dict:
         """The trace as Chrome ``chrome://tracing`` / Perfetto JSON.
 
@@ -158,7 +161,14 @@ class QueryTrace:
         the driver first, then each virtual worker — so the timeline
         reads as a per-worker Gantt chart.  Timestamps are simulated
         seconds rendered as microseconds (the format's native unit).
+
+        ``style="complete"`` emits one ``"X"`` event per span;
+        ``style="duration"`` emits matched ``"B"``/``"E"`` pairs per
+        lane (outer spans open first, nested ends clamped inside their
+        parents) for consumers that require duration events.
         """
+        if style not in ("complete", "duration"):
+            raise ValueError(f"unknown chrome-trace style {style!r}")
         lanes = _ordered_lanes(self)
         tids = {lane: index for index, lane in enumerate(lanes)}
         pid = 1
@@ -190,20 +200,30 @@ class QueryTrace:
                     "args": {"sort_index": tid},
                 }
             )
-        for span in self.spans:
-            end = span.end if span.end is not None else span.start
-            trace_events.append(
-                {
-                    "name": span.name,
-                    "cat": span.category,
-                    "ph": "X",
-                    "ts": span.start * 1e6,
-                    "dur": max(end - span.start, 0.0) * 1e6,
-                    "pid": pid,
-                    "tid": tids[span.lane],
-                    "args": dict(span.args),
-                }
-            )
+        if style == "complete":
+            for span in self.spans:
+                end = span.end if span.end is not None else span.start
+                trace_events.append(
+                    {
+                        "name": span.name,
+                        "cat": span.category,
+                        "ph": "X",
+                        "ts": span.start * 1e6,
+                        "dur": max(end - span.start, 0.0) * 1e6,
+                        "pid": pid,
+                        "tid": tids[span.lane],
+                        "args": dict(span.args),
+                    }
+                )
+        else:
+            for lane in lanes:
+                trace_events.extend(
+                    _duration_events(
+                        [s for s in self.spans if s.lane == lane],
+                        pid,
+                        tids[lane],
+                    )
+                )
         for event in self.events:
             trace_events.append(
                 {
@@ -260,6 +280,9 @@ class Tracer:
         self.clock = VirtualClock()
         self.metrics = MetricsRegistry()
         self.trace = QueryTrace()
+        #: Always-on bounded ring of recent events (post-mortem dumps);
+        #: fed before the ``enabled`` check in every emit method.
+        self.flight = FlightRecorder()
         self._stack: list[Span] = []
         self._next_span_id = 0
 
@@ -296,6 +319,38 @@ class Tracer:
         self._stack = stack
         return previous
 
+    def drain_stack(self, stack: list, status: str = "ok") -> None:
+        """Force-close every span left on ``stack``, regardless of the
+        tracer's enabled state.
+
+        ``end_span`` is a no-op while disabled, so a cleanup loop built
+        on it hangs (and leaks open spans) when tracing was turned off
+        mid-query.  This drain always pops, stamps a close time, and
+        records the terminal ``status``; calling it again on the same
+        (now empty) stack is a no-op — idempotent by construction.
+        """
+        while stack:
+            span = stack.pop()
+            if span is None:
+                continue
+            if span.end is None:
+                span.end = max(self.clock.now(), span.start)
+            span.args.setdefault("status", status)
+
+    def flight_dump(
+        self, reason: str, query: Optional[str] = None
+    ) -> dict:
+        """Dump the flight recorder's ring (see
+        :meth:`~repro.obs.events.FlightRecorder.dump`) and account for
+        it in metrics and, when tracing is on, the trace itself."""
+        record = self.flight.dump(reason, query=query)
+        self.metrics.inc("flight.dumps")
+        self.instant(
+            "flight.dump", "query", reason=reason, query=query,
+            events=len(record["events"]),
+        )
+        return record
+
     # ------------------------------------------------------------------
     # Driver-side spans
     # ------------------------------------------------------------------
@@ -306,6 +361,19 @@ class Tracer:
         lane: Hashable = DRIVER_LANE,
         **args: Any,
     ) -> Optional[Span]:
+        # The flight recorder sees every span begin as a marker even
+        # when tracing is off — that is what makes post-mortem dumps of
+        # untraced queries show which query/job/stage was in flight.
+        self.flight.record(
+            {
+                "type": "instant",
+                "name": name,
+                "category": category,
+                "lane": lane,
+                "ts": self.clock.now(),
+                "args": dict(args),
+            }
+        )
         if not self.enabled:
             return None
         span = Span(
@@ -367,14 +435,27 @@ class Tracer:
         enclosing driver span did (a stage's tasks start after the
         stage).
         """
-        if not self.enabled:
-            return None
         if seconds is None:
             seconds = (
                 self.estimate_seconds(vector) if vector is not None else 0.0
             )
         not_before = self._stack[-1].start if self._stack else 0.0
+        # The lane clock advances even with tracing off, so flight-
+        # recorder dumps carry real simulated timestamps.
         start, end = self.clock.advance_lane(lane, seconds, not_before)
+        self.flight.record(
+            {
+                "type": "span",
+                "name": name,
+                "category": category,
+                "lane": lane,
+                "start": start,
+                "end": end,
+                "args": dict(args),
+            }
+        )
+        if not self.enabled:
+            return None
         span = Span(
             span_id=self._new_span_id(),
             parent_id=self._stack[-1].span_id if self._stack else None,
@@ -424,13 +505,23 @@ class Tracer:
         lane: Hashable = DRIVER_LANE,
         **args: Any,
     ) -> Optional[TraceEvent]:
-        if not self.enabled:
-            return None
         timestamp = (
             self.clock.lane_time(lane)
             if lane != DRIVER_LANE
             else self.clock.now()
         )
+        self.flight.record(
+            {
+                "type": "instant",
+                "name": name,
+                "category": category,
+                "lane": lane,
+                "ts": timestamp,
+                "args": dict(args),
+            }
+        )
+        if not self.enabled:
+            return None
         event = TraceEvent(
             name=name,
             category=category,
@@ -477,6 +568,58 @@ def _ordered_lanes(trace: QueryTrace) -> list[Hashable]:
         (lane for lane in seen if not isinstance(lane, int)), key=str
     )
     return [DRIVER_LANE, *workers, *others]
+
+
+def _duration_events(
+    spans: list[Span], pid: int, tid: int
+) -> list[dict]:
+    """One lane's spans as matched, properly nested B/E pairs.
+
+    Spans on a lane either nest (driver) or run back-to-back (workers);
+    sorting by (start, -duration) opens outer spans first, and a child's
+    end is clamped into its parent so every "E" matches its "B" and the
+    per-lane timestamp sequence is monotonically nondecreasing.
+    """
+    ordered = sorted(
+        spans, key=lambda s: (s.start, -s.duration, s.span_id)
+    )
+    events: list[dict] = []
+    open_stack: list[tuple[Span, float]] = []
+
+    def close(span: Span, end: float) -> None:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "E",
+                "ts": end * 1e6,
+                "pid": pid,
+                "tid": tid,
+            }
+        )
+
+    for span in ordered:
+        while open_stack and open_stack[-1][1] <= span.start:
+            close(*open_stack.pop())
+        end = span.end if span.end is not None else span.start
+        end = max(end, span.start)
+        if open_stack:
+            end = min(end, open_stack[-1][1])
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "B",
+                "ts": span.start * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": dict(span.args),
+            }
+        )
+        open_stack.append((span, end))
+    while open_stack:
+        close(*open_stack.pop())
+    return events
 
 
 def _lane_label(lane: Hashable) -> str:

@@ -33,6 +33,8 @@ Enter SQL terminated by ';'.  Dot-commands:
                         per-stage tasks/rows/bytes/simulated seconds
   .metrics              engine counters (tasks, shuffle bytes, evictions)
   .trace [on|off|<path>] toggle span tracing / export Chrome-trace JSON
+  .eventlog [<path>|off] stream every query to a persistent event log
+  .history <path> [id]  report over an event log (whole log, or one query)
   .workers              virtual cluster status
   .kill <worker_id>     kill a worker (lineage recovery demo)
   .notes                run-time optimizer decisions of the last query
@@ -157,8 +159,18 @@ class Shell:
                 self._write(f"error: {error}")
             return
         if name == ".profile":
+            log_path = None
+            if argument.startswith("--log "):
+                log_path, __, argument = argument[len("--log "):].partition(" ")
+                argument = argument.strip()
             try:
-                self._write(self.shark.explain_analyze(argument.rstrip(";")))
+                self._write(
+                    self.shark.explain_analyze(
+                        argument.rstrip(";"), log=log_path
+                    )
+                )
+                if log_path:
+                    self._write(f"-- query record appended to {log_path}")
             except ReproError as error:
                 self._write(f"error: {error}")
             return
@@ -167,6 +179,12 @@ class Shell:
             return
         if name == ".trace":
             self._trace_command(argument)
+            return
+        if name == ".eventlog":
+            self._eventlog_command(argument)
+            return
+        if name == ".history":
+            self._history_command(argument)
             return
         if name == ".workers":
             for worker in self.shark.engine.cluster.workers:
@@ -282,6 +300,56 @@ class Shell:
             f"wrote {len(trace.spans)} spans / {len(trace.events)} events "
             f"to {argument} (open in https://ui.perfetto.dev)"
         )
+
+    def _eventlog_command(self, argument: str) -> None:
+        log = self.shark.engine.event_log
+        if argument == "":
+            if log is None:
+                self._write("(no event log; `.eventlog <path>` to start one)")
+            else:
+                self._write(
+                    f"event log: {log.path} "
+                    f"({log.queries_logged} queries logged)"
+                )
+            return
+        if argument == "off":
+            if log is None:
+                self._write("(no event log open)")
+            else:
+                path = log.path
+                self.shark.close_event_log()
+                self._write(f"closed event log {path}")
+            return
+        try:
+            self.shark.enable_event_log(argument, source="shell")
+        except OSError as error:
+            self._write(f"error: {error}")
+            return
+        self._write(
+            f"event log open at {argument}; every query now streams its "
+            f"records there (`.eventlog off` to close, then inspect with "
+            f"`.history {argument}`)"
+        )
+
+    def _history_command(self, argument: str) -> None:
+        from repro.obs.history import HistoryStore
+
+        path, __, query = argument.partition(" ")
+        query = query.strip()
+        if not path:
+            self._write("usage: .history <path> [query-id-or-name]")
+            return
+        log = self.shark.engine.event_log
+        if log is not None and str(log.path) == path:
+            self._write(
+                f"(note: {path} is still open for writing; close it "
+                f"with `.eventlog off` for a complete report)"
+            )
+        try:
+            store = HistoryStore.load(path)
+            self._write(store.report(query=query if query else None))
+        except (OSError, ValueError, KeyError) as error:
+            self._write(f"error: {error}")
 
     def _describe(self, name: str) -> None:
         try:

@@ -9,6 +9,7 @@ DROP, CACHE/UNCACHE, and EXPLAIN.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Optional
 
@@ -98,21 +99,34 @@ class SqlSession:
         #: True while executing a journaled statement, so internal
         #: load_rows calls are not double-journaled.
         self._in_statement = False
+        #: Original SQL text of the statement being executed (event log).
+        self._current_text: Optional[str] = None
+        #: Optimized-plan text captured by plan_select when logging.
+        self._last_plan_text: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Statement execution
     # ------------------------------------------------------------------
     def execute(self, text: str) -> QueryResult:
         statement = parse(text)
-        return self.execute_statement(statement)
+        self._current_text = text
+        try:
+            return self.execute_statement(statement)
+        finally:
+            self._current_text = None
 
     def execute_statement(self, statement: ast.Statement) -> QueryResult:
         if isinstance(statement, ast.SelectStatement):
             tracer = self.ctx.tracer
             tracer.metrics.inc("queries.executed")
-            with tracer.span("query", "query", kind="select"):
-                planned = self.plan_select(statement)
-                rows = planned.rdd.collect()
+            text = self._current_text
+            with self._logged_query("sql", text) as logged:
+                with tracer.span("query", "query", kind="select"):
+                    planned = self.plan_select(statement)
+                    rows = planned.rdd.collect()
+                logged["report"] = planned.report
+                logged["rows"] = len(rows)
+                logged["plan_text"] = self._last_plan_text
             return QueryResult(rows, planned.schema, planned.report)
         if isinstance(statement, ast.Explain):
             if statement.analyze:
@@ -150,10 +164,123 @@ class SqlSession:
         analyzer = Analyzer(self.catalog, self.registry)
         plan = analyzer.analyze_select(select)
         plan = optimize(plan)
+        if self.ctx.event_log is not None:
+            self._last_plan_text = plan.pretty()
         planner = PhysicalPlanner(self.ctx, self.store, config or self.config)
         planned = planner.plan(plan)
         self.last_report = planned.report
         return planned
+
+    # ------------------------------------------------------------------
+    # Event logging
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _logged_query(
+        self, kind: str, text: Optional[str], name: Optional[str] = None
+    ):
+        """Stream one query's records to the context's event log.
+
+        Yields a carrier dict the caller fills with ``report`` /
+        ``rows`` / ``plan_text``.  Watermarks on the scheduler history,
+        the trace buffers, and the counter values isolate this query's
+        slice; on any exit (including cancellation/failure) the records
+        are written and, on abnormal status, the flight recorder dumps.
+        No-op without an event log, or inside a lifecycle-managed query
+        (the lifecycle manager owns those records).
+        """
+        ctx = self.ctx
+        log = ctx.event_log
+        carrier: dict[str, Any] = {
+            "report": None,
+            "rows": None,
+            "plan_text": None,
+        }
+        if log is None or (
+            ctx.lifecycle is not None and ctx.lifecycle.in_query()
+        ):
+            yield carrier
+            return
+        tracer = ctx.tracer
+        history = ctx.scheduler.history
+        history_mark = len(history)
+        span_mark = len(tracer.trace.spans)
+        event_mark = len(tracer.trace.events)
+        counters_before = dict(tracer.metrics.snapshot()["counters"])
+        started = tracer.clock.now()
+        query_id = f"q{log.queries_logged:04d}"
+        status, error = "ok", None
+        try:
+            yield carrier
+        except BaseException as exc:
+            status = _terminal_status(exc)
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            ended = tracer.clock.now()
+            if history_mark > len(history):
+                # reset_profiles ran inside the query (EXPLAIN ANALYZE):
+                # everything in the history belongs to it.
+                history_mark = 0
+            profiles = list(history[history_mark:])
+            spans = tracer.trace.spans[span_mark:]
+            events = tracer.trace.events[event_mark:]
+            counters_after = tracer.metrics.snapshot()["counters"]
+            deltas = {
+                key: value - counters_before.get(key, 0.0)
+                for key, value in counters_after.items()
+                if value != counters_before.get(key, 0.0)
+            }
+            cluster = ctx.cluster
+            cores = cluster.workers[0].cores if cluster.workers else 1
+            analysis = analyze_profiles(
+                "",
+                profiles,
+                num_workers=cluster.num_workers,
+                cores_per_worker=cores,
+            )
+            tracer.metrics.observe(
+                "query.sim_seconds", analysis.total_sim_seconds
+            )
+            if status != "ok":
+                tracer.flight_dump(status, query=query_id)
+            report = carrier.get("report")
+            log.write_query(
+                name=name if name is not None else (text or kind).strip(),
+                kind=kind,
+                text=text,
+                status=status,
+                error=error,
+                profiles=profiles,
+                spans=spans,
+                events=events,
+                counter_deltas=deltas,
+                plan_text=carrier.get("plan_text"),
+                operator_modes=(
+                    list(report.operator_modes)
+                    if report is not None
+                    else []
+                ),
+                result_rows=carrier.get("rows"),
+                sim_seconds=analysis.total_sim_seconds,
+                stage_sim=[
+                    {
+                        "job_id": stage.job_id,
+                        "stage_id": stage.stage_id,
+                        "name": stage.name,
+                        "kind": stage.kind,
+                        "num_tasks": stage.num_tasks,
+                        "sim_seconds": stage.sim_seconds,
+                        "records_in": stage.records_in,
+                        "records_out": stage.records_out,
+                        "shuffle_read_bytes": stage.shuffle_read_bytes,
+                        "shuffle_write_bytes": stage.shuffle_write_bytes,
+                    }
+                    for stage in analysis.stages
+                ],
+                started=started,
+                ended=ended,
+                query_id=query_id,
+            )
 
     def _explain(self, statement: ast.Statement) -> QueryResult:
         if isinstance(statement, ast.CreateTable) and statement.as_select:
@@ -189,11 +316,17 @@ class SqlSession:
         self.ctx.reset_profiles()
         tracer = self.ctx.tracer
         tracer.metrics.inc("queries.executed")
-        with tracer.span("query", "query", kind="explain-analyze"):
-            planner = PhysicalPlanner(self.ctx, self.store, self.config)
-            planned = planner.plan(optimized)
-            self.last_report = planned.report
-            rows = planned.rdd.collect()
+        with self._logged_query(
+            "explain-analyze", self._current_text
+        ) as logged:
+            with tracer.span("query", "query", kind="explain-analyze"):
+                planner = PhysicalPlanner(self.ctx, self.store, self.config)
+                planned = planner.plan(optimized)
+                self.last_report = planned.report
+                rows = planned.rdd.collect()
+            logged["report"] = planned.report
+            logged["rows"] = len(rows)
+            logged["plan_text"] = plan_text
 
         cluster = self.ctx.cluster
         cores = cluster.workers[0].cores if cluster.workers else 1
@@ -540,6 +673,16 @@ def _render_literal(expr: ast.Expr) -> str:
 
 def _wants_cache(properties: dict[str, str]) -> bool:
     return properties.get("shark.cache", "").lower() in ("true", "1", "yes")
+
+
+def _terminal_status(error: BaseException) -> str:
+    from repro.errors import QueryCancelledError, QueryDeadlineExceeded
+
+    if isinstance(error, QueryDeadlineExceeded):
+        return "deadline"
+    if isinstance(error, QueryCancelledError):
+        return "cancelled"
+    return "error"
 
 
 def _status(message: str) -> QueryResult:

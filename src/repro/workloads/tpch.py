@@ -213,6 +213,45 @@ AGGREGATION_QUERIES = {
     "max": "SELECT L_ORDERKEY, COUNT(*) FROM lineitem GROUP BY L_ORDERKEY",
 }
 
+#: Classic TPC-H query texts over the generated tables (the same Q1/Q3/
+#: Q6 shapes tests/sql/test_tpch_queries.py checks against references);
+#: the perf-regression sentinel runs these as part of its suite.
+TPCH_QUERIES = {
+    "Q1": """
+        SELECT L_RETURNFLAG, L_LINESTATUS,
+               SUM(L_QUANTITY) AS sum_qty,
+               SUM(L_EXTENDEDPRICE) AS sum_base,
+               SUM(L_EXTENDEDPRICE * (1 - L_DISCOUNT)) AS sum_disc,
+               AVG(L_QUANTITY) AS avg_qty,
+               COUNT(*) AS count_order
+        FROM lineitem
+        WHERE L_SHIPDATE <= DATE '1998-09-02'
+        GROUP BY L_RETURNFLAG, L_LINESTATUS
+        ORDER BY L_RETURNFLAG, L_LINESTATUS
+    """,
+    "Q3": """
+        SELECT o.O_ORDERKEY,
+               SUM(l.L_EXTENDEDPRICE * (1 - l.L_DISCOUNT)) AS revenue,
+               o.O_ORDERDATE
+        FROM customer c
+        JOIN orders o ON c.C_CUSTKEY = o.O_CUSTKEY
+        JOIN lineitem l ON l.L_ORDERKEY = o.O_ORDERKEY
+        WHERE c.C_MKTSEGMENT = 'BUILDING'
+          AND o.O_ORDERDATE < DATE '1995-03-15'
+        GROUP BY o.O_ORDERKEY, o.O_ORDERDATE
+        ORDER BY revenue DESC
+        LIMIT 10
+    """,
+    "Q6": """
+        SELECT SUM(L_EXTENDEDPRICE * L_DISCOUNT) AS revenue
+        FROM lineitem
+        WHERE L_SHIPDATE >= DATE '1994-01-01'
+          AND L_SHIPDATE < DATE '1995-01-01'
+          AND L_DISCOUNT BETWEEN 0.01 AND 0.06
+          AND L_QUANTITY < 24
+    """,
+}
+
 #: The PDE join experiment's query (Section 6.3.2).
 PDE_JOIN_QUERY = """
 SELECT * FROM lineitem l JOIN supplier s

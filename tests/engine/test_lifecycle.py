@@ -512,3 +512,56 @@ class TestObservability:
         lifecycle.drain()
         assert handle.state == "failed"
         assert isinstance(handle.error, EngineError)
+
+
+class TestTraceDrainOnCancellation:
+    """Regression: the cleanup loop used ``end_span``, which no-ops when
+    tracing is disabled — a query cancelled after tracing was turned off
+    mid-flight spun forever on its span stack (tripping the conftest
+    hang guard) and leaked the open spans.  ``Tracer.drain_stack`` must
+    close everything regardless of the enabled flag, idempotently."""
+
+    def test_cancel_with_tracing_disabled_mid_query(self):
+        shark = _build_shark()
+        lifecycle = shark.enable_lifecycle()
+        shark.enable_tracing()
+
+        def work():
+            # The query span is already open on this query's private
+            # stack; open a child, then disable tracing and cancel.
+            shark.tracer.begin_span("mid-query work", "job")
+            shark.disable_tracing()
+            raise QueryCancelledError("victim")
+
+        handle = lifecycle.submit(work, name="victim")
+        with pytest.raises(QueryCancelledError):
+            lifecycle.wait(handle)
+
+        assert handle.state == "cancelled"
+        # The private stack was drained despite the disabled tracer ...
+        assert handle._trace_stack == []
+        # ... every recorded span got a close time and terminal status.
+        assert shark.trace.spans
+        for span in shark.trace.spans:
+            assert span.end is not None
+        query_span = shark.trace.spans_in_category("query")[0]
+        assert query_span.args["status"] == "cancelled"
+        # Draining again is a no-op (idempotent).
+        shark.tracer.drain_stack(handle._trace_stack, status="cancelled")
+        assert handle._trace_stack == []
+
+    def test_cancelled_query_dumps_flight_recorder(self):
+        shark = _build_shark()
+        lifecycle = shark.enable_lifecycle()
+        assert not shark.tracer.enabled  # tracing stays off throughout
+        handle = shark.submit_sql(
+            QUERIES["agg"], name="victim"
+        ).cancel_after_tasks(3)
+        with pytest.raises(QueryCancelledError):
+            lifecycle.wait(handle)
+        dump = shark.tracer.flight.last_dump
+        assert dump is not None
+        assert dump["reason"] == "cancelled"
+        assert dump["query_id"] == f"lifecycle-{handle.query_id}"
+        assert dump["events"]  # partial timeline despite tracing off
+        assert shark.metrics.value("flight.dumps") == 1

@@ -1,0 +1,150 @@
+"""S3: Chrome-trace export contract, including a faulty (retries +
+speculation) run.
+
+Checked per export: required keys on every event, per-lane monotonic
+timestamps in duration style, and strictly matched B/E pairs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+
+import pytest
+
+from repro import SharkContext
+from repro.datatypes import DOUBLE, INT, STRING, Schema
+from repro.faults import FaultInjector
+
+_REQUIRED_KEYS = {
+    "M": {"name", "ph", "pid", "tid", "args"},
+    "X": {"name", "cat", "ph", "ts", "dur", "pid", "tid"},
+    "B": {"name", "cat", "ph", "ts", "pid", "tid"},
+    "E": {"name", "cat", "ph", "ts", "pid", "tid"},
+    "i": {"name", "cat", "ph", "ts", "pid", "tid", "s"},
+}
+
+
+def _traced_shark(fault_injector=None, scheduler_config=None) -> SharkContext:
+    shark = SharkContext(
+        num_workers=4,
+        cores_per_worker=2,
+        fault_injector=fault_injector,
+        scheduler_config=scheduler_config,
+    )
+    shark.create_table(
+        "readings",
+        Schema.of(("bucket", STRING), ("day", INT), ("value", DOUBLE)),
+        cached=True,
+    )
+    shark.load_rows(
+        "readings",
+        [(f"b{i % 6}", i % 12, float(i % 90)) for i in range(4000)],
+        num_partitions=8,
+    )
+    shark.enable_tracing()
+    shark.sql(
+        "SELECT bucket, COUNT(*) AS n, SUM(value) AS total "
+        "FROM readings GROUP BY bucket"
+    )
+    return shark
+
+
+@pytest.fixture(scope="module")
+def chaotic_document():
+    """Duration-style export of a run with retries and speculation."""
+    from repro.engine.scheduler import SchedulerConfig
+
+    injector = FaultInjector(
+        seed=13,
+        transient_failure_rate=0.15,
+        stragglers_per_stage=1,
+        straggler_slowdown=50.0,
+    )
+    shark = _traced_shark(
+        fault_injector=injector,
+        scheduler_config=SchedulerConfig(
+            speculation_min_peers=2, speculation_multiplier=1.2
+        ),
+    )
+    retried = sum(p.retried_tasks for p in shark.engine.profiles)
+    speculative = sum(
+        p.speculative_tasks for p in shark.engine.profiles
+    )
+    assert retried > 0 and speculative > 0  # the run was actually chaotic
+    return shark.trace.to_chrome_trace(style="duration")
+
+
+def _check_required_keys(document):
+    for event in document["traceEvents"]:
+        assert event["ph"] in _REQUIRED_KEYS, event
+        missing = _REQUIRED_KEYS[event["ph"]] - set(event)
+        assert not missing, f"{event['ph']} event missing {missing}"
+
+
+class TestCompleteStyle:
+    def test_required_keys_and_json_round_trip(self):
+        shark = _traced_shark()
+        document = shark.trace.to_chrome_trace(
+            metadata={"query": "agg"}
+        )
+        _check_required_keys(document)
+        again = json.loads(json.dumps(document))
+        assert again["metadata"] == {"query": "agg"}
+        assert any(
+            event["ph"] == "X" for event in again["traceEvents"]
+        )
+
+    def test_unknown_style_rejected(self):
+        shark = _traced_shark()
+        with pytest.raises(ValueError, match="style"):
+            shark.trace.to_chrome_trace(style="flame")
+
+
+class TestDurationStyle:
+    def test_required_keys(self, chaotic_document):
+        _check_required_keys(chaotic_document)
+
+    def test_monotonic_ts_per_lane(self, chaotic_document):
+        per_lane = defaultdict(list)
+        for event in chaotic_document["traceEvents"]:
+            if event["ph"] in ("B", "E"):
+                per_lane[event["tid"]].append(event["ts"])
+        assert per_lane
+        for tid, timestamps in per_lane.items():
+            assert timestamps == sorted(timestamps), (
+                f"lane {tid} B/E timestamps are not monotonic"
+            )
+
+    def test_matched_be_pairs(self, chaotic_document):
+        """Every E closes the most recent open B with the same name —
+        strict stack discipline per lane, nothing left open."""
+        stacks = defaultdict(list)
+        for event in chaotic_document["traceEvents"]:
+            if event["ph"] == "B":
+                stacks[event["tid"]].append(event["name"])
+            elif event["ph"] == "E":
+                assert stacks[event["tid"]], (
+                    f"E without open B on lane {event['tid']}"
+                )
+                assert stacks[event["tid"]].pop() == event["name"]
+        for tid, stack in stacks.items():
+            assert stack == [], f"unclosed B events on lane {tid}: {stack}"
+
+    def test_driver_and_worker_lanes_named(self, chaotic_document):
+        names = {
+            event["args"]["name"]
+            for event in chaotic_document["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert "driver" in names
+        assert any(name.startswith("worker ") for name in names)
+
+    def test_retry_and_speculation_visible(self, chaotic_document):
+        instants = {
+            event["name"]
+            for event in chaotic_document["traceEvents"]
+            if event["ph"] == "i"
+        }
+        assert "task.retry" in instants
+        assert "task.speculative" in instants

@@ -1,0 +1,249 @@
+"""Event-log writer, flight recorder, and the round-trip property.
+
+The acceptance bar: a TPC-H query executed with event logging enabled
+must produce a log from which the HistoryStore reproduces the same
+stage/task/shuffle aggregates as the live QueryProfile — exact
+simulated-clock equality, across vectorize on/off and a chaos run —
+and a killed/cancelled query must leave a flight-recorder dump with
+tracing disabled.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import SharkContext
+from repro.faults import FaultInjector
+from repro.obs.events import (
+    EventLogSchemaError,
+    EventLogWriter,
+    FlightRecorder,
+    SCHEMA_VERSION,
+    read_event_log,
+    validate_record,
+)
+from repro.obs.history import HistoryStore
+from repro.sql.planner import PlannerConfig
+from repro.workloads import tpch
+
+
+def _tpch_shark(vectorize=True, fault_injector=None) -> SharkContext:
+    shark = SharkContext(
+        num_workers=4,
+        cores_per_worker=2,
+        config=PlannerConfig(vectorize=vectorize),
+        fault_injector=fault_injector,
+    )
+    for name, data in (
+        ("lineitem", tpch.generate_lineitem(2000)),
+        ("orders", tpch.generate_orders(500)),
+        ("customer", tpch.generate_customer(50)),
+    ):
+        shark.create_table(name, data.schema, cached=True)
+        shark.load_rows(name, data.rows)
+    return shark
+
+
+class TestSchemaValidation:
+    def test_unknown_record_type_rejected(self):
+        with pytest.raises(EventLogSchemaError, match="unknown"):
+            validate_record({"type": "telemetry"})
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(EventLogSchemaError, match="missing"):
+            validate_record({"type": "query_begin", "query_id": "q0"})
+
+    def test_writer_refuses_malformed_record(self, tmp_path):
+        with EventLogWriter(tmp_path / "log.jsonl", 2, 2) as log:
+            with pytest.raises(EventLogSchemaError):
+                log.write({"type": "span", "query_id": "q0"})
+
+    def test_closed_writer_refuses_writes(self, tmp_path):
+        log = EventLogWriter(tmp_path / "log.jsonl", 2, 2)
+        log.close()
+        with pytest.raises(EventLogSchemaError, match="closed"):
+            log.write(
+                {"type": "counters", "query_id": "q0", "deltas": {}}
+            )
+
+
+class TestWriter:
+    def test_header_first_and_seq_monotonic(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with EventLogWriter(path, 4, 2, source="test") as log:
+            log.write_query(name="q", sim_seconds=1.0)
+        records = read_event_log(path)
+        assert records[0]["type"] == "header"
+        assert records[0]["version"] == SCHEMA_VERSION
+        assert records[0]["workers"] == 4
+        assert records[0]["source"] == "test"
+        assert [r["seq"] for r in records] == list(range(len(records)))
+
+    def test_gzip_round_trip(self, tmp_path):
+        path = tmp_path / "log.jsonl.gz"
+        with EventLogWriter(path, 2, 1) as log:
+            log.write_query(name="q", status="ok", sim_seconds=0.5)
+        records = read_event_log(path)
+        assert records[-1]["type"] == "query_end"
+        assert records[-1]["sim_seconds"] == 0.5
+
+    def test_deterministic_bytes(self, tmp_path):
+        """Two identical runs produce byte-identical logs (simulated
+        clock, sorted keys, writer-stamped seq)."""
+        paths = []
+        for index in range(2):
+            shark = _tpch_shark()
+            path = tmp_path / f"run{index}.jsonl"
+            shark.enable_event_log(path)
+            shark.sql(tpch.TPCH_QUERIES["Q6"])
+            shark.close_event_log()
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded(self):
+        flight = FlightRecorder(capacity=4)
+        for i in range(10):
+            flight.record({"type": "instant", "n": i})
+        assert len(flight) == 4
+        assert [e["n"] for e in flight.events()] == [6, 7, 8, 9]
+
+    def test_dump_to_directory(self, tmp_path):
+        flight = FlightRecorder(capacity=4)
+        flight.dump_dir = str(tmp_path)
+        flight.record({"type": "instant", "name": "task"})
+        record = flight.dump("cancelled", query="q7")
+        assert record["reason"] == "cancelled"
+        dumped = read_event_log(tmp_path / "flight-0000.jsonl")
+        assert dumped[0]["type"] == "flight_dump"
+        assert dumped[0]["query_id"] == "q7"
+        assert len(dumped[0]["events"]) == 1
+
+    def test_dump_prefers_sink(self, tmp_path):
+        flight = FlightRecorder()
+        sunk = []
+        flight.sink = sunk.append
+        flight.dump_dir = str(tmp_path)
+        flight.dump("error")
+        assert len(sunk) == 1
+        assert not list(tmp_path.iterdir())  # sink won, no file
+
+    def test_live_with_tracing_disabled(self):
+        shark = _tpch_shark()
+        assert not shark.tracer.enabled
+        shark.sql("SELECT COUNT(*) FROM lineitem")
+        assert len(shark.tracer.flight) > 0
+        assert len(shark.trace) == 0  # tracing stayed off
+
+    def test_failed_query_dumps_with_tracing_disabled(self, tmp_path):
+        shark = _tpch_shark()
+        shark.register_udf("boom", lambda value: 1 / 0)
+        path = tmp_path / "log.jsonl"
+        shark.enable_event_log(path)
+        with pytest.raises(Exception):
+            shark.sql("SELECT boom(L_ORDERKEY) FROM lineitem")
+        shark.close_event_log()
+        records = read_event_log(path)
+        dumps = [r for r in records if r["type"] == "flight_dump"]
+        assert len(dumps) == 1
+        assert dumps[0]["reason"] == "error"
+        assert dumps[0]["events"]  # partial timeline captured
+        ends = [r for r in records if r["type"] == "query_end"]
+        assert ends[-1]["status"] == "error"
+        assert ends[-1]["error"]
+
+
+class TestRoundTrip:
+    """Live QueryProfile aggregates == HistoryStore reconstruction."""
+
+    def _assert_round_trip(self, shark, query, path):
+        shark.enable_event_log(path)
+        shark.engine.reset_profiles()
+        shark.sql(query)
+        live = shark.engine.profiles
+        shark.close_event_log()
+
+        store = HistoryStore.load(path)
+        assert len(store.queries) == 1
+        rebuilt = store.queries[0].rebuild_profiles()
+
+        assert [p.job_id for p in rebuilt] == [p.job_id for p in live]
+        for mine, theirs in zip(rebuilt, live):
+            assert mine.num_stages == theirs.num_stages
+            assert mine.total_tasks == theirs.total_tasks
+            assert mine.total_attempts == theirs.total_attempts
+            assert mine.shuffle_read_bytes == theirs.shuffle_read_bytes
+            assert mine.shuffle_write_bytes == theirs.shuffle_write_bytes
+            assert mine.recovered_tasks == theirs.recovered_tasks
+            assert mine.retried_tasks == theirs.retried_tasks
+            assert mine.speculative_tasks == theirs.speculative_tasks
+            for s_mine, s_theirs in zip(mine.stages, theirs.stages):
+                assert s_mine.stage_id == s_theirs.stage_id
+                assert s_mine.name == s_theirs.name
+                assert s_mine.num_tasks == s_theirs.num_tasks
+                assert s_mine.records_in == s_theirs.records_in
+                assert s_mine.records_out == s_theirs.records_out
+                assert s_mine.bytes_in == s_theirs.bytes_in
+                assert (
+                    s_mine.shuffle_write_bytes
+                    == s_theirs.shuffle_write_bytes
+                )
+                assert (
+                    s_mine.shuffle_read_bytes
+                    == s_theirs.shuffle_read_bytes
+                )
+
+        # Exact simulated-clock equality: the history store recomputes
+        # the same simulated seconds the writer recorded.
+        from repro.obs.analyze import analyze_profiles
+
+        live_analysis = analyze_profiles(
+            "", live, num_workers=4, cores_per_worker=2
+        )
+        record = store.queries[0]
+        assert record.sim_seconds == live_analysis.total_sim_seconds
+        assert (
+            record.analyze().total_sim_seconds
+            == live_analysis.total_sim_seconds
+        )
+
+    @pytest.mark.parametrize("vectorize", [True, False])
+    @pytest.mark.parametrize("key", ["Q1", "Q3", "Q6"])
+    def test_tpch_round_trip(self, tmp_path, vectorize, key):
+        shark = _tpch_shark(vectorize=vectorize)
+        self._assert_round_trip(
+            shark, tpch.TPCH_QUERIES[key], tmp_path / "log.jsonl"
+        )
+
+    def test_chaos_round_trip(self, tmp_path):
+        injector = FaultInjector(
+            seed=11,
+            transient_failure_rate=0.10,
+            stragglers_per_stage=1,
+            straggler_slowdown=8.0,
+        )
+        shark = _tpch_shark(fault_injector=injector)
+        self._assert_round_trip(
+            shark, tpch.TPCH_QUERIES["Q1"], tmp_path / "log.jsonl"
+        )
+
+    def test_traced_timeline_round_trips(self, tmp_path):
+        shark = _tpch_shark()
+        shark.enable_tracing()
+        path = tmp_path / "log.jsonl"
+        shark.enable_event_log(path)
+        shark.sql(tpch.TPCH_QUERIES["Q6"])
+        shark.close_event_log()
+        live_spans = len(shark.trace.spans)
+        live_events = len(shark.trace.events)
+        store = HistoryStore.load(path)
+        trace = store.queries[0].to_query_trace()
+        assert len(trace.spans) == live_spans
+        assert len(trace.events) == live_events
+        # The export is valid Chrome-trace JSON.
+        document = trace.to_chrome_trace()
+        json.dumps(document)
+        assert document["traceEvents"]

@@ -1,0 +1,153 @@
+"""HistoryStore: loading, reports, flight-only queries, Perfetto export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import SharkContext
+from repro.datatypes import DOUBLE, INT, STRING, Schema
+from repro.obs.history import HistoryStore, main as history_main
+from repro.obs.events import EventLogSchemaError
+
+
+def _shark() -> SharkContext:
+    shark = SharkContext(num_workers=4, cores_per_worker=2)
+    shark.create_table(
+        "readings",
+        Schema.of(("bucket", STRING), ("day", INT), ("value", DOUBLE)),
+        cached=True,
+    )
+    shark.load_rows(
+        "readings",
+        [(f"b{i % 5}", i % 10, float(i)) for i in range(600)],
+        num_partitions=6,
+    )
+    return shark
+
+
+@pytest.fixture
+def logged(tmp_path):
+    """A two-query event log (one traced) and its SharkContext."""
+    shark = _shark()
+    path = tmp_path / "events.jsonl"
+    shark.enable_event_log(path, source="test")
+    shark.sql("SELECT bucket, COUNT(*) FROM readings GROUP BY bucket")
+    shark.enable_tracing()
+    shark.sql("SELECT COUNT(*) FROM readings WHERE value > 100")
+    shark.disable_tracing()
+    shark.close_event_log()
+    return shark, path
+
+
+class TestLoading:
+    def test_load_file_and_directory(self, logged, tmp_path):
+        __, path = logged
+        from_file = HistoryStore.load(path)
+        from_dir = HistoryStore.load(tmp_path)
+        assert len(from_file.queries) == 2
+        assert [q.query_id for q in from_dir.queries] == [
+            q.query_id for q in from_file.queries
+        ]
+        assert from_file.queries[0].status == "ok"
+        assert from_file.queries[0].counters["tasks.launched"] > 0
+
+    def test_query_lookup_by_id_and_name(self, logged):
+        __, path = logged
+        store = HistoryStore.load(path)
+        record = store.query("q0000")
+        assert store.query(record.name) is record
+        with pytest.raises(KeyError):
+            store.query("nope")
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "type": "header",
+                    "seq": 0,
+                    "version": 99,
+                    "workers": 1,
+                    "cores_per_worker": 1,
+                }
+            )
+            + "\n"
+        )
+        with pytest.raises(EventLogSchemaError, match="version"):
+            HistoryStore.load(path)
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            HistoryStore.load(tmp_path / "empty-dir")
+
+
+class TestReports:
+    def test_full_report_sections(self, logged):
+        __, path = logged
+        report = HistoryStore.load(path).report()
+        assert "2 queries" in report
+        assert "q0000" in report and "q0001" in report
+        assert "worker utilization" in report
+        assert "cache churn" in report
+
+    def test_single_query_report(self, logged):
+        __, path = logged
+        store = HistoryStore.load(path)
+        report = store.report(query="q0000")
+        assert "q0000" in report
+        assert "stages" in report
+        assert "counter deltas" in report
+
+    def test_markdown_mode(self, logged):
+        __, path = logged
+        report = HistoryStore.load(path).report(markdown=True)
+        assert report.startswith("# ")
+
+    def test_cli_end_to_end(self, logged, tmp_path, capsys):
+        __, path = logged
+        assert history_main([str(path)]) == 0
+        assert "query history" in capsys.readouterr().out
+        assert history_main([str(tmp_path / "missing.jsonl")]) == 2
+
+    def test_cli_perfetto_export(self, logged, tmp_path, capsys):
+        __, path = logged
+        out_dir = tmp_path / "perfetto"
+        assert (
+            history_main([str(path), "--perfetto-out", str(out_dir)]) == 0
+        )
+        exports = sorted(out_dir.glob("*.trace.json"))
+        assert exports  # the traced query exported
+        document = json.loads(exports[0].read_text())
+        assert document["traceEvents"]
+
+
+class TestFlightOnly:
+    def test_flight_dump_file_becomes_partial_query(self, tmp_path):
+        """A killed query's flight dump, alone, is enough for a partial
+        timeline in the history CLI (the acceptance criterion)."""
+        shark = _shark()
+        assert not shark.tracer.enabled
+        shark.tracer.flight.dump_dir = str(tmp_path)
+        shark.sql("SELECT COUNT(*) FROM readings")  # fills the ring
+        shark.tracer.flight_dump("cancelled", query="killed-query")
+
+        store = HistoryStore.load(tmp_path)
+        record = store.query("killed-query")
+        assert record.flight_only
+        assert record.status == "cancelled"
+        assert record.timeline  # partial timeline reconstructed
+        assert record.makespan() > 0.0
+        report = store.report(query="killed-query")
+        assert "killed-query" in report
+        assert "flight" in report.lower()
+
+    def test_worker_utilization_from_flight_spans(self, tmp_path):
+        shark = _shark()
+        shark.tracer.flight.dump_dir = str(tmp_path)
+        shark.sql("SELECT COUNT(*) FROM readings")
+        shark.tracer.flight_dump("error", query="dead")
+        store = HistoryStore.load(tmp_path)
+        busy = store.query("dead").worker_busy_seconds()
+        assert busy and all(value > 0 for value in busy.values())
