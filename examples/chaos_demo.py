@@ -44,9 +44,18 @@ QUERIES = {
 }
 
 
+#: Per-worker memory budget for both runs: small enough that cache puts
+#: and operator state cross it (exercising memory.pressure events and
+#: LRU eviction), large enough that every query still answers correctly.
+MEMORY_PER_WORKER_BYTES = 16 * 1024
+
+
 def build_context(fault_injector=None) -> SharkContext:
     shark = SharkContext(
-        num_workers=6, cores_per_worker=2, fault_injector=fault_injector
+        num_workers=6,
+        cores_per_worker=2,
+        memory_per_worker_bytes=MEMORY_PER_WORKER_BYTES,
+        fault_injector=fault_injector,
     )
     shark.create_table(
         "readings",
@@ -119,6 +128,24 @@ def main(
     )
     live = len(chaos.engine.cluster.live_workers())
     print(f"  live workers after the kill: {live}/6")
+
+    accountant = chaos.engine.memory
+    evicted = int(chaos.metrics.value("blocks.evicted"))
+    print(
+        f"\n=== memory pressure (cap "
+        f"{MEMORY_PER_WORKER_BYTES // 1024} KiB/worker) ==="
+    )
+    print(
+        f"  pressure events: {accountant.pressure_events}, "
+        f"evicted blocks: {evicted}"
+    )
+    print(
+        f"  peak watermarks: storage "
+        f"{int(accountant.peak_bytes('storage'))} B, execution "
+        f"{int(accountant.peak_bytes('execution'))} B"
+    )
+    for owner, pool, peak in accountant.top_consumers(limit=3):
+        print(f"  top consumer: {owner} [{pool}] peak {peak} B")
 
     print("\n=== verdict ===")
     divergent = [

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.cluster.worker import BlockStore, Worker
 from repro.errors import NoLiveWorkersError
 from repro.obs import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.memory import MemoryAccountant
 
 
 @dataclass
@@ -41,6 +44,7 @@ class VirtualCluster:
         cores_per_worker: int = 8,
         memory_per_worker_bytes: int | None = None,
         tracer: Tracer | None = None,
+        accountant: "MemoryAccountant | None" = None,
     ):
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -48,6 +52,16 @@ class VirtualCluster:
         #: Shared with the owning EngineContext; a private disabled
         #: tracer when the cluster is constructed standalone (tests).
         self.tracer = tracer if tracer is not None else Tracer()
+        #: Unified memory ledger; a private one when standalone so block
+        #: stores always account their bytes somewhere.
+        if accountant is None:
+            # Imported lazily: repro.engine.context imports this module.
+            from repro.engine.memory import MemoryAccountant
+
+            accountant = MemoryAccountant(
+                tracer=self.tracer, capacity_bytes=memory_per_worker_bytes
+            )
+        self.accountant = accountant
         self.workers = [
             Worker(
                 worker_id=i,
@@ -55,6 +69,8 @@ class VirtualCluster:
                 blocks=BlockStore(
                     capacity_bytes=memory_per_worker_bytes,
                     tracer=self.tracer,
+                    accountant=self.accountant,
+                    worker_id=i,
                 ),
             )
             for i in range(num_workers)
@@ -82,12 +98,15 @@ class VirtualCluster:
 
     def add_worker(self, cores: int = 8) -> Worker:
         """Elasticity: a new node joins and becomes schedulable immediately."""
+        worker_id = len(self.workers)
         worker = Worker(
-            worker_id=len(self.workers),
+            worker_id=worker_id,
             cores=cores,
             blocks=BlockStore(
                 capacity_bytes=self.memory_per_worker_bytes,
                 tracer=self.tracer,
+                accountant=self.accountant,
+                worker_id=worker_id,
             ),
         )
         self.workers.append(worker)

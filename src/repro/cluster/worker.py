@@ -7,16 +7,18 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.memory import MemoryAccountant
     from repro.obs import Tracer
 
 
 def approximate_size_bytes(value: Any) -> int:
     """Best-effort in-memory size of a stored block.
 
-    Objects that know their footprint (columnar partitions) expose
-    ``memory_footprint_bytes()``; everything else is estimated with
-    ``sys.getsizeof`` plus a shallow pass over list elements, which is
-    accurate enough for spill accounting and the memory benchmarks.
+    Objects that know their footprint (columnar partitions, column
+    batches) expose ``memory_footprint_bytes()``; everything else is
+    estimated with ``sys.getsizeof`` plus a recursive pass over
+    container elements (sampled for large lists), which is accurate
+    enough for spill accounting and the memory benchmarks.
     """
     footprint = getattr(value, "memory_footprint_bytes", None)
     if callable(footprint):
@@ -31,11 +33,39 @@ def approximate_size_bytes(value: Any) -> int:
         per_item = sum(sys.getsizeof(item) for item in sample) / len(sample)
         return int(total + per_item * n)
     if isinstance(value, dict):
+        # Recurse: a dict of lists (hash-aggregate state, join build
+        # tables) is dominated by its values, not the container shell.
         total = sys.getsizeof(value)
         for key, item in value.items():
-            total += sys.getsizeof(key) + sys.getsizeof(item)
+            total += sys.getsizeof(key)
+            if isinstance(item, (list, tuple, dict, set, frozenset)):
+                total += approximate_size_bytes(item)
+            else:
+                total += sys.getsizeof(item)
+        return total
+    if isinstance(value, (set, frozenset)):
+        total = sys.getsizeof(value)
+        for item in value:
+            total += sys.getsizeof(item)
         return total
     return sys.getsizeof(value)
+
+
+def _block_owner(block_id: str) -> str:
+    """Attribution label for a block id: ``rdd_3_5`` -> ``rdd_3``,
+    ``shuffle_1_2`` -> ``shuffle`` (strip the partition suffix).
+
+    RDD ids are per-context, so ``rdd_<id>`` is stable run to run and
+    safe to persist in watermark records.  Shuffle ids come from a
+    process-global counter, so per-shuffle labels would break the
+    byte-identical-logs invariant; all map outputs pool under one
+    ``shuffle`` owner instead."""
+    prefix, sep, suffix = block_id.rpartition("_")
+    if not sep or not suffix.isdigit():
+        return block_id
+    if prefix.partition("_")[0] == "shuffle":
+        return "shuffle"
+    return prefix
 
 
 @dataclass
@@ -64,6 +94,8 @@ class BlockStore:
         self,
         capacity_bytes: int | None = None,
         tracer: Optional["Tracer"] = None,
+        accountant: Optional["MemoryAccountant"] = None,
+        worker_id: int = 0,
     ) -> None:
         self._blocks: dict[str, StoredBlock] = {}
         self.capacity_bytes = capacity_bytes
@@ -71,6 +103,13 @@ class BlockStore:
         self.evictions = 0
         #: Optional observability hook (shared with the owning cluster).
         self.tracer = tracer
+        #: Storage-pool ledger; every byte held here is charged to it.
+        self.accountant = accountant
+        self.worker_id = worker_id
+        if accountant is not None:
+            accountant.attach_victim_source(
+                worker_id, self.victim_candidates
+            )
 
     def put(
         self,
@@ -80,12 +119,27 @@ class BlockStore:
         pinned: bool = False,
     ) -> None:
         size = approximate_size_bytes(value) if size_bytes is None else size_bytes
-        self._blocks.pop(block_id, None)
+        replaced = self._blocks.pop(block_id, None)
+        if replaced is not None:
+            self._account_release(replaced)
         self._blocks[block_id] = StoredBlock(block_id, value, size, pinned)
+        if self.accountant is not None:
+            self.accountant.reserve(
+                self.worker_id, "storage", _block_owner(block_id), size
+            )
         if self.tracer is not None:
             self.tracer.metrics.inc("blocks.put")
             self.tracer.metrics.inc("blocks.put.bytes", size)
         self._enforce_capacity()
+
+    def _account_release(self, block: StoredBlock) -> None:
+        if self.accountant is not None:
+            self.accountant.release(
+                self.worker_id,
+                "storage",
+                _block_owner(block.block_id),
+                block.size_bytes,
+            )
 
     def _enforce_capacity(self) -> None:
         if self.capacity_bytes is None:
@@ -101,8 +155,10 @@ class BlockStore:
             )
             if victim is None:
                 return  # only pinned blocks remain; nothing to evict
-            size = self._blocks[victim].size_bytes
+            block = self._blocks[victim]
+            size = block.size_bytes
             del self._blocks[victim]
+            self._account_release(block)
             self.evictions += 1
             if self.tracer is not None:
                 self.tracer.metrics.inc("blocks.evicted")
@@ -120,13 +176,33 @@ class BlockStore:
         return block_id in self._blocks
 
     def remove(self, block_id: str) -> None:
-        self._blocks.pop(block_id, None)
+        removed = self._blocks.pop(block_id, None)
+        if removed is not None:
+            self._account_release(removed)
 
     def clear(self) -> None:
+        for block in self._blocks.values():
+            self._account_release(block)
         self._blocks.clear()
 
     def block_ids(self) -> Iterator[str]:
         return iter(list(self._blocks))
+
+    def size_of(self, block_id: str, default: int = 0) -> int:
+        """Accounted size of one block (public accessor: nothing outside
+        this class reads or mutates the per-block byte fields)."""
+        block = self._blocks.get(block_id)
+        return block.size_bytes if block is not None else default
+
+    def victim_candidates(self) -> list[tuple[str, int]]:
+        """Evictable blocks in insertion (LRU) order — the would-be
+        victim list a ``memory.pressure`` event reports.  Pinned blocks
+        (shuffle map outputs) are never candidates."""
+        return [
+            (block_id, block.size_bytes)
+            for block_id, block in self._blocks.items()
+            if not block.pinned
+        ]
 
     def pinned_ids(self) -> set[str]:
         """Ids of pinned (shuffle map output) blocks held here."""
@@ -170,6 +246,8 @@ class Worker:
         self.blocks = BlockStore(
             capacity_bytes=self.blocks.capacity_bytes,
             tracer=self.blocks.tracer,
+            accountant=self.blocks.accountant,
+            worker_id=self.blocks.worker_id,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

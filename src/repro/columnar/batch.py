@@ -16,6 +16,8 @@ NULLs), everything else is a plain Python list with inline ``None``.
 
 from __future__ import annotations
 
+import sys
+
 from typing import Any, Optional, Sequence
 
 import numpy as np
@@ -70,6 +72,18 @@ class Vector:
             ]
         return values
 
+    def memory_footprint_bytes(self) -> int:
+        """Exact heap bytes: array buffers (``nbytes``) plus the validity
+        mask, or the list shell plus per-object sizes for object columns."""
+        if isinstance(self.data, np.ndarray):
+            total = self.data.nbytes
+            if self.valid is not None:
+                total += self.valid.nbytes
+            return total
+        return sys.getsizeof(self.data) + sum(
+            sys.getsizeof(value) for value in self.data if value is not None
+        )
+
 
 def _as_vector(values: Sequence[Any]) -> Vector:
     """Wrap a decoded block column (ndarray or list) as a Vector."""
@@ -121,6 +135,27 @@ class LazyColumn:
         if self.selection is not None:
             codes = codes[self.selection]
         return codes, dictionary
+
+    def memory_footprint_bytes(self) -> int:
+        """Exact heap bytes this entry pins right now: the decoded
+        vector if it exists, otherwise the encoded column it references
+        (plus the dictionary), plus the selection index array."""
+        if self._vector is not None:
+            total = self._vector.memory_footprint_bytes()
+        else:
+            encoded = self.block.encoded_column(self.index)
+            total = encoded.compressed_bytes
+            view = encoded.dictionary_view()
+            if view is not None:
+                __, dictionary = view
+                total += sys.getsizeof(dictionary) + sum(
+                    sys.getsizeof(value)
+                    for value in dictionary
+                    if value is not None
+                )
+        if self.selection is not None:
+            total += self.selection.nbytes
+        return total
 
 
 class ColumnBatch:
@@ -179,6 +214,13 @@ class ColumnBatch:
             else:
                 gathered.append(entry.gather(indices))
         return ColumnBatch(gathered, len(indices))
+
+    def memory_footprint_bytes(self) -> int:
+        """Exact heap bytes held across all entries (lazy entries count
+        what they currently pin, not what decoding would cost)."""
+        return sum(
+            entry.memory_footprint_bytes() for entry in self.entries
+        )
 
     def materialize_rows(self) -> list[tuple]:
         """Late materialization: rebuild Python row tuples at a pipeline

@@ -14,13 +14,28 @@ from repro.cluster.worker import approximate_size_bytes
 
 
 class Broadcast:
-    """A read-only value available to every task via ``.value``."""
+    """A read-only value available to every task via ``.value``.
 
-    def __init__(self, broadcast_id: int, value: Any):
+    With an ``accountant``, the value's bytes are charged to the
+    driver's execution pool under ``broadcast_<id>`` until the
+    broadcast is destroyed or the owning query releases its accounting.
+    """
+
+    def __init__(self, broadcast_id: int, value: Any, accountant=None):
         self.broadcast_id = broadcast_id
         self._value = value
         self.size_bytes = approximate_size_bytes(value)
         self._destroyed = False
+        self._accountant = accountant
+        if accountant is not None:
+            from repro.engine.memory import DRIVER_WORKER
+
+            accountant.reserve(
+                DRIVER_WORKER,
+                "execution",
+                f"broadcast_{broadcast_id}",
+                self.size_bytes,
+            )
 
     @property
     def value(self) -> Any:
@@ -30,8 +45,17 @@ class Broadcast:
             )
         return self._value
 
+    def release_accounting(self) -> int:
+        """Return this broadcast's ledger charge (idempotent); the value
+        stays readable — only the memory attribution ends."""
+        if self._accountant is None:
+            return 0
+        accountant, self._accountant = self._accountant, None
+        return accountant.release_owner(f"broadcast_{self.broadcast_id}")
+
     def destroy(self) -> None:
         """Release the value (frees worker memory on a real cluster)."""
+        self.release_accounting()
         self._destroyed = True
         self._value = None
 

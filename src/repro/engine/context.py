@@ -7,6 +7,7 @@ from typing import Any, Callable, Iterable, Optional
 from repro.cluster import VirtualCluster
 from repro.engine.broadcast import Broadcast
 from repro.engine.dependencies import ShuffleDependency
+from repro.engine.memory import MemoryAccountant
 from repro.engine.metrics import QueryProfile
 from repro.engine.rdd import RDD, DataRDD, ShuffledRDD
 from repro.engine.scheduler import DAGScheduler
@@ -44,11 +45,18 @@ class EngineContext:
         #: Optional repro.faults.FaultInjector; None means fault-free
         #: execution (and speculation stays off in its auto mode).
         self.fault_injector = fault_injector
+        #: Unified per-worker memory ledger (storage + execution pools);
+        #: block stores, shuffle buffers, broadcasts, and operators all
+        #: reserve and release through it.
+        self.memory = MemoryAccountant(
+            tracer=self.tracer, capacity_bytes=memory_per_worker_bytes
+        )
         self.cluster = VirtualCluster(
             num_workers,
             cores_per_worker,
             memory_per_worker_bytes=memory_per_worker_bytes,
             tracer=self.tracer,
+            accountant=self.memory,
         )
         self.shuffle_manager = ShuffleManager(
             self.cluster, tracer=self.tracer, fault_injector=fault_injector
@@ -75,6 +83,9 @@ class EngineContext:
         )
         self._next_rdd_id = 0
         self._next_broadcast_id = 0
+        #: Broadcasts whose execution-pool charge is still live (see
+        #: release_broadcast_accounting).
+        self._live_broadcasts: list[Broadcast] = []
 
     # ------------------------------------------------------------------
     # RDD creation
@@ -113,9 +124,24 @@ class EngineContext:
     # Shared variables
     # ------------------------------------------------------------------
     def broadcast(self, value: Any) -> Broadcast:
-        broadcast = Broadcast(self._next_broadcast_id, value)
+        broadcast = Broadcast(
+            self._next_broadcast_id, value, accountant=self.memory
+        )
         self._next_broadcast_id += 1
+        self._live_broadcasts.append(broadcast)
         return broadcast
+
+    def release_broadcast_accounting(self) -> int:
+        """Drop the execution-pool charge of every live broadcast (the
+        SQL session calls this at query end: broadcast build tables are
+        query-scoped, and the ledger must balance to zero afterwards).
+        The values themselves stay usable; only the accounting ends.
+        Returns the bytes released."""
+        released = 0
+        for broadcast in self._live_broadcasts:
+            released += broadcast.release_accounting()
+        self._live_broadcasts.clear()
+        return released
 
     # ------------------------------------------------------------------
     # Job execution

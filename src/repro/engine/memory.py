@@ -1,0 +1,391 @@
+"""Unified memory accounting: one ledger over storage and execution.
+
+Shark's in-memory claims (Sections 3.2 and 3.4 of the paper) rest on
+knowing *who is holding memory when*: columnar tables cached in the
+block store, and execution-side state — hash-aggregate accumulators,
+join build tables, shuffle buffers, broadcast values — that today's
+engines charge against a unified memory manager.  This module is that
+manager's observability half: a per-worker :class:`MemoryAccountant`
+with two pools,
+
+``storage``
+    bytes held by the :class:`~repro.cluster.worker.BlockStore` —
+    cached RDD partitions and pinned shuffle map outputs; and
+``execution``
+    transient operator state reserved through a
+    :class:`~repro.engine.task.TaskContext` (auto-released when the
+    task attempt ends, so failed or cancelled attempts cannot leak) or
+    held by long-lived broadcast values.
+
+Every reservation is attributed to an ``owner`` label (``rdd_3``,
+``shuffle_1``, ``hash_aggregate``, ``broadcast_0``, ...) so the ledger
+answers "which operator peaked where" — surfaced via the ``memory.*``
+metric family, the shell's ``.memory`` command, EXPLAIN ANALYZE's
+``== memory ==`` section, and ``memory_watermark`` event-log records.
+
+When a reservation would push a worker past ``memory_per_worker_bytes``
+the accountant does **not** fail or silently estimate: it emits a
+structured ``memory.pressure`` instant carrying the would-be victim
+list from that worker's block store (never pinned blocks).  A future
+spill path intercepts exactly this hook; until then the block store's
+own LRU capacity enforcement keeps behaviour unchanged.
+
+All bookkeeping is plain dict arithmetic on the simulated clock — no
+wall-clock reads, deterministic, and cheap enough for the task hot
+path (the sentinel budget allows <5% sim-seconds overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+#: Pool names.
+STORAGE = "storage"
+EXECUTION = "execution"
+POOLS = (STORAGE, EXECUTION)
+
+#: Pseudo worker id for driver-held reservations (broadcast values live
+#: on the driver and are shipped to tasks by reference).
+DRIVER_WORKER = -1
+
+#: Victim-list entries included in a ``memory.pressure`` instant.
+_MAX_VICTIMS = 8
+
+
+@dataclass
+class WorkerLedger:
+    """Live bytes, peaks, and per-owner attribution for one worker."""
+
+    worker_id: int
+    capacity_bytes: Optional[int] = None
+    #: pool -> live reserved bytes.
+    used: dict = field(default_factory=lambda: {STORAGE: 0, EXECUTION: 0})
+    #: pool -> high-water mark of ``used``.
+    peak: dict = field(default_factory=lambda: {STORAGE: 0, EXECUTION: 0})
+    #: (pool, owner) -> live bytes.
+    owners: dict = field(default_factory=dict)
+    #: (pool, owner) -> high-water mark.
+    owner_peak: dict = field(default_factory=dict)
+    #: ``memory.pressure`` events observed on this worker.
+    pressure_events: int = 0
+
+    @property
+    def total_used(self) -> int:
+        return self.used[STORAGE] + self.used[EXECUTION]
+
+    @property
+    def total_peak(self) -> int:
+        return self.peak[STORAGE] + self.peak[EXECUTION]
+
+    def headroom(self) -> Optional[int]:
+        """Bytes until the worker cap (None when uncapped)."""
+        if self.capacity_bytes is None:
+            return None
+        return max(self.capacity_bytes - self.total_used, 0)
+
+
+class MemoryAccountant:
+    """The per-worker two-pool ledger behind every allocation site.
+
+    One per :class:`~repro.engine.context.EngineContext`; the cluster,
+    block stores, shuffle manager, broadcasts, and physical operators
+    all reserve and release through it so the engine has a single
+    attributed view of memory.  ``reserve``/``release`` are the only
+    mutation points — a CI grep guard forbids touching block-store byte
+    fields anywhere else.
+    """
+
+    def __init__(
+        self,
+        tracer=None,
+        capacity_bytes: Optional[int] = None,
+    ) -> None:
+        self.tracer = tracer
+        #: Default per-worker cap (``memory_per_worker_bytes``).
+        self.capacity_bytes = capacity_bytes
+        self.ledgers: dict[int, WorkerLedger] = {}
+        #: worker_id -> callable returning [(block_id, bytes), ...] of
+        #: evictable (never pinned) blocks, insertion order — the
+        #: would-be victim list a pressure event reports.
+        self._victim_sources: dict[int, Callable[[], list]] = {}
+        #: Monotonic totals (mirrored as counters when a tracer is set).
+        self.total_reserved_bytes = 0
+        self.total_released_bytes = 0
+        self.pressure_events = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def ledger(self, worker_id: int) -> WorkerLedger:
+        entry = self.ledgers.get(worker_id)
+        if entry is None:
+            capacity = (
+                self.capacity_bytes if worker_id != DRIVER_WORKER else None
+            )
+            entry = self.ledgers[worker_id] = WorkerLedger(
+                worker_id=worker_id, capacity_bytes=capacity
+            )
+        return entry
+
+    def attach_victim_source(
+        self, worker_id: int, source: Callable[[], list]
+    ) -> None:
+        """Register a block store's evictable-block listing for
+        ``memory.pressure`` victim reporting."""
+        self._victim_sources[worker_id] = source
+
+    # ------------------------------------------------------------------
+    # The reserve / resize / release API
+    # ------------------------------------------------------------------
+    def reserve(
+        self, worker_id: int, pool: str, owner: str, nbytes: int
+    ) -> int:
+        """Charge ``nbytes`` to ``owner`` in ``pool`` on ``worker_id``.
+
+        Never fails: a reservation past the worker cap emits a
+        structured ``memory.pressure`` event (the future spill hook)
+        and proceeds — observability first, enforcement later.
+        Returns the bytes actually charged.
+        """
+        if nbytes <= 0:
+            return 0
+        nbytes = int(nbytes)
+        ledger = self.ledger(worker_id)
+        if (
+            ledger.capacity_bytes is not None
+            and ledger.total_used + nbytes > ledger.capacity_bytes
+        ):
+            self._pressure(ledger, pool, owner, nbytes)
+        ledger.used[pool] += nbytes
+        if ledger.used[pool] > ledger.peak[pool]:
+            ledger.peak[pool] = ledger.used[pool]
+        key = (pool, owner)
+        live = ledger.owners.get(key, 0) + nbytes
+        ledger.owners[key] = live
+        if live > ledger.owner_peak.get(key, 0):
+            ledger.owner_peak[key] = live
+        self.total_reserved_bytes += nbytes
+        if self.tracer is not None:
+            self.tracer.metrics.inc("memory.reserved.bytes", nbytes)
+            self._update_gauges()
+        return nbytes
+
+    def release(
+        self, worker_id: int, pool: str, owner: str, nbytes: int
+    ) -> int:
+        """Return ``nbytes`` of ``owner``'s reservation; clamped to the
+        owner's live bytes so the ledger can never go negative.
+        Returns the bytes actually released."""
+        if nbytes <= 0:
+            return 0
+        ledger = self.ledger(worker_id)
+        key = (pool, owner)
+        live = ledger.owners.get(key, 0)
+        nbytes = min(int(nbytes), live)
+        if nbytes <= 0:
+            return 0
+        remaining = live - nbytes
+        if remaining:
+            ledger.owners[key] = remaining
+        else:
+            del ledger.owners[key]
+        ledger.used[pool] -= nbytes
+        self.total_released_bytes += nbytes
+        if self.tracer is not None:
+            self.tracer.metrics.inc("memory.released.bytes", nbytes)
+            self._update_gauges()
+        return nbytes
+
+    def resize(
+        self, worker_id: int, pool: str, owner: str, delta: int
+    ) -> int:
+        """Grow (positive ``delta``) or shrink a live reservation."""
+        if delta >= 0:
+            return self.reserve(worker_id, pool, owner, delta)
+        return -self.release(worker_id, pool, owner, -delta)
+
+    def release_owner(
+        self,
+        owner: str,
+        pool: Optional[str] = None,
+        worker_id: Optional[int] = None,
+    ) -> int:
+        """Release everything ``owner`` still holds (cleanup paths:
+        task teardown, broadcast destroy, worker kill)."""
+        released = 0
+        ledgers: Iterable[WorkerLedger] = (
+            [self.ledger(worker_id)]
+            if worker_id is not None
+            else list(self.ledgers.values())
+        )
+        for ledger in ledgers:
+            for key in [
+                key
+                for key in ledger.owners
+                if key[1] == owner and (pool is None or key[0] == pool)
+            ]:
+                released += self.release(
+                    ledger.worker_id, key[0], owner, ledger.owners[key]
+                )
+        return released
+
+    def _update_gauges(self) -> None:
+        """Mirror the ledger into the always-on ``memory.*`` gauges
+        (live usage must be gauges: counters are monotonic)."""
+        metrics = self.tracer.metrics
+        storage_used = execution_used = 0
+        storage_peak = execution_peak = 0
+        headroom: Optional[int] = None
+        for ledger in self.ledgers.values():
+            storage_used += ledger.used[STORAGE]
+            execution_used += ledger.used[EXECUTION]
+            storage_peak += ledger.peak[STORAGE]
+            execution_peak += ledger.peak[EXECUTION]
+            room = ledger.headroom()
+            if room is not None:
+                headroom = room if headroom is None else min(headroom, room)
+        metrics.set_gauge("memory.storage.used", storage_used)
+        metrics.set_gauge("memory.execution.used", execution_used)
+        metrics.set_gauge("memory.storage.peak", storage_peak)
+        metrics.set_gauge("memory.execution.peak", execution_peak)
+        if headroom is not None:
+            metrics.set_gauge("memory.headroom", headroom)
+
+    # ------------------------------------------------------------------
+    # Pressure
+    # ------------------------------------------------------------------
+    def _pressure(
+        self, ledger: WorkerLedger, pool: str, owner: str, nbytes: int
+    ) -> None:
+        ledger.pressure_events += 1
+        self.pressure_events += 1
+        victims = []
+        source = self._victim_sources.get(ledger.worker_id)
+        if source is not None:
+            victims = [
+                {"block_id": block_id, "bytes": size}
+                for block_id, size in source()[:_MAX_VICTIMS]
+            ]
+        if self.tracer is not None:
+            self.tracer.metrics.inc("memory.pressure.events")
+            lane = (
+                ledger.worker_id
+                if ledger.worker_id != DRIVER_WORKER
+                else "driver"
+            )
+            self.tracer.instant(
+                "memory.pressure",
+                "memory",
+                lane=lane,
+                pool=pool,
+                owner=owner,
+                requested_bytes=nbytes,
+                used_bytes=ledger.total_used,
+                capacity_bytes=ledger.capacity_bytes,
+                victims=victims,
+            )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def live_bytes(self, pool: Optional[str] = None) -> int:
+        """Total live reserved bytes across workers (the ledger-zero
+        invariant checks ``live_bytes(EXECUTION) == 0`` after queries)."""
+        return sum(
+            ledger.used[pool] if pool is not None else ledger.total_used
+            for ledger in self.ledgers.values()
+        )
+
+    def peak_bytes(self, pool: Optional[str] = None) -> int:
+        return sum(
+            ledger.peak[pool] if pool is not None else ledger.total_peak
+            for ledger in self.ledgers.values()
+        )
+
+    def watermarks(self) -> list[dict[str, Any]]:
+        """Per-worker per-pool snapshot rows, ready for event-log
+        ``memory_watermark`` records and reports (stable order)."""
+        rows: list[dict[str, Any]] = []
+        for worker_id in sorted(self.ledgers):
+            ledger = self.ledgers[worker_id]
+            for pool in POOLS:
+                rows.append(
+                    {
+                        "worker": worker_id,
+                        "pool": pool,
+                        "used_bytes": ledger.used[pool],
+                        "peak_bytes": ledger.peak[pool],
+                        "owners": {
+                            owner: peak
+                            for (p, owner), peak in sorted(
+                                ledger.owner_peak.items()
+                            )
+                            if p == pool
+                        },
+                    }
+                )
+        return rows
+
+    def top_consumers(self, limit: int = 10) -> list[tuple]:
+        """(owner, pool, peak_bytes) across all workers, largest first."""
+        merged: dict[tuple, int] = {}
+        for ledger in self.ledgers.values():
+            for (pool, owner), peak in ledger.owner_peak.items():
+                key = (owner, pool)
+                if peak > merged.get(key, 0):
+                    merged[key] = peak
+        ranked = sorted(
+            merged.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [
+            (owner, pool, peak) for (owner, pool), peak in ranked[:limit]
+        ]
+
+    def describe(self) -> str:
+        """Human-readable ledger for the shell's ``.memory`` command."""
+        if not self.ledgers:
+            return "(no memory activity)"
+        lines: list[str] = []
+        for worker_id in sorted(self.ledgers):
+            ledger = self.ledgers[worker_id]
+            label = (
+                "driver" if worker_id == DRIVER_WORKER
+                else f"worker {worker_id}"
+            )
+            headroom = ledger.headroom()
+            cap = (
+                f", headroom {_fmt_bytes(headroom)}"
+                if headroom is not None
+                else ""
+            )
+            lines.append(
+                f"{label}: storage {_fmt_bytes(ledger.used[STORAGE])} "
+                f"(peak {_fmt_bytes(ledger.peak[STORAGE])}), "
+                f"execution {_fmt_bytes(ledger.used[EXECUTION])} "
+                f"(peak {_fmt_bytes(ledger.peak[EXECUTION])})"
+                f"{cap}"
+            )
+            if ledger.pressure_events:
+                lines.append(
+                    f"  {ledger.pressure_events} memory.pressure event(s)"
+                )
+        consumers = self.top_consumers(limit=8)
+        if consumers:
+            lines.append("top consumers (peak bytes, any worker):")
+            for owner, pool, peak in consumers:
+                lines.append(
+                    f"  {owner} [{pool}]: {_fmt_bytes(peak)}"
+                )
+        return "\n".join(lines)
+
+
+def _fmt_bytes(count: float) -> str:
+    count = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{int(count)}{unit}"
+            return f"{count:.1f}{unit}"
+        count /= 1024.0
+    return f"{count:.1f}GiB"  # pragma: no cover - defensive

@@ -129,6 +129,11 @@ class QueryProfile:
     #: this job ran (lineage recomputes them on the next read).
     evicted_blocks: int = 0
     evicted_bytes: int = 0
+    #: Bytes the job reserved through the unified memory accountant
+    #: (storage puts + execution-pool operator state), and the engine's
+    #: cumulative per-worker peak watermark observed when the job ended.
+    memory_reserved_bytes: int = 0
+    memory_peak_bytes: int = 0
 
     @property
     def num_stages(self) -> int:
@@ -197,5 +202,11 @@ class QueryProfile:
             lines.append(
                 f"  evicted cache blocks: {self.evicted_blocks} "
                 f"({self.evicted_bytes} B)"
+            )
+        if self.memory_reserved_bytes or self.memory_peak_bytes:
+            lines.append("  == memory ==")
+            lines.append(
+                f"  reserved during job: {self.memory_reserved_bytes} B, "
+                f"engine peak watermark: {self.memory_peak_bytes} B"
             )
         return "\n".join(lines)

@@ -183,6 +183,7 @@ class DAGScheduler:
         tracer.metrics.inc("jobs.submitted")
         evicted_before = tracer.metrics.value("blocks.evicted")
         evicted_bytes_before = tracer.metrics.value("blocks.evicted.bytes")
+        reserved_before = tracer.metrics.value("memory.reserved.bytes")
         job_status = "ok"
         job_span = tracer.begin_span(
             f"job {job_id}",
@@ -230,6 +231,11 @@ class DAGScheduler:
                 tracer.metrics.value("blocks.evicted.bytes")
                 - evicted_bytes_before
             )
+            profile.memory_reserved_bytes = int(
+                tracer.metrics.value("memory.reserved.bytes")
+                - reserved_before
+            )
+            profile.memory_peak_bytes = int(self._ctx.memory.peak_bytes())
             tracer.end_span(
                 job_span,
                 stages=profile.num_stages,
@@ -251,6 +257,7 @@ class DAGScheduler:
         tracer.metrics.inc("pde.pre_shuffles")
         evicted_before = tracer.metrics.value("blocks.evicted")
         evicted_bytes_before = tracer.metrics.value("blocks.evicted.bytes")
+        reserved_before = tracer.metrics.value("memory.reserved.bytes")
         job_span = tracer.begin_span(
             f"job {job_id}",
             "job",
@@ -268,6 +275,11 @@ class DAGScheduler:
                 tracer.metrics.value("blocks.evicted.bytes")
                 - evicted_bytes_before
             )
+            profile.memory_reserved_bytes = int(
+                tracer.metrics.value("memory.reserved.bytes")
+                - reserved_before
+            )
+            profile.memory_peak_bytes = int(self._ctx.memory.peak_bytes())
             tracer.end_span(job_span, stages=profile.num_stages)
         self.last_profile = profile
         self.history.append(profile)
@@ -621,6 +633,7 @@ class DAGScheduler:
             cancel_token=(
                 lifecycle.current_token() if lifecycle is not None else None
             ),
+            accountant=ctx.memory,
         )
         push_task_context(task_ctx)
         try:
@@ -633,6 +646,10 @@ class DAGScheduler:
                 raise TaskError(stage.stage_id, partition, exc) from exc
         finally:
             pop_task_context(task_ctx)
+            # Drain the attempt's execution-pool reservations whether it
+            # succeeded, failed, or was cancelled — the ledger-balances-
+            # to-zero invariant lives or dies right here.
+            task_ctx.release_task_memory()
         if kind == "shuffle-map":
             ctx.shuffle_manager.write_map_output(
                 stage.shuffle_dep,

@@ -21,6 +21,7 @@ import pickle
 
 from repro.cluster.worker import approximate_size_bytes
 from repro.engine.accumulator import log_decode_size, log_encode_size
+from repro.engine.task import current_task_context
 from repro.errors import FetchFailedError
 from repro.obs import Tracer
 
@@ -211,6 +212,12 @@ class ShuffleManager:
             ] = partial
 
         total_bytes = sum(bucket_bytes)
+        task_ctx = current_task_context()
+        if task_ctx is not None:
+            # Transient bucketing buffer: charged to the map task's
+            # execution pool for the rest of the attempt (the pinned
+            # block above already rides the storage pool).
+            task_ctx.reserve_memory("shuffle_write", total_bytes)
         if metrics is not None:
             metrics.shuffle_write_bytes += total_bytes
             metrics.shuffle_write_records += len(output)
@@ -281,6 +288,11 @@ class ShuffleManager:
             fetched.extend(buckets[reduce_partition])
         if metrics is not None:
             read_bytes = serialized_size_bytes(fetched)
+            task_ctx = current_task_context()
+            if task_ctx is not None:
+                # The fetched rows live in the reduce task until its
+                # attempt ends; charge its worker's execution pool.
+                task_ctx.reserve_memory("shuffle_fetch", read_bytes)
             metrics.shuffle_read_bytes += read_bytes
             self._tracer.metrics.inc("shuffle.read.bytes", read_bytes)
             self._tracer.instant(

@@ -54,6 +54,8 @@ class CacheTracker:
         self._tracer = cluster.tracer
         #: (rdd_id, partition) -> worker_id
         self._locations: dict[tuple[int, int], int] = {}
+        #: rdd_id -> [hits, misses] (per-table ratio gauges).
+        self._rdd_stats: dict[int, list[int]] = {}
         cluster.on_worker_killed(self._handle_worker_killed)
 
     def get(self, rdd_id: int, partition: int) -> tuple[int, Any] | None:
@@ -61,14 +63,17 @@ class CacheTracker:
         worker_id = self._locations.get((rdd_id, partition))
         if worker_id is None:
             self._tracer.metrics.inc("cache.misses")
+            self._note_access(rdd_id, hit=False)
             return None
         worker = self._cluster.worker(worker_id)
         block_id = _rdd_block_id(rdd_id, partition)
         if not worker.alive or block_id not in worker.blocks:
             self._locations.pop((rdd_id, partition), None)
             self._tracer.metrics.inc("cache.misses")
+            self._note_access(rdd_id, hit=False)
             return None
         self._tracer.metrics.inc("cache.hits")
+        self._note_access(rdd_id, hit=True)
         self._tracer.instant(
             "cache.hit",
             "cache",
@@ -77,6 +82,31 @@ class CacheTracker:
             partition=partition,
         )
         return worker_id, worker.blocks.get(block_id)
+
+    def _note_access(self, rdd_id: int, hit: bool) -> None:
+        """Maintain the derived cache-ratio gauges: one overall pair
+        from the ``cache.*``/``blocks.*`` counters, plus a per-RDD
+        hit-ratio gauge so eviction pressure on one table is readable
+        straight from ``.metrics``."""
+        stats = self._rdd_stats.setdefault(rdd_id, [0, 0])
+        stats[0 if hit else 1] += 1
+        metrics = self._tracer.metrics
+        hits = metrics.value("cache.hits")
+        misses = metrics.value("cache.misses")
+        if hits + misses:
+            metrics.set_gauge(
+                "cache.hit_ratio", hits / (hits + misses)
+            )
+        puts = metrics.value("blocks.put")
+        if puts:
+            metrics.set_gauge(
+                "blocks.eviction_ratio",
+                metrics.value("blocks.evicted") / puts,
+            )
+        total = stats[0] + stats[1]
+        metrics.set_gauge(  # dynamic name: per-table breakdown
+            f"cache.rdd_{rdd_id}.hit_ratio", stats[0] / total
+        )
 
     def location(self, rdd_id: int, partition: int) -> int | None:
         return self._locations.get((rdd_id, partition))
@@ -117,7 +147,7 @@ class CacheTracker:
             worker = self._cluster.worker(worker_id)
             block_id = _rdd_block_id(cached_rdd, partition)
             if worker.alive and block_id in worker.blocks:
-                total += worker.blocks._blocks[block_id].size_bytes
+                total += worker.blocks.size_of(block_id)
         return total
 
     def _handle_worker_killed(self, worker_id: int) -> None:
@@ -157,6 +187,7 @@ class TaskContext:
         attempt: int = 1,
         speculative: bool = False,
         cancel_token: Any | None = None,
+        accountant: Any | None = None,
     ):
         self.stage_id = stage_id
         self.partition = partition
@@ -169,6 +200,58 @@ class TaskContext:
         self.cancel_token = cancel_token
         #: Buffered (accumulator, delta) pairs from this attempt.
         self.acc_updates: list[tuple[Any, Any]] = []
+        #: Execution-pool memory ledger (None outside an EngineContext).
+        self.accountant = accountant
+        #: owner -> bytes this attempt still holds; drained by
+        #: release_task_memory() when the attempt ends, so failed or
+        #: cancelled attempts can never leak reservations.
+        self._memory_held: dict[str, int] = {}
+
+    # -- execution-pool memory accounting ------------------------------
+    def reserve_memory(self, owner: str, nbytes: int) -> int:
+        """Charge ``nbytes`` of transient operator state (hash tables,
+        shuffle buffers) to this worker's execution pool, attributed to
+        ``owner``; auto-released when the attempt ends."""
+        if self.accountant is None or nbytes <= 0:
+            return 0
+        charged = self.accountant.reserve(
+            self.worker.worker_id, "execution", owner, nbytes
+        )
+        if charged:
+            self._memory_held[owner] = (
+                self._memory_held.get(owner, 0) + charged
+            )
+        return charged
+
+    def release_memory(self, owner: str, nbytes: int) -> int:
+        """Return part of an earlier reservation (e.g. a drained
+        aggregation state) before the attempt ends."""
+        if self.accountant is None or nbytes <= 0:
+            return 0
+        held = self._memory_held.get(owner, 0)
+        released = self.accountant.release(
+            self.worker.worker_id, "execution", owner, min(nbytes, held)
+        )
+        remaining = held - released
+        if remaining:
+            self._memory_held[owner] = remaining
+        else:
+            self._memory_held.pop(owner, None)
+        return released
+
+    def release_task_memory(self) -> int:
+        """Drain every reservation this attempt still holds (called by
+        the scheduler in the attempt's ``finally`` — the leak-proof
+        release point for retries, speculation, and cancellation)."""
+        if self.accountant is None:
+            return 0
+        released = 0
+        for owner, held in list(self._memory_held.items()):
+            released += self.accountant.release(
+                self.worker.worker_id, "execution", owner, held
+            )
+        self._memory_held.clear()
+        return released
 
     def check_cancelled(self) -> None:
         """Raise the owning query's typed cancellation error if its

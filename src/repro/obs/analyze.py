@@ -77,6 +77,13 @@ class QueryAnalysis:
     evicted_bytes: int = 0
     num_jobs: int = 0
     result_rows: Optional[int] = None
+    #: Unified memory-accounting rollup: bytes reserved across jobs, the
+    #: engine peak watermark, per-(worker, pool) watermark rows from
+    #: MemoryAccountant.watermarks(), and pressure-event count.
+    memory_reserved_bytes: int = 0
+    memory_peak_bytes: int = 0
+    memory_rows: list[dict] = field(default_factory=list)
+    memory_pressure_events: int = 0
     notes: list[str] = field(default_factory=list)
     #: (operator label, mode) pairs from the planner: which operators ran
     #: vectorized (batch kernels) and which ran row-at-a-time.
@@ -116,6 +123,24 @@ class QueryAnalysis:
                 f"  evicted cache blocks (memory pressure): "
                 f"{self.evicted_blocks} ({_bytes(self.evicted_bytes)})"
             )
+        if self.memory_reserved_bytes or self.memory_rows:
+            lines.append("  == memory ==")
+            lines.append(
+                f"  reserved {_bytes(self.memory_reserved_bytes)}, "
+                f"peak watermark {_bytes(self.memory_peak_bytes)}"
+            )
+            for row in self.memory_rows:
+                worker = row["worker"]
+                label = "driver" if worker == -1 else f"worker {worker}"
+                lines.append(
+                    f"  {label} {row['pool']}: "
+                    f"used {_bytes(row.get('used_bytes', 0))}, "
+                    f"peak {_bytes(row['peak_bytes'])}"
+                )
+            if self.memory_pressure_events:
+                lines.append(
+                    f"  pressure events: {self.memory_pressure_events}"
+                )
         if self.result_rows is not None:
             lines.append(f"  result: {self.result_rows} row(s)")
         if self.operator_modes:
@@ -136,6 +161,8 @@ def analyze_profiles(
     result_rows: Optional[int] = None,
     notes: Optional[list[str]] = None,
     operator_modes: Optional[list[tuple[str, str]]] = None,
+    memory_rows: Optional[list[dict]] = None,
+    memory_pressure_events: int = 0,
 ) -> QueryAnalysis:
     """Annotate ``plan_text`` with the executed profiles' statistics.
 
@@ -153,6 +180,8 @@ def analyze_profiles(
         result_rows=result_rows,
         notes=list(notes or []),
         operator_modes=list(operator_modes or []),
+        memory_rows=list(memory_rows or []),
+        memory_pressure_events=memory_pressure_events,
     )
     executed: list[tuple[QueryProfile, StageProfile]] = []
     for profile in profiles:
@@ -162,6 +191,10 @@ def analyze_profiles(
         analysis.blacklisted_workers += profile.blacklisted_workers
         analysis.evicted_blocks += profile.evicted_blocks
         analysis.evicted_bytes += profile.evicted_bytes
+        analysis.memory_reserved_bytes += profile.memory_reserved_bytes
+        analysis.memory_peak_bytes = max(
+            analysis.memory_peak_bytes, profile.memory_peak_bytes
+        )
         for stage in profile.stages:
             if stage.num_tasks == 0:
                 continue  # skipped: shuffle outputs reused

@@ -44,7 +44,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.metrics import QueryProfile
 
 #: Event-log schema version written into every ``header`` record.
-SCHEMA_VERSION = 1
+#: v2 adds the ``memory_watermark`` record type and the job record's
+#: ``memory_reserved_bytes``/``memory_peak_bytes`` fields (DESIGN.md §11).
+SCHEMA_VERSION = 2
 
 #: Flight-recorder ring capacity (events kept for post-mortems).
 FLIGHT_CAPACITY = 512
@@ -91,6 +93,7 @@ _REQUIRED: dict[str, tuple[str, ...]] = {
         "batch_rows",
     ),
     "counters": ("query_id", "deltas"),
+    "memory_watermark": ("query_id", "worker", "pool", "peak_bytes", "ts"),
     "query_end": ("query_id", "status", "ts", "sim_seconds"),
     "flight_dump": ("reason", "events"),
 }
@@ -286,6 +289,7 @@ class EventLogWriter:
         ended: float = 0.0,
         query_id: Optional[str] = None,
         flight: Optional[dict] = None,
+        memory: Optional[list[dict]] = None,
     ) -> str:
         """Write one query's complete record set; returns its id.
 
@@ -339,6 +343,8 @@ class EventLogWriter:
                     "blacklisted_workers": profile.blacklisted_workers,
                     "evicted_blocks": profile.evicted_blocks,
                     "evicted_bytes": profile.evicted_bytes,
+                    "memory_reserved_bytes": profile.memory_reserved_bytes,
+                    "memory_peak_bytes": profile.memory_peak_bytes,
                 }
             )
             for stage in profile.stages:
@@ -390,6 +396,22 @@ class EventLogWriter:
                         for key, value in sorted(counter_deltas.items())
                         if value
                     },
+                }
+            )
+        for row in memory or []:
+            # One record per (worker, pool) from the accountant's
+            # watermarks(); peaks round-trip exactly into the history
+            # store's pressure timeline.
+            self.write(
+                {
+                    "type": "memory_watermark",
+                    "query_id": query_id,
+                    "worker": row["worker"],
+                    "pool": row["pool"],
+                    "used_bytes": row.get("used_bytes", 0),
+                    "peak_bytes": row["peak_bytes"],
+                    "owners": _jsonable(row.get("owners", {})),
+                    "ts": ended,
                 }
             )
         if flight is not None:

@@ -59,6 +59,9 @@ class QueryRecord:
     #: Timeline entries: ``span`` and ``instant`` records (also the
     #: events of any flight dump attributed to this query).
     timeline: list[dict] = field(default_factory=list)
+    #: ``memory_watermark`` records: per-(worker, pool) peak rows the
+    #: accountant snapshotted at query end (schema v2).
+    memory: list[dict] = field(default_factory=list)
     #: True when the only evidence is a flight-recorder dump.
     flight_only: bool = False
     header: dict = field(default_factory=dict)
@@ -81,6 +84,8 @@ class QueryRecord:
                 blacklisted_workers=job.get("blacklisted_workers", 0),
                 evicted_blocks=job.get("evicted_blocks", 0),
                 evicted_bytes=job.get("evicted_bytes", 0),
+                memory_reserved_bytes=job.get("memory_reserved_bytes", 0),
+                memory_peak_bytes=job.get("memory_peak_bytes", 0),
             )
         stage_index: dict[tuple[int, int], Any] = {}
         for stage in self.stages:
@@ -323,6 +328,8 @@ class HistoryStore:
                 target.tasks.append(record)
             elif kind == "counters":
                 target.counters.update(record["deltas"])
+            elif kind == "memory_watermark":
+                target.memory.append(record)
             elif kind == "query_end":
                 target.status = record["status"]
                 target.error = record.get("error")
@@ -372,13 +379,126 @@ class HistoryStore:
         ]
 
     def cache_churn(self) -> dict[str, float]:
-        """Cache/eviction counter totals across all logged queries."""
+        """Cache/eviction counter totals across all logged queries,
+        plus the derived hit/eviction ratio gauges (suffixed
+        ``_ratio``) recomputed from those totals."""
         totals: dict[str, float] = {}
         for record in self.queries:
             for name, value in record.counters.items():
-                if name.startswith(("cache.", "blocks.")):
+                if name.startswith(("cache.", "blocks.", "memory.")):
                     totals[name] = totals.get(name, 0.0) + value
+        hits = totals.get("cache.hits", 0.0)
+        misses = totals.get("cache.misses", 0.0)
+        if hits + misses:
+            totals["cache.hit_ratio"] = hits / (hits + misses)
+        puts = totals.get("blocks.put", 0.0)
+        if puts:
+            totals["blocks.eviction_ratio"] = (
+                totals.get("blocks.evicted", 0.0) / puts
+            )
         return dict(sorted(totals.items()))
+
+    # ------------------------------------------------------------------
+    # Memory watermarks (schema v2)
+    # ------------------------------------------------------------------
+    def memory_timeline(self) -> list[dict]:
+        """Chronological per-(worker, pool) pressure timeline rebuilt
+        from persisted ``memory_watermark`` records."""
+        rows: list[dict] = []
+        for record in self.queries:
+            for row in record.memory:
+                rows.append(
+                    {
+                        "ts": row.get("ts", record.ended),
+                        "query_id": record.query_id,
+                        "worker": row["worker"],
+                        "pool": row["pool"],
+                        "used_bytes": row.get("used_bytes", 0),
+                        "peak_bytes": row["peak_bytes"],
+                    }
+                )
+        rows.sort(
+            key=lambda row: (
+                row["ts"],
+                str(row["query_id"]),
+                str(row["worker"]),
+                row["pool"],
+            )
+        )
+        return rows
+
+    def memory_peaks(self) -> dict[tuple, int]:
+        """(worker, pool) -> max peak bytes over the whole history;
+        equals the live accountant's ledger peaks exactly."""
+        peaks: dict[tuple, int] = {}
+        for record in self.queries:
+            for row in record.memory:
+                key = (row["worker"], row["pool"])
+                peaks[key] = max(
+                    peaks.get(key, 0), int(row["peak_bytes"])
+                )
+        return peaks
+
+    def memory_top_consumers(self, limit: int = 10) -> list[tuple]:
+        """[(owner, pool, peak bytes)] ranked by the largest watermark
+        any single owner reached on any worker."""
+        merged: dict[tuple, int] = {}
+        for record in self.queries:
+            for row in record.memory:
+                for owner, peak in (row.get("owners") or {}).items():
+                    key = (owner, row["pool"])
+                    merged[key] = max(merged.get(key, 0), int(peak))
+        ranked = sorted(
+            merged.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [
+            (owner, pool, peak)
+            for (owner, pool), peak in ranked[:limit]
+        ]
+
+    def memory_pressure_events(self) -> int:
+        return int(
+            sum(
+                record.counters.get("memory.pressure.events", 0.0)
+                for record in self.queries
+            )
+        )
+
+    def memory_report(self, markdown: bool = False) -> str:
+        """Per-worker pressure timeline + top consumers."""
+        h2 = "## " if markdown else "== "
+        h2end = "" if markdown else " =="
+        timeline = self.memory_timeline()
+        lines = [
+            f"{'# ' if markdown else ''}memory report: "
+            f"{len(timeline)} watermark row(s) from "
+            f"{len(self.queries)} quer"
+            f"{'y' if len(self.queries) == 1 else 'ies'}"
+        ]
+        if not timeline:
+            lines.append(
+                "  (no memory_watermark records — log predates "
+                "schema v2 or no query reserved memory)"
+            )
+            return "\n".join(lines)
+        lines.append("")
+        lines.append(f"{h2}per-worker pressure timeline{h2end}")
+        for row in timeline:
+            lines.append(
+                f"  {row['ts']:9.3f}s {_lane(row['worker']):<10} "
+                f"{row['pool']:<9} used {row['used_bytes']}B, "
+                f"peak {row['peak_bytes']}B  [{row['query_id']}]"
+            )
+        pressure = self.memory_pressure_events()
+        if pressure:
+            lines.append(f"  pressure events: {pressure}")
+        consumers = self.memory_top_consumers()
+        if consumers:
+            lines.append("")
+            lines.append(f"{h2}top consumers (peak bytes){h2end}")
+            for owner, pool, peak in consumers:
+                lines.append(f"  {owner} [{pool}]: {peak}B")
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # Reports
@@ -455,6 +575,20 @@ class HistoryStore:
             lines.append(f"{h2}cache churn{h2end}")
             for name, value in churn.items():
                 lines.append(f"  {name} = {value:g}")
+        peaks = self.memory_peaks()
+        if peaks:
+            lines.append("")
+            lines.append(f"{h2}memory peaks{h2end}")
+            for (worker, pool), peak in sorted(
+                peaks.items(), key=lambda item: (str(item[0][0]), item[0][1])
+            ):
+                lines.append(
+                    f"  {_lane(worker):<10} {pool:<9} peak {peak}B"
+                )
+            lines.append(
+                "  (run `python -m repro.obs.history <path> memory` "
+                "for the full pressure timeline)"
+            )
         if self.flight_dumps:
             lines.append("")
             lines.append(
@@ -572,6 +706,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         "path", help="event-log file or directory of *.jsonl(.gz)"
     )
     parser.add_argument(
+        "section",
+        nargs="?",
+        choices=["memory"],
+        help=(
+            "optional focused report: 'memory' renders the per-worker "
+            "pressure timeline and top consumers from memory_watermark "
+            "records"
+        ),
+    )
+    parser.add_argument(
         "--query",
         help="report a single query (by query_id or name)",
     )
@@ -592,7 +736,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     try:
-        print(store.report(markdown=args.markdown, query=args.query))
+        if args.section == "memory":
+            print(store.memory_report(markdown=args.markdown))
+        else:
+            print(store.report(markdown=args.markdown, query=args.query))
     except BrokenPipeError:  # `| head` closed stdout; not an error
         return 0
     if args.perfetto_out:

@@ -78,6 +78,11 @@ COUNTERS = frozenset(
         # persistent observability (event log / flight recorder)
         "events.logged",
         "flight.dumps",
+        # unified memory accounting (monotonic traffic totals; live
+        # occupancy lives in the memory.* gauges below)
+        "memory.reserved.bytes",
+        "memory.released.bytes",
+        "memory.pressure.events",
     }
 )
 
@@ -85,6 +90,17 @@ COUNTERS = frozenset(
 GAUGES = frozenset(
     {
         "eventlog.queries",
+        # unified memory accounting: live pool occupancy and peaks,
+        # summed across workers; headroom is the tightest worker's
+        # remaining budget (only set when a capacity is configured).
+        "memory.storage.used",
+        "memory.execution.used",
+        "memory.storage.peak",
+        "memory.execution.peak",
+        "memory.headroom",
+        # derived cache-health ratios (from cache.*/blocks.* counters)
+        "cache.hit_ratio",
+        "blocks.eviction_ratio",
     }
 )
 
@@ -131,6 +147,9 @@ INSTANTS = frozenset(
         "query.shuffles_released",
         # persistent observability
         "flight.dump",
+        # unified memory accounting: a reservation exceeded the worker's
+        # budget (carries the would-be victim list for a future spill path)
+        "memory.pressure",
     }
 )
 

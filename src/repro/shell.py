@@ -32,6 +32,8 @@ Enter SQL terminated by ';'.  Dot-commands:
   .profile <query>      EXPLAIN ANALYZE: run and annotate the plan with
                         per-stage tasks/rows/bytes/simulated seconds
   .metrics              engine counters (tasks, shuffle bytes, evictions)
+  .memory               unified memory ledger: per-worker pool usage,
+                        peaks, headroom, and top consumers
   .trace [on|off|<path>] toggle span tracing / export Chrome-trace JSON
   .eventlog [<path>|off] stream every query to a persistent event log
   .history <path> [id]  report over an event log (whole log, or one query)
@@ -176,6 +178,9 @@ class Shell:
             return
         if name == ".metrics":
             self._write(self.shark.metrics.describe())
+            return
+        if name == ".memory":
+            self._write(self.shark.engine.memory.describe())
             return
         if name == ".trace":
             self._trace_command(argument)

@@ -12,10 +12,12 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 
 import numpy as np
 
+from repro.cluster.worker import approximate_size_bytes
 from repro.columnar.table import ColumnarPartition
 from repro.costmodel.models import SOURCE_MEMORY
 from repro.datatypes import Schema
 from repro.engine.dependencies import OneToOneDependency, ShuffleDependency
+from repro.engine.memory import DRIVER_WORKER, EXECUTION
 from repro.engine.partitioner import HashPartitioner, Partitioner
 from repro.engine.rdd import (
     RDD,
@@ -24,6 +26,7 @@ from repro.engine.rdd import (
     PrunedRDD,
     ShuffledRDD,
 )
+from repro.engine.task import current_task_context
 from repro.sql.expressions import BoundExpr
 from repro.sql.functions import (
     AvgAggregate,
@@ -316,6 +319,11 @@ class BatchAggregator:
         self.specs = specs
         self.arg_kernels = arg_kernels
         self.groups: dict[tuple, list] = {}
+        #: Flat per-group ledger estimate, measured from the first group
+        #: (keys and accumulator lists are homogeneous within one
+        #: aggregation), and how many groups have been charged so far.
+        self._bytes_per_group = 0
+        self._charged_groups = 0
 
     # -- group identity -------------------------------------------------
     def _group_ids(self, batch) -> tuple[np.ndarray, list]:
@@ -520,6 +528,30 @@ class BatchAggregator:
             else:
                 vector = kernel(batch) if kernel is not None else None
                 self._update_generic(j, fn, vector, batch, gids, group_accs)
+        self._charge_new_groups()
+
+    def _charge_new_groups(self) -> None:
+        """Charge this batch's accumulator growth (new groups only) to
+        the running task's execution pool; the scheduler releases the
+        whole reservation when the attempt ends."""
+        task_ctx = current_task_context()
+        if task_ctx is None:
+            return
+        new = len(self.groups) - self._charged_groups
+        if new <= 0:
+            return
+        if not self._bytes_per_group:
+            self._bytes_per_group = max(
+                approximate_size_bytes(next(iter(self.groups.items()))), 1
+            )
+        task_ctx.reserve_memory(
+            "batch_aggregate", new * self._bytes_per_group
+        )
+        self._charged_groups = len(self.groups)
+
+    def memory_footprint_bytes(self) -> int:
+        """Exact heap bytes of the accumulated group state."""
+        return approximate_size_bytes(self.groups)
 
     def finish(self) -> list:
         if not self.group_kernels and not self.groups:
@@ -841,6 +873,13 @@ def _partial_aggregate_partition(
                 spec.argument.eval(row) if spec.argument is not None else None
             )
             accs[index] = spec.function.update(accs[index], value)
+    task_ctx = current_task_context()
+    if task_ctx is not None:
+        # Row-mode hash table: charge the finished state in one shot
+        # (auto-released with the attempt).
+        task_ctx.reserve_memory(
+            "hash_aggregate", approximate_size_bytes(groups)
+        )
     return list(groups.items())
 
 
@@ -1033,6 +1072,20 @@ def copartitioned_join(
     return grouped.flat_map(emit).set_name("copartitioned_join")
 
 
+def _charge_build_side(ctx: "EngineContext", value: Any):
+    """Broadcast a join build structure, briefly double-charging it as
+    ``join_build`` on the driver's execution pool so the peak-consumers
+    view attributes build-side memory to joins (the live charge then
+    rides the broadcast until the query releases its accounting)."""
+    accountant = ctx.memory
+    size = accountant.reserve(
+        DRIVER_WORKER, EXECUTION, "join_build", approximate_size_bytes(value)
+    )
+    broadcast = ctx.broadcast(value)
+    accountant.release(DRIVER_WORKER, EXECUTION, "join_build", size)
+    return broadcast
+
+
 def broadcast_join(
     ctx: "EngineContext",
     stream_side: RDD,
@@ -1051,7 +1104,7 @@ def broadcast_join(
     table: dict[Any, list[tuple]] = {}
     for row in build_rows:
         table.setdefault(build_key_fn(row), []).append(row)
-    broadcast = ctx.broadcast(table)
+    broadcast = _charge_build_side(ctx, table)
 
     stream_key_fn = _key_function(stream_keys)
     build_nulls = (None,) * build_width
@@ -1087,7 +1140,7 @@ def cross_join(
     residual: Optional[BoundExpr],
 ) -> RDD:
     """Broadcast nested-loop join for key-less joins."""
-    broadcast = ctx.broadcast(right_rows)
+    broadcast = _charge_build_side(ctx, right_rows)
 
     def emit(row: tuple) -> list:
         out = []
@@ -1187,7 +1240,7 @@ def semi_join_filter(
             return found
 
         return child.filter(keep_linear).set_name("semi_join")
-    broadcast = ctx.broadcast(value_set)
+    broadcast = _charge_build_side(ctx, value_set)
     keep = semi_join_probe(
         lambda row: key.eval(row), broadcast.value, has_null, negated
     )

@@ -116,6 +116,15 @@ class SqlSession:
             self._current_text = None
 
     def execute_statement(self, statement: ast.Statement) -> QueryResult:
+        try:
+            return self._execute_statement(statement)
+        finally:
+            # Broadcast build tables are query-scoped: drop their
+            # execution-pool charge so the ledger balances to zero after
+            # every statement (success, cancellation, or failure).
+            self.ctx.release_broadcast_accounting()
+
+    def _execute_statement(self, statement: ast.Statement) -> QueryResult:
         if isinstance(statement, ast.SelectStatement):
             tracer = self.ctx.tracer
             tracer.metrics.inc("queries.executed")
@@ -280,6 +289,7 @@ class SqlSession:
                 started=started,
                 ended=ended,
                 query_id=query_id,
+                memory=ctx.memory.watermarks(),
             )
 
     def _explain(self, statement: ast.Statement) -> QueryResult:
@@ -341,6 +351,8 @@ class SqlSession:
             result_rows=len(rows),
             notes=notes,
             operator_modes=list(planned.report.operator_modes),
+            memory_rows=self.ctx.memory.watermarks(),
+            memory_pressure_events=self.ctx.memory.pressure_events,
         )
         text = analysis.render()
         schema = Schema([Field("plan", type_by_name("string"))])
