@@ -45,8 +45,9 @@ QUERIES = {
 
 
 #: Per-worker memory budget for both runs: small enough that cache puts
-#: and operator state cross it (exercising memory.pressure events and
-#: LRU eviction), large enough that every query still answers correctly.
+#: and operator state cross it (exercising arbitration — cache eviction
+#: first, then consumer spill-to-disk), large enough that every query
+#: still answers correctly.  The verdict fails if no spill fired.
 MEMORY_PER_WORKER_BYTES = 16 * 1024
 
 
@@ -146,6 +147,16 @@ def main(
     )
     for owner, pool, peak in accountant.top_consumers(limit=3):
         print(f"  top consumer: {owner} [{pool}] peak {peak} B")
+    print(
+        f"  spills: {accountant.spill_events} event(s), "
+        f"{accountant.spill_bytes} B written in "
+        f"{accountant.spill_runs} run(s)"
+    )
+    for row in accountant.spill_rows():
+        print(
+            f"  spill owner {row['owner']}: {row['events']} event(s), "
+            f"{row['bytes']} B in {row['runs']} run(s)"
+        )
 
     print("\n=== verdict ===")
     divergent = [
@@ -154,6 +165,24 @@ def main(
     for name in QUERIES:
         status = "DIVERGED" if name in divergent else "identical"
         print(f"  {name}: {status}")
+    # The 16 KiB cap exists to drive the arbitration path under chaos:
+    # a run that never spilled proves nothing, and a run that leaked or
+    # over-released execution memory is a bug even with right answers.
+    if accountant.spill_events == 0:
+        print("\nFAIL: the memory cap forced no spills")
+        return 1
+    if accountant.live_bytes("execution") != 0:
+        print(
+            f"\nFAIL: execution pool holds "
+            f"{accountant.live_bytes('execution')} B after all queries"
+        )
+        return 1
+    if accountant.clamped_release_bytes != 0:
+        print(
+            f"\nFAIL: {accountant.clamped_release_bytes} B of releases "
+            f"were clamped (double-release bug)"
+        )
+        return 1
 
     if trace_out:
         chaos.trace.write_chrome_trace(

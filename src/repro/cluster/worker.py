@@ -110,6 +110,7 @@ class BlockStore:
             accountant.attach_victim_source(
                 worker_id, self.victim_candidates
             )
+            accountant.attach_evictor(worker_id, self.evict_up_to)
 
     def put(
         self,
@@ -122,11 +123,15 @@ class BlockStore:
         replaced = self._blocks.pop(block_id, None)
         if replaced is not None:
             self._account_release(replaced)
-        self._blocks[block_id] = StoredBlock(block_id, value, size, pinned)
+        # Reserve before inserting: the reservation may arbitrate (evict
+        # through evict_up_to), and the incoming block must not be an
+        # eviction candidate before its own bytes are charged — evicting
+        # it uncharged would release bytes never reserved (a clamp).
         if self.accountant is not None:
             self.accountant.reserve(
                 self.worker_id, "storage", _block_owner(block_id), size
             )
+        self._blocks[block_id] = StoredBlock(block_id, value, size, pinned)
         if self.tracer is not None:
             self.tracer.metrics.inc("blocks.put")
             self.tracer.metrics.inc("blocks.put.bytes", size)
@@ -141,31 +146,59 @@ class BlockStore:
                 block.size_bytes,
             )
 
+    def _evict_block(self, block_id: str) -> int:
+        """Drop one unpinned block, releasing its accounting; returns
+        the bytes freed."""
+        block = self._blocks.pop(block_id)
+        self._account_release(block)
+        self.evictions += 1
+        if self.tracer is not None:
+            self.tracer.metrics.inc("blocks.evicted")
+            self.tracer.metrics.inc(
+                "blocks.evicted.bytes", block.size_bytes
+            )
+            self.tracer.instant(
+                "block.evict", "cache",
+                block_id=block_id, bytes=block.size_bytes,
+            )
+        return block.size_bytes
+
+    def _lru_victim(self) -> str | None:
+        return next(
+            (
+                block_id
+                for block_id, block in self._blocks.items()
+                if not block.pinned
+            ),
+            None,
+        )
+
+    def evict_up_to(self, nbytes: int) -> int:
+        """Evict unpinned blocks LRU-first until ``nbytes`` are freed or
+        only pinned blocks remain; returns the bytes freed.
+
+        This is the accountant's arbitration entry point (eviction
+        before spill): cached partitions are the cheapest memory to
+        reclaim because lineage recomputes them on the next read.  It
+        lives here — not in the accountant — because a CI guard forbids
+        touching ``_blocks`` outside this module.
+        """
+        freed = 0
+        while freed < nbytes:
+            victim = self._lru_victim()
+            if victim is None:
+                break
+            freed += self._evict_block(victim)
+        return freed
+
     def _enforce_capacity(self) -> None:
         if self.capacity_bytes is None:
             return
         while self.used_bytes > self.capacity_bytes:
-            victim = next(
-                (
-                    block_id
-                    for block_id, block in self._blocks.items()
-                    if not block.pinned
-                ),
-                None,
-            )
+            victim = self._lru_victim()
             if victim is None:
                 return  # only pinned blocks remain; nothing to evict
-            block = self._blocks[victim]
-            size = block.size_bytes
-            del self._blocks[victim]
-            self._account_release(block)
-            self.evictions += 1
-            if self.tracer is not None:
-                self.tracer.metrics.inc("blocks.evicted")
-                self.tracer.metrics.inc("blocks.evicted.bytes", size)
-                self.tracer.instant(
-                    "block.evict", "cache", block_id=victim, bytes=size
-                )
+            self._evict_block(victim)
 
     def get(self, block_id: str) -> Any:
         block = self._blocks.pop(block_id)  # re-insert: LRU refresh

@@ -210,5 +210,31 @@ class BinarySerde:
         return rows
 
 
+class SpillSerde:
+    """Schema-less length-framed records: the spilled-run wire format.
+
+    Spilled execution state — hash-aggregate ``(key, accumulators)``
+    items, sort-run ``(key, row)`` pairs — has no table schema (the
+    accumulators are arbitrary Python values), so unlike
+    :class:`TextSerde`/:class:`BinarySerde` this serde frames a pickled
+    record list with its byte length.  The frame length is what the
+    spill path charges as simulated-disk write/read volume, so the cost
+    model sees real serialized bytes, not heap estimates.
+    """
+
+    def encode(self, records: list) -> bytes:
+        blob = pickle.dumps(list(records), protocol=4)
+        return struct.pack("<I", len(blob)) + blob
+
+    def decode(self, payload: bytes) -> list:
+        (length,) = struct.unpack_from("<I", payload, 0)
+        if len(payload) < 4 + length:
+            raise StorageError(
+                f"truncated spill run: framed {length} bytes, "
+                f"payload has {len(payload) - 4}"
+            )
+        return pickle.loads(payload[4 : 4 + length])
+
+
 #: StructType rows serialize via pickle in BinarySerde; exported for benches.
-__all__ = ["TextSerde", "BinarySerde"]
+__all__ = ["TextSerde", "BinarySerde", "SpillSerde"]

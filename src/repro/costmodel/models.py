@@ -53,6 +53,12 @@ class TaskCostVector:
     shuffle_write_bytes: float = 0.0
     #: Bytes fetched from the shuffle system (reduce-side tasks).
     shuffle_read_bytes: float = 0.0
+    #: Spilled-run bytes written to local disk under memory pressure
+    #: (external hash aggregation / external sort), and read back at
+    #: merge time.  Zero when the task never spilled — the common,
+    #: cost-free case.
+    spill_write_bytes: float = 0.0
+    spill_read_bytes: float = 0.0
     #: Where the primary input lived: memory, disk, shuffle or generated.
     source: str = SOURCE_MEMORY
     #: True when the task's output is written to a replicated file system
@@ -83,6 +89,8 @@ class TaskCostVector:
             bytes_out=self.bytes_out * factor,
             shuffle_write_bytes=self.shuffle_write_bytes * factor,
             shuffle_read_bytes=self.shuffle_read_bytes * factor,
+            spill_write_bytes=self.spill_write_bytes * factor,
+            spill_read_bytes=self.spill_read_bytes * factor,
             extra_cpu_s=self.extra_cpu_s * factor,
         )
 
@@ -178,6 +186,30 @@ def _shuffle_read_seconds(
     return seconds
 
 
+def _spill_seconds(
+    vector: TaskCostVector, hardware: HardwareProfile
+) -> float:
+    """Local-disk round trip for spilled execution state.
+
+    External hash aggregation and external sort write sorted/serialized
+    runs when arbitration asks them to shed memory, then read them back
+    at merge time; both directions move at the node's disk bandwidth
+    shared across its cores.  Tasks that never spill pay exactly zero.
+    """
+    seconds = 0.0
+    if vector.spill_write_bytes > 0:
+        disk_mb_s_per_core = (
+            hardware.disk_write_mb_s / hardware.cores_per_node
+        )
+        seconds += (vector.spill_write_bytes / MB) / disk_mb_s_per_core
+    if vector.spill_read_bytes > 0:
+        disk_mb_s_per_core = (
+            hardware.disk_read_mb_s / hardware.cores_per_node
+        )
+        seconds += (vector.spill_read_bytes / MB) / disk_mb_s_per_core
+    return seconds
+
+
 def _materialize_seconds(
     vector: TaskCostVector, engine: EngineProfile, hardware: HardwareProfile
 ) -> float:
@@ -209,6 +241,7 @@ def estimate_task_seconds(
         + _sort_seconds(vector, engine)
         + _shuffle_write_seconds(vector, engine, hardware)
         + _shuffle_read_seconds(vector, engine, hardware)
+        + _spill_seconds(vector, hardware)
         + _materialize_seconds(vector, engine, hardware)
     )
     if include_launch:

@@ -21,14 +21,20 @@ Every reservation is attributed to an ``owner`` label (``rdd_3``,
 ``shuffle_1``, ``hash_aggregate``, ``broadcast_0``, ...) so the ledger
 answers "which operator peaked where" — surfaced via the ``memory.*``
 metric family, the shell's ``.memory`` command, EXPLAIN ANALYZE's
-``== memory ==`` section, and ``memory_watermark`` event-log records.
+``== memory ==`` section, and ``memory_watermark``/``memory_spill``
+event-log records.
 
 When a reservation would push a worker past ``memory_per_worker_bytes``
-the accountant does **not** fail or silently estimate: it emits a
-structured ``memory.pressure`` instant carrying the would-be victim
-list from that worker's block store (never pinned blocks).  A future
-spill path intercepts exactly this hook; until then the block store's
-own LRU capacity enforcement keeps behaviour unchanged.
+the accountant does **not** fail: it emits a structured
+``memory.pressure`` instant carrying the would-be victim list from that
+worker's block store (never pinned blocks), then *arbitrates* — first
+evicting unpinned storage blocks LRU-first (cheapest: lineage
+recomputes a cached partition on its next read), then asking the
+worker's registered execution consumers (external hash aggregation,
+external sort — see :mod:`repro.engine.spill`) to spill state to
+simulated disk.  Either way the reservation itself always proceeds, so
+callers never see an allocation failure; larger-than-memory queries
+degrade to spilled execution instead of OOM.
 
 All bookkeeping is plain dict arithmetic on the simulated clock — no
 wall-clock reads, deterministic, and cheap enough for the task hot
@@ -109,10 +115,28 @@ class MemoryAccountant:
         #: evictable (never pinned) blocks, insertion order — the
         #: would-be victim list a pressure event reports.
         self._victim_sources: dict[int, Callable[[], list]] = {}
+        #: worker_id -> callable(nbytes) -> bytes freed by evicting
+        #: unpinned storage blocks (the arbitration path's first step).
+        self._evictors: dict[int, Callable[[int], int]] = {}
+        #: worker_id -> registered spillable execution consumers, asked
+        #: in registration order when eviction alone cannot cover an
+        #: over-cap reservation.
+        self._spill_consumers: dict[int, list] = {}
+        #: Re-entrancy guard: a consumer's spill releases memory through
+        #: this same accountant and must never trigger nested arbitration.
+        self._arbitrating = False
         #: Monotonic totals (mirrored as counters when a tracer is set).
         self.total_reserved_bytes = 0
         self.total_released_bytes = 0
         self.pressure_events = 0
+        self.spill_events = 0
+        self.spill_bytes = 0
+        self.spill_runs = 0
+        #: owner -> {"events", "bytes", "runs"} cumulative attribution.
+        self.spilled_by_owner: dict[str, dict[str, int]] = {}
+        #: Bytes silently dropped by over-releases (double-release bugs);
+        #: the ledger-zero invariant tests assert this stays zero.
+        self.clamped_release_bytes = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -135,6 +159,26 @@ class MemoryAccountant:
         ``memory.pressure`` victim reporting."""
         self._victim_sources[worker_id] = source
 
+    def attach_evictor(
+        self, worker_id: int, evictor: Callable[[int], int]
+    ) -> None:
+        """Register a block store's ``evict_up_to`` for arbitration:
+        called with a byte shortfall, returns the bytes it freed."""
+        self._evictors[worker_id] = evictor
+
+    def register_spill_consumer(self, worker_id: int, consumer) -> None:
+        """Register a spillable execution consumer (see
+        :mod:`repro.engine.spill`) for ``worker_id``.  Consumers expose
+        ``owner`` (attribution label) and ``spill(nbytes) ->
+        (released, written, runs)``; task-scoped consumers must be
+        deregistered when the attempt ends (``TaskContext`` does this)."""
+        self._spill_consumers.setdefault(worker_id, []).append(consumer)
+
+    def deregister_spill_consumer(self, worker_id: int, consumer) -> None:
+        consumers = self._spill_consumers.get(worker_id)
+        if consumers is not None and consumer in consumers:
+            consumers.remove(consumer)
+
     # ------------------------------------------------------------------
     # The reserve / resize / release API
     # ------------------------------------------------------------------
@@ -144,9 +188,10 @@ class MemoryAccountant:
         """Charge ``nbytes`` to ``owner`` in ``pool`` on ``worker_id``.
 
         Never fails: a reservation past the worker cap emits a
-        structured ``memory.pressure`` event (the future spill hook)
-        and proceeds — observability first, enforcement later.
-        Returns the bytes actually charged.
+        structured ``memory.pressure`` event, then arbitrates — evict
+        unpinned storage blocks first, then ask registered execution
+        consumers to spill — and proceeds whether or not arbitration
+        covered the shortfall.  Returns the bytes actually charged.
         """
         if nbytes <= 0:
             return 0
@@ -155,8 +200,10 @@ class MemoryAccountant:
         if (
             ledger.capacity_bytes is not None
             and ledger.total_used + nbytes > ledger.capacity_bytes
+            and not self._arbitrating
         ):
             self._pressure(ledger, pool, owner, nbytes)
+            self._arbitrate(ledger, pool, owner, nbytes)
         ledger.used[pool] += nbytes
         if ledger.used[pool] > ledger.peak[pool]:
             ledger.peak[pool] = ledger.used[pool]
@@ -176,13 +223,26 @@ class MemoryAccountant:
     ) -> int:
         """Return ``nbytes`` of ``owner``'s reservation; clamped to the
         owner's live bytes so the ledger can never go negative.
+
+        A clamp means someone released more than they reserved — a
+        double-release — which is an accounting bug, not a normal path:
+        the clamped remainder is counted under
+        ``memory.release.clamped`` and ``clamped_release_bytes`` so the
+        ledger-zero invariant tests can assert it never happens.
         Returns the bytes actually released."""
         if nbytes <= 0:
             return 0
         ledger = self.ledger(worker_id)
         key = (pool, owner)
         live = ledger.owners.get(key, 0)
-        nbytes = min(int(nbytes), live)
+        requested = int(nbytes)
+        nbytes = min(requested, live)
+        if requested > nbytes:
+            self.clamped_release_bytes += requested - nbytes
+            if self.tracer is not None:
+                self.tracer.metrics.inc(
+                    "memory.release.clamped", requested - nbytes
+                )
         if nbytes <= 0:
             return 0
         remaining = live - nbytes
@@ -200,7 +260,16 @@ class MemoryAccountant:
     def resize(
         self, worker_id: int, pool: str, owner: str, delta: int
     ) -> int:
-        """Grow (positive ``delta``) or shrink a live reservation."""
+        """Grow (positive ``delta``) or shrink a live reservation.
+
+        Return contract — the **signed** byte delta actually applied to
+        the ledger: ``>= 0`` bytes charged on grow, ``<= 0`` (minus the
+        bytes released) on shrink.  Shrinks clamp at the owner's live
+        bytes, so ``resize(..., -big)`` returns ``-live``, never less.
+        Callers folding the result into their own byte tracking must
+        *add* it in both directions; treating a shrink's return as a
+        positive count double-books (the asymmetry this contract fixes).
+        """
         if delta >= 0:
             return self.reserve(worker_id, pool, owner, delta)
         return -self.release(worker_id, pool, owner, -delta)
@@ -287,6 +356,108 @@ class MemoryAccountant:
             )
 
     # ------------------------------------------------------------------
+    # Arbitration (eviction before spill)
+    # ------------------------------------------------------------------
+    def _arbitrate(
+        self, ledger: WorkerLedger, pool: str, owner: str, nbytes: int
+    ) -> None:
+        """Try to make room for an over-cap reservation.
+
+        Policy: evict unpinned storage blocks first (lineage recomputes
+        them — no I/O charged), then ask the worker's spill consumers,
+        in registration order, to spill execution state to simulated
+        disk.  Each step re-checks the shortfall because evictions and
+        spills release through this accountant as they go.
+        """
+        self._arbitrating = True
+        try:
+            def shortfall() -> int:
+                return ledger.total_used + nbytes - ledger.capacity_bytes
+
+            evictor = self._evictors.get(ledger.worker_id)
+            if evictor is not None and shortfall() > 0:
+                evictor(shortfall())
+            for consumer in list(
+                self._spill_consumers.get(ledger.worker_id, ())
+            ):
+                if shortfall() <= 0:
+                    break
+                released, written, runs = consumer.spill(shortfall())
+                if released > 0 or runs > 0:
+                    self._note_spill(
+                        ledger, consumer.owner, released, written, runs,
+                        pool, owner, nbytes,
+                    )
+        finally:
+            self._arbitrating = False
+
+    def note_spill_write(
+        self, owner: str, nbytes: int, runs: int = 0
+    ) -> None:
+        """Record spill-run bytes hitting simulated disk.
+
+        Consumers call this for *every* run they write — accumulator
+        runs cut during arbitration and raw-row runs flushed between
+        arbitrations alike — so ``memory.spill.bytes``/``.runs`` and the
+        per-owner attribution cover the full disk traffic, not just the
+        arbitration-triggered slices.
+        """
+        self.spill_bytes += nbytes
+        self.spill_runs += runs
+        entry = self.spilled_by_owner.setdefault(
+            owner, {"events": 0, "bytes": 0, "runs": 0}
+        )
+        entry["bytes"] += nbytes
+        entry["runs"] += runs
+        if self.tracer is not None:
+            metrics = self.tracer.metrics
+            metrics.inc("memory.spill.bytes", nbytes)
+            metrics.inc("memory.spill.runs", runs)
+            # dynamic name: per-owner spill attribution (stable labels:
+            # batch_aggregate / hash_aggregate / sort).
+            metrics.inc(f"memory.spill.owner.{owner}.bytes", nbytes)
+
+    def _note_spill(
+        self,
+        ledger: WorkerLedger,
+        spiller: str,
+        released: int,
+        written: int,
+        runs: int,
+        trigger_pool: str,
+        trigger_owner: str,
+        requested: int,
+    ) -> None:
+        """One arbitration-triggered consumer spill: the *event* and its
+        instant (byte/run totals arrive via :meth:`note_spill_write`)."""
+        self.spill_events += 1
+        entry = self.spilled_by_owner.setdefault(
+            spiller, {"events": 0, "bytes": 0, "runs": 0}
+        )
+        entry["events"] += 1
+        if self.tracer is not None:
+            self.tracer.metrics.inc("memory.spill.events")
+            lane = (
+                ledger.worker_id
+                if ledger.worker_id != DRIVER_WORKER
+                else "driver"
+            )
+            self.tracer.instant(
+                "memory.spill",
+                "memory",
+                lane=lane,
+                owner=spiller,
+                released_bytes=released,
+                spilled_bytes=written,
+                runs=runs,
+                trigger_pool=trigger_pool,
+                trigger_owner=trigger_owner,
+                requested_bytes=requested,
+                used_bytes=ledger.total_used,
+                capacity_bytes=ledger.capacity_bytes,
+            )
+
+    # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
     def live_bytes(self, pool: Optional[str] = None) -> int:
@@ -325,6 +496,44 @@ class MemoryAccountant:
                         },
                     }
                 )
+        return rows
+
+    def spill_rows(self) -> list[dict[str, Any]]:
+        """Per-owner cumulative spill attribution rows (stable order),
+        ready for ``memory_spill`` event-log records and reports."""
+        return [
+            {
+                "owner": owner,
+                "events": entry["events"],
+                "bytes": entry["bytes"],
+                "runs": entry["runs"],
+            }
+            for owner, entry in sorted(self.spilled_by_owner.items())
+        ]
+
+    def spill_snapshot(self) -> dict[str, dict[str, int]]:
+        """Copy of the per-owner spill attribution, for computing
+        per-query deltas around a statement."""
+        return {
+            owner: dict(entry)
+            for owner, entry in self.spilled_by_owner.items()
+        }
+
+    def spill_rows_since(
+        self, snapshot: dict[str, dict[str, int]]
+    ) -> list[dict[str, Any]]:
+        """Per-owner spill rows accumulated since ``snapshot`` (taken
+        with :meth:`spill_snapshot`); owners with no new activity are
+        omitted, keeping per-query event-log records minimal."""
+        rows: list[dict[str, Any]] = []
+        for owner, entry in sorted(self.spilled_by_owner.items()):
+            base = snapshot.get(owner, {})
+            delta = {
+                field_name: entry[field_name] - base.get(field_name, 0)
+                for field_name in ("events", "bytes", "runs")
+            }
+            if any(delta.values()):
+                rows.append({"owner": owner, **delta})
         return rows
 
     def top_consumers(self, limit: int = 10) -> list[tuple]:
@@ -376,6 +585,17 @@ class MemoryAccountant:
             for owner, pool, peak in consumers:
                 lines.append(
                     f"  {owner} [{pool}]: {_fmt_bytes(peak)}"
+                )
+        if self.spill_events:
+            lines.append(
+                f"spills: {self.spill_events} event(s), "
+                f"{_fmt_bytes(self.spill_bytes)} to disk in "
+                f"{self.spill_runs} run(s)"
+            )
+            for row in self.spill_rows():
+                lines.append(
+                    f"  {row['owner']}: {_fmt_bytes(row['bytes'])} in "
+                    f"{row['runs']} run(s)"
                 )
         return "\n".join(lines)
 

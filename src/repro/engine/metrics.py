@@ -34,6 +34,11 @@ class TaskMetrics:
     shuffle_read_bytes: int = 0
     shuffle_write_bytes: int = 0
     shuffle_write_records: int = 0
+    #: Spilled-run bytes this task wrote to (simulated) local disk under
+    #: memory pressure and read back at merge time; the cost model
+    #: charges a disk round trip for them (zero when nothing spilled).
+    spill_bytes_written: int = 0
+    spill_bytes_read: int = 0
     #: Dominant input source observed ("memory", "disk", "shuffle",
     #: "generated"); scan operators set this explicitly.
     source: str = SOURCE_GENERATED
@@ -61,6 +66,8 @@ class TaskMetrics:
             bytes_out=float(self.bytes_out),
             shuffle_write_bytes=float(self.shuffle_write_bytes),
             shuffle_read_bytes=float(self.shuffle_read_bytes),
+            spill_write_bytes=float(self.spill_bytes_written),
+            spill_read_bytes=float(self.spill_bytes_read),
             source=self.source,
             vectorized_fraction=vectorized_fraction,
         )
@@ -104,6 +111,14 @@ class StageProfile:
         return sum(task.shuffle_read_bytes for task in self.tasks)
 
     @property
+    def spill_bytes_written(self) -> int:
+        return sum(task.spill_bytes_written for task in self.tasks)
+
+    @property
+    def spill_bytes_read(self) -> int:
+        return sum(task.spill_bytes_read for task in self.tasks)
+
+    @property
     def total_attempts(self) -> int:
         return sum(task.attempts for task in self.tasks)
 
@@ -134,6 +149,11 @@ class QueryProfile:
     #: cumulative per-worker peak watermark observed when the job ended.
     memory_reserved_bytes: int = 0
     memory_peak_bytes: int = 0
+    #: Spills forced by memory arbitration while this job ran: number of
+    #: consumer spill events and total run bytes written to (simulated)
+    #: local disk.  Zero when every operator fit in its budget.
+    memory_spill_events: int = 0
+    memory_spill_bytes: int = 0
 
     @property
     def num_stages(self) -> int:
@@ -209,4 +229,9 @@ class QueryProfile:
                 f"  reserved during job: {self.memory_reserved_bytes} B, "
                 f"engine peak watermark: {self.memory_peak_bytes} B"
             )
+            if self.memory_spill_events:
+                lines.append(
+                    f"  spills: {self.memory_spill_events} event(s), "
+                    f"{self.memory_spill_bytes} B to disk"
+                )
         return "\n".join(lines)

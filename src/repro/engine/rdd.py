@@ -439,8 +439,18 @@ class RDD:
         shuffled = ShuffledRDD(paired, partitioner)
 
         def sort_partition(_: int, part: Iterable[Any]) -> list:
-            ordered = sorted(part, key=lambda pair: pair[0], reverse=not ascending)
-            return [value for __, value in ordered]
+            # External sort: the buffer is charged to the task's
+            # execution pool and sheds sorted runs under memory
+            # pressure; finish() k-way-merges runs + tail into exactly
+            # the order an in-memory stable sort would produce.
+            from repro.engine.spill import ExternalSorter
+
+            sorter = ExternalSorter(
+                key=lambda pair: pair[0], reverse=not ascending
+            )
+            for pair in part:
+                sorter.add(pair)
+            return [value for __, value in sorter.finish()]
 
         return MapPartitionsRDD(shuffled, sort_partition, name="sort")
 

@@ -184,6 +184,8 @@ class DAGScheduler:
         evicted_before = tracer.metrics.value("blocks.evicted")
         evicted_bytes_before = tracer.metrics.value("blocks.evicted.bytes")
         reserved_before = tracer.metrics.value("memory.reserved.bytes")
+        spill_events_before = tracer.metrics.value("memory.spill.events")
+        spill_bytes_before = tracer.metrics.value("memory.spill.bytes")
         job_status = "ok"
         job_span = tracer.begin_span(
             f"job {job_id}",
@@ -236,6 +238,14 @@ class DAGScheduler:
                 - reserved_before
             )
             profile.memory_peak_bytes = int(self._ctx.memory.peak_bytes())
+            profile.memory_spill_events = int(
+                tracer.metrics.value("memory.spill.events")
+                - spill_events_before
+            )
+            profile.memory_spill_bytes = int(
+                tracer.metrics.value("memory.spill.bytes")
+                - spill_bytes_before
+            )
             tracer.end_span(
                 job_span,
                 stages=profile.num_stages,
@@ -258,6 +268,8 @@ class DAGScheduler:
         evicted_before = tracer.metrics.value("blocks.evicted")
         evicted_bytes_before = tracer.metrics.value("blocks.evicted.bytes")
         reserved_before = tracer.metrics.value("memory.reserved.bytes")
+        spill_events_before = tracer.metrics.value("memory.spill.events")
+        spill_bytes_before = tracer.metrics.value("memory.spill.bytes")
         job_span = tracer.begin_span(
             f"job {job_id}",
             "job",
@@ -280,6 +292,14 @@ class DAGScheduler:
                 - reserved_before
             )
             profile.memory_peak_bytes = int(self._ctx.memory.peak_bytes())
+            profile.memory_spill_events = int(
+                tracer.metrics.value("memory.spill.events")
+                - spill_events_before
+            )
+            profile.memory_spill_bytes = int(
+                tracer.metrics.value("memory.spill.bytes")
+                - spill_bytes_before
+            )
             tracer.end_span(job_span, stages=profile.num_stages)
         self.last_profile = profile
         self.history.append(profile)

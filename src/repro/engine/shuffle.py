@@ -255,12 +255,25 @@ class ShuffleManager:
             shuffle_id, reduce_partition
         ):
             # A corrupted map output is indistinguishable from a lost one:
-            # drop the block so lineage recovery recomputes it.
-            victim = min(locations) if locations else 0
-            owner = locations.pop(victim, None)
-            if owner is not None:
-                worker = self._cluster.worker(owner)
-                worker.blocks.remove(_shuffle_block_id(shuffle_id, victim))
+            # drop the block so lineage recovery recomputes it.  Only a
+            # map output that is actually still present can be the victim
+            # — picking a partition whose block already vanished (or
+            # fabricating partition 0 when none are registered) would
+            # report a loss lineage recovery cannot act on.
+            victim = owner = None
+            for candidate in sorted(locations):
+                holder = self._cluster.worker(locations[candidate])
+                block_id = _shuffle_block_id(shuffle_id, candidate)
+                if holder.alive and block_id in holder.blocks:
+                    victim, owner = candidate, locations.pop(candidate)
+                    holder.blocks.remove(block_id)
+                    break
+            if victim is None:
+                # Nothing left to corrupt: report the first map output
+                # that is genuinely missing instead of inventing one.
+                missing = self.missing_maps(shuffle_id)
+                victim = missing[0] if missing else 0
+                owner = locations.get(victim)
             self._tracer.metrics.inc("shuffle.corrupt_fetches")
             self._record_fetch_failure(
                 shuffle_id, victim, owner if owner is not None else -1,

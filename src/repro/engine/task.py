@@ -206,6 +206,11 @@ class TaskContext:
         #: release_task_memory() when the attempt ends, so failed or
         #: cancelled attempts can never leak reservations.
         self._memory_held: dict[str, int] = {}
+        #: Spillable consumers this attempt registered with the
+        #: accountant; deregistered alongside the memory drain so a
+        #: failed, retried, or cancelled attempt can never leave a dead
+        #: consumer (or its spilled runs) reachable from arbitration.
+        self._spillables: list[Any] = []
 
     # -- execution-pool memory accounting ------------------------------
     def reserve_memory(self, owner: str, nbytes: int) -> int:
@@ -239,12 +244,29 @@ class TaskContext:
             self._memory_held.pop(owner, None)
         return released
 
+    def register_spillable(self, consumer: Any) -> None:
+        """Register a spillable execution consumer (external hash agg,
+        external sort) with the accountant's arbitration path for this
+        task's worker; automatically deregistered when the attempt
+        ends."""
+        if self.accountant is None:
+            return
+        self.accountant.register_spill_consumer(
+            self.worker.worker_id, consumer
+        )
+        self._spillables.append(consumer)
+
     def release_task_memory(self) -> int:
         """Drain every reservation this attempt still holds (called by
         the scheduler in the attempt's ``finally`` — the leak-proof
         release point for retries, speculation, and cancellation)."""
         if self.accountant is None:
             return 0
+        for consumer in self._spillables:
+            self.accountant.deregister_spill_consumer(
+                self.worker.worker_id, consumer
+            )
+        self._spillables.clear()
         released = 0
         for owner, held in list(self._memory_held.items()):
             released += self.accountant.release(

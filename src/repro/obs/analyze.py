@@ -84,6 +84,11 @@ class QueryAnalysis:
     memory_peak_bytes: int = 0
     memory_rows: list[dict] = field(default_factory=list)
     memory_pressure_events: int = 0
+    #: Arbitration spills this query forced: event/byte/run totals plus
+    #: per-owner rows from MemoryAccountant.spill_rows_since().
+    memory_spill_events: int = 0
+    memory_spill_bytes: int = 0
+    memory_spill_rows: list[dict] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     #: (operator label, mode) pairs from the planner: which operators ran
     #: vectorized (batch kernels) and which ran row-at-a-time.
@@ -141,6 +146,18 @@ class QueryAnalysis:
                 lines.append(
                     f"  pressure events: {self.memory_pressure_events}"
                 )
+            if self.memory_spill_events:
+                lines.append(
+                    f"  spills: {self.memory_spill_events} event(s), "
+                    f"{_bytes(self.memory_spill_bytes)} to disk"
+                )
+                for row in self.memory_spill_rows:
+                    lines.append(
+                        f"  spill {row['owner']}: "
+                        f"{row['events']} event(s), "
+                        f"{_bytes(row['bytes'])} in "
+                        f"{row['runs']} run(s)"
+                    )
         if self.result_rows is not None:
             lines.append(f"  result: {self.result_rows} row(s)")
         if self.operator_modes:
@@ -163,6 +180,7 @@ def analyze_profiles(
     operator_modes: Optional[list[tuple[str, str]]] = None,
     memory_rows: Optional[list[dict]] = None,
     memory_pressure_events: int = 0,
+    memory_spills: Optional[list[dict]] = None,
 ) -> QueryAnalysis:
     """Annotate ``plan_text`` with the executed profiles' statistics.
 
@@ -182,7 +200,11 @@ def analyze_profiles(
         operator_modes=list(operator_modes or []),
         memory_rows=list(memory_rows or []),
         memory_pressure_events=memory_pressure_events,
+        memory_spill_rows=list(memory_spills or []),
     )
+    for row in analysis.memory_spill_rows:
+        analysis.memory_spill_events += row["events"]
+        analysis.memory_spill_bytes += row["bytes"]
     executed: list[tuple[QueryProfile, StageProfile]] = []
     for profile in profiles:
         analysis.recovered_tasks += profile.recovered_tasks

@@ -46,7 +46,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Event-log schema version written into every ``header`` record.
 #: v2 adds the ``memory_watermark`` record type and the job record's
 #: ``memory_reserved_bytes``/``memory_peak_bytes`` fields (DESIGN.md §11).
-SCHEMA_VERSION = 2
+#: v3 adds the ``memory_spill`` record type (per-owner spill totals for
+#: one query) plus *optional* job/task spill fields — optional so v2
+#: logs still load (DESIGN.md §12).
+SCHEMA_VERSION = 3
 
 #: Flight-recorder ring capacity (events kept for post-mortems).
 FLIGHT_CAPACITY = 512
@@ -94,6 +97,7 @@ _REQUIRED: dict[str, tuple[str, ...]] = {
     ),
     "counters": ("query_id", "deltas"),
     "memory_watermark": ("query_id", "worker", "pool", "peak_bytes", "ts"),
+    "memory_spill": ("query_id", "owner", "events", "bytes", "runs", "ts"),
     "query_end": ("query_id", "status", "ts", "sim_seconds"),
     "flight_dump": ("reason", "events"),
 }
@@ -290,6 +294,7 @@ class EventLogWriter:
         query_id: Optional[str] = None,
         flight: Optional[dict] = None,
         memory: Optional[list[dict]] = None,
+        spills: Optional[list[dict]] = None,
     ) -> str:
         """Write one query's complete record set; returns its id.
 
@@ -345,6 +350,9 @@ class EventLogWriter:
                     "evicted_bytes": profile.evicted_bytes,
                     "memory_reserved_bytes": profile.memory_reserved_bytes,
                     "memory_peak_bytes": profile.memory_peak_bytes,
+                    # v3 optional fields: absent in v2 logs, read with .get.
+                    "memory_spill_events": profile.memory_spill_events,
+                    "memory_spill_bytes": profile.memory_spill_bytes,
                 }
             )
             for stage in profile.stages:
@@ -384,6 +392,12 @@ class EventLogWriter:
                             "attempts": task.attempts,
                             "speculative": task.speculative,
                             "batch_rows": task.batch_rows,
+                            # v3 optional fields (never in _REQUIRED —
+                            # that would reject v2 logs at read time).
+                            "spill_bytes_written": (
+                                task.spill_bytes_written
+                            ),
+                            "spill_bytes_read": task.spill_bytes_read,
                         }
                     )
         if counter_deltas:
@@ -411,6 +425,21 @@ class EventLogWriter:
                     "used_bytes": row.get("used_bytes", 0),
                     "peak_bytes": row["peak_bytes"],
                     "owners": _jsonable(row.get("owners", {})),
+                    "ts": ended,
+                }
+            )
+        for row in spills or []:
+            # One record per spilling owner (batch_aggregate /
+            # hash_aggregate / sort) with this query's deltas from the
+            # accountant's spill_rows_since().
+            self.write(
+                {
+                    "type": "memory_spill",
+                    "query_id": query_id,
+                    "owner": row["owner"],
+                    "events": row["events"],
+                    "bytes": row["bytes"],
+                    "runs": row["runs"],
                     "ts": ended,
                 }
             )

@@ -62,6 +62,9 @@ class QueryRecord:
     #: ``memory_watermark`` records: per-(worker, pool) peak rows the
     #: accountant snapshotted at query end (schema v2).
     memory: list[dict] = field(default_factory=list)
+    #: ``memory_spill`` records: per-owner spill deltas this query
+    #: forced through memory arbitration (schema v3).
+    spills: list[dict] = field(default_factory=list)
     #: True when the only evidence is a flight-recorder dump.
     flight_only: bool = False
     header: dict = field(default_factory=dict)
@@ -86,6 +89,8 @@ class QueryRecord:
                 evicted_bytes=job.get("evicted_bytes", 0),
                 memory_reserved_bytes=job.get("memory_reserved_bytes", 0),
                 memory_peak_bytes=job.get("memory_peak_bytes", 0),
+                memory_spill_events=job.get("memory_spill_events", 0),
+                memory_spill_bytes=job.get("memory_spill_bytes", 0),
             )
         stage_index: dict[tuple[int, int], Any] = {}
         for stage in self.stages:
@@ -120,6 +125,11 @@ class QueryRecord:
                     attempts=task["attempts"],
                     speculative=task["speculative"],
                     batch_rows=task["batch_rows"],
+                    # v3 optional fields: .get so v2 logs still load.
+                    spill_bytes_written=task.get(
+                        "spill_bytes_written", 0
+                    ),
+                    spill_bytes_read=task.get("spill_bytes_read", 0),
                 )
             )
         return [profiles[job_id] for job_id in sorted(profiles)]
@@ -136,6 +146,15 @@ class QueryRecord:
             cores_per_worker=self.header.get("cores_per_worker", 1),
             result_rows=self.result_rows,
             operator_modes=self.operator_modes,
+            memory_spills=[
+                {
+                    "owner": row["owner"],
+                    "events": row["events"],
+                    "bytes": row["bytes"],
+                    "runs": row["runs"],
+                }
+                for row in self.spills
+            ],
         )
 
     def to_query_trace(self):
@@ -330,6 +349,8 @@ class HistoryStore:
                 target.counters.update(record["deltas"])
             elif kind == "memory_watermark":
                 target.memory.append(record)
+            elif kind == "memory_spill":
+                target.spills.append(record)
             elif kind == "query_end":
                 target.status = record["status"]
                 target.error = record.get("error")
@@ -464,6 +485,23 @@ class HistoryStore:
             )
         )
 
+    def memory_spills(self) -> list[dict]:
+        """Per-owner spill totals merged over every logged query
+        (``memory_spill`` records, schema v3)."""
+        merged: dict[str, dict[str, int]] = {}
+        for record in self.queries:
+            for row in record.spills:
+                totals = merged.setdefault(
+                    row["owner"], {"events": 0, "bytes": 0, "runs": 0}
+                )
+                totals["events"] += int(row["events"])
+                totals["bytes"] += int(row["bytes"])
+                totals["runs"] += int(row["runs"])
+        return [
+            {"owner": owner, **totals}
+            for owner, totals in sorted(merged.items())
+        ]
+
     def memory_report(self, markdown: bool = False) -> str:
         """Per-worker pressure timeline + top consumers."""
         h2 = "## " if markdown else "== "
@@ -492,6 +530,15 @@ class HistoryStore:
         pressure = self.memory_pressure_events()
         if pressure:
             lines.append(f"  pressure events: {pressure}")
+        spills = self.memory_spills()
+        if spills:
+            lines.append("")
+            lines.append(f"{h2}spill report (per owner){h2end}")
+            for row in spills:
+                lines.append(
+                    f"  {row['owner']}: {row['events']} event(s), "
+                    f"{row['bytes']}B to disk in {row['runs']} run(s)"
+                )
         consumers = self.memory_top_consumers()
         if consumers:
             lines.append("")

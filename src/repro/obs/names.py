@@ -83,6 +83,13 @@ COUNTERS = frozenset(
         "memory.reserved.bytes",
         "memory.released.bytes",
         "memory.pressure.events",
+        # memory arbitration: spill-to-disk traffic (per-owner twins use
+        # the dynamic name memory.spill.owner.{owner}.bytes) and
+        # over-release clamps (should stay zero; see DESIGN.md §12)
+        "memory.spill.events",
+        "memory.spill.bytes",
+        "memory.spill.runs",
+        "memory.release.clamped",
     }
 )
 
@@ -148,8 +155,10 @@ INSTANTS = frozenset(
         # persistent observability
         "flight.dump",
         # unified memory accounting: a reservation exceeded the worker's
-        # budget (carries the would-be victim list for a future spill path)
+        # budget (carries the LRU victim list arbitration then evicts)
         "memory.pressure",
+        # arbitration made an execution consumer shed state to disk
+        "memory.spill",
     }
 )
 

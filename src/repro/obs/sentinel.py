@@ -65,7 +65,10 @@ def suite_queries() -> dict[str, str]:
     return queries
 
 
-def build_warehouse(vectorize: bool = True):
+def build_warehouse(
+    vectorize: bool = True,
+    memory_per_worker_bytes: Optional[int] = None,
+):
     """A fresh SharkContext with the suite's cached TPC-H tables."""
     from repro.core.context import SharkContext
     from repro.sql.planner import PlannerConfig
@@ -75,6 +78,7 @@ def build_warehouse(vectorize: bool = True):
         num_workers=WORKERS,
         cores_per_worker=CORES_PER_WORKER,
         config=PlannerConfig(vectorize=vectorize),
+        memory_per_worker_bytes=memory_per_worker_bytes,
     )
     for name, data, partitions in (
         ("lineitem", tpch.generate_lineitem(LINEITEM_ROWS), LOAD_PARTITIONS),
@@ -249,6 +253,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="write the measured suite as the new baseline and exit 0",
     )
     parser.add_argument(
+        "--memory-cap",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "cap memory_per_worker_bytes so the suite runs through the "
+            "spill path; the run must still pass the sim-seconds gate "
+            "AND must actually spill (a vacuous cap fails)"
+        ),
+    )
+    parser.add_argument(
         "--event-log-out",
         help="also stream every suite query to this event-log path",
     )
@@ -257,7 +272,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    shark = build_warehouse(vectorize=args.vectorize == "on")
+    shark = build_warehouse(
+        vectorize=args.vectorize == "on",
+        memory_per_worker_bytes=args.memory_cap,
+    )
     if args.event_log_out:
         shark.enable_event_log(
             args.event_log_out, source="sentinel",
@@ -268,6 +286,22 @@ def main(argv: Optional[list[str]] = None) -> int:
     finally:
         if args.event_log_out:
             shark.close_event_log()
+
+    if args.memory_cap is not None:
+        accountant = shark.engine.memory
+        print(
+            f"memory cap {args.memory_cap} B/worker: "
+            f"{accountant.spill_events} spill event(s), "
+            f"{accountant.spill_bytes} B written in "
+            f"{accountant.spill_runs} run(s)"
+        )
+        if accountant.spill_events == 0:
+            print(
+                "error: --memory-cap forced no spills — the capped gate "
+                "is vacuous; lower the cap",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.write_baseline:
         document = baseline_document(current)

@@ -33,7 +33,7 @@ Enter SQL terminated by ';'.  Dot-commands:
                         per-stage tasks/rows/bytes/simulated seconds
   .metrics              engine counters (tasks, shuffle bytes, evictions)
   .memory               unified memory ledger: per-worker pool usage,
-                        peaks, headroom, and top consumers
+                        peaks, headroom, top consumers, and spills
   .trace [on|off|<path>] toggle span tracing / export Chrome-trace JSON
   .eventlog [<path>|off] stream every query to a persistent event log
   .history <path> [id]  report over an event log (whole log, or one query)

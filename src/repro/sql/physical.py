@@ -26,6 +26,7 @@ from repro.engine.rdd import (
     PrunedRDD,
     ShuffledRDD,
 )
+from repro.engine.spill import SpillableGroups
 from repro.engine.task import current_task_context
 from repro.sql.expressions import BoundExpr
 from repro.sql.functions import (
@@ -318,12 +319,13 @@ class BatchAggregator:
         self.group_ordinals = group_ordinals
         self.specs = specs
         self.arg_kernels = arg_kernels
-        self.groups: dict[tuple, list] = {}
-        #: Flat per-group ledger estimate, measured from the first group
-        #: (keys and accumulator lists are homogeneous within one
-        #: aggregation), and how many groups have been charged so far.
-        self._bytes_per_group = 0
-        self._charged_groups = 0
+        #: Spillable group state, registered with the accountant's
+        #: arbitration path for the running task's worker; ``groups``
+        #: aliases its live dict so the update kernels stay unchanged.
+        self.state = SpillableGroups(
+            [spec.function for spec in specs], "batch_aggregate"
+        )
+        self.groups: dict[tuple, list] = self.state.groups
 
     # -- group identity -------------------------------------------------
     def _group_ids(self, batch) -> tuple[np.ndarray, list]:
@@ -505,11 +507,15 @@ class BatchAggregator:
     def consume(self, batch) -> None:
         gids, keys = self._group_ids(batch)
         group_accs = []
-        for key in keys:
-            accs = self.groups.get(key)
+        spilled_gids: set[int] = set()
+        for g, key in enumerate(keys):
+            accs = self.state.live_accs(key)
             if accs is None:
+                # Key's bucket already spilled: the vectorized updates
+                # below land in a discarded sink; the rows themselves
+                # are routed raw afterwards and replayed at finish.
+                spilled_gids.add(g)
                 accs = [spec.function.initial() for spec in self.specs]
-                self.groups[key] = accs
             group_accs.append(accs)
         for j, spec in enumerate(self.specs):
             fn = spec.function
@@ -528,37 +534,48 @@ class BatchAggregator:
             else:
                 vector = kernel(batch) if kernel is not None else None
                 self._update_generic(j, fn, vector, batch, gids, group_accs)
-        self._charge_new_groups()
+        if spilled_gids:
+            self._route_spilled_rows(batch, gids, keys, spilled_gids)
+        # Charge this batch's accumulator growth (new groups only) to
+        # the running task's execution pool; the reservation may itself
+        # arbitrate, spilling buckets of the state just built.
+        self.state.charge_pending()
 
-    def _charge_new_groups(self) -> None:
-        """Charge this batch's accumulator growth (new groups only) to
-        the running task's execution pool; the scheduler releases the
-        whole reservation when the attempt ends."""
-        task_ctx = current_task_context()
-        if task_ctx is None:
-            return
-        new = len(self.groups) - self._charged_groups
-        if new <= 0:
-            return
-        if not self._bytes_per_group:
-            self._bytes_per_group = max(
-                approximate_size_bytes(next(iter(self.groups.items()))), 1
-            )
-        task_ctx.reserve_memory(
-            "batch_aggregate", new * self._bytes_per_group
-        )
-        self._charged_groups = len(self.groups)
+    def _route_spilled_rows(
+        self, batch, gids, keys, spilled_gids: set[int]
+    ) -> None:
+        """Append rows belonging to spilled buckets as raw
+        ``(key, argument values)`` records, in arrival order."""
+        columns = [
+            kernel(batch).to_python_list() if kernel is not None else None
+            for kernel in self.arg_kernels
+        ]
+        append_raw = self.state.append_raw
+        for r in range(batch.num_rows):
+            g = int(gids[r])
+            if g in spilled_gids:
+                append_raw(
+                    keys[g],
+                    [
+                        column[r] if column is not None else None
+                        for column in columns
+                    ],
+                )
 
     def memory_footprint_bytes(self) -> int:
-        """Exact heap bytes of the accumulated group state."""
+        """Exact heap bytes of the accumulated (live) group state."""
         return approximate_size_bytes(self.groups)
 
     def finish(self) -> list:
-        if not self.group_kernels and not self.groups:
+        if (
+            not self.group_kernels
+            and not self.groups
+            and not self.state.spilled
+        ):
             # Global aggregation over an empty partition still yields one
             # group (COUNT(*) over zero rows is 0, not zero rows).
-            self.groups[()] = [spec.function.initial() for spec in self.specs]
-        return list(self.groups.items())
+            self.state.live_accs(())
+        return self.state.finish_groups()
 
 
 class BatchPipelineRDD(RDD):
@@ -856,31 +873,31 @@ def _partial_aggregate_partition(
     group_exprs: list[BoundExpr],
     specs: list[AggregateSpec],
 ) -> list:
-    """Task-local aggregation: one pass producing (group_key, accs) pairs."""
-    groups: dict[tuple, list] = {}
+    """Task-local aggregation: one pass producing (group_key, accs) pairs.
+
+    State lives in a :class:`SpillableGroups` registered with the
+    accountant, charged incrementally as groups appear — so an over-cap
+    reservation mid-partition can spill buckets to simulated disk and
+    the pass completes in bounded memory, with output identical to the
+    in-memory path."""
+    state = SpillableGroups(
+        [spec.function for spec in specs], "hash_aggregate"
+    )
     if not group_exprs:
         # Global aggregation: an empty input still yields one group so
         # COUNT(*) over zero rows returns 0, not zero rows.
-        groups[()] = [spec.function.initial() for spec in specs]
+        state.live_accs(())
+        state.charge_pending()
     for row in part:
         key = tuple(expr.eval(row) for expr in group_exprs)
-        accs = groups.get(key)
-        if accs is None:
-            accs = [spec.function.initial() for spec in specs]
-            groups[key] = accs
-        for index, spec in enumerate(specs):
-            value = (
+        state.update_row(
+            key,
+            [
                 spec.argument.eval(row) if spec.argument is not None else None
-            )
-            accs[index] = spec.function.update(accs[index], value)
-    task_ctx = current_task_context()
-    if task_ctx is not None:
-        # Row-mode hash table: charge the finished state in one shot
-        # (auto-released with the attempt).
-        task_ctx.reserve_memory(
-            "hash_aggregate", approximate_size_bytes(groups)
+                for spec in specs
+            ],
         )
-    return list(groups.items())
+    return state.finish_groups()
 
 
 def _merge_accumulators(

@@ -215,6 +215,7 @@ class SqlSession:
         span_mark = len(tracer.trace.spans)
         event_mark = len(tracer.trace.events)
         counters_before = dict(tracer.metrics.snapshot()["counters"])
+        spill_mark = ctx.memory.spill_snapshot()
         started = tracer.clock.now()
         query_id = f"q{log.queries_logged:04d}"
         status, error = "ok", None
@@ -290,6 +291,7 @@ class SqlSession:
                 ended=ended,
                 query_id=query_id,
                 memory=ctx.memory.watermarks(),
+                spills=ctx.memory.spill_rows_since(spill_mark),
             )
 
     def _explain(self, statement: ast.Statement) -> QueryResult:
@@ -326,6 +328,7 @@ class SqlSession:
         self.ctx.reset_profiles()
         tracer = self.ctx.tracer
         tracer.metrics.inc("queries.executed")
+        spill_mark = self.ctx.memory.spill_snapshot()
         with self._logged_query(
             "explain-analyze", self._current_text
         ) as logged:
@@ -353,6 +356,7 @@ class SqlSession:
             operator_modes=list(planned.report.operator_modes),
             memory_rows=self.ctx.memory.watermarks(),
             memory_pressure_events=self.ctx.memory.pressure_events,
+            memory_spills=self.ctx.memory.spill_rows_since(spill_mark),
         )
         text = analysis.render()
         schema = Schema([Field("plan", type_by_name("string"))])

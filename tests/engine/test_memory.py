@@ -74,6 +74,9 @@ class TestLedgerInvariants:
             # Task state and the join's broadcast build table are all
             # query-scoped: nothing may outlive the statement.
             assert shark.engine.memory.live_bytes(EXECUTION) == 0
+        # Balanced books, not clamped-to-zero books: no release ever
+        # exceeded what its owner still held.
+        assert shark.engine.memory.clamped_release_bytes == 0
 
     def test_execution_pool_zero_after_cancellation(self):
         shark = _build_shark()
@@ -85,6 +88,7 @@ class TestLedgerInvariants:
         shark.lifecycle.drain()
         assert victim.state == "cancelled"
         assert shark.engine.memory.live_bytes(EXECUTION) == 0
+        assert shark.engine.memory.clamped_release_bytes == 0
 
     def test_execution_pool_zero_under_chaos(self):
         injector = FaultInjector(
@@ -95,6 +99,7 @@ class TestLedgerInvariants:
             shark.sql(query)
         # Failed attempts released their reservations in task teardown.
         assert shark.engine.memory.live_bytes(EXECUTION) == 0
+        assert shark.engine.memory.clamped_release_bytes == 0
 
     def test_storage_pool_mirrors_block_stores(self):
         shark = _build_shark()
@@ -122,14 +127,23 @@ class TestLedgerInvariants:
         accountant.reserve(0, EXECUTION, "op", 100)
         assert accountant.release(0, EXECUTION, "op", 500) == 100
         assert accountant.live_bytes() == 0
+        # Over-releases are clamped but no longer silent: the excess is
+        # tallied so invariant tests can assert it never happened.
+        assert accountant.clamped_release_bytes == 400
         assert accountant.release(0, EXECUTION, "op", 1) == 0
+        assert accountant.clamped_release_bytes == 401
 
     def test_resize_grows_and_shrinks(self):
         accountant = MemoryAccountant()
-        accountant.resize(0, EXECUTION, "op", 300)
-        accountant.resize(0, EXECUTION, "op", -100)
+        # Contract: the signed delta actually applied — >= 0 on grow,
+        # <= 0 on shrink (callers *add* it to their own tallies).
+        assert accountant.resize(0, EXECUTION, "op", 300) == 300
+        assert accountant.resize(0, EXECUTION, "op", -100) == -100
         assert accountant.live_bytes(EXECUTION) == 200
         assert accountant.peak_bytes(EXECUTION) == 300
+        # Shrinking below zero clamps to what the owner holds.
+        assert accountant.resize(0, EXECUTION, "op", -900) == -200
+        assert accountant.live_bytes(EXECUTION) == 0
 
 
 class TestPressure:
@@ -157,12 +171,16 @@ class TestPressure:
         store = BlockStore(accountant=accountant, worker_id=0)
         store.put("shuffle_0_0", "x", size_bytes=600, pinned=True)
         store.put("rdd_1_0", "y", size_bytes=300)
-        # Next reservation breaches the cap: the would-be victim list
-        # must contain the cached partition, never the pinned block.
-        accountant.reserve(0, EXECUTION, "op", 500)
-        assert accountant.pressure_events == 1
+        # The victim list a breach will carry: the cached partition,
+        # never the pinned block.
         victims = [bid for bid, __ in store.victim_candidates()]
         assert victims == ["rdd_1_0"]
+        accountant.reserve(0, EXECUTION, "op", 500)
+        assert accountant.pressure_events == 1
+        # Arbitration then acted on exactly that list: the cached
+        # partition was evicted, the pinned block survived.
+        assert "rdd_1_0" not in store
+        assert "shuffle_0_0" in store
 
     def test_headroom_tracks_cap(self):
         accountant = MemoryAccountant(capacity_bytes=1_000)

@@ -1,0 +1,211 @@
+"""Spill-to-disk parity: capped memory must be an invisible constraint.
+
+Every TPC-H and Pavlo workload query runs twice — uncapped, and with
+``memory_per_worker_bytes`` squeezed low enough that arbitration evicts
+cached blocks and forces the external hash aggregation / external sort
+to spill — and the rows must be repr-identical (the same float-drift
+standard as the vectorized parity harness).  A chaos section repeats
+the capped runs under the fault injector: retries shift *where* spills
+fire, which must not shift results.  After every successful statement
+the execution ledger balances to zero with zero clamped releases.
+
+The acceptance class pins the ISSUE contract: Q1/Q3/Q6 capped at 1/8 of
+their uncapped per-worker peak watermark complete correctly with
+``memory.spill.events > 0``.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import SharkContext
+from repro.datatypes import BOOLEAN
+from repro.engine.memory import EXECUTION
+from repro.faults.injector import FaultInjector
+from repro.workloads import pavlo, tpch
+
+from tests.sql.test_vectorized_parity import (
+    QUERIES,
+    assert_byte_identical,
+)
+
+#: Low enough to force arbitration on every aggregation/sort query at
+#: these data sizes, high enough that pinned shuffle outputs alone
+#: never exceed it (spills, not thrash).
+CAPPED_BYTES = 48 * 1024
+
+
+def _datasets():
+    return {
+        "lineitem": tpch.generate_lineitem(3000),
+        "orders": tpch.generate_orders(800),
+        "customer": tpch.generate_customer(100),
+        "supplier": tpch.generate_supplier(60),
+        "rankings": pavlo.generate_rankings(600),
+        "uservisits": pavlo.generate_uservisits(
+            1500, num_pages=600, num_ips=120
+        ),
+    }
+
+
+def _build(**context_kwargs):
+    shark = SharkContext(num_workers=4, cores_per_worker=2, **context_kwargs)
+    for name, data in _datasets().items():
+        shark.create_table(name, data.schema, cached=True)
+        shark.load_rows(name, data.rows, num_partitions=4)
+    shark.register_udf(
+        "SOME_UDF", lambda addr: addr.endswith("7"), return_type=BOOLEAN
+    )
+    return shark
+
+
+def _run(shark, query, vectorize=True):
+    shark.session.config = replace(shark.session.config, vectorize=vectorize)
+    return shark.sql(query).rows
+
+
+@pytest.fixture(scope="module")
+def uncapped():
+    return _build()
+
+
+@pytest.fixture(scope="module")
+def uncapped_rows(uncapped):
+    return {name: _run(uncapped, QUERIES[name]) for name in QUERIES}
+
+
+@pytest.fixture(scope="module")
+def capped():
+    return _build(memory_per_worker_bytes=CAPPED_BYTES)
+
+
+class TestSpillParity:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_capped_rows_identical(self, capped, uncapped_rows, name):
+        got = _run(capped, QUERIES[name])
+        assert_byte_identical(got, uncapped_rows[name])
+        # Ledger-zero after every statement, with balanced (never
+        # clamped) books — spills release exactly what they charged.
+        assert capped.engine.memory.live_bytes(EXECUTION) == 0
+        assert capped.engine.memory.clamped_release_bytes == 0
+
+    def test_cap_actually_forced_spills(self, capped, uncapped_rows):
+        # Run the heaviest aggregations in row mode too: both pipelines
+        # must exercise their spill paths under this cap.
+        for name in ("tpch_q1", "pavlo_agg_full"):
+            got = _run(capped, QUERIES[name], vectorize=False)
+            assert_byte_identical(got, uncapped_rows[name])
+        accountant = capped.engine.memory
+        assert accountant.spill_events > 0
+        assert accountant.spill_bytes > 0
+        assert capped.metrics.value("memory.spill.events") > 0
+        assert capped.metrics.value("memory.spill.bytes") > 0
+        owners = set(accountant.spilled_by_owner)
+        assert owners & {"batch_aggregate", "hash_aggregate", "sort"}
+
+    def test_row_mode_capped_parity(self, capped, uncapped_rows):
+        for name in ("tpch_q3", "tpch_agg_2500", "pavlo_join"):
+            got = _run(capped, QUERIES[name], vectorize=False)
+            assert_byte_identical(got, uncapped_rows[name])
+            assert capped.engine.memory.live_bytes(EXECUTION) == 0
+            assert capped.engine.memory.clamped_release_bytes == 0
+
+
+class TestSpillChaosParity:
+    """Chaos shifts spill points between attempts; results must not move."""
+
+    CHAOS_QUERIES = ["tpch_q1", "tpch_agg_max", "pavlo_agg_substr"]
+
+    @pytest.mark.parametrize("name", CHAOS_QUERIES)
+    def test_chaos_capped_matches_uncapped(self, uncapped_rows, name):
+        injector = FaultInjector(
+            seed=13,
+            transient_failure_rate=0.25,
+            stragglers_per_stage=1,
+        )
+        chaotic = _build(
+            fault_injector=injector,
+            memory_per_worker_bytes=CAPPED_BYTES,
+        )
+        got = _run(chaotic, QUERIES[name])
+        assert_byte_identical(got, uncapped_rows[name])
+        # Killed/retried attempts deregistered their spill consumers and
+        # drained their reservations in the scheduler's finally.
+        assert chaotic.engine.memory.live_bytes(EXECUTION) == 0
+        assert chaotic.engine.memory.clamped_release_bytes == 0
+
+
+class TestAcceptance:
+    """ISSUE contract: Q1/Q3/Q6 at 1/8 of their uncapped peak."""
+
+    ACCEPTANCE = ["tpch_q1", "tpch_q3", "tpch_q6"]
+
+    @pytest.mark.parametrize("name", ACCEPTANCE)
+    def test_eighth_of_peak_completes_and_spills(self, name):
+        baseline = _build()
+        expected = _run(baseline, QUERIES[name])
+        peak = max(
+            ledger.total_peak
+            for worker_id, ledger in baseline.engine.memory.ledgers.items()
+            if worker_id >= 0
+        )
+        assert peak > 0
+        capped = _build(memory_per_worker_bytes=peak // 8)
+        got = _run(capped, QUERIES[name])
+        assert_byte_identical(got, expected)
+        assert capped.metrics.value("memory.spill.events") > 0
+        assert capped.engine.memory.live_bytes(EXECUTION) == 0
+        assert capped.engine.memory.clamped_release_bytes == 0
+
+
+@pytest.fixture(scope="module")
+def q1_tight_cap():
+    """An eighth of Q1's own uncapped peak: guarantees Q1 spills."""
+    baseline = _build()
+    _run(baseline, QUERIES["tpch_q1"])
+    peak = max(
+        ledger.total_peak
+        for worker_id, ledger in baseline.engine.memory.ledgers.items()
+        if worker_id >= 0
+    )
+    return peak // 8
+
+
+class TestSpillObservability:
+    def test_explain_analyze_shows_spill_lines(self, q1_tight_cap):
+        shark = _build(memory_per_worker_bytes=q1_tight_cap)
+        text = shark.explain_analyze(QUERIES["tpch_q1"])
+        assert "== memory ==" in text
+        assert "spills:" in text
+        assert "spill " in text  # per-owner attribution line
+
+    def test_event_log_and_history_carry_spills(self, tmp_path, q1_tight_cap):
+        path = tmp_path / "events.jsonl"
+        shark = _build(memory_per_worker_bytes=q1_tight_cap)
+        shark.enable_event_log(path, source="test", seed=1)
+        _run(shark, QUERIES["tpch_q1"])
+        shark.close_event_log()
+        from repro.obs.history import HistoryStore
+
+        store = HistoryStore.load(path)
+        spills = store.memory_spills()
+        assert spills and all(row["bytes"] > 0 for row in spills)
+        report = store.memory_report()
+        assert "spill report" in report
+        # Rebuilt profiles carry the per-task spill volumes (schema v3).
+        record = store.queries[0]
+        rebuilt = record.rebuild_profiles()
+        assert sum(
+            task.spill_bytes_written
+            for profile in rebuilt
+            for stage in profile.stages
+            for task in stage.tasks
+        ) > 0
+
+    def test_profile_describe_mentions_spills(self, q1_tight_cap):
+        shark = _build(memory_per_worker_bytes=q1_tight_cap)
+        _run(shark, QUERIES["tpch_q1"])
+        described = "\n".join(
+            profile.describe() for profile in shark.engine.profiles
+        )
+        assert "spills:" in described
