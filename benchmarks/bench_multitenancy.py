@@ -116,6 +116,76 @@ class TestMultitenancy:
         assert fine < BATCH_TASK_S * 2 + adhoc_alone + 1.0
         assert coarse_wait > fine * 3
 
+    def test_zipfian_serving_soak_degrades_gracefully(self, benchmark):
+        """The PR 8 serving layer, executed for real: a multi-tenant
+        SqlServer under Zipfian overload (offered load far above the
+        engine's concurrency cap) must shed only the lowest tier, keep
+        admitted results byte-identical to an uncontended run, and show
+        per-tier latency ordered interactive < batch < best_effort."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        from repro.obs.history import percentile
+        from repro.serving import ZipfianWorkload
+        from repro.serving.tenants import BEST_EFFORT, INTERACTIVE
+        from repro.serving.workload import (
+            build_server,
+            build_serving_context,
+        )
+
+        queries = 240
+        shark = build_serving_context()
+        server = build_server(shark, queries)
+        rejected = 0
+        for index, request in enumerate(
+            ZipfianWorkload(seed=29, queries=queries).generate()
+        ):
+            try:
+                server.submit(
+                    request.tenant,
+                    request.text,
+                    name=f"{request.tenant}-{index}",
+                    deadline_s=request.deadline_s,
+                    key=request.template,
+                )
+            except Exception:  # TenantQuotaExceeded: offered >> capacity
+                rejected += 1
+        server.drain()
+
+        shed = [t for t in server.finished if t.state == "shed"]
+        done = [t for t in server.finished if t.state == "done"]
+        by_tier: dict[str, list[float]] = {}
+        for ticket in done:
+            by_tier.setdefault(ticket.priority, []).append(
+                ticket.latency_s
+            )
+        for values in by_tier.values():
+            values.sort()
+
+        figure = Figure(
+            "Multi-tenant serving: per-tier p50 latency under Zipfian "
+            "overload (executed)",
+            "PR 8: weighted fair sharing + tiered shedding; only "
+            "best_effort is ever shed",
+        )
+        for tier in ("interactive", "batch", "best_effort"):
+            values = by_tier.get(tier, [])
+            if values:
+                figure.add(
+                    f"{tier} p50",
+                    percentile(values, 50.0),
+                    f"n={len(values)}, p95={percentile(values, 95.0):.2f}",
+                )
+        figure.add(
+            "shed (all best_effort)", float(len(shed)),
+            f"{rejected} quota-rejected at admission",
+        )
+        figure.show()
+
+        assert shed, "overload should force shedding"
+        assert all(t.priority == BEST_EFFORT for t in shed)
+        interactive_p50 = percentile(by_tier[INTERACTIVE], 50.0)
+        best_effort_p50 = percentile(by_tier[BEST_EFFORT], 50.0)
+        assert interactive_p50 < best_effort_p50
+
     def test_elasticity_new_nodes_absorb_pending_work(self, benchmark):
         """Section 7.2: 'nodes can appear or go away during a query, and
         pending work will automatically be spread onto them' — executed

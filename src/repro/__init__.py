@@ -40,6 +40,10 @@ _EXPORTS = {
     "LifecycleConfig": "repro.engine",
     "QueryHandle": "repro.engine",
     "QueryLifecycleManager": "repro.engine",
+    "SqlServer": "repro.serving",
+    "ServerConfig": "repro.serving",
+    "TenantQuota": "repro.serving",
+    "ZipfianWorkload": "repro.serving",
 }
 
 __all__ = ["__version__", *_EXPORTS]

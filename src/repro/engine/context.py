@@ -68,6 +68,9 @@ class EngineContext:
         self.lifecycle = None
         #: Optional EventLogWriter; None until enable_event_log().
         self.event_log = None
+        #: Optional SqlServer (multi-tenant serving); None until a
+        #: server is started over this context (repro.serving).
+        self.serving = None
         if (
             fault_injector is not None
             and fault_injector.kill_worker_id is not None

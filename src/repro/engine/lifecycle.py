@@ -18,12 +18,23 @@ manageable.  A :class:`QueryLifecycleManager` wraps the engine with:
   spans, and buffered accumulator updates (the recovery-tail discipline);
 * **fair multi-query scheduling** — runnable tasks from concurrently
   admitted queries interleave across the shared virtual workers
-  (round-robin or fewest-tasks-first) instead of strict FIFO, so a short
+  (round-robin, fewest-tasks-first, or weighted fair shares keyed on the
+  submitting tenant's priority tier) instead of strict FIFO, so a short
   interactive query is not starved behind a long scan;
 * a **per-query circuit breaker** — a query key whose runs repeatedly
   exhaust the engine's recovery budget fails fast with
   :class:`~repro.errors.QueryCircuitOpenError` instead of burning the
-  whole retry budget again on every resubmit.
+  whole retry budget again on every resubmit.  The breaker is scoped per
+  ``(tenant, key)``: one tenant's poison query never fails fast another
+  tenant running the same SQL.
+
+The serving layer (:mod:`repro.serving`) builds on three hooks here:
+``submit`` accepts ``tenant``/``priority``/``weight`` so admission and
+fairness are tenant-aware, :meth:`QueryLifecycleManager.shed_queued`
+drops a still-queued query with a typed
+:class:`~repro.errors.QueryShedError` (load shedding never touches a
+query that already launched tasks), and retry-after hints derive from
+the observed queue drain rate on the simulated clock.
 
 Execution model
 ---------------
@@ -59,6 +70,7 @@ from repro.errors import (
     QueryCircuitOpenError,
     QueryDeadlineExceeded,
     QueryLifecycleError,
+    QueryShedError,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -71,9 +83,10 @@ DONE = "done"
 CANCELLED = "cancelled"
 DEADLINE = "deadline"
 FAILED = "failed"
+SHED = "shed"
 
 #: Terminal states.
-_TERMINAL = frozenset({DONE, CANCELLED, DEADLINE, FAILED})
+_TERMINAL = frozenset({DONE, CANCELLED, DEADLINE, FAILED, SHED})
 
 
 @dataclass
@@ -87,7 +100,10 @@ class LifecycleConfig:
     max_queued: int = 2
     #: "round-robin" interleaves one task per query in admission order;
     #: "min-tasks" always runs the query with the fewest launched tasks
-    #: (max-min fairness on task shares).
+    #: (max-min fairness on task shares); "weighted" runs the query with
+    #: the smallest ``tasks_launched / weight`` ratio, so a weight-8
+    #: interactive query gets eight task slots for every one a weight-1
+    #: best-effort query gets (weighted max-min fairness).
     fairness: str = "round-robin"
     #: Deadline applied to queries submitted without an explicit one
     #: (None = no default deadline).
@@ -100,6 +116,9 @@ class LifecycleConfig:
     circuit_reset_completions: int = 4
     #: Retry-after hint when no completed query durations exist yet.
     retry_after_default_s: float = 1.0
+    #: Terminal events (slot/queue-position releases) sampled for the
+    #: observed queue drain rate that prices retry-after hints.
+    drain_rate_window: int = 8
     #: Real-time guard on baton handoffs: a cooperative-scheduling bug
     #: surfaces as a typed error after this many seconds instead of a
     #: hung test run.  Never reached in normal operation.
@@ -149,6 +168,17 @@ class QueryHandle:
     fn: Callable[[], Any]
     manager: "QueryLifecycleManager"
     deadline_s: Optional[float] = None
+    #: Owning tenant (None for directly-submitted queries); scopes the
+    #: circuit breaker and worker-failure attribution.
+    tenant: Optional[str] = None
+    #: Priority tier label (serving layer: interactive/batch/best_effort).
+    priority: Optional[str] = None
+    #: Fair-share weight under the "weighted" fairness policy.
+    weight: int = 1
+    #: Why load shedding dropped this query (None unless state is SHED).
+    shed_reason: Optional[str] = None
+    #: Simulated-clock instant this query was admitted or queued.
+    submitted_at: float = 0.0
     state: str = QUEUED
     result: Any = None
     error: Optional[BaseException] = None
@@ -202,6 +232,11 @@ class QueryHandle:
         ]
         if self.deadline_s is not None:
             parts.append(f"deadline {self.deadline_s:.3f}s")
+        if self.tenant is not None:
+            tier = f"/{self.priority}" if self.priority else ""
+            parts.append(f"tenant {self.tenant}{tier}")
+        if self.shed_reason is not None:
+            parts.append(f"shed: {self.shed_reason}")
         if self.error is not None:
             parts.append(f"error: {type(self.error).__name__}")
         return ", ".join(parts)
@@ -222,7 +257,9 @@ class QueryLifecycleManager:
     ):
         self._ctx = ctx
         self.config = config if config is not None else LifecycleConfig()
-        if self.config.fairness not in ("round-robin", "min-tasks"):
+        if self.config.fairness not in (
+            "round-robin", "min-tasks", "weighted"
+        ):
             raise ValueError(
                 f"unknown fairness policy {self.config.fairness!r}"
             )
@@ -242,12 +279,20 @@ class QueryLifecycleManager:
         self._next_query_id = 0
         self._rr_cursor = 0
         self._completions = 0
-        #: query key -> consecutive engine failures.
-        self._failures: dict[str, int] = {}
-        #: query key -> completion count at which the circuit half-opens.
-        self._circuit_until: dict[str, int] = {}
-        #: Charged durations of recently completed queries (retry hints).
+        #: (tenant, query key) -> consecutive engine failures.  Scoping
+        #: per tenant keeps one tenant's poison query from opening the
+        #: circuit for another tenant running the same SQL.
+        self._failures: dict[tuple[Optional[str], str], int] = {}
+        #: (tenant, query key) -> completion count at which the circuit
+        #: half-opens.
+        self._circuit_until: dict[tuple[Optional[str], str], int] = {}
+        #: Charged durations of recently completed queries (the
+        #: retry-hint fallback before drain-rate samples exist).
         self._recent_seconds: list[float] = []
+        #: Simulated-clock instants of recent terminal events — each one
+        #: released a slot or queue position, so their spacing is the
+        #: observed queue drain rate behind retry-after hints.
+        self._drain_times: list[float] = []
         self._driver_stack: Optional[list] = None
         # Aggregate counters (engine metrics mirror these, but the
         # manager keeps its own so describe() is self-contained).
@@ -257,6 +302,7 @@ class QueryLifecycleManager:
         self.deadline_expired = 0
         self.failed = 0
         self.rejected = 0
+        self.shed = 0
         self.circuit_opened = 0
 
     # ------------------------------------------------------------------
@@ -268,12 +314,18 @@ class QueryLifecycleManager:
         name: Optional[str] = None,
         deadline_s: Optional[float] = None,
         key: Optional[str] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+        weight: int = 1,
     ) -> QueryHandle:
         """Admit ``fn`` (a zero-argument callable running engine work).
 
         Raises :class:`~repro.errors.AdmissionRejected` beyond capacity
-        and :class:`~repro.errors.QueryCircuitOpenError` when the key's
-        circuit is open.  Nothing executes until :meth:`drain`/:meth:`wait`.
+        and :class:`~repro.errors.QueryCircuitOpenError` when the
+        ``(tenant, key)`` circuit is open.  Nothing executes until
+        :meth:`drain`/:meth:`wait`.  ``tenant``/``priority``/``weight``
+        are the serving layer's hooks: the weight feeds the "weighted"
+        fairness policy and the tenant scopes failure attribution.
         """
         metrics = self._ctx.tracer.metrics
         self.submitted += 1
@@ -282,7 +334,7 @@ class QueryLifecycleManager:
         self._next_query_id += 1
         name = name if name is not None else f"q{query_id}"
         key = key if key is not None else name
-        self._check_circuit(name, key)
+        self._check_circuit(name, key, tenant)
         handle = QueryHandle(
             query_id=query_id,
             name=name,
@@ -294,6 +346,10 @@ class QueryLifecycleManager:
                 if deadline_s is not None
                 else self.config.default_deadline_s
             ),
+            tenant=tenant,
+            priority=priority,
+            weight=max(int(weight), 1),
+            submitted_at=self._ctx.tracer.clock.now(),
         )
         with self._cond:
             if len(self._running) < self.config.max_concurrent:
@@ -330,37 +386,56 @@ class QueryLifecycleManager:
         self.handles.append(handle)
         return handle
 
-    def _check_circuit(self, name: str, key: str) -> None:
-        half_open_at = self._circuit_until.get(key)
+    def _check_circuit(
+        self, name: str, key: str, tenant: Optional[str]
+    ) -> None:
+        scoped = (tenant, key)
+        half_open_at = self._circuit_until.get(scoped)
         if half_open_at is None:
             return
         if self._completions >= half_open_at:
             # Half-open: admit one trial; success closes the circuit,
             # another failure re-opens it.
-            del self._circuit_until[key]
+            del self._circuit_until[scoped]
             return
         self.rejected += 1
         self._ctx.tracer.metrics.inc("queries.circuit_rejected")
         remaining = half_open_at - self._completions
         self._ctx.tracer.instant(
             "query.rejected", "query",
-            query=name, key=key, reason="circuit-open",
+            query=name, key=key, tenant=tenant, reason="circuit-open",
             retry_after_completions=remaining,
         )
         raise QueryCircuitOpenError(
             key,
-            failures=self._failures.get(key, 0),
+            failures=self._failures.get(scoped, 0),
             retry_after_completions=remaining,
         )
 
     def _retry_after_hint(self) -> float:
+        """Simulated seconds until a resubmission plausibly admits.
+
+        Derived from the observed queue drain rate: the simulated-clock
+        spacing of recent terminal events (each frees a slot or queue
+        position).  With ``q`` queries already queued, the hint is the
+        time for ``q + 1`` drains at that rate.  Before two drain
+        samples with clock movement exist, fall back to the average of
+        recently completed query durations.
+        """
+        waiting = 1 + len(self._queued)
+        samples = self._drain_times[-self.config.drain_rate_window:]
+        if len(samples) >= 2:
+            elapsed = samples[-1] - samples[0]
+            if elapsed > 0:
+                rate = (len(samples) - 1) / elapsed  # drains per sim-s
+                return waiting / rate
         recent = self._recent_seconds[-8:]
         average = (
             sum(recent) / len(recent)
             if recent
             else self.config.retry_after_default_s
         )
-        return max(average, 1e-3) * (1 + len(self._queued))
+        return max(average, 1e-3) * waiting
 
     # ------------------------------------------------------------------
     # Driving the cooperative scheduler
@@ -426,6 +501,19 @@ class QueryLifecycleManager:
             return min(
                 self._running,
                 key=lambda handle: (handle.tasks_launched, handle.query_id),
+            )
+        if self.config.fairness == "weighted":
+            # Weighted max-min fairness: the smallest launched-tasks /
+            # weight ratio runs next, ties broken by the heavier weight
+            # (higher tier first), then admission order — deterministic,
+            # so concurrent runs stay byte-identical.
+            return min(
+                self._running,
+                key=lambda handle: (
+                    handle.tasks_launched / handle.weight,
+                    -handle.weight,
+                    handle.query_id,
+                ),
             )
         # Round-robin in admission order, robust to completions
         # shrinking the list between slices.
@@ -535,6 +623,11 @@ class QueryLifecycleManager:
     def current_token(self) -> Optional[CancelToken]:
         return self._current.token if self.in_query() else None
 
+    def current_tenant(self) -> Optional[str]:
+        """Tenant of the running query (worker-failure attribution in
+        the scheduler is scoped by this), or None outside a query."""
+        return self._current.tenant if self.in_query() else None
+
     def checkpoint(self) -> None:
         """Cooperative scheduling point, called by the scheduler before
         every task attempt: observe cancellation/deadline, then hand the
@@ -593,6 +686,26 @@ class QueryLifecycleManager:
                 return
         handle.token.cancel(reason)
 
+    def shed_queued(self, handle: QueryHandle, reason: str) -> bool:
+        """Load-shed a still-queued query (the serving layer's overload
+        valve: a deadline that became unmeetable while waiting, or a
+        brownout dropping low-priority tiers).
+
+        Only queued queries can be shed — a query that launched tasks is
+        cancelled, never shed — so shedding is always cheap: no cleanup,
+        no wasted work.  Returns False when ``handle`` was not queued
+        (already running or terminal)."""
+        with self._cond:
+            if handle not in self._queued:
+                return False
+            self._queued.remove(handle)
+        handle.token.cancel("shed")
+        handle.state = SHED
+        handle.shed_reason = reason
+        handle.error = QueryShedError(handle.name, shed_reason=reason)
+        self._record_completion(handle)
+        return True
+
     def _cleanup(self, handle: QueryHandle) -> None:
         """Close the query's spans and, on abnormal exit, release its
         shuffle outputs — no leaked pinned blocks, no open spans."""
@@ -632,12 +745,19 @@ class QueryLifecycleManager:
         metrics = self._ctx.tracer.metrics
         self.finish_order.append(handle)
         self._completions += 1
+        # Every terminal event frees a slot or queue position: sample
+        # the simulated clock for the drain rate behind retry hints.
+        self._drain_times.append(self._ctx.tracer.clock.now())
+        if len(self._drain_times) > 4 * self.config.drain_rate_window:
+            del self._drain_times[: -self.config.drain_rate_window]
+        scoped = (handle.tenant, handle.key)
         log = self._ctx.event_log
         if log is not None:
             status = {
                 DONE: "ok",
                 CANCELLED: "cancelled",
                 DEADLINE: "deadline",
+                SHED: "shed",
             }.get(handle.state, "error")
             log.write_query(
                 name=handle.name,
@@ -649,8 +769,12 @@ class QueryLifecycleManager:
                     else None
                 ),
                 sim_seconds=handle.charged_seconds,
+                started=handle.submitted_at,
                 ended=self._ctx.tracer.clock.now(),
                 query_id=f"lifecycle-{handle.query_id}",
+                tenant=handle.tenant,
+                priority=handle.priority,
+                shed_reason=handle.shed_reason,
             )
             metrics.observe(
                 "query.sim_seconds", handle.charged_seconds
@@ -659,8 +783,8 @@ class QueryLifecycleManager:
             self.completed += 1
             metrics.inc("queries.completed")
             self._recent_seconds.append(handle.charged_seconds)
-            self._failures.pop(handle.key, None)
-            self._circuit_until.pop(handle.key, None)
+            self._failures.pop(scoped, None)
+            self._circuit_until.pop(scoped, None)
         elif handle.state == DEADLINE:
             self.deadline_expired += 1
             metrics.inc("queries.deadline_expired")
@@ -678,24 +802,34 @@ class QueryLifecycleManager:
                 query_id=handle.query_id, query=handle.name,
                 tasks_launched=handle.tasks_launched,
             )
+        elif handle.state == SHED:
+            self.shed += 1
+            metrics.inc("queries.shed")
+            self._ctx.tracer.instant(
+                "query.shed", "query",
+                query_id=handle.query_id, query=handle.name,
+                tenant=handle.tenant, priority=handle.priority,
+                shed_reason=handle.shed_reason,
+            )
         elif handle.state == FAILED:
             self.failed += 1
             metrics.inc("queries.failed")
             if isinstance(handle.error, EngineError) and not isinstance(
                 handle.error, QueryLifecycleError
             ):
-                count = self._failures.get(handle.key, 0) + 1
-                self._failures[handle.key] = count
+                count = self._failures.get(scoped, 0) + 1
+                self._failures[scoped] = count
                 if count >= self.config.circuit_failure_threshold:
                     self.circuit_opened += 1
                     metrics.inc("queries.circuit_opened")
-                    self._circuit_until[handle.key] = (
+                    self._circuit_until[scoped] = (
                         self._completions
                         + self.config.circuit_reset_completions
                     )
                     self._ctx.tracer.instant(
                         "query.circuit_open", "query",
-                        key=handle.key, failures=count,
+                        key=handle.key, tenant=handle.tenant,
+                        failures=count,
                         reset_after_completions=(
                             self.config.circuit_reset_completions
                         ),
@@ -705,13 +839,40 @@ class QueryLifecycleManager:
     # Reporting
     # ------------------------------------------------------------------
     def describe(self) -> str:
-        return (
+        text = (
             f"lifecycle: {self.submitted} submitted, "
             f"{self.completed} completed, {self.cancelled} cancelled, "
             f"{self.deadline_expired} deadline-expired, "
             f"{self.failed} failed, {self.rejected} rejected, "
             f"{self.circuit_opened} circuit-opened"
         )
+        if self.shed:
+            text += f", {self.shed} shed"
+        return text
+
+    def admission_ledger(self) -> dict:
+        """Live admission accounting for ledger-zero assertions: every
+        submission must be running, queued, terminal, or rejected —
+        slots never leak, on any terminal path."""
+        terminal = (
+            self.completed
+            + self.cancelled
+            + self.deadline_expired
+            + self.failed
+            + self.shed
+        )
+        return {
+            "running": len(self._running),
+            "queued": len(self._queued),
+            "terminal": terminal,
+            "rejected": self.rejected,
+            "submitted": self.submitted,
+            "leaked": self.submitted
+            - terminal
+            - self.rejected
+            - len(self._running)
+            - len(self._queued),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -156,8 +156,11 @@ class DAGScheduler:
         #: query can span several jobs (PDE pre-shuffles, sort sampling,
         #: the final collect), and cost accounting needs all of them.
         self.history: list[QueryProfile] = []
-        #: worker_id -> failures since its last blacklisting.
-        self._worker_failures: dict[int, int] = {}
+        #: (tenant, worker_id) -> failures since its last blacklisting.
+        #: Attribution is per tenant (None outside lifecycle queries) so
+        #: one tenant's poison query cannot blacklist workers out from
+        #: under everybody else's healthy traffic.
+        self._worker_failures: dict[tuple[Optional[str], int], int] = {}
         #: (shuffle_id, map_partition) whose accumulator buffer was merged
         #: — lineage re-runs of a map task must not merge again.
         self._merged_map_acc: set[tuple[int, int]] = set()
@@ -784,11 +787,20 @@ class DAGScheduler:
     def _note_worker_failure(
         self, worker_id: int, profile: Optional[QueryProfile]
     ) -> None:
-        """Count one failure against a worker; blacklist on threshold."""
-        count = self._worker_failures.get(worker_id, 0) + 1
-        self._worker_failures[worker_id] = count
+        """Count one failure against a worker; blacklist on threshold.
+
+        Failures are attributed to the submitting tenant: only a single
+        tenant's repeated failures on a worker trip the blacklist, so a
+        multi-tenant server never punishes tenant B for tenant A's
+        poison query.
+        """
+        lifecycle = getattr(self._ctx, "lifecycle", None)
+        tenant = lifecycle.current_tenant() if lifecycle is not None else None
+        scoped = (tenant, worker_id)
+        count = self._worker_failures.get(scoped, 0) + 1
+        self._worker_failures[scoped] = count
         if count >= self.config.blacklist_threshold:
-            self._worker_failures[worker_id] = 0
+            self._worker_failures[scoped] = 0
             self._ctx.cluster.blacklist_worker(
                 worker_id, self.config.blacklist_probation_tasks
             )

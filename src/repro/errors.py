@@ -117,6 +117,39 @@ class AdmissionRejected(QueryLifecycleError):
         self.retry_after_s = retry_after_s
 
 
+class TenantQuotaExceeded(AdmissionRejected):
+    """A tenant hit one of its own serving quotas (concurrency slots,
+    queued-query cap, or the simulated-seconds budget of the current
+    accounting window) — the server as a whole may have capacity, but
+    this tenant must back off.
+
+    ``resource`` names the exhausted quota: ``"concurrency"``,
+    ``"queue"``, or ``"budget"``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tenant: str,
+        resource: str,
+        running: int,
+        queued: int,
+        retry_after_s: float,
+    ):
+        QueryLifecycleError.__init__(
+            self,
+            f"query {name!r} rejected: tenant {tenant!r} exceeded its "
+            f"{resource} quota ({running} running, {queued} queued); "
+            f"retry after ~{retry_after_s:.2f}s",
+        )
+        self.name = name
+        self.tenant = tenant
+        self.resource = resource
+        self.running = running
+        self.queued = queued
+        self.retry_after_s = retry_after_s
+
+
 class QueryCancelledError(QueryLifecycleError):
     """The query was cancelled mid-flight (user request or deadline).
 
@@ -146,6 +179,22 @@ class QueryDeadlineExceeded(QueryCancelledError):
         )
         self.deadline_s = deadline_s
         self.elapsed_s = elapsed_s
+
+
+class QueryShedError(QueryCancelledError):
+    """A still-queued query was dropped by load shedding before it ever
+    launched a task (its deadline became unmeetable while it waited, or
+    the server entered brownout and shed its priority tier).
+
+    ``shed_reason`` is machine-readable: ``"deadline-unmeetable"`` or
+    ``"brownout"``.  Subclasses :class:`QueryCancelledError` so one
+    handler catches every form of a query being killed before
+    completion.
+    """
+
+    def __init__(self, name: str, shed_reason: str):
+        super().__init__(name, reason=f"shed: {shed_reason}")
+        self.shed_reason = shed_reason
 
 
 class QueryCircuitOpenError(QueryLifecycleError):

@@ -93,6 +93,9 @@ class QueryAnalysis:
     #: (operator label, mode) pairs from the planner: which operators ran
     #: vectorized (batch kernels) and which ran row-at-a-time.
     operator_modes: list[tuple[str, str]] = field(default_factory=list)
+    #: Multi-tenant serving summary lines (SqlServer.summary_lines());
+    #: empty when the session runs outside a server.
+    serving_lines: list[str] = field(default_factory=list)
 
     def render(self) -> str:
         lines = self.plan_text.splitlines()
@@ -164,6 +167,10 @@ class QueryAnalysis:
             lines.append("  == operator modes ==")
             for operator, mode in self.operator_modes:
                 lines.append(f"  {operator}: {mode}")
+        if self.serving_lines:
+            lines.append("  == serving ==")
+            for line in self.serving_lines:
+                lines.append(f"  {line}")
         for note in self.notes:
             lines.append(f"  -- {note}")
         return "\n".join(lines)

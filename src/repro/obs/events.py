@@ -49,7 +49,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: v3 adds the ``memory_spill`` record type (per-owner spill totals for
 #: one query) plus *optional* job/task spill fields — optional so v2
 #: logs still load (DESIGN.md §12).
-SCHEMA_VERSION = 3
+#: v4 adds *optional* serving fields — ``tenant``/``priority`` on
+#: ``query_begin`` and ``shed_reason`` on ``query_end`` — plus the
+#: ``query.shed`` instant; all optional, so v3/v2 logs still load
+#: (DESIGN.md §13).
+SCHEMA_VERSION = 4
 
 #: Flight-recorder ring capacity (events kept for post-mortems).
 FLIGHT_CAPACITY = 512
@@ -295,6 +299,9 @@ class EventLogWriter:
         flight: Optional[dict] = None,
         memory: Optional[list[dict]] = None,
         spills: Optional[list[dict]] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+        shed_reason: Optional[str] = None,
     ) -> str:
         """Write one query's complete record set; returns its id.
 
@@ -308,16 +315,21 @@ class EventLogWriter:
         if query_id is None:
             query_id = f"q{self.queries_logged:04d}"
         self.queries_logged += 1
-        self.write(
-            {
-                "type": "query_begin",
-                "query_id": query_id,
-                "name": name,
-                "kind": kind,
-                "text": text,
-                "ts": started,
-            }
-        )
+        begin: dict[str, Any] = {
+            "type": "query_begin",
+            "query_id": query_id,
+            "name": name,
+            "kind": kind,
+            "text": text,
+            "ts": started,
+        }
+        # v4 optional serving fields: written only when set, never in
+        # _REQUIRED — both choices keep v3/v2 logs loadable.
+        if tenant is not None:
+            begin["tenant"] = tenant
+        if priority is not None:
+            begin["priority"] = priority
+        self.write(begin)
         if plan_text:
             self.write(
                 {"type": "plan", "query_id": query_id, "text": plan_text}
@@ -445,18 +457,19 @@ class EventLogWriter:
             )
         if flight is not None:
             self.write({**flight, "query_id": query_id})
-        self.write(
-            {
-                "type": "query_end",
-                "query_id": query_id,
-                "status": status,
-                "error": error,
-                "ts": ended,
-                "sim_seconds": sim_seconds,
-                "stage_sim": stage_sim or [],
-                "result_rows": result_rows,
-            }
-        )
+        end: dict[str, Any] = {
+            "type": "query_end",
+            "query_id": query_id,
+            "status": status,
+            "error": error,
+            "ts": ended,
+            "sim_seconds": sim_seconds,
+            "stage_sim": stage_sim or [],
+            "result_rows": result_rows,
+        }
+        if shed_reason is not None:
+            end["shed_reason"] = shed_reason
+        self.write(end)
         if self.metrics is not None:
             self.metrics.set_gauge("eventlog.queries", self.queries_logged)
         return query_id

@@ -48,6 +48,10 @@ class QueryRecord:
     ended: float = 0.0
     sim_seconds: float = 0.0
     result_rows: Optional[int] = None
+    #: v4 optional serving fields (None on v3/v2 logs).
+    tenant: Optional[str] = None
+    priority: Optional[str] = None
+    shed_reason: Optional[str] = None
     plan_text: Optional[str] = None
     operator_modes: list[tuple[str, str]] = field(default_factory=list)
     counters: dict[str, float] = field(default_factory=dict)
@@ -327,6 +331,9 @@ class HistoryStore:
                 target.kind = record["kind"]
                 target.text = record.get("text")
                 target.started = record["ts"]
+                # v4 optional serving fields: .get keeps v3/v2 loadable.
+                target.tenant = record.get("tenant")
+                target.priority = record.get("priority")
                 target.flight_only = False
                 if target.status in ("unknown",):
                     target.status = "incomplete"
@@ -358,6 +365,7 @@ class HistoryStore:
                 target.sim_seconds = record["sim_seconds"]
                 target.stage_sim = list(record.get("stage_sim") or [])
                 target.result_rows = record.get("result_rows")
+                target.shed_reason = record.get("shed_reason")
         for record in order:
             record.header = header
         self.queries.extend(order)
@@ -548,6 +556,113 @@ class HistoryStore:
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
+    # Serving (schema v4)
+    # ------------------------------------------------------------------
+    def tenant_rows(self) -> list[dict]:
+        """Per-tenant utilization from v4 query records: query counts by
+        outcome, charged simulated seconds, and end-to-end latency."""
+        merged: dict[str, dict[str, float]] = {}
+        for record in self.queries:
+            if record.tenant is None:
+                continue
+            row = merged.setdefault(
+                record.tenant,
+                {
+                    "queries": 0,
+                    "completed": 0,
+                    "shed": 0,
+                    "failed": 0,
+                    "sim_seconds": 0.0,
+                    "latency_seconds": 0.0,
+                },
+            )
+            row["queries"] += 1
+            if record.status == "ok":
+                row["completed"] += 1
+                row["latency_seconds"] += max(
+                    record.ended - record.started, 0.0
+                )
+            elif record.status == "shed":
+                row["shed"] += 1
+            elif record.status in ("failed", "error"):
+                row["failed"] += 1
+            row["sim_seconds"] += record.sim_seconds
+        return [
+            {"tenant": tenant, **row}
+            for tenant, row in sorted(merged.items())
+        ]
+
+    def tier_latencies(self) -> dict[str, list[float]]:
+        """priority tier -> sorted end-to-end latencies (simulated
+        seconds, ``ended - started``) of its completed queries."""
+        tiers: dict[str, list[float]] = {}
+        for record in self.queries:
+            if record.priority is None or record.status != "ok":
+                continue
+            tiers.setdefault(record.priority, []).append(
+                max(record.ended - record.started, 0.0)
+            )
+        for values in tiers.values():
+            values.sort()
+        return tiers
+
+    def tenant_report(self, markdown: bool = False) -> str:
+        """Per-tenant utilization + per-tier latency percentiles."""
+        h2 = "## " if markdown else "== "
+        h2end = "" if markdown else " =="
+        rows = self.tenant_rows()
+        lines = [
+            f"{'# ' if markdown else ''}tenant report: "
+            f"{len(rows)} tenant(s) across "
+            f"{len(self.queries)} quer"
+            f"{'y' if len(self.queries) == 1 else 'ies'}"
+        ]
+        if not rows:
+            lines.append(
+                "  (no tenant-tagged queries — log predates schema v4 "
+                "or queries ran outside a SqlServer)"
+            )
+            return "\n".join(lines)
+        lines.append("")
+        lines.append(f"{h2}per-tenant utilization{h2end}")
+        for row in rows:
+            mean = (
+                row["latency_seconds"] / row["completed"]
+                if row["completed"]
+                else 0.0
+            )
+            lines.append(
+                f"  {row['tenant']:<12} {row['queries']:4d} queries "
+                f"({row['completed']} ok, {row['shed']} shed, "
+                f"{row['failed']} failed), "
+                f"{row['sim_seconds']:8.3f} sim-s charged, "
+                f"mean latency {mean:.3f}s"
+            )
+        tiers = self.tier_latencies()
+        if tiers:
+            lines.append("")
+            lines.append(f"{h2}per-tier latency (completed){h2end}")
+            for tier, values in sorted(tiers.items()):
+                lines.append(
+                    f"  {tier:<12} n={len(values):4d}  "
+                    f"p50 {percentile(values, 50.0):.3f}s  "
+                    f"p95 {percentile(values, 95.0):.3f}s  "
+                    f"p99 {percentile(values, 99.0):.3f}s"
+                )
+        sheds: dict[str, int] = {}
+        for record in self.queries:
+            if record.shed_reason:
+                sheds[record.shed_reason] = (
+                    sheds.get(record.shed_reason, 0) + 1
+                )
+        if sheds:
+            lines.append("")
+            lines.append(f"{h2}shed reasons{h2end}")
+            for reason, count in sorted(sheds.items()):
+                lines.append(f"  {reason}: {count}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
     # Reports
     # ------------------------------------------------------------------
     def report(
@@ -724,6 +839,21 @@ class HistoryStore:
         )
 
 
+def percentile(sorted_values: list[float], pct: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted list (0 when
+    empty) — deterministic, no interpolation."""
+    if not sorted_values:
+        return 0.0
+    rank = max(
+        0,
+        min(
+            len(sorted_values) - 1,
+            int(-(-pct * len(sorted_values) // 100.0)) - 1,
+        ),
+    )
+    return sorted_values[rank]
+
+
 def _timeline_sorted(timeline: list[dict]) -> list[dict]:
     return sorted(
         timeline,
@@ -755,11 +885,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "section",
         nargs="?",
-        choices=["memory"],
+        choices=["memory", "tenants"],
         help=(
             "optional focused report: 'memory' renders the per-worker "
             "pressure timeline and top consumers from memory_watermark "
-            "records"
+            "records; 'tenants' renders per-tenant utilization and "
+            "per-tier latency percentiles from v4 serving fields"
         ),
     )
     parser.add_argument(
@@ -785,6 +916,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     try:
         if args.section == "memory":
             print(store.memory_report(markdown=args.markdown))
+        elif args.section == "tenants":
+            print(store.tenant_report(markdown=args.markdown))
         else:
             print(store.report(markdown=args.markdown, query=args.query))
     except BrokenPipeError:  # `| head` closed stdout; not an error

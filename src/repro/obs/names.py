@@ -75,6 +75,15 @@ COUNTERS = frozenset(
         "queries.failed",
         "queries.circuit_opened",
         "queries.circuit_rejected",
+        "queries.shed",
+        # multi-tenant serving (SqlServer)
+        "server.submitted",
+        "server.admitted",
+        "server.enqueued",
+        "server.completed",
+        "server.shed",
+        "server.brownouts",
+        "tenant.quota_rejected",
         # persistent observability (event log / flight recorder)
         "events.logged",
         "flight.dumps",
@@ -108,6 +117,11 @@ GAUGES = frozenset(
         # derived cache-health ratios (from cache.*/blocks.* counters)
         "cache.hit_ratio",
         "blocks.eviction_ratio",
+        # multi-tenant serving: registered tenants, total pending
+        # queries across tenant queues, and the brownout flag (0/1).
+        "server.tenants",
+        "server.queue_depth",
+        "server.brownout",
     }
 )
 
@@ -117,6 +131,12 @@ HISTOGRAMS = frozenset(
     {
         "task.seconds",
         "query.sim_seconds",
+        # multi-tenant serving: end-to-end latency (enqueue to terminal)
+        # and time spent waiting in the server's pending queues, both in
+        # simulated seconds (per-tier twins use the dynamic names
+        # server.latency.{tier} / server.queue_wait.{tier}).
+        "server.latency",
+        "server.queue_wait",
     }
 )
 
@@ -152,6 +172,11 @@ INSTANTS = frozenset(
         "query.deadline",
         "query.circuit_open",
         "query.shuffles_released",
+        # multi-tenant serving
+        "query.shed",
+        "server.brownout.enter",
+        "server.brownout.exit",
+        "tenant.registered",
         # persistent observability
         "flight.dump",
         # unified memory accounting: a reservation exceeded the worker's

@@ -1,0 +1,56 @@
+"""Multi-tenant SQL serving on top of the query lifecycle manager.
+
+Shark's serving story — low-latency SQL over cached data for many
+concurrent clients — only matters if the system degrades gracefully
+under overload instead of falling over.  This package turns the PR 3
+lifecycle kernel (admission, deadlines, cooperative cancellation, fair
+interleaving) into a server:
+
+* :mod:`repro.serving.tenants` — priority tiers, fair-share weights,
+  and per-tenant quotas (concurrency slots, queued-query caps, a
+  simulated-seconds budget per accounting window).
+* :mod:`repro.serving.server` — :class:`SqlServer`: long-lived
+  per-tenant sessions, quota enforcement with typed rejections carrying
+  retry-after hints, priority-ordered promotion into the engine,
+  deadline-aware load shedding, and a brownout mode that sheds
+  ``best_effort`` before ever touching ``interactive``.
+* :mod:`repro.serving.workload` — the seeded Zipfian heavy-traffic
+  generator and the overload-soak harness behind CI's serving gate.
+"""
+
+from repro.serving.tenants import (
+    BATCH,
+    BEST_EFFORT,
+    INTERACTIVE,
+    PRIORITY_TIERS,
+    PRIORITY_WEIGHTS,
+    TenantQuota,
+    TenantState,
+)
+from repro.serving.server import ServedQuery, ServerConfig, SqlServer
+
+__all__ = [
+    "BATCH",
+    "BEST_EFFORT",
+    "INTERACTIVE",
+    "PRIORITY_TIERS",
+    "PRIORITY_WEIGHTS",
+    "ServedQuery",
+    "ServerConfig",
+    "SqlServer",
+    "TenantQuota",
+    "TenantState",
+    "ZipfianWorkload",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: importing the workload module here would shadow
+    # ``python -m repro.serving.workload`` with a RuntimeWarning.
+    if name == "ZipfianWorkload":
+        from repro.serving.workload import ZipfianWorkload
+
+        return ZipfianWorkload
+    raise AttributeError(
+        f"module 'repro.serving' has no attribute {name!r}"
+    )

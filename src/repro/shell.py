@@ -46,6 +46,13 @@ Enter SQL terminated by ';'.  Dot-commands:
   .cancel <id>          cooperatively cancel a submitted query
   .drain                run all submitted queries to completion, fairly
                         interleaved
+  .server [start|drain] multi-tenant serving status; 'start' hosts a
+                        SqlServer over this context, 'drain' runs every
+                        accepted query; 'submit <tenant> <sql>' admits
+                        one query under the tenant's quota
+  .tenants [add <name> [tier]]  per-tenant serving sessions; 'add'
+                        registers a tenant (tier: interactive, batch,
+                        or best_effort)
   .quit                 exit"""
 
 #: Truncate result sets in the shell beyond this many rows.
@@ -178,6 +185,17 @@ class Shell:
             return
         if name == ".metrics":
             self._write(self.shark.metrics.describe())
+            serving = self.shark.engine.serving
+            if serving is not None:
+                self._write("== serving ==")
+                for line in serving.summary_lines():
+                    self._write(line)
+            return
+        if name == ".server":
+            self._server_command(argument)
+            return
+        if name == ".tenants":
+            self._tenants_command(argument)
             return
         if name == ".memory":
             self._write(self.shark.engine.memory.describe())
@@ -278,6 +296,82 @@ class Shell:
                 self._write(handle.describe())
             return
         self._write(f"unknown command {name!r}; try .help")
+
+    def _server_command(self, argument: str) -> None:
+        from repro.serving import SqlServer
+
+        server = self.shark.engine.serving
+        if argument == "start":
+            if server is not None:
+                self._write("server already running")
+            else:
+                server = SqlServer(self.shark)
+                self._write(
+                    "server started (weighted fair scheduling); register "
+                    "tenants with `.tenants add <name> [tier]`"
+                )
+            return
+        if server is None:
+            self._write("(no server; start one with `.server start`)")
+            return
+        if argument == "drain":
+            finished = server.drain()
+            for ticket in finished[-MAX_DISPLAY_ROWS:]:
+                self._write(ticket.describe())
+            self._write(server.describe())
+            return
+        if argument.startswith("submit "):
+            rest = argument[len("submit "):].strip()
+            tenant, __, text = rest.partition(" ")
+            text = text.strip().rstrip(";")
+            if not tenant or not text:
+                self._write("usage: .server submit <tenant> <sql>")
+                return
+            try:
+                ticket = server.submit(tenant, text)
+            except ReproError as error:
+                self._write(f"error: {error}")
+                return
+            self._write(
+                f"accepted query {ticket.seq} for tenant {tenant} "
+                f"({ticket.priority}); run with .server drain"
+            )
+            return
+        if argument:
+            self._write(f"unknown server subcommand {argument!r}")
+            return
+        for line in server.summary_lines():
+            self._write(line)
+
+    def _tenants_command(self, argument: str) -> None:
+        server = self.shark.engine.serving
+        if argument.startswith("add "):
+            if server is None:
+                self._write(
+                    "(no server; start one with `.server start`)"
+                )
+                return
+            rest = argument[len("add "):].split()
+            name = rest[0] if rest else ""
+            tier = rest[1] if len(rest) > 1 else "batch"
+            if not name:
+                self._write("usage: .tenants add <name> [tier]")
+                return
+            try:
+                tenant = server.register_tenant(name, priority=tier)
+            except (ValueError, ReproError) as error:
+                self._write(f"error: {error}")
+                return
+            self._write(
+                f"tenant {tenant.name} registered "
+                f"[{tenant.priority}, weight {tenant.weight}]"
+            )
+            return
+        if server is None or not server.tenants:
+            self._write("(no tenants; `.tenants add <name> [tier]`)")
+            return
+        for name in sorted(server.tenants):
+            self._write(server.tenants[name].describe())
 
     def _trace_command(self, argument: str) -> None:
         tracer = self.shark.tracer

@@ -358,6 +358,9 @@ class SqlSession:
             memory_pressure_events=self.ctx.memory.pressure_events,
             memory_spills=self.ctx.memory.spill_rows_since(spill_mark),
         )
+        serving = getattr(self.ctx, "serving", None)
+        if serving is not None:
+            analysis.serving_lines = serving.summary_lines()
         text = analysis.render()
         schema = Schema([Field("plan", type_by_name("string"))])
         return QueryResult(

@@ -21,6 +21,7 @@ from repro.errors import (
     QueryCancelledError,
     QueryCircuitOpenError,
     QueryDeadlineExceeded,
+    QueryShedError,
     TaskError,
 )
 from repro.faults import FaultInjector
@@ -565,3 +566,254 @@ class TestTraceDrainOnCancellation:
         assert dump["query_id"] == f"lifecycle-{handle.query_id}"
         assert dump["events"]  # partial timeline despite tracing off
         assert shark.metrics.value("flight.dumps") == 1
+
+
+class TestWeightedFairness:
+    def test_heavier_weight_finishes_first(self):
+        ctx = EngineContext(num_workers=4, cores_per_worker=2)
+        lifecycle = ctx.enable_lifecycle(
+            LifecycleConfig(max_concurrent=2, fairness="weighted")
+        )
+        rdd = ctx.parallelize(range(1200), 12)
+        light = lifecycle.submit(
+            lambda: rdd.map(lambda x: x + 1).collect(),
+            name="light",
+            weight=1,
+        )
+        heavy = lifecycle.submit(
+            lambda: rdd.map(lambda x: x + 1).collect(),
+            name="heavy",
+            weight=8,
+        )
+        finished = lifecycle.drain()
+        # Same job, submitted later — but 8 task slots per 1 means the
+        # heavier query overtakes and completes first.
+        assert [handle.name for handle in finished] == ["heavy", "light"]
+        assert heavy.result == light.result == [x + 1 for x in range(1200)]
+
+    def test_weight_floor_is_one(self):
+        ctx = EngineContext(num_workers=2)
+        lifecycle = ctx.enable_lifecycle(
+            LifecycleConfig(fairness="weighted")
+        )
+        handle = lifecycle.submit(lambda: 1, name="q", weight=0)
+        assert handle.weight == 1
+        assert lifecycle.wait(handle) == 1
+
+    def test_weighted_drain_is_deterministic(self):
+        def run_once():
+            ctx = EngineContext(num_workers=4, cores_per_worker=2)
+            lifecycle = ctx.enable_lifecycle(
+                LifecycleConfig(max_concurrent=3, fairness="weighted")
+            )
+            rdd = ctx.parallelize(range(600), 6)
+            for name, weight in (("a", 8), ("b", 2), ("c", 1)):
+                lifecycle.submit(
+                    lambda: rdd.map(lambda x: x * 3).collect(),
+                    name=name,
+                    weight=weight,
+                )
+            finished = lifecycle.drain()
+            return [
+                (handle.name, handle.tasks_launched) for handle in finished
+            ]
+
+        assert run_once() == run_once()
+
+
+class TestTenantIsolation:
+    """Satellite 1: circuit breaker and worker blacklist scoped per
+    tenant — one tenant's failures never fail-fast or blacklist for
+    another."""
+
+    def _boom(self):
+        raise TaskError(0, 0, ValueError("boom"))
+
+    def test_circuit_is_scoped_to_the_failing_tenant(self):
+        ctx = EngineContext(num_workers=2)
+        lifecycle = ctx.enable_lifecycle(
+            LifecycleConfig(
+                circuit_failure_threshold=2, circuit_reset_completions=4
+            )
+        )
+        for name in ("a1", "a2"):
+            handle = lifecycle.submit(
+                self._boom, name=name, key="hot", tenant="a"
+            )
+            with pytest.raises(TaskError):
+                lifecycle.wait(handle)
+        # Tenant a's circuit for this key is open...
+        with pytest.raises(QueryCircuitOpenError):
+            lifecycle.submit(self._boom, name="a3", key="hot", tenant="a")
+        # ...but the same key admits untouched for tenant b and for
+        # tenantless submissions.
+        other = lifecycle.submit(lambda: 1, name="b1", key="hot", tenant="b")
+        assert lifecycle.wait(other) == 1
+        anon = lifecycle.submit(lambda: 2, name="anon", key="hot")
+        assert lifecycle.wait(anon) == 2
+
+    def test_worker_failures_attributed_to_the_running_tenant(self):
+        ctx = EngineContext(num_workers=2)
+        lifecycle = ctx.enable_lifecycle(LifecycleConfig(max_concurrent=1))
+        scheduler = ctx.scheduler
+        threshold = scheduler.config.blacklist_threshold
+
+        def fail_on_worker(times):
+            def fn():
+                for _ in range(times):
+                    scheduler._note_worker_failure(0, None)
+
+            return fn
+
+        # Each tenant stays one failure below the threshold on the same
+        # worker: attribution is per (tenant, worker), so their counts
+        # never merge and nothing is blacklisted.
+        for tenant in ("a", "b"):
+            handle = lifecycle.submit(
+                fail_on_worker(threshold - 1), name=tenant, tenant=tenant
+            )
+            lifecycle.wait(handle)
+        assert not ctx.cluster.is_blacklisted(0)
+
+        # One more failure from a single tenant crosses its own count.
+        handle = lifecycle.submit(fail_on_worker(1), name="last", tenant="a")
+        lifecycle.wait(handle)
+        assert ctx.cluster.is_blacklisted(0)
+        assert ctx.cluster.blacklisted_workers() == [0]
+
+
+class TestRetryAfterDrainRate:
+    """Satellite 2: rejection hints derive from the observed completion
+    drain rate on the simulated clock."""
+
+    def test_hint_matches_the_observed_drain_rate(self):
+        shark = _build_shark()
+        lifecycle = shark.enable_lifecycle(
+            LifecycleConfig(max_concurrent=1, max_queued=1)
+        )
+        for index in range(3):
+            shark.submit_sql(QUERIES["count"], name=f"warm{index}")
+            lifecycle.drain()
+        window = lifecycle.config.drain_rate_window
+        samples = lifecycle._drain_times[-window:]
+        rate = (len(samples) - 1) / (samples[-1] - samples[0])
+
+        shark.submit_sql(QUERIES["count"], name="running")
+        shark.submit_sql(QUERIES["count"], name="queued")
+        with pytest.raises(AdmissionRejected) as info:
+            shark.submit_sql(QUERIES["count"], name="rejected")
+        # One queued ahead plus this query: two drains at the rate.
+        assert info.value.retry_after_s == pytest.approx(2.0 / rate)
+        lifecycle.drain()
+
+    def test_client_honoring_the_hint_eventually_admits(self):
+        shark = _build_shark()
+        lifecycle = shark.enable_lifecycle(
+            LifecycleConfig(max_concurrent=1, max_queued=1)
+        )
+        shark.submit_sql(QUERIES["agg"], name="one")
+        shark.submit_sql(QUERIES["agg"], name="two")
+        admitted = None
+        for _ in range(10):
+            try:
+                admitted = shark.submit_sql(QUERIES["count"], name="retried")
+                break
+            except AdmissionRejected as rejection:
+                assert rejection.retry_after_s > 0
+                # Honor the hint: wait out the backlog, then retry.
+                lifecycle.drain()
+        assert admitted is not None
+        lifecycle.drain()
+        assert admitted.state == "done"
+        assert admitted.result.rows == [(3000,)]
+
+
+class TestShedQueued:
+    """Satellite 3: a deadline expiring while queued sheds the query —
+    it never runs — and only queued queries are sheddable."""
+
+    def test_deadline_expiring_while_queued_is_shed_not_run(self):
+        shark = _build_shark()
+        lifecycle = shark.enable_lifecycle(
+            LifecycleConfig(max_concurrent=1, max_queued=1)
+        )
+        running = shark.submit_sql(QUERIES["agg"], name="running")
+        doomed = shark.submit_sql(
+            QUERIES["count"], name="doomed", deadline_s=1e-9
+        )
+        assert doomed.state == "queued"
+        assert lifecycle.shed_queued(doomed, "deadline-unmeetable")
+        assert doomed.state == "shed"
+        assert isinstance(doomed.error, QueryShedError)
+        assert doomed.error.shed_reason == "deadline-unmeetable"
+        # Shed means never launched: zero tasks, no cleanup needed.
+        assert doomed.tasks_launched == 0
+        with pytest.raises(QueryShedError):
+            doomed.result_or_raise()
+        lifecycle.drain()
+        assert running.state == "done"
+        assert lifecycle.shed == 1
+        assert shark.metrics.value("queries.shed") == 1
+        assert "1 shed" in lifecycle.describe()
+
+    def test_running_query_is_not_sheddable(self):
+        shark = _build_shark()
+        lifecycle = shark.enable_lifecycle(LifecycleConfig(max_concurrent=1))
+        running = shark.submit_sql(QUERIES["count"], name="running")
+        assert running.state == "running"
+        assert not lifecycle.shed_queued(running, "brownout")
+        lifecycle.drain()
+        assert running.state == "done"
+
+
+class TestAdmissionLedger:
+    """Satellite 3: the slot ledger balances to zero on every terminal
+    path — completed, cancelled, deadline-expired, failed, shed, and
+    rejected — chaos included."""
+
+    def test_ledger_zero_across_every_terminal_path_under_chaos(self):
+        injector = FaultInjector(
+            seed=13,
+            transient_failure_rate=0.10,
+            stragglers_per_stage=1,
+            straggler_slowdown=6.0,
+        )
+        shark = _build_shark(fault_injector=injector)
+        lifecycle = shark.enable_lifecycle(
+            LifecycleConfig(max_concurrent=2, max_queued=2)
+        )
+
+        survivor = shark.submit_sql(QUERIES["agg"], name="survivor")
+        cancelled = shark.submit_sql(
+            QUERIES["filter"], name="cancelled"
+        ).cancel_after_tasks(2)
+        deadlined = shark.submit_sql(
+            QUERIES["agg"], name="deadlined", deadline_s=1e-9
+        )
+        shedded = shark.submit_sql(QUERIES["count"], name="shedded")
+        with pytest.raises(AdmissionRejected):
+            shark.submit_sql(QUERIES["count"], name="rejected")
+        assert lifecycle.shed_queued(shedded, "brownout")
+        lifecycle.drain()
+
+        failing = lifecycle.submit(
+            lambda: (_ for _ in ()).throw(TaskError(0, 0, ValueError("x"))),
+            name="failing",
+        )
+        with pytest.raises(TaskError):
+            lifecycle.wait(failing)
+
+        assert survivor.state == "done"
+        assert cancelled.state == "cancelled"
+        assert deadlined.state == "deadline"
+        assert shedded.state == "shed"
+        assert failing.state == "failed"
+
+        ledger = lifecycle.admission_ledger()
+        assert ledger["leaked"] == 0
+        assert ledger["running"] == 0
+        assert ledger["queued"] == 0
+        assert ledger["terminal"] == 5
+        assert ledger["rejected"] == 1
+        assert ledger["submitted"] == 6
+        assert injector.injected_transient > 0

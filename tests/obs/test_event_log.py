@@ -247,3 +247,133 @@ class TestRoundTrip:
         document = trace.to_chrome_trace()
         json.dumps(document)
         assert document["traceEvents"]
+
+
+class TestServingFieldsV4:
+    """Schema v4: optional tenant/priority/shed_reason fields.  They are
+    written only when set and never appear in ``_REQUIRED``, so v2/v3
+    logs stay loadable and tenantless queries round-trip unchanged."""
+
+    def test_serving_fields_round_trip_exactly(self, tmp_path):
+        path = tmp_path / "serving.jsonl"
+        with EventLogWriter(path, 2, 2) as log:
+            log.write_query(
+                name="tagged",
+                status="shed",
+                started=1.0,
+                ended=2.5,
+                sim_seconds=0.0,
+                tenant="crawler",
+                priority="best_effort",
+                shed_reason="brownout",
+            )
+            log.write_query(name="plain", started=3.0, ended=4.0)
+        store = HistoryStore.load(path)
+        tagged = store.query("tagged")
+        assert tagged.tenant == "crawler"
+        assert tagged.priority == "best_effort"
+        assert tagged.shed_reason == "brownout"
+        assert tagged.status == "shed"
+        plain = store.query("plain")
+        assert plain.tenant is None
+        assert plain.priority is None
+        assert plain.shed_reason is None
+
+    def test_untagged_records_omit_the_fields_entirely(self, tmp_path):
+        path = tmp_path / "plain.jsonl"
+        with EventLogWriter(path, 2, 2) as log:
+            log.write_query(name="plain")
+        raw = path.read_text()
+        assert '"tenant"' not in raw
+        assert '"priority"' not in raw
+        assert '"shed_reason"' not in raw
+
+    def test_v3_log_loads_with_serving_fields_none(self, tmp_path):
+        path = tmp_path / "v3.jsonl"
+        records = [
+            {
+                "seq": 0,
+                "type": "header",
+                "version": 3,
+                "workers": 2,
+                "cores_per_worker": 2,
+            },
+            {
+                "seq": 1,
+                "type": "query_begin",
+                "query_id": "q0000",
+                "name": "legacy",
+                "kind": "sql",
+                "text": "SELECT 1",
+                "ts": 0.0,
+            },
+            {
+                "seq": 2,
+                "type": "query_end",
+                "query_id": "q0000",
+                "status": "ok",
+                "ts": 1.0,
+                "sim_seconds": 1.0,
+            },
+        ]
+        path.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+        )
+        store = HistoryStore.load(path)
+        legacy = store.query("legacy")
+        assert legacy.status == "ok"
+        assert legacy.tenant is None
+        assert legacy.priority is None
+        assert legacy.shed_reason is None
+        # A v3 log contributes nothing to the serving aggregates.
+        assert store.tenant_rows() == []
+        assert store.tier_latencies() == {}
+
+    def test_v2_style_log_still_loads(self, tmp_path):
+        path = tmp_path / "v2.jsonl"
+        records = [
+            {
+                "seq": 0,
+                "type": "header",
+                "version": 2,
+                "workers": 2,
+                "cores_per_worker": 2,
+            },
+            {
+                "seq": 1,
+                "type": "query_begin",
+                "query_id": "q0000",
+                "name": "old",
+                "kind": "sql",
+                "text": None,
+                "ts": 0.0,
+            },
+            {
+                "seq": 2,
+                "type": "memory_watermark",
+                "query_id": "q0000",
+                "worker": 0,
+                "pool": "execution",
+                "peak_bytes": 64,
+                "ts": 0.5,
+            },
+            {
+                "seq": 3,
+                "type": "query_end",
+                "query_id": "q0000",
+                "status": "ok",
+                "ts": 1.0,
+                "sim_seconds": 1.0,
+            },
+        ]
+        path.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+        )
+        store = HistoryStore.load(path)
+        old = store.query("old")
+        assert old.status == "ok"
+        assert old.tenant is None
+        assert old.memory[0]["peak_bytes"] == 64
+
+    def test_current_schema_version_is_v4(self):
+        assert SCHEMA_VERSION == 4

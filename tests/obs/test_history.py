@@ -151,3 +151,106 @@ class TestFlightOnly:
         store = HistoryStore.load(tmp_path)
         busy = store.query("dead").worker_busy_seconds()
         assert busy and all(value > 0 for value in busy.values())
+
+
+class TestTenantReport:
+    """Schema v4 serving aggregates: per-tenant utilization and per-tier
+    latency percentiles rebuilt from the event log."""
+
+    def _v4_log(self, tmp_path):
+        from repro.obs.events import EventLogWriter
+
+        path = tmp_path / "serving.jsonl"
+        with EventLogWriter(path, 4, 2) as log:
+            for index in range(4):
+                log.write_query(
+                    name=f"dash-{index}",
+                    status="ok",
+                    started=float(index),
+                    ended=float(index) + 0.5,
+                    sim_seconds=0.5,
+                    tenant="dashboards",
+                    priority="interactive",
+                )
+            log.write_query(
+                name="crawl-ok",
+                status="ok",
+                started=0.0,
+                ended=4.0,
+                sim_seconds=4.0,
+                tenant="crawler",
+                priority="best_effort",
+            )
+            log.write_query(
+                name="crawl-shed",
+                status="shed",
+                started=1.0,
+                ended=2.0,
+                sim_seconds=0.0,
+                tenant="crawler",
+                priority="best_effort",
+                shed_reason="brownout",
+            )
+            log.write_query(
+                name="crawl-bad",
+                status="error",
+                started=2.0,
+                ended=3.0,
+                sim_seconds=1.0,
+                tenant="crawler",
+                priority="best_effort",
+            )
+            log.write_query(name="untagged", status="ok", sim_seconds=1.0)
+        return path
+
+    def test_tenant_rows_aggregate_outcomes(self, tmp_path):
+        store = HistoryStore.load(self._v4_log(tmp_path))
+        rows = {row["tenant"]: row for row in store.tenant_rows()}
+        assert set(rows) == {"dashboards", "crawler"}  # untagged skipped
+        dash = rows["dashboards"]
+        assert dash["queries"] == 4
+        assert dash["completed"] == 4
+        assert dash["sim_seconds"] == pytest.approx(2.0)
+        assert dash["latency_seconds"] == pytest.approx(2.0)
+        crawler = rows["crawler"]
+        assert crawler["queries"] == 3
+        assert crawler["completed"] == 1
+        assert crawler["shed"] == 1
+        assert crawler["failed"] == 1
+
+    def test_tier_latencies_only_count_completions(self, tmp_path):
+        store = HistoryStore.load(self._v4_log(tmp_path))
+        tiers = store.tier_latencies()
+        assert sorted(tiers) == ["best_effort", "interactive"]
+        assert tiers["interactive"] == pytest.approx([0.5] * 4)
+        # The shed and failed crawler queries contribute nothing.
+        assert tiers["best_effort"] == pytest.approx([4.0])
+
+    def test_tenant_report_sections(self, tmp_path):
+        store = HistoryStore.load(self._v4_log(tmp_path))
+        report = store.tenant_report()
+        assert "per-tenant utilization" in report
+        assert "per-tier latency" in report
+        assert "shed reasons" in report
+        assert "brownout: 1" in report
+        assert "p50" in report and "p95" in report and "p99" in report
+        markdown = store.tenant_report(markdown=True)
+        assert markdown.startswith("# ")
+
+    def test_cli_tenants_section(self, tmp_path, capsys):
+        path = self._v4_log(tmp_path)
+        assert history_main([str(path), "tenants"]) == 0
+        out = capsys.readouterr().out
+        assert "tenant report" in out
+        assert "dashboards" in out
+
+    def test_percentiles_nearest_rank(self):
+        from repro.obs.history import percentile
+
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50.0) == 50.0
+        assert percentile(values, 95.0) == 95.0
+        assert percentile(values, 99.0) == 99.0
+        assert percentile(values, 100.0) == 100.0
+        assert percentile([], 50.0) == 0.0
+        assert percentile([7.0], 99.0) == 7.0

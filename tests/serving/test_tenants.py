@@ -1,0 +1,106 @@
+"""Tenant state: quotas, budget windows, tiers, and weights."""
+
+import pytest
+
+from repro.serving.tenants import (
+    BATCH,
+    BEST_EFFORT,
+    INTERACTIVE,
+    PRIORITY_TIERS,
+    PRIORITY_WEIGHTS,
+    TIER_RANK,
+    TenantQuota,
+    TenantState,
+)
+
+
+class TestTiers:
+    def test_tiers_are_ordered_highest_first(self):
+        assert PRIORITY_TIERS == (INTERACTIVE, BATCH, BEST_EFFORT)
+        assert TIER_RANK[INTERACTIVE] < TIER_RANK[BATCH] < TIER_RANK[BEST_EFFORT]
+
+    def test_weights_decrease_with_tier(self):
+        assert (
+            PRIORITY_WEIGHTS[INTERACTIVE]
+            > PRIORITY_WEIGHTS[BATCH]
+            > PRIORITY_WEIGHTS[BEST_EFFORT]
+        )
+
+    def test_tenant_weight_and_rank_derive_from_tier(self):
+        tenant = TenantState(name="t", priority=INTERACTIVE)
+        assert tenant.weight == PRIORITY_WEIGHTS[INTERACTIVE]
+        assert tenant.rank == TIER_RANK[INTERACTIVE]
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="priority tier"):
+            TenantState(name="t", priority="platinum")
+
+
+class TestQuotaValidation:
+    def test_defaults_are_valid(self):
+        quota = TenantQuota()
+        assert quota.max_concurrent >= 1
+        assert quota.budget_seconds is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_concurrent": 0},
+            {"max_queued": -1},
+            {"window_seconds": 0.0},
+        ],
+    )
+    def test_bad_limits_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantQuota(**kwargs)
+
+
+class TestBudgetWindow:
+    def _tenant(self, budget=10.0, window=60.0):
+        return TenantState(
+            name="t",
+            priority=BATCH,
+            quota=TenantQuota(budget_seconds=budget, window_seconds=window),
+        )
+
+    def test_no_budget_never_exhausts(self):
+        tenant = TenantState(name="t")
+        tenant.charge(1e9, now=0.0)
+        assert not tenant.budget_exhausted(now=0.0)
+
+    def test_charge_accumulates_into_the_window(self):
+        tenant = self._tenant(budget=5.0)
+        tenant.charge(2.0, now=1.0)
+        tenant.charge(2.0, now=2.0)
+        assert not tenant.budget_exhausted(now=3.0)
+        tenant.charge(1.5, now=4.0)
+        assert tenant.budget_exhausted(now=5.0)
+        assert tenant.charged_seconds == pytest.approx(5.5)
+
+    def test_window_roll_resets_the_charge(self):
+        tenant = self._tenant(budget=1.0, window=60.0)
+        tenant.charge(5.0, now=10.0)
+        assert tenant.budget_exhausted(now=30.0)
+        # Next window: the budget is fresh, lifetime charge preserved.
+        assert not tenant.budget_exhausted(now=61.0)
+        assert tenant.window_charged == 0.0
+        assert tenant.charged_seconds == pytest.approx(5.0)
+
+    def test_window_roll_skips_whole_idle_windows(self):
+        tenant = self._tenant(budget=1.0, window=10.0)
+        tenant.charge(3.0, now=0.0)
+        tenant.roll_window(now=57.0)
+        # 5 whole windows elapsed; the start stays phase-aligned.
+        assert tenant.window_start == pytest.approx(50.0)
+        assert tenant.window_charged == 0.0
+
+    def test_retry_after_points_at_the_window_end(self):
+        tenant = self._tenant(budget=1.0, window=60.0)
+        tenant.charge(2.0, now=0.0)
+        assert tenant.budget_exhausted(now=45.0)
+        assert tenant.budget_retry_after(now=45.0) == pytest.approx(15.0)
+
+    def test_describe_mentions_window_when_budgeted(self):
+        tenant = self._tenant(budget=9.0)
+        assert "window" in tenant.describe()
+        assert "window" not in TenantState(name="free").describe()

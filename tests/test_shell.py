@@ -189,3 +189,68 @@ class TestRunHelper:
         assert not shell.running
         text = "\n".join(output)
         assert "1" in text
+
+
+class TestServingCommands:
+    def _start(self, shell):
+        drive(
+            shell,
+            "CREATE TABLE t (a INT, b STRING) "
+            "TBLPROPERTIES ('shark.cache'='true');",
+            "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x');",
+            ".server start",
+        )
+
+    def test_server_requires_start(self, session):
+        shell, output = session
+        drive(shell, ".server")
+        assert "no server" in output[-1]
+        drive(shell, ".tenants")
+        assert "no tenants" in output[-1]
+
+    def test_server_start_is_idempotent(self, session):
+        shell, output = session
+        self._start(shell)
+        assert any("server started" in line for line in output)
+        drive(shell, ".server start")
+        assert "server already running" in output[-1]
+
+    def test_tenant_lifecycle_and_submit_drain(self, session):
+        shell, output = session
+        self._start(shell)
+        drive(shell, ".tenants add dash interactive")
+        assert "tenant dash registered [interactive, weight 8]" in output[-1]
+        drive(shell, ".tenants add crawl best_effort")
+        drive(shell, ".tenants")
+        text = "\n".join(output)
+        assert "tenant dash [interactive, w8]" in text
+        assert "tenant crawl [best_effort, w1]" in text
+
+        drive(shell, ".server submit dash SELECT COUNT(*) FROM t;")
+        assert "accepted query 0 for tenant dash (interactive)" in output[-1]
+        drive(shell, ".server drain")
+        text = "\n".join(output)
+        assert "served 0" in text and "done" in text
+        assert "1 completed" in text
+
+    def test_bad_tenant_inputs_report_errors(self, session):
+        shell, output = session
+        self._start(shell)
+        drive(shell, ".tenants add vip platinum")
+        assert output[-1].startswith("error:")
+        drive(shell, ".server submit nobody SELECT 1;")
+        assert "unknown tenant" in output[-1]
+        drive(shell, ".server submit onlytenant")
+        assert "usage: .server submit" in output[-1]
+        drive(shell, ".server bounce")
+        assert "unknown server subcommand" in output[-1]
+
+    def test_metrics_show_serving_section(self, session):
+        shell, output = session
+        self._start(shell)
+        drive(shell, ".tenants add dash interactive")
+        drive(shell, ".server submit dash SELECT COUNT(*) FROM t;")
+        drive(shell, ".server drain", ".metrics")
+        text = "\n".join(output)
+        assert "== serving ==" in text
+        assert "server.admitted = 1" in text
