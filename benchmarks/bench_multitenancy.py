@@ -186,6 +186,60 @@ class TestMultitenancy:
         best_effort_p50 = percentile(by_tier[BEST_EFFORT], 50.0)
         assert interactive_p50 < best_effort_p50
 
+    def test_zipfian_soak_with_result_cache(self, benchmark):
+        """PR 9: the same Zipfian soak with the query caching stack on.
+        A Zipfian workload repeats a handful of templates, so once the
+        versioned result cache warms up, a measurable fraction of
+        completions is served without running a single task — and the
+        per-tenant ledgers attribute every such hit."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        from repro.serving import ZipfianWorkload
+        from repro.serving.tenants import BEST_EFFORT
+        from repro.serving.workload import (
+            build_server,
+            build_serving_context,
+        )
+
+        queries = 240
+        shark = build_serving_context(sql_cache=True)
+        server = build_server(shark, queries)
+        for index, request in enumerate(
+            ZipfianWorkload(seed=29, queries=queries).generate()
+        ):
+            try:
+                server.submit(
+                    request.tenant,
+                    request.text,
+                    name=f"{request.tenant}-{index}",
+                    deadline_s=request.deadline_s,
+                    key=request.template,
+                )
+            except Exception:  # TenantQuotaExceeded
+                pass
+        server.drain()
+
+        shed = [t for t in server.finished if t.state == "shed"]
+        attributed = sum(
+            state.cache_hits for state in server.tenants.values()
+        )
+        figure = Figure(
+            "Multi-tenant serving with the query caching stack "
+            "(executed)",
+            "PR 9: repeated Zipfian templates hit the versioned result "
+            "cache; admitted results stay byte-identical",
+        )
+        figure.add("completions", float(server.completed))
+        figure.add(
+            "served from result cache", float(server.cache_hits),
+            f"{attributed} attributed to tenant ledgers",
+        )
+        figure.add("shed (all best_effort)", float(len(shed)))
+        figure.show()
+
+        assert server.cache_hits > 0, "Zipfian repeats should warm cache"
+        assert attributed == server.cache_hits
+        assert all(t.priority == BEST_EFFORT for t in shed)
+
     def test_elasticity_new_nodes_absorb_pending_work(self, benchmark):
         """Section 7.2: 'nodes can appear or go away during a query, and
         pending work will automatically be spread onto them' — executed

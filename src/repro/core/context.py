@@ -180,6 +180,19 @@ class SharkContext:
         )
 
     # ------------------------------------------------------------------
+    # Query caching
+    # ------------------------------------------------------------------
+    def enable_sql_cache(self, config=None):
+        """Turn on the plan/result/fragment query caching stack
+        (:mod:`repro.sql.cache`); returns the active SqlCache."""
+        return self.session.enable_sql_cache(config=config)
+
+    @property
+    def sql_cache(self):
+        """The query cache, or None until enable_sql_cache()."""
+        return self.session.sql_cache
+
+    # ------------------------------------------------------------------
     # Catalog and loading
     # ------------------------------------------------------------------
     def create_table(

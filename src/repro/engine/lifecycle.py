@@ -191,6 +191,9 @@ class QueryHandle:
     #: Shuffle ids registered while this query held the baton; released
     #: on cancellation so no pinned map-output blocks leak.
     shuffle_ids: set = field(default_factory=set)
+    #: cache_lookup records collected by the SQL cache stack while this
+    #: query ran (the lifecycle manager owns its event-log slice).
+    cache_lookups: list = field(default_factory=list)
     token: CancelToken = field(init=False)
     _thread: Optional[threading.Thread] = field(default=None, repr=False)
     #: Per-query tracer span stack, swapped in while this query runs.
@@ -628,6 +631,12 @@ class QueryLifecycleManager:
         the scheduler is scoped by this), or None outside a query."""
         return self._current.tenant if self.in_query() else None
 
+    def note_cache_lookups(self, records: list) -> None:
+        """Attach the SQL cache stack's lookup records to the running
+        query; they land in its lifecycle event-log record."""
+        if self.in_query():
+            self._current.cache_lookups.extend(records)
+
     def checkpoint(self) -> None:
         """Cooperative scheduling point, called by the scheduler before
         every task attempt: observe cancellation/deadline, then hand the
@@ -775,6 +784,7 @@ class QueryLifecycleManager:
                 tenant=handle.tenant,
                 priority=handle.priority,
                 shed_reason=handle.shed_reason,
+                cache_lookups=handle.cache_lookups or None,
             )
             metrics.observe(
                 "query.sim_seconds", handle.charged_seconds

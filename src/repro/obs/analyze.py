@@ -96,6 +96,9 @@ class QueryAnalysis:
     #: Multi-tenant serving summary lines (SqlServer.summary_lines());
     #: empty when the session runs outside a server.
     serving_lines: list[str] = field(default_factory=list)
+    #: Query-cache summary lines (SqlCache.summary_lines()); empty when
+    #: the session runs without the caching stack.
+    sql_cache_lines: list[str] = field(default_factory=list)
 
     def render(self) -> str:
         lines = self.plan_text.splitlines()
@@ -170,6 +173,10 @@ class QueryAnalysis:
         if self.serving_lines:
             lines.append("  == serving ==")
             for line in self.serving_lines:
+                lines.append(f"  {line}")
+        if self.sql_cache_lines:
+            lines.append("  == sql cache ==")
+            for line in self.sql_cache_lines:
                 lines.append(f"  {line}")
         for note in self.notes:
             lines.append(f"  -- {note}")

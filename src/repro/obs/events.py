@@ -53,7 +53,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: ``query_begin`` and ``shed_reason`` on ``query_end`` — plus the
 #: ``query.shed`` instant; all optional, so v3/v2 logs still load
 #: (DESIGN.md §13).
-SCHEMA_VERSION = 4
+#: v5 adds the ``cache_lookup`` record type (one per cache-layer probe
+#: the SQL caching stack made for a query); older logs simply have none
+#: (DESIGN.md §14).
+SCHEMA_VERSION = 5
 
 #: Flight-recorder ring capacity (events kept for post-mortems).
 FLIGHT_CAPACITY = 512
@@ -102,6 +105,7 @@ _REQUIRED: dict[str, tuple[str, ...]] = {
     "counters": ("query_id", "deltas"),
     "memory_watermark": ("query_id", "worker", "pool", "peak_bytes", "ts"),
     "memory_spill": ("query_id", "owner", "events", "bytes", "runs", "ts"),
+    "cache_lookup": ("query_id", "layer", "outcome", "ts"),
     "query_end": ("query_id", "status", "ts", "sim_seconds"),
     "flight_dump": ("reason", "events"),
 }
@@ -302,6 +306,7 @@ class EventLogWriter:
         tenant: Optional[str] = None,
         priority: Optional[str] = None,
         shed_reason: Optional[str] = None,
+        cache_lookups: Optional[list[dict]] = None,
     ) -> str:
         """Write one query's complete record set; returns its id.
 
@@ -453,6 +458,21 @@ class EventLogWriter:
                     "bytes": row["bytes"],
                     "runs": row["runs"],
                     "ts": ended,
+                }
+            )
+        for row in cache_lookups or []:
+            # v5: one record per cache-layer probe ({"layer", "outcome"}
+            # plus optional fragment hit/miss counts) from the SQL
+            # caching stack.
+            self.write(
+                {
+                    "type": "cache_lookup",
+                    "query_id": query_id,
+                    "ts": ended,
+                    **{
+                        key: _jsonable(value)
+                        for key, value in row.items()
+                    },
                 }
             )
         if flight is not None:

@@ -69,6 +69,9 @@ class QueryRecord:
     #: ``memory_spill`` records: per-owner spill deltas this query
     #: forced through memory arbitration (schema v3).
     spills: list[dict] = field(default_factory=list)
+    #: ``cache_lookup`` records: per-layer probes the SQL caching stack
+    #: made for this query (schema v5).
+    cache_lookups: list[dict] = field(default_factory=list)
     #: True when the only evidence is a flight-recorder dump.
     flight_only: bool = False
     header: dict = field(default_factory=dict)
@@ -358,6 +361,8 @@ class HistoryStore:
                 target.memory.append(record)
             elif kind == "memory_spill":
                 target.spills.append(record)
+            elif kind == "cache_lookup":
+                target.cache_lookups.append(record)
             elif kind == "query_end":
                 target.status = record["status"]
                 target.error = record.get("error")
@@ -414,7 +419,9 @@ class HistoryStore:
         totals: dict[str, float] = {}
         for record in self.queries:
             for name, value in record.counters.items():
-                if name.startswith(("cache.", "blocks.", "memory.")):
+                if name.startswith(
+                    ("cache.", "blocks.", "memory.", "sqlcache.")
+                ):
                     totals[name] = totals.get(name, 0.0) + value
         hits = totals.get("cache.hits", 0.0)
         misses = totals.get("cache.misses", 0.0)
@@ -662,6 +669,57 @@ class HistoryStore:
                 lines.append(f"  {reason}: {count}")
         return "\n".join(lines)
 
+    def cache_report(self, markdown: bool = False) -> str:
+        """Per-layer SQL cache hit/miss totals from v5 ``cache_lookup``
+        records, plus the ``sqlcache.*`` counter deltas."""
+        h2 = "## " if markdown else "== "
+        h2end = "" if markdown else " =="
+        layers: dict[str, dict[str, int]] = {}
+        probed_queries = 0
+        for record in self.queries:
+            if record.cache_lookups:
+                probed_queries += 1
+            for row in record.cache_lookups:
+                layer = layers.setdefault(
+                    row["layer"], {"hit": 0, "miss": 0}
+                )
+                layer[row["outcome"]] = layer.get(row["outcome"], 0) + 1
+        lines = [
+            f"{'# ' if markdown else ''}sql cache report: "
+            f"{probed_queries} probed quer"
+            f"{'y' if probed_queries == 1 else 'ies'} of "
+            f"{len(self.queries)}"
+        ]
+        if not layers:
+            lines.append(
+                "  (no cache_lookup records — log predates schema v5 "
+                "or the caching stack was disabled)"
+            )
+            return "\n".join(lines)
+        lines.append("")
+        lines.append(f"{h2}per-layer lookups{h2end}")
+        for layer in ("plan", "result", "fragment"):
+            row = layers.get(layer)
+            if row is None:
+                continue
+            total = row["hit"] + row["miss"]
+            ratio = row["hit"] / total if total else 0.0
+            lines.append(
+                f"  {layer:<9} {total:5d} lookups, {row['hit']:5d} hits "
+                f"({100.0 * ratio:.0f}%)"
+            )
+        totals: dict[str, float] = {}
+        for record in self.queries:
+            for name, value in record.counters.items():
+                if name.startswith("sqlcache."):
+                    totals[name] = totals.get(name, 0.0) + value
+        if totals:
+            lines.append("")
+            lines.append(f"{h2}sqlcache counters{h2end}")
+            for name, value in sorted(totals.items()):
+                lines.append(f"  {name} = {value:g}")
+        return "\n".join(lines)
+
     # ------------------------------------------------------------------
     # Reports
     # ------------------------------------------------------------------
@@ -885,12 +943,14 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "section",
         nargs="?",
-        choices=["memory", "tenants"],
+        choices=["memory", "tenants", "cache"],
         help=(
             "optional focused report: 'memory' renders the per-worker "
             "pressure timeline and top consumers from memory_watermark "
             "records; 'tenants' renders per-tenant utilization and "
-            "per-tier latency percentiles from v4 serving fields"
+            "per-tier latency percentiles from v4 serving fields; "
+            "'cache' renders per-layer SQL cache hit ratios from v5 "
+            "cache_lookup records"
         ),
     )
     parser.add_argument(
@@ -918,6 +978,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(store.memory_report(markdown=args.markdown))
         elif args.section == "tenants":
             print(store.tenant_report(markdown=args.markdown))
+        elif args.section == "cache":
+            print(store.cache_report(markdown=args.markdown))
         else:
             print(store.report(markdown=args.markdown, query=args.query))
     except BrokenPipeError:  # `| head` closed stdout; not an error

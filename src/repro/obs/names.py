@@ -84,6 +84,19 @@ COUNTERS = frozenset(
         "server.shed",
         "server.brownouts",
         "tenant.quota_rejected",
+        # SQL query caching stack (plan/result/fragment caches and
+        # shared scans; repro.sql.cache, served.hits in repro.serving)
+        "sqlcache.plan.hits",
+        "sqlcache.plan.misses",
+        "sqlcache.result.hits",
+        "sqlcache.result.misses",
+        "sqlcache.fragment.hits",
+        "sqlcache.fragment.misses",
+        "sqlcache.shared.attached",
+        "sqlcache.invalidations",
+        "sqlcache.evictions",
+        "sqlcache.evicted.bytes",
+        "sqlcache.served.hits",
         # persistent observability (event log / flight recorder)
         "events.logged",
         "flight.dumps",
@@ -122,6 +135,10 @@ GAUGES = frozenset(
         "server.tenants",
         "server.queue_depth",
         "server.brownout",
+        # SQL query cache occupancy (bytes charged to the sql_cache
+        # owner and live entry count across all three layers).
+        "sqlcache.bytes",
+        "sqlcache.entries",
     }
 )
 

@@ -270,22 +270,76 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "--report", help="also write the comparison report to this file"
     )
+    parser.add_argument(
+        "--sql-cache",
+        choices=("on", "off"),
+        default="off",
+        help=(
+            "enable the query caching stack: the cold pass must still "
+            "meet the baseline (cache probes are free on the simulated "
+            "clock) and a warm repeat of the suite must show a "
+            "measurable sim-seconds drop vs the cold pass"
+        ),
+    )
     args = parser.parse_args(argv)
 
     shark = build_warehouse(
         vectorize=args.vectorize == "on",
         memory_per_worker_bytes=args.memory_cap,
     )
+    if args.sql_cache == "on":
+        shark.enable_sql_cache()
     if args.event_log_out:
         shark.enable_event_log(
             args.event_log_out, source="sentinel",
             vectorize=args.vectorize,
         )
+    warm = None
     try:
         current = run_suite(shark)
+        if args.sql_cache == "on":
+            # Second pass over an unchanged catalog: the result cache
+            # should short-circuit every suite query.
+            warm = run_suite(shark)
     finally:
         if args.event_log_out:
             shark.close_event_log()
+
+    warm_lines: list[str] = []
+    if warm is not None:
+        cold_total = sum(e["sim_seconds"] for e in current.values())
+        warm_total = sum(e["sim_seconds"] for e in warm.values())
+        divergent = [
+            name
+            for name, entry in warm.items()
+            if entry["result_rows"] != current[name]["result_rows"]
+        ]
+        warm_lines.append(
+            f"sql cache warm repeat: {cold_total:.3f} -> "
+            f"{warm_total:.3f} sim-s "
+            f"(cold-cache vs warm-cache, {len(warm)} queries)"
+        )
+        if divergent:
+            warm_lines.append(
+                f"warm-cache FAILED: row-count divergence in {divergent}"
+            )
+        elif warm_total >= 0.5 * cold_total:
+            warm_lines.append(
+                "warm-cache FAILED: repeat saved less than half the "
+                "cold-cache sim-seconds"
+            )
+        else:
+            warm_lines.append(
+                f"warm-cache win: {cold_total - warm_total:.3f} sim-s "
+                f"saved ({100.0 * (1.0 - warm_total / cold_total):.0f}%)"
+            )
+        for line in warm_lines:
+            print(line)
+        if any("FAILED" in line for line in warm_lines):
+            if args.report:
+                with open(args.report, "w", encoding="utf-8") as handle:
+                    handle.write("\n".join(warm_lines) + "\n")
+            return 2
 
     if args.memory_cap is not None:
         accountant = shark.engine.memory
@@ -340,6 +394,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     ]
     lines.extend(f"  {line}" for line in info)
     lines.extend(f"  {line}" for line in regressions)
+    lines.extend(f"  {line}" for line in warm_lines)
     lines.append(
         f"sentinel: "
         + (

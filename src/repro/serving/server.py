@@ -174,6 +174,8 @@ class SqlServer:
         self.shed = 0
         self.completed = 0
         self.brownouts = 0
+        #: Completions served straight from the SQL result cache.
+        self.cache_hits = 0
 
     # ------------------------------------------------------------------
     # Tenants
@@ -508,6 +510,12 @@ class SqlServer:
                 tenant.completed += 1
                 self.completed += 1
                 metrics.inc("server.completed")
+                if getattr(handle.result, "cache_hit", False):
+                    # Result came straight from the SQL result cache:
+                    # attribute the saved work to the tenant.
+                    tenant.cache_hits += 1
+                    self.cache_hits += 1
+                    metrics.inc("sqlcache.served.hits")
             elif handle.state == "shed":
                 tenant.shed += 1
                 self.shed += 1
@@ -557,5 +565,11 @@ class SqlServer:
                 f"brownouts: {self.brownouts} "
                 f"(enter at {self.config.brownout_enter_depth} pending, "
                 f"exit at {self.config.brownout_exit_depth})"
+            )
+        if self.cache_hits:
+            # Absent with caching off, keeping those summaries stable.
+            lines.append(
+                f"sql cache: {self.cache_hits}/{self.completed} "
+                f"completions served from the result cache"
             )
         return lines

@@ -76,6 +76,9 @@ class TenantState:
     shed: int = 0
     completed: int = 0
     failed: int = 0
+    #: Completed queries whose rows came straight from the SQL result
+    #: cache (per-tenant cache-hit attribution).
+    cache_hits: int = 0
     #: Simulated seconds charged across all completed queries.
     charged_seconds: float = 0.0
     #: Budget accounting window: start instant and seconds charged in it.
@@ -134,6 +137,10 @@ class TenantState:
             f"{self.failed} failed,",
             f"{self.charged_seconds:.3f} sim-s charged",
         ]
+        if self.cache_hits:
+            # Only rendered when the caching stack served something, so
+            # cache-off runs keep byte-identical describe() output.
+            parts.append(f"({self.cache_hits} cache hits)")
         if self.quota.budget_seconds is not None:
             parts.append(
                 f"(window {self.window_charged:.3f}/"

@@ -156,9 +156,13 @@ class ZipfianWorkload:
 # ----------------------------------------------------------------------
 # The overload soak
 # ----------------------------------------------------------------------
-def build_serving_context(fault_seed: Optional[int] = None, rows: int = 6000):
+def build_serving_context(
+    fault_seed: Optional[int] = None,
+    rows: int = 6000,
+    sql_cache: bool = False,
+):
     """A SharkContext with the soak's cached ``readings`` table
-    (optionally under seeded chaos)."""
+    (optionally under seeded chaos and/or the SQL caching stack)."""
     from repro import SharkContext
     from repro.datatypes import DOUBLE, INT, STRING, Schema
 
@@ -188,6 +192,8 @@ def build_serving_context(fault_seed: Optional[int] = None, rows: int = 6000):
         ],
         num_partitions=8,
     )
+    if sql_cache:
+        shark.enable_sql_cache()
     return shark
 
 
@@ -240,13 +246,14 @@ def run_soak(
     event_log_out: Optional[str] = None,
     report_out: Optional[str] = None,
     verbose: bool = True,
+    sql_cache: bool = False,
 ) -> int:
     """Drive the overload soak and verify every serving gate; returns a
     process exit code (0 = all gates hold)."""
     say = print if verbose else (lambda *a, **k: None)
     failures: list[str] = []
 
-    shark = build_serving_context(fault_seed=fault_seed)
+    shark = build_serving_context(fault_seed=fault_seed, sql_cache=sql_cache)
     if event_log_out:
         shark.enable_event_log(event_log_out, source="serving-soak")
     server = build_server(shark, queries)
@@ -279,10 +286,18 @@ def run_soak(
     # Gate 1: shedding never touched a tier above the lowest with work.
     shed = [t for t in server.finished if t.state == "shed"]
     shed_tiers = sorted({t.priority for t in shed})
-    if not shed:
+    if not shed and not sql_cache:
+        # With the caching stack on, result hits drain so fast the
+        # overload may never build — zero sheds is then the win, not a
+        # vacuous soak; the hit-ratio gate below keeps it honest.
         failures.append(
             "vacuous soak: overload produced zero sheds "
             "(raise --queries or lower capacity)"
+        )
+    if sql_cache and server.cache_hits == 0:
+        failures.append(
+            "caching enabled but zero completions were served from "
+            "the result cache"
         )
     if any(t.priority == INTERACTIVE for t in shed):
         failures.append("interactive-tier queries were shed")
@@ -345,6 +360,9 @@ def run_soak(
         f"(tiers: {shed_tiers or 'none'})",
         server.describe(),
     ]
+    for line in server.summary_lines():
+        report_lines.append(line)
+        say(line)
     if event_log_out:
         shark.close_event_log()
         from repro.obs.history import HistoryStore
@@ -355,10 +373,6 @@ def run_soak(
             failures.append("event log carries no per-tier latencies")
         report_lines.append(store.tenant_report())
         say(store.tenant_report())
-    else:
-        for line in server.summary_lines():
-            report_lines.append(line)
-            say(line)
 
     if report_out:
         with open(report_out, "w", encoding="utf-8") as handle:
@@ -400,6 +414,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         "latency report gate)",
     )
     parser.add_argument("--report-out", help="write the soak report here")
+    parser.add_argument(
+        "--sql-cache",
+        action="store_true",
+        help="enable the plan/result/fragment caching stack and gate "
+        "on a non-zero served hit ratio",
+    )
     args = parser.parse_args(argv)
     return run_soak(
         queries=args.queries,
@@ -407,6 +427,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         fault_seed=args.fault_seed if args.chaos else None,
         event_log_out=args.event_log_out,
         report_out=args.report_out,
+        sql_cache=args.sql_cache,
     )
 
 

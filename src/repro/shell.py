@@ -34,6 +34,8 @@ Enter SQL terminated by ';'.  Dot-commands:
   .metrics              engine counters (tasks, shuffle bytes, evictions)
   .memory               unified memory ledger: per-worker pool usage,
                         peaks, headroom, top consumers, and spills
+  .cache [on]           query caching stack status (plan/result/fragment
+                        hit ratios, shared scans); 'on' enables it
   .trace [on|off|<path>] toggle span tracing / export Chrome-trace JSON
   .eventlog [<path>|off] stream every query to a persistent event log
   .history <path> [id]  report over an event log (whole log, or one query)
@@ -199,6 +201,21 @@ class Shell:
             return
         if name == ".memory":
             self._write(self.shark.engine.memory.describe())
+            return
+        if name == ".cache":
+            if argument == "on":
+                self.shark.enable_sql_cache()
+                self._write("sql cache enabled")
+                return
+            cache = self.shark.sql_cache
+            if cache is None:
+                self._write(
+                    "sql cache disabled (enable with '.cache on')"
+                )
+                return
+            self._write("== sql cache ==")
+            for line in cache.summary_lines():
+                self._write(line)
             return
         if name == ".trace":
             self._trace_command(argument)

@@ -60,10 +60,51 @@ class TableEntry:
 
 
 class Catalog:
-    """Named tables plus UDF registrations."""
+    """Named tables plus UDF registrations.
+
+    Every mutation moves a *monotonic per-table version* — bumped by
+    CREATE/DROP (and therefore CACHE/UNCACHE, which drop-and-recreate)
+    and by every load/insert — plus a catalog-wide ``ddl_version`` that
+    only schema-identity changes move.  The query cache keys on these:
+    versions never reset (a drop + recreate continues the sequence, so
+    a journal replay reproduces them deterministically), and listeners
+    get a callback per bump for eager invalidation.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, TableEntry] = {}
+        #: Lowercased table name -> monotonic version.  Survives drops
+        #: so a recreated table can never collide with a stale cache key.
+        self._versions: dict[str, int] = {}
+        self._ddl_version = 0
+        #: Callbacks ``fn(table_lower, version, ddl)`` per version bump.
+        self._listeners: list = []
+
+    def add_listener(self, fn) -> None:
+        """Register a version-bump callback (the query cache's eager
+        invalidation hook)."""
+        self._listeners.append(fn)
+
+    def version(self, name: str) -> int:
+        """The table's current version (0 before any mutation)."""
+        return self._versions.get(name.lower(), 0)
+
+    @property
+    def ddl_version(self) -> int:
+        """Catalog-wide schema-identity counter (plan-cache key part)."""
+        return self._ddl_version
+
+    def bump_version(self, name: str, ddl: bool = False) -> int:
+        """Advance the table's version (loads/inserts pass ddl=False;
+        create/drop bump through here with ddl=True)."""
+        key = name.lower()
+        version = self._versions.get(key, 0) + 1
+        self._versions[key] = version
+        if ddl:
+            self._ddl_version += 1
+        for fn in self._listeners:
+            fn(key, version, ddl)
+        return version
 
     def create(self, entry: TableEntry, if_not_exists: bool = False) -> bool:
         """Register a table; returns False when skipped by IF NOT EXISTS."""
@@ -73,6 +114,7 @@ class Catalog:
                 return False
             raise CatalogError(f"table already exists: {entry.name}")
         self._tables[key] = entry
+        self.bump_version(key, ddl=True)
         return True
 
     def drop(self, name: str, if_exists: bool = False) -> bool:
@@ -84,6 +126,7 @@ class Catalog:
         entry = self._tables.pop(key)
         if entry.cached_rdd is not None:
             entry.cached_rdd.unpersist()
+        self.bump_version(key, ddl=True)
         return True
 
     def get(self, name: str) -> TableEntry:

@@ -40,6 +40,24 @@ def optimize(plan: logical.LogicalPlan) -> logical.LogicalPlan:
 
 
 # ---------------------------------------------------------------------------
+# Commutative canonicalization (plan-cache normalization)
+# ---------------------------------------------------------------------------
+
+#: Operators whose operand order never changes the result — the plan
+#: cache's normalizer orders their operands canonically so ``a = 1`` and
+#: ``1 = a`` (or ``x AND y`` / ``y AND x``) share one cache entry.
+COMMUTATIVE_OPS = frozenset({"=", "!=", "+", "*", "and", "or"})
+
+
+def canonical_commutative_swap(op: str, left_key: str, right_key: str) -> bool:
+    """True when a commutative ``op``'s operands should swap to reach
+    canonical order.  ``left_key``/``right_key`` are the operands'
+    already-normalized renderings; ordering by them is deterministic and
+    stable across textual variants of the same predicate."""
+    return op in COMMUTATIVE_OPS and right_key < left_key
+
+
+# ---------------------------------------------------------------------------
 # Constant folding
 # ---------------------------------------------------------------------------
 

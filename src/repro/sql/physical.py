@@ -601,6 +601,7 @@ class BatchPipelineRDD(RDD):
         chain: tuple = (),
         aggregate_factory: Optional[Callable[[], BatchAggregator]] = None,
         name: str = "batch_scan",
+        fragment_scope: Optional[tuple] = None,
     ):
         super().__init__(
             parent.ctx,
@@ -616,6 +617,11 @@ class BatchPipelineRDD(RDD):
         self._residual = residual_predicate
         self._chain = tuple(chain)
         self._aggregate_factory = aggregate_factory
+        #: (table, version, kept_partitions_or_None) when the sql cache's
+        #: fragment layer is on: decoded post-selection batches are
+        #: published there, so concurrent queries over the same table
+        #: decode each block once (shared scans).
+        self._fragment_scope = fragment_scope
 
     def _scan_selection(self, block: ColumnarPartition):
         """Row positions surviving the pushed-down vector filters, or
@@ -660,7 +666,14 @@ class BatchPipelineRDD(RDD):
         total_records = 0
         total_bytes = 0
         num_batches = 0
-        for block in self._parent.iterator(split, task_ctx):
+        cache = (
+            getattr(self.ctx, "sql_cache", None)
+            if self._fragment_scope is not None
+            else None
+        )
+        for ordinal, block in enumerate(
+            self._parent.iterator(split, task_ctx)
+        ):
             if not isinstance(block, ColumnarPartition):
                 raise TypeError(
                     f"memstore partition holds {type(block).__name__}, "
@@ -676,11 +689,29 @@ class BatchPipelineRDD(RDD):
                     ).compressed_bytes
                     for name in self._projected
                 )
-            num_batches += 1
-            selection = self._scan_selection(block)
-            batch = ColumnBatch.from_block(
-                block, self._column_indices, selection
-            )
+            batch = None
+            fragment_key = None
+            if cache is not None:
+                fragment_key = cache.fragment_key(
+                    self._fragment_scope,
+                    split,
+                    ordinal,
+                    self._column_indices,
+                    self._vector_filters,
+                )
+                batch = cache.fragment_lookup(fragment_key)
+            if batch is None:
+                # batch.batches counts real decodes only: a fragment hit
+                # (shared scan) reuses another query's decoded batch.
+                num_batches += 1
+                selection = self._scan_selection(block)
+                batch = ColumnBatch.from_block(
+                    block, self._column_indices, selection
+                )
+                if fragment_key is not None:
+                    cache.fragment_store(
+                        fragment_key, batch, task_ctx.worker.worker_id
+                    )
             if self._residual is not None:
                 keep = self._residual(batch)
                 batch = batch.take(np.nonzero(keep)[0])
@@ -739,9 +770,25 @@ def scan_batch_pipeline(
     base = entry.cached_rdd
     if base is None:
         raise ValueError(f"table {entry.name} has no cached data")
+    cache = getattr(base.ctx, "sql_cache", None)
+    fragment_scope = None
+    if cache is not None and cache.config.enable_fragments:
+        fragment_scope = (
+            entry.name.lower(),
+            cache.table_version(entry.name),
+            None,
+        )
     if kept_partitions is not None and kept_partitions != list(
         range(base.num_partitions)
     ):
+        if fragment_scope is not None:
+            # Key fragments on the *original* partition ids, so two
+            # queries with different pruning share surviving blocks.
+            fragment_scope = (
+                fragment_scope[0],
+                fragment_scope[1],
+                tuple(kept_partitions),
+            )
         base = PrunedRDD(base, kept_partitions)
     return BatchPipelineRDD(
         base,
@@ -753,6 +800,7 @@ def scan_batch_pipeline(
         chain=chain,
         aggregate_factory=aggregate_factory,
         name=name,
+        fragment_scope=fragment_scope,
     )
 
 

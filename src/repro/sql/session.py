@@ -43,6 +43,8 @@ class QueryResult:
     report: ExecutionReport = field(default_factory=ExecutionReport)
     #: For EXPLAIN: the rendered plan text.
     plan_text: Optional[str] = None
+    #: True when the rows came from the session's result cache.
+    cache_hit: bool = False
 
     @property
     def column_names(self) -> list[str]:
@@ -103,11 +105,39 @@ class SqlSession:
         self._current_text: Optional[str] = None
         #: Optimized-plan text captured by plan_select when logging.
         self._last_plan_text: Optional[str] = None
+        #: Query caching stack (repro.sql.cache); None until enabled.
+        self.sql_cache = None
+
+    def enable_sql_cache(self, config=None):
+        """Turn on the plan/result/fragment caching stack for this
+        session (idempotent; returns the active SqlCache)."""
+        if self.sql_cache is None:
+            from repro.sql.cache import SqlCache
+
+            self.sql_cache = SqlCache(self.ctx, self.catalog, config)
+            # The physical layer reads ctx.sql_cache for fragment reuse.
+            self.ctx.sql_cache = self.sql_cache
+        return self.sql_cache
 
     # ------------------------------------------------------------------
     # Statement execution
     # ------------------------------------------------------------------
     def execute(self, text: str) -> QueryResult:
+        cache = self.sql_cache
+        if cache is not None:
+            from repro.sql.cache import SqlCache
+
+            memo = cache.memo_for(text)
+            if memo is not None and memo is not SqlCache._MISSING:
+                # Known-cacheable text: the normalized form stands in for
+                # the AST, so parsing is skipped entirely.  A plan- or
+                # result-cache miss below re-parses on demand.
+                self._current_text = text
+                try:
+                    return self._execute_select(None, memo=memo)
+                finally:
+                    self._current_text = None
+                    self.ctx.release_broadcast_accounting()
         statement = parse(text)
         self._current_text = text
         try:
@@ -126,17 +156,10 @@ class SqlSession:
 
     def _execute_statement(self, statement: ast.Statement) -> QueryResult:
         if isinstance(statement, ast.SelectStatement):
-            tracer = self.ctx.tracer
-            tracer.metrics.inc("queries.executed")
-            text = self._current_text
-            with self._logged_query("sql", text) as logged:
-                with tracer.span("query", "query", kind="select"):
-                    planned = self.plan_select(statement)
-                    rows = planned.rdd.collect()
-                logged["report"] = planned.report
-                logged["rows"] = len(rows)
-                logged["plan_text"] = self._last_plan_text
-            return QueryResult(rows, planned.schema, planned.report)
+            memo = None
+            if self.sql_cache is not None and self._current_text is not None:
+                memo = self.sql_cache.memoize(self._current_text, statement)
+            return self._execute_select(statement, memo=memo)
         if isinstance(statement, ast.Explain):
             if statement.analyze:
                 return self._explain_analyze(statement.statement)
@@ -165,6 +188,102 @@ class SqlSession:
         if self.journal is not None and not previously_in_statement:
             self.journal.log_statement(_render_statement(statement))
         return result
+
+    def _execute_select(
+        self,
+        statement: Optional[ast.SelectStatement],
+        memo=None,
+    ) -> QueryResult:
+        """Run one SELECT through the cache stack.
+
+        ``statement`` may be None when the raw text's normalized form
+        (``memo``) is known — a result- or plan-cache hit then never
+        parses; a miss re-parses ``self._current_text`` on demand.
+        """
+        ctx = self.ctx
+        tracer = ctx.tracer
+        tracer.metrics.inc("queries.executed")
+        text = self._current_text
+        cache = self.sql_cache
+        lookups: list[dict] = []
+        try:
+            with self._logged_query("sql", text) as logged:
+                logged["cache_lookups"] = lookups
+                with tracer.span("query", "query", kind="select"):
+                    if cache is not None and memo is not None:
+                        hit = cache.result_lookup(memo)
+                        if hit is not None:
+                            rows, schema = hit
+                            lookups.append(
+                                {"layer": "result", "outcome": "hit"}
+                            )
+                            report = ExecutionReport()
+                            report.note("served from result cache")
+                            self.last_report = report
+                            logged["report"] = report
+                            logged["rows"] = len(rows)
+                            return QueryResult(
+                                rows, schema, report, cache_hit=True
+                            )
+                        lookups.append(
+                            {"layer": "result", "outcome": "miss"}
+                        )
+                    plan = None
+                    if cache is not None and memo is not None:
+                        cached = cache.plan_lookup(memo)
+                        if cached is not None:
+                            plan = cached[0]
+                            lookups.append(
+                                {"layer": "plan", "outcome": "hit"}
+                            )
+                        else:
+                            lookups.append(
+                                {"layer": "plan", "outcome": "miss"}
+                            )
+                    if plan is None:
+                        if statement is None:
+                            statement = parse(text)
+                        analyzer = Analyzer(self.catalog, self.registry)
+                        plan = optimize(analyzer.analyze_select(statement))
+                    if ctx.event_log is not None:
+                        self._last_plan_text = plan.pretty()
+                    planner = PhysicalPlanner(ctx, self.store, self.config)
+                    planned = planner.plan(plan)
+                    self.last_report = planned.report
+                    fragment_mark = (
+                        (cache.fragment_hits, cache.fragment_misses)
+                        if cache is not None
+                        else (0, 0)
+                    )
+                    rows = planned.rdd.collect()
+                    if cache is not None:
+                        hits = cache.fragment_hits - fragment_mark[0]
+                        misses = cache.fragment_misses - fragment_mark[1]
+                        if hits or misses:
+                            lookups.append(
+                                {
+                                    "layer": "fragment",
+                                    "outcome": "hit" if hits else "miss",
+                                    "hits": hits,
+                                    "misses": misses,
+                                }
+                            )
+                    if cache is not None and memo is not None:
+                        cache.plan_store(memo, plan, planned.schema)
+                        cache.result_store(memo, rows, planned.schema)
+                logged["report"] = planned.report
+                logged["rows"] = len(rows)
+                logged["plan_text"] = self._last_plan_text
+            return QueryResult(rows, planned.schema, planned.report)
+        finally:
+            # Inside a lifecycle-managed query the manager owns the
+            # event-log slice; hand it the lookups for its own record.
+            if (
+                lookups
+                and ctx.lifecycle is not None
+                and ctx.lifecycle.in_query()
+            ):
+                ctx.lifecycle.note_cache_lookups(lookups)
 
     def plan_select(self, select: ast.SelectStatement,
                     config: Optional[PlannerConfig] = None):
@@ -203,6 +322,7 @@ class SqlSession:
             "report": None,
             "rows": None,
             "plan_text": None,
+            "cache_lookups": None,
         }
         if log is None or (
             ctx.lifecycle is not None and ctx.lifecycle.in_query()
@@ -292,6 +412,7 @@ class SqlSession:
                 query_id=query_id,
                 memory=ctx.memory.watermarks(),
                 spills=ctx.memory.spill_rows_since(spill_mark),
+                cache_lookups=carrier.get("cache_lookups") or None,
             )
 
     def _explain(self, statement: ast.Statement) -> QueryResult:
@@ -361,6 +482,8 @@ class SqlSession:
         serving = getattr(self.ctx, "serving", None)
         if serving is not None:
             analysis.serving_lines = serving.summary_lines()
+        if self.sql_cache is not None:
+            analysis.sql_cache_lines = self.sql_cache.summary_lines()
         text = analysis.render()
         schema = Schema([Field("plan", type_by_name("string"))])
         return QueryResult(
@@ -545,6 +668,9 @@ class SqlSession:
             self._materialize_cached(entry, rdd, append=True)
         else:
             self._materialize_external(entry, rdd, append=True)
+        # Loads/inserts move the table version (result/fragment cache
+        # invalidation) without touching its DDL identity.
+        self.catalog.bump_version(table_name)
         return len(rows)
 
     # ------------------------------------------------------------------

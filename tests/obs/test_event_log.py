@@ -375,5 +375,92 @@ class TestServingFieldsV4:
         assert old.tenant is None
         assert old.memory[0]["peak_bytes"] == 64
 
-    def test_current_schema_version_is_v4(self):
-        assert SCHEMA_VERSION == 4
+    def test_current_schema_version_is_v5(self):
+        # v5 added cache_lookup records (query caching stack).
+        assert SCHEMA_VERSION == 5
+
+
+class TestCacheLookupsV5:
+    def test_cache_lookups_round_trip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        lookups = [
+            {"layer": "result", "outcome": "miss"},
+            {"layer": "plan", "outcome": "hit"},
+            {"layer": "fragment", "outcome": "hit", "hits": 3, "misses": 1},
+        ]
+        with EventLogWriter(path, 2, 2) as log:
+            log.write_query(name="probed", cache_lookups=lookups)
+        store = HistoryStore.load(path)
+        record = store.query("probed")
+        assert [r["layer"] for r in record.cache_lookups] == [
+            "result", "plan", "fragment",
+        ]
+        assert record.cache_lookups[2]["hits"] == 3
+        report = store.cache_report()
+        assert "sql cache report" in report
+        assert "plan" in report and "fragment" in report
+
+    def test_cache_off_emits_no_lookup_records(self, tmp_path):
+        # The byte-identity guarantee for cache-off logs: no
+        # cache_lookup record, not even an empty list.
+        path = tmp_path / "log.jsonl"
+        with EventLogWriter(path, 2, 2) as log:
+            log.write_query(name="plain")
+            log.write_query(name="empty", cache_lookups=[])
+        assert '"cache_lookup"' not in path.read_text()
+
+    def test_v4_log_loads_with_empty_cache_lookups(self, tmp_path):
+        path = tmp_path / "v4.jsonl"
+        records = [
+            {
+                "seq": 0,
+                "type": "header",
+                "version": 4,
+                "workers": 2,
+                "cores_per_worker": 2,
+            },
+            {
+                "seq": 1,
+                "type": "query_begin",
+                "query_id": "q0000",
+                "name": "legacy",
+                "kind": "sql",
+                "text": "SELECT 1",
+                "ts": 0.0,
+            },
+            {
+                "seq": 2,
+                "type": "query_end",
+                "query_id": "q0000",
+                "status": "ok",
+                "ts": 1.0,
+                "sim_seconds": 1.0,
+            },
+        ]
+        path.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+        )
+        store = HistoryStore.load(path)
+        assert store.query("legacy").cache_lookups == []
+        assert "0 probed" in store.cache_report()
+
+    def test_live_query_streams_lookup_outcomes(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        shark = _tpch_shark()
+        shark.enable_sql_cache()
+        shark.enable_event_log(path, source="test", seed=1)
+        text = "SELECT COUNT(*) FROM lineitem"
+        shark.sql(text)  # cold: result miss, plan miss
+        shark.sql(text)  # warm: result hit
+        shark.close_event_log()
+        store = HistoryStore.load(path)
+        cold, warm = store.queries[-2], store.queries[-1]
+        outcomes = {
+            (r["layer"], r["outcome"]) for r in cold.cache_lookups
+        }
+        assert ("result", "miss") in outcomes
+        assert ("plan", "miss") in outcomes
+        assert ("result", "hit") in {
+            (r["layer"], r["outcome"]) for r in warm.cache_lookups
+        }
+        assert "result" in store.cache_report()
