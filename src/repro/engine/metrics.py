@@ -51,6 +51,11 @@ class TaskMetrics:
     #: (<= records_in); the cost model charges those a cheaper per-record
     #: CPU rate.
     batch_rows: int = 0
+    #: Actual output rows per planner-stamped operator ("operator#op_id"
+    #: -> rows), recorded by physical operators in both execution modes.
+    #: Per-attempt like every other field here, so only the kept
+    #: attempt's counts ever reach the stage profile.
+    operator_rows: dict[str, int] = field(default_factory=dict)
 
     def to_cost_vector(self) -> TaskCostVector:
         """Convert to the cost-model representation."""
@@ -121,6 +126,16 @@ class StageProfile:
     @property
     def total_attempts(self) -> int:
         return sum(task.attempts for task in self.tasks)
+
+    @property
+    def operator_rows(self) -> dict[str, int]:
+        """Per-operator actual output rows summed over this stage's
+        kept task attempts."""
+        totals: dict[str, int] = {}
+        for task in self.tasks:
+            for key, count in task.operator_rows.items():
+                totals[key] = totals.get(key, 0) + count
+        return totals
 
     def cost_vectors(self) -> list[TaskCostVector]:
         return [task.to_cost_vector() for task in self.tasks]
@@ -205,6 +220,20 @@ class QueryProfile:
                 lines.append(
                     f"    rows/task p50={int(p50)} "
                     f"p95={int(p95)} p99={int(p99)}"
+                )
+            operator_rows = stage.operator_rows
+            if operator_rows:
+                # Plan order (the numeric stamp id), so row and batch
+                # mode runs read identically operator for operator.
+                ordered = sorted(
+                    operator_rows.items(),
+                    key=lambda item: int(item[0].rsplit("#", 1)[1]),
+                )
+                lines.append(
+                    "    operator rows: "
+                    + ", ".join(
+                        f"{key}={count}" for key, count in ordered
+                    )
                 )
         if self.recovered_tasks:
             lines.append(f"  recovered tasks: {self.recovered_tasks}")

@@ -49,6 +49,28 @@ def _shuffle_block_id(shuffle_id: int, map_partition: int) -> str:
     return f"shuffle_{shuffle_id}_{map_partition}"
 
 
+#: Heavy-hitter keys each map task keeps in its skew partial (a little
+#: wider than the merged top-N so near-ties survive the merge).
+_HEAVY_KEYS_PER_MAP = 8
+
+#: Heavy reduce keys reported per shuffle after merging map partials.
+HEAVY_KEYS_TOP_N = 5
+
+
+def _key_label(key: Any) -> str:
+    """Deterministic string label for a reduce key.
+
+    Plain values (and tuples of them) repr stably; anything else — e.g.
+    sort-shuffle composite key objects — would repr with a memory
+    address, so it collapses to a type placeholder instead (event logs
+    must stay byte-identical across reruns)."""
+    if key is None or isinstance(key, (bool, int, float, str)):
+        return repr(key)
+    if isinstance(key, tuple):
+        return "(" + ", ".join(_key_label(item) for item in key) + ")"
+    return f"<{type(key).__name__}>"
+
+
 @dataclass
 class MapOutputStats:
     """Master-side view of a shuffle's map outputs.
@@ -70,6 +92,11 @@ class MapOutputStats:
     custom_partials: dict[str, dict[int, Any]] = field(default_factory=dict)
     #: collector name -> merge function, recorded at first observe.
     mergers: dict[str, Any] = field(default_factory=dict)
+    #: Per-map-partition skew partials ({"rows": [..], "bytes": [..],
+    #: "keys": [(key, count), ..]}), kept per partition like
+    #: ``custom_partials`` so task re-runs overwrite instead of
+    #: double-merging (exactly-once skew profiling).
+    skew_partials: dict[int, dict] = field(default_factory=dict)
 
     @property
     def custom(self) -> dict[str, Any]:
@@ -91,6 +118,55 @@ class MapOutputStats:
             if result is not None:
                 merged[name] = result
         return merged
+
+    def skew_record(self, shuffle_id: int) -> dict:
+        """Merged per-partition row/byte histogram plus heavy keys.
+
+        Partials merge in map-partition order; sums and the sorted
+        top-N are order-independent, so the record is deterministic
+        across task scheduling and re-execution.
+        """
+        rows = [0] * self.num_reduces
+        bucket_bytes = [0] * self.num_reduces
+        key_counts: dict[str, int] = {}
+        for map_partition in sorted(self.skew_partials):
+            partial = self.skew_partials[map_partition]
+            for index, count in enumerate(partial["rows"]):
+                rows[index] += count
+            for index, size in enumerate(partial["bytes"]):
+                bucket_bytes[index] += size
+            for key, count in partial["keys"]:
+                key_counts[key] = key_counts.get(key, 0) + count
+        heavy = sorted(
+            key_counts.items(), key=lambda item: (-item[1], item[0])
+        )[:HEAVY_KEYS_TOP_N]
+        total_rows = sum(rows)
+        total_bytes = sum(bucket_bytes)
+        mean_rows = total_rows / self.num_reduces if self.num_reduces else 0.0
+        mean_bytes = (
+            total_bytes / self.num_reduces if self.num_reduces else 0.0
+        )
+        return {
+            "shuffle_id": shuffle_id,
+            "num_maps": self.num_maps,
+            "num_reduces": self.num_reduces,
+            "rows": rows,
+            "bytes": bucket_bytes,
+            "total_rows": total_rows,
+            "total_bytes": total_bytes,
+            "row_skew": (max(rows) / mean_rows) if mean_rows else 0.0,
+            "byte_skew": (
+                (max(bucket_bytes) / mean_bytes) if mean_bytes else 0.0
+            ),
+            # The reduce partition expected to straggle: the one with
+            # the most rows to process (task-time-vs-rows attribution —
+            # simulated task time is row-proportional, so the heaviest
+            # partition is the straggler candidate).
+            "straggler_partition": (
+                rows.index(max(rows)) if total_rows else 0
+            ),
+            "heavy_keys": [[key, count] for key, count in heavy],
+        }
 
     @property
     def maps_reported(self) -> int:
@@ -204,6 +280,17 @@ class ShuffleManager:
             log_encode_size(size) for size in bucket_bytes
         ]
         stats.record_counts[map_partition] = len(output)
+        key_counts: dict[str, int] = {}
+        for pair in output:
+            label = _key_label(pair[0])
+            key_counts[label] = key_counts.get(label, 0) + 1
+        stats.skew_partials[map_partition] = {
+            "rows": [len(bucket) for bucket in buckets],
+            "bytes": bucket_bytes,
+            "keys": sorted(
+                key_counts.items(), key=lambda item: (-item[1], item[0])
+            )[:_HEAVY_KEYS_PER_MAP],
+        }
         for collector in dep.stats_collectors:
             partial = collector.observe(output)
             stats.mergers[collector.name] = collector.merge
@@ -352,6 +439,27 @@ class ShuffleManager:
 
     def stats(self, shuffle_id: int) -> MapOutputStats:
         return self._stats[shuffle_id]
+
+    def skew_records(self, since_shuffle_id: int = 0) -> list[dict]:
+        """Skew records for every still-registered shuffle whose id is
+        >= ``since_shuffle_id`` (the caller's watermark), sorted by
+        shuffle id.  Shuffles with no map output yet are skipped.
+
+        Reported ids are rebased to the watermark (the query's first
+        shuffle is 0): the global counter keeps growing across queries
+        in one process, and logs must be byte-identical across reruns.
+        """
+        out = []
+        for shuffle_id in sorted(self._stats):
+            if shuffle_id < since_shuffle_id:
+                continue
+            stats = self._stats[shuffle_id]
+            if not stats.skew_partials:
+                continue
+            out.append(
+                stats.skew_record(shuffle_id - since_shuffle_id)
+            )
+        return out
 
     def map_location(self, shuffle_id: int, map_partition: int) -> int | None:
         return self._locations.get(shuffle_id, {}).get(map_partition)

@@ -99,6 +99,11 @@ class QueryAnalysis:
     #: Query-cache summary lines (SqlCache.summary_lines()); empty when
     #: the session runs without the caching stack.
     sql_cache_lines: list[str] = field(default_factory=list)
+    #: Per-operator est/actual/q-error profile dicts
+    #: (repro.obs.planquality.build_operator_profiles shape).
+    operator_profiles: list[dict] = field(default_factory=list)
+    #: Per-shuffle skew records (ShuffleManager.skew_records shape).
+    shuffle_skew: list[dict] = field(default_factory=list)
 
     def render(self) -> str:
         lines = self.plan_text.splitlines()
@@ -170,6 +175,48 @@ class QueryAnalysis:
             lines.append("  == operator modes ==")
             for operator, mode in self.operator_modes:
                 lines.append(f"  {operator}: {mode}")
+        if self.operator_profiles:
+            from repro.obs.planquality import (
+                DEFAULT_Q_ERROR_THRESHOLD,
+                audit,
+                format_profile_line,
+            )
+
+            lines.append("  == plan quality (est vs actual) ==")
+            for profile in self.operator_profiles:
+                lines.append(
+                    "  "
+                    + format_profile_line(
+                        profile, DEFAULT_Q_ERROR_THRESHOLD
+                    )
+                )
+            flagged = audit(
+                self.operator_profiles, DEFAULT_Q_ERROR_THRESHOLD
+            )
+            if flagged:
+                lines.append(
+                    f"  audit: {len(flagged)} misestimate(s) with "
+                    f"q-error > {DEFAULT_Q_ERROR_THRESHOLD:g} "
+                    f"(worst: {flagged[0]['operator']} "
+                    f"x{flagged[0]['q_error']:.1f})"
+                )
+        if self.shuffle_skew:
+            lines.append("  == shuffle skew ==")
+            for row in self.shuffle_skew:
+                heavy = ", ".join(
+                    f"{key}={count}"
+                    for key, count in (row.get("heavy_keys") or [])[:3]
+                )
+                lines.append(
+                    f"  shuffle {row['shuffle_id']}: "
+                    f"{row['num_reduces']} reduces, "
+                    f"{row.get('total_rows', 0)} rows, "
+                    f"row skew x{row.get('row_skew', 0.0):.2f}, "
+                    f"byte skew x{row.get('byte_skew', 0.0):.2f}, "
+                    f"straggler partition "
+                    f"{row.get('straggler_partition', 0)}"
+                    + (f" [{heavy}]" if heavy else "")
+                )
         if self.serving_lines:
             lines.append("  == serving ==")
             for line in self.serving_lines:
@@ -195,6 +242,8 @@ def analyze_profiles(
     memory_rows: Optional[list[dict]] = None,
     memory_pressure_events: int = 0,
     memory_spills: Optional[list[dict]] = None,
+    operator_profiles: Optional[list[dict]] = None,
+    shuffle_skew: Optional[list[dict]] = None,
 ) -> QueryAnalysis:
     """Annotate ``plan_text`` with the executed profiles' statistics.
 
@@ -215,6 +264,8 @@ def analyze_profiles(
         memory_rows=list(memory_rows or []),
         memory_pressure_events=memory_pressure_events,
         memory_spill_rows=list(memory_spills or []),
+        operator_profiles=list(operator_profiles or []),
+        shuffle_skew=list(shuffle_skew or []),
     )
     for row in analysis.memory_spill_rows:
         analysis.memory_spill_events += row["events"]

@@ -56,7 +56,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: v5 adds the ``cache_lookup`` record type (one per cache-layer probe
 #: the SQL caching stack made for a query); older logs simply have none
 #: (DESIGN.md §14).
-SCHEMA_VERSION = 5
+#: v6 adds the ``operator_profile`` record type (per-operator estimated
+#: vs. actual rows with q-error), the ``shuffle_skew`` record type
+#: (per-shuffle partition histograms and heavy keys), and an *optional*
+#: ``operator_rows`` field on ``task`` records — all additive, so
+#: v2–v5 logs still load (DESIGN.md §15).
+SCHEMA_VERSION = 6
 
 #: Flight-recorder ring capacity (events kept for post-mortems).
 FLIGHT_CAPACITY = 512
@@ -106,6 +111,24 @@ _REQUIRED: dict[str, tuple[str, ...]] = {
     "memory_watermark": ("query_id", "worker", "pool", "peak_bytes", "ts"),
     "memory_spill": ("query_id", "owner", "events", "bytes", "runs", "ts"),
     "cache_lookup": ("query_id", "layer", "outcome", "ts"),
+    "operator_profile": (
+        "query_id",
+        "operator",
+        "op_id",
+        "mode",
+        "est_rows",
+        "est_source",
+        "actual_rows",
+        "q_error",
+    ),
+    "shuffle_skew": (
+        "query_id",
+        "shuffle_id",
+        "num_reduces",
+        "rows",
+        "bytes",
+        "ts",
+    ),
     "query_end": ("query_id", "status", "ts", "sim_seconds"),
     "flight_dump": ("reason", "events"),
 }
@@ -307,6 +330,8 @@ class EventLogWriter:
         priority: Optional[str] = None,
         shed_reason: Optional[str] = None,
         cache_lookups: Optional[list[dict]] = None,
+        operator_profiles: Optional[list[dict]] = None,
+        shuffle_skew: Optional[list[dict]] = None,
     ) -> str:
         """Write one query's complete record set; returns its id.
 
@@ -348,6 +373,20 @@ class EventLogWriter:
                         [operator, mode]
                         for operator, mode in operator_modes
                     ],
+                }
+            )
+        for row in operator_profiles or []:
+            # v6: one record per planner-stamped operator with its
+            # estimated vs. actual rows and q-error (nulls when a side
+            # is unknown); ``detail`` is optional.
+            self.write(
+                {
+                    "type": "operator_profile",
+                    "query_id": query_id,
+                    **{
+                        key: _jsonable(value)
+                        for key, value in row.items()
+                    },
                 }
             )
         for record in _timeline_records(query_id, spans, events):
@@ -415,6 +454,20 @@ class EventLogWriter:
                                 task.spill_bytes_written
                             ),
                             "spill_bytes_read": task.spill_bytes_read,
+                            # v6 optional field, written only when a
+                            # physical operator counted rows in this
+                            # task (keeps v5-shaped tasks unchanged).
+                            **(
+                                {
+                                    "operator_rows": dict(
+                                        sorted(
+                                            task.operator_rows.items()
+                                        )
+                                    )
+                                }
+                                if task.operator_rows
+                                else {}
+                            ),
                         }
                     )
         if counter_deltas:
@@ -467,6 +520,21 @@ class EventLogWriter:
             self.write(
                 {
                     "type": "cache_lookup",
+                    "query_id": query_id,
+                    "ts": ended,
+                    **{
+                        key: _jsonable(value)
+                        for key, value in row.items()
+                    },
+                }
+            )
+        for row in shuffle_skew or []:
+            # v6: one record per shuffle boundary with per-partition
+            # row/byte histograms, skew ratios, and heavy reduce keys
+            # from the shuffle manager's merged map partials.
+            self.write(
+                {
+                    "type": "shuffle_skew",
                     "query_id": query_id,
                     "ts": ended,
                     **{

@@ -31,6 +31,11 @@ from repro.obs.events import (
     SCHEMA_VERSION,
     read_event_log,
 )
+from repro.obs.planquality import (
+    DEFAULT_Q_ERROR_THRESHOLD,
+    audit,
+    format_profile_line,
+)
 
 
 @dataclass
@@ -72,6 +77,14 @@ class QueryRecord:
     #: ``cache_lookup`` records: per-layer probes the SQL caching stack
     #: made for this query (schema v5).
     cache_lookups: list[dict] = field(default_factory=list)
+    #: ``operator_profile`` records: per-operator estimated vs. actual
+    #: row counts with q-error (schema v6).
+    operator_profiles: list[dict] = field(default_factory=list)
+    #: ``shuffle_skew`` records: per-shuffle partition histograms and
+    #: heavy keys (schema v6).  Named ``skew_records`` because
+    #: :meth:`shuffle_skew` (the per-stage byte-skew summary) predates
+    #: them.
+    skew_records: list[dict] = field(default_factory=list)
     #: True when the only evidence is a flight-recorder dump.
     flight_only: bool = False
     header: dict = field(default_factory=dict)
@@ -137,6 +150,10 @@ class QueryRecord:
                         "spill_bytes_written", 0
                     ),
                     spill_bytes_read=task.get("spill_bytes_read", 0),
+                    # v6 optional field: .get so v2-v5 logs still load.
+                    operator_rows=dict(
+                        task.get("operator_rows") or {}
+                    ),
                 )
             )
         return [profiles[job_id] for job_id in sorted(profiles)]
@@ -162,6 +179,8 @@ class QueryRecord:
                 }
                 for row in self.spills
             ],
+            operator_profiles=self.operator_profiles,
+            shuffle_skew=self.skew_records,
         )
 
     def to_query_trace(self):
@@ -363,6 +382,10 @@ class HistoryStore:
                 target.spills.append(record)
             elif kind == "cache_lookup":
                 target.cache_lookups.append(record)
+            elif kind == "operator_profile":
+                target.operator_profiles.append(record)
+            elif kind == "shuffle_skew":
+                target.skew_records.append(record)
             elif kind == "query_end":
                 target.status = record["status"]
                 target.error = record.get("error")
@@ -721,6 +744,130 @@ class HistoryStore:
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
+    # Plan quality (schema v6)
+    # ------------------------------------------------------------------
+    def operator_profiles(self) -> list[dict]:
+        """Every ``operator_profile`` record across all logged queries,
+        writer order."""
+        return [
+            row
+            for record in self.queries
+            for row in record.operator_profiles
+        ]
+
+    def cardinality_priors(self) -> list[dict]:
+        """Observed output cardinalities aggregated across runs, keyed
+        by (operator, detail) — e.g. every run of
+        ``filter``/``(L_QUANTITY < 24)`` contributes one observation.
+
+        This is the designed hand-off for PDE v2's learned priors: a
+        future optimizer can seed its estimates from ``mean_rows``
+        instead of the default selectivity guesses.
+        """
+        merged: dict[tuple[str, str], dict] = {}
+        for row in self.operator_profiles():
+            actual = row.get("actual_rows")
+            if actual is None:
+                continue
+            actual = int(actual)
+            key = (row["operator"], row.get("detail", ""))
+            prior = merged.get(key)
+            if prior is None:
+                prior = merged[key] = {
+                    "operator": key[0],
+                    "detail": key[1],
+                    "observations": 0,
+                    "total_rows": 0,
+                    "min_rows": actual,
+                    "max_rows": actual,
+                }
+            prior["observations"] += 1
+            prior["total_rows"] += actual
+            prior["min_rows"] = min(prior["min_rows"], actual)
+            prior["max_rows"] = max(prior["max_rows"], actual)
+        out = []
+        for key in sorted(merged):
+            prior = merged[key]
+            prior["mean_rows"] = (
+                prior["total_rows"] / prior["observations"]
+            )
+            out.append(prior)
+        return out
+
+    def plan_quality_report(
+        self,
+        threshold: float = DEFAULT_Q_ERROR_THRESHOLD,
+        markdown: bool = False,
+    ) -> str:
+        """Per-query misestimate audit + shuffle-skew records +
+        cross-run cardinality priors (schema v6)."""
+        h2 = "## " if markdown else "== "
+        h2end = "" if markdown else " =="
+        profiled = [
+            record for record in self.queries if record.operator_profiles
+        ]
+        lines = [
+            f"{'# ' if markdown else ''}plan quality report: "
+            f"{len(profiled)} profiled quer"
+            f"{'y' if len(profiled) == 1 else 'ies'} of "
+            f"{len(self.queries)}"
+        ]
+        if not profiled:
+            lines.append(
+                "  (no operator_profile records — log predates "
+                "schema v6)"
+            )
+            return "\n".join(lines)
+        lines.append("")
+        lines.append(
+            f"{h2}misestimates (q-error > {threshold:g}){h2end}"
+        )
+        any_flagged = False
+        for record in profiled:
+            flagged = audit(record.operator_profiles, threshold)
+            for row in flagged:
+                any_flagged = True
+                lines.append(
+                    f"  {record.query_id}: "
+                    + format_profile_line(row, threshold)
+                )
+        if not any_flagged:
+            lines.append("  (none)")
+        skewed = [
+            (record, row)
+            for record in self.queries
+            for row in record.skew_records
+        ]
+        if skewed:
+            lines.append("")
+            lines.append(f"{h2}shuffle skew records{h2end}")
+            for record, row in skewed:
+                heavy = ", ".join(
+                    f"{key}={count}"
+                    for key, count in (row.get("heavy_keys") or [])[:3]
+                )
+                lines.append(
+                    f"  {record.query_id} shuffle {row['shuffle_id']}: "
+                    f"{row['num_reduces']} reduces, "
+                    f"rows max/mean x{row.get('row_skew', 0.0):.2f}"
+                    + (f", heavy keys: {heavy}" if heavy else "")
+                )
+        priors = self.cardinality_priors()
+        if priors:
+            lines.append("")
+            lines.append(f"{h2}cardinality priors (for PDE v2){h2end}")
+            for prior in priors:
+                label = prior["operator"]
+                if prior["detail"]:
+                    label += f" {prior['detail']}"
+                lines.append(
+                    f"  {label}: n={prior['observations']} "
+                    f"mean {prior['mean_rows']:.1f} rows "
+                    f"[{prior['min_rows']}, {prior['max_rows']}]"
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
     # Reports
     # ------------------------------------------------------------------
     def report(
@@ -853,6 +1000,16 @@ class HistoryStore:
             lines.append(f"{h2}operator modes{h2end}")
             for operator, mode in record.operator_modes:
                 lines.append(f"  {operator}: {mode}")
+        if record.operator_profiles:
+            lines.append("")
+            lines.append(f"{h2}plan quality (est vs actual){h2end}")
+            for row in record.operator_profiles:
+                lines.append(
+                    "  "
+                    + format_profile_line(
+                        row, DEFAULT_Q_ERROR_THRESHOLD
+                    )
+                )
         if record.counters:
             lines.append("")
             lines.append(f"{h2}counter deltas{h2end}")
@@ -899,17 +1056,13 @@ class HistoryStore:
 
 def percentile(sorted_values: list[float], pct: float) -> float:
     """Nearest-rank percentile over an ascending-sorted list (0 when
-    empty) — deterministic, no interpolation."""
-    if not sorted_values:
-        return 0.0
-    rank = max(
-        0,
-        min(
-            len(sorted_values) - 1,
-            int(-(-pct * len(sorted_values) // 100.0)) - 1,
-        ),
-    )
-    return sorted_values[rank]
+    empty) — deterministic, no interpolation.
+
+    Thin wrapper over the canonical helper in ``repro.obs.metrics``
+    (this module keeps the 0–100 percentile scale its callers use)."""
+    from repro.obs.metrics import percentiles_of
+
+    return percentiles_of(list(sorted_values), (pct / 100.0,))[0]
 
 
 def _timeline_sorted(timeline: list[dict]) -> list[dict]:
@@ -943,14 +1096,16 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "section",
         nargs="?",
-        choices=["memory", "tenants", "cache"],
+        choices=["memory", "tenants", "cache", "quality"],
         help=(
             "optional focused report: 'memory' renders the per-worker "
             "pressure timeline and top consumers from memory_watermark "
             "records; 'tenants' renders per-tenant utilization and "
             "per-tier latency percentiles from v4 serving fields; "
             "'cache' renders per-layer SQL cache hit ratios from v5 "
-            "cache_lookup records"
+            "cache_lookup records; 'quality' renders the plan-quality "
+            "audit, shuffle-skew records, and cross-run cardinality "
+            "priors from v6 records"
         ),
     )
     parser.add_argument(
@@ -980,6 +1135,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(store.tenant_report(markdown=args.markdown))
         elif args.section == "cache":
             print(store.cache_report(markdown=args.markdown))
+        elif args.section == "quality":
+            print(store.plan_quality_report(markdown=args.markdown))
         else:
             print(store.report(markdown=args.markdown, query=args.query))
     except BrokenPipeError:  # `| head` closed stdout; not an error

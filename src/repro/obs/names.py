@@ -112,6 +112,15 @@ COUNTERS = frozenset(
         "memory.spill.bytes",
         "memory.spill.runs",
         "memory.release.clamped",
+        # plan quality: per-operator est-vs-actual profiles and the
+        # audit's misestimate count (q-error above threshold); see
+        # DESIGN.md §15
+        "plan.operator_profiles",
+        "plan.misestimates",
+        # shuffle skew profiler: shuffles with per-partition histograms
+        "skew.shuffles",
+        # query doctor: root-cause findings across a two-run diff
+        "doctor.findings",
     }
 )
 
@@ -139,6 +148,8 @@ GAUGES = frozenset(
         # owner and live entry count across all three layers).
         "sqlcache.bytes",
         "sqlcache.entries",
+        # plan quality: worst q-error the last audited query produced
+        "plan.q_error_max",
     }
 )
 

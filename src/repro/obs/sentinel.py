@@ -12,6 +12,12 @@ per-stage attribution line, e.g.::
       stage 1 (partial_aggregate) +0.031 sim-s, rows/task x1.0,
       shuffle write bytes x1.0
 
+When any query regresses, the sentinel also re-runs the suite under the
+default configuration into a scratch event log and hands both logs to
+the query doctor (:mod:`repro.obs.doctor`), so the failure report ends
+with ranked root causes — e.g. a ``--vectorize off`` run is attributed
+to ``mode-flip`` rather than just "a stage got slower".
+
 Everything is measured on the simulated clock, so the baseline is exact
 and machine-independent: an unchanged engine reproduces it bit-for-bit,
 and CI can gate on it without noise margins.  ``--write-baseline``
@@ -182,6 +188,73 @@ def _attribution(base_entry: dict, entry: dict) -> str:
                 f"{label} x{_ratio(value, base_value):.1f}"
             )
     return ", ".join(details)
+
+
+def doctor_attribution(args, shark) -> list[str]:
+    """Diff a default-config reference run against the current run with
+    the query doctor; returns the report lines to append.
+
+    The reference suite is re-run into a scratch event log (cheap: the
+    suite is small and the clock is simulated); the current run's log is
+    either ``--event-log-out`` or a second scratch re-run under the
+    current flags.  Deterministic by construction — both logs are pure
+    functions of engine config.
+    """
+    import os
+    import tempfile
+
+    from repro.obs import doctor
+
+    with tempfile.TemporaryDirectory() as scratch:
+        current_log = args.event_log_out
+        if current_log is None:
+            current_log = os.path.join(scratch, "current.jsonl")
+            rerun = build_warehouse(
+                vectorize=args.vectorize == "on",
+                memory_per_worker_bytes=args.memory_cap,
+            )
+            rerun.enable_event_log(
+                current_log, source="sentinel", vectorize=args.vectorize
+            )
+            try:
+                run_suite(rerun)
+            finally:
+                rerun.close_event_log()
+        reference_log = os.path.join(scratch, "reference.jsonl")
+        reference = build_warehouse()
+        reference.enable_event_log(
+            reference_log, source="sentinel", vectorize="on"
+        )
+        try:
+            run_suite(reference)
+        finally:
+            reference.close_event_log()
+        metrics = shark.engine.tracer.metrics
+        report = doctor.diagnose_logs(
+            reference_log,
+            current_log,
+            regression_threshold=args.threshold,
+            metrics=metrics,
+        )
+    lines = ["== query doctor (default-config reference vs this run) =="]
+    for diagnosis in report.regressed():
+        lines.append(
+            f"{doctor._display_name(diagnosis.name)}: "
+            f"{diagnosis.baseline_seconds:.3f} -> "
+            f"{diagnosis.current_seconds:.3f} sim-s "
+            f"({diagnosis.slowdown:+.0%})"
+        )
+        for rank, finding in enumerate(diagnosis.findings[:3], start=1):
+            lines.append(
+                f"  {rank}. [{finding.category}] {finding.summary}"
+            )
+    top = report.top_cause()
+    if top is not None:
+        lines.append(
+            f"top root cause across corpus: {top[0]} "
+            f"({top[1]} quer{'y' if top[1] == 1 else 'ies'})"
+        )
+    return lines
 
 
 def compare(
@@ -395,6 +468,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     lines.extend(f"  {line}" for line in info)
     lines.extend(f"  {line}" for line in regressions)
     lines.extend(f"  {line}" for line in warm_lines)
+    if regressions:
+        lines.extend(
+            f"  {line}" for line in doctor_attribution(args, shark)
+        )
     lines.append(
         f"sentinel: "
         + (

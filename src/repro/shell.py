@@ -39,6 +39,8 @@ Enter SQL terminated by ';'.  Dot-commands:
   .trace [on|off|<path>] toggle span tracing / export Chrome-trace JSON
   .eventlog [<path>|off] stream every query to a persistent event log
   .history <path> [id]  report over an event log (whole log, or one query)
+  .doctor <log_a> <log_b>  diff two event logs of the same corpus and
+                        rank root causes for every regressed query
   .workers              virtual cluster status
   .kill <worker_id>     kill a worker (lineage recovery demo)
   .notes                run-time optimizer decisions of the last query
@@ -225,6 +227,9 @@ class Shell:
             return
         if name == ".history":
             self._history_command(argument)
+            return
+        if name == ".doctor":
+            self._doctor_command(argument)
             return
         if name == ".workers":
             for worker in self.shark.engine.cluster.workers:
@@ -466,6 +471,24 @@ class Shell:
             self._write(store.report(query=query if query else None))
         except (OSError, ValueError, KeyError) as error:
             self._write(f"error: {error}")
+
+    def _doctor_command(self, argument: str) -> None:
+        from repro.obs import doctor
+
+        parts = argument.split()
+        if len(parts) != 2:
+            self._write("usage: .doctor <log_a> <log_b>")
+            return
+        try:
+            report = doctor.diagnose_logs(
+                parts[0],
+                parts[1],
+                metrics=self.shark.tracer.metrics,
+            )
+        except (OSError, ValueError, KeyError) as error:
+            self._write(f"error: {error}")
+            return
+        self._write(report.render())
 
     def _describe(self, name: str) -> None:
         try:

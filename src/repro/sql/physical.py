@@ -28,6 +28,7 @@ from repro.engine.rdd import (
 )
 from repro.engine.spill import SpillableGroups
 from repro.engine.task import current_task_context
+from repro.obs.planquality import OperatorStamp, record_operator_rows
 from repro.sql.expressions import BoundExpr
 from repro.sql.functions import (
     AvgAggregate,
@@ -179,6 +180,8 @@ class MemstoreScanRDD(RDD):
         table_schema: Schema,
         projected: Optional[list[str]] = None,
         vector_filters: tuple = (),
+        scan_key: Optional[str] = None,
+        filter_key: Optional[str] = None,
     ):
         super().__init__(
             parent.ctx,
@@ -190,6 +193,12 @@ class MemstoreScanRDD(RDD):
         self._projected = projected
         self._table_schema = table_schema
         self._vector_filters = tuple(vector_filters)
+        #: Plan-quality stamp keys: the scan is credited with rows read
+        #: (pre-filter); ``filter_key`` is set only when the pushed-down
+        #: vector filters are the whole predicate, so the surviving rows
+        #: are the filter operator's actual output.
+        self._scan_key = scan_key
+        self._filter_key = filter_key
         #: Filters that could not be evaluated vectorized on some block
         #: must still hold: the caller keeps them in the row-level filter,
         #: so a None mask here is only a lost optimization, never a wrong
@@ -258,6 +267,10 @@ class MemstoreScanRDD(RDD):
         task_ctx.metrics.source = SOURCE_MEMORY
         task_ctx.metrics.records_in += total_records
         task_ctx.metrics.bytes_in += total_bytes
+        if self._scan_key is not None:
+            record_operator_rows(self._scan_key, total_records)
+        if self._filter_key is not None:
+            record_operator_rows(self._filter_key, len(rows))
         return rows
 
 
@@ -266,6 +279,8 @@ def scan_memstore(
     projected: Optional[list[str]],
     kept_partitions: Optional[list[int]] = None,
     vector_filters: tuple = (),
+    scan_op: Optional[OperatorStamp] = None,
+    filter_op: Optional[OperatorStamp] = None,
 ) -> RDD:
     """Build the scan dataflow for a cached table, optionally map-pruned
     and with vectorizable predicates pushed into the columnar scan."""
@@ -277,7 +292,9 @@ def scan_memstore(
     ):
         base = PrunedRDD(base, kept_partitions)
     return MemstoreScanRDD(
-        base, entry.schema, projected, vector_filters=vector_filters
+        base, entry.schema, projected, vector_filters=vector_filters,
+        scan_key=scan_op.key if scan_op is not None else None,
+        filter_key=filter_op.key if filter_op is not None else None,
     )
 
 
@@ -602,6 +619,7 @@ class BatchPipelineRDD(RDD):
         aggregate_factory: Optional[Callable[[], BatchAggregator]] = None,
         name: str = "batch_scan",
         fragment_scope: Optional[tuple] = None,
+        op_keys: Optional[dict] = None,
     ):
         super().__init__(
             parent.ctx,
@@ -617,6 +635,11 @@ class BatchPipelineRDD(RDD):
         self._residual = residual_predicate
         self._chain = tuple(chain)
         self._aggregate_factory = aggregate_factory
+        #: Plan-quality stamp keys for the fused operators: "scan",
+        #: "filter" (the whole scan predicate), "chain" (one per chained
+        #: kernel) and "aggregate" — runtime row counts are credited to
+        #: these so batch and row mode report the same operators.
+        self._op_keys = dict(op_keys or {})
         #: (table, version, kept_partitions_or_None) when the sql cache's
         #: fragment layer is on: decoded post-selection batches are
         #: published there, so concurrent queries over the same table
@@ -666,6 +689,10 @@ class BatchPipelineRDD(RDD):
         total_records = 0
         total_bytes = 0
         num_batches = 0
+        filter_key = self._op_keys.get("filter")
+        chain_keys = self._op_keys.get("chain") or (None,) * len(self._chain)
+        filter_rows_out = 0
+        chain_rows_out = [0] * len(self._chain)
         cache = (
             getattr(self.ctx, "sql_cache", None)
             if self._fragment_scope is not None
@@ -716,7 +743,10 @@ class BatchPipelineRDD(RDD):
                 keep = self._residual(batch)
                 batch = batch.take(np.nonzero(keep)[0])
                 counters.inc("batch.kernel.filter")
-            for kind, payload in self._chain:
+            # Post-selection (and post-residual) survivors are the
+            # filter operator's actual output for this block.
+            filter_rows_out += batch.num_rows
+            for index, (kind, payload) in enumerate(self._chain):
                 if kind == "filter":
                     keep = payload(batch)
                     batch = batch.take(np.nonzero(keep)[0])
@@ -730,6 +760,7 @@ class BatchPipelineRDD(RDD):
                     ]
                     batch = ColumnBatch(entries, batch.num_rows)
                     counters.inc("batch.kernel.project")
+                chain_rows_out[index] += batch.num_rows
             if aggregator is not None:
                 aggregator.consume(batch)
                 counters.inc("batch.kernel.aggregate")
@@ -751,7 +782,21 @@ class BatchPipelineRDD(RDD):
         task_ctx.metrics.records_in += total_records
         task_ctx.metrics.bytes_in += total_bytes
         task_ctx.metrics.batch_rows += total_records
-        return aggregator.finish() if aggregator is not None else rows
+        scan_key = self._op_keys.get("scan")
+        if scan_key is not None:
+            record_operator_rows(scan_key, total_records)
+        if filter_key is not None:
+            record_operator_rows(filter_key, filter_rows_out)
+        for key, count in zip(chain_keys, chain_rows_out):
+            if key is not None:
+                record_operator_rows(key, count)
+        if aggregator is not None:
+            out = aggregator.finish()
+            aggregate_key = self._op_keys.get("aggregate")
+            if aggregate_key is not None:
+                record_operator_rows(aggregate_key, len(out))
+            return out
+        return rows
 
 
 def scan_batch_pipeline(
@@ -764,6 +809,7 @@ def scan_batch_pipeline(
     chain: tuple = (),
     aggregate_factory: Optional[Callable[[], BatchAggregator]] = None,
     name: str = "batch_scan",
+    op_keys: Optional[dict] = None,
 ) -> RDD:
     """Build the fused batch dataflow for a cached table (same pruning
     contract as :func:`scan_memstore`)."""
@@ -801,6 +847,7 @@ def scan_batch_pipeline(
         aggregate_factory=aggregate_factory,
         name=name,
         fragment_scope=fragment_scope,
+        op_keys=op_keys,
     )
 
 
@@ -809,8 +856,25 @@ def scan_batch_pipeline(
 # ---------------------------------------------------------------------------
 
 
+def _count_into(op: Optional[OperatorStamp]):
+    """Per-partition pass-through that credits the partition's rows to
+    ``op``'s plan-quality stamp; None when no stamp was requested."""
+    if op is None:
+        return None
+    key = op.key
+
+    def count_partition(part: list) -> list:
+        record_operator_rows(key, len(part))
+        return part
+
+    return count_partition
+
+
 def filter_rows(
-    child: RDD, condition: BoundExpr, use_codegen: bool = True
+    child: RDD,
+    condition: BoundExpr,
+    use_codegen: bool = True,
+    op: Optional[OperatorStamp] = None,
 ) -> RDD:
     """Filter rows where the predicate is exactly TRUE.
 
@@ -826,11 +890,25 @@ def filter_rows(
         predicate = compile_predicate(condition)
     if predicate is None:
         predicate = lambda row: condition.eval(row) is True  # noqa: E731
-    return child.filter(predicate).set_name("filter")
+    if op is None:
+        return child.filter(predicate).set_name("filter")
+    key = op.key
+
+    def run(part: list) -> list:
+        out = [row for row in part if predicate(row)]
+        record_operator_rows(key, len(out))
+        return out
+
+    return child.map_partitions(
+        run, preserves_partitioning=True
+    ).set_name("filter")
 
 
 def project_rows(
-    child: RDD, expressions: list[BoundExpr], use_codegen: bool = True
+    child: RDD,
+    expressions: list[BoundExpr],
+    use_codegen: bool = True,
+    op: Optional[OperatorStamp] = None,
 ) -> RDD:
     """Evaluate the SELECT list per row, compiled when possible."""
     run = None
@@ -842,10 +920,21 @@ def project_rows(
         def run(row: tuple) -> tuple:
             return tuple(expr.eval(row) for expr in expressions)
 
-    return child.map(run).set_name("project")
+    if op is None:
+        return child.map(run).set_name("project")
+    key = op.key
+
+    def run_partition(part: list) -> list:
+        out = [run(row) for row in part]
+        record_operator_rows(key, len(out))
+        return out
+
+    return child.map_partitions(run_partition).set_name("project")
 
 
-def limit_rows(child: RDD, count: int) -> RDD:
+def limit_rows(
+    child: RDD, count: int, op: Optional[OperatorStamp] = None
+) -> RDD:
     """LIMIT pushed into individual partitions (Section 2.4), then a final
     single-partition pass takes the global first ``count``."""
 
@@ -854,11 +943,28 @@ def limit_rows(child: RDD, count: int) -> RDD:
 
     local = child.map_partitions(take_local).set_name("limit_local")
     merged = local.coalesce(1)
-    return merged.map_partitions(take_local).set_name("limit")
+    if op is None:
+        return merged.map_partitions(take_local).set_name("limit")
+    key = op.key
+
+    def take_final(part: list) -> list:
+        out = part[:count]
+        record_operator_rows(key, len(out))
+        return out
+
+    return merged.map_partitions(take_final).set_name("limit")
 
 
-def distinct_rows(child: RDD, num_partitions: Optional[int] = None) -> RDD:
-    return child.distinct(num_partitions).set_name("distinct")
+def distinct_rows(
+    child: RDD,
+    num_partitions: Optional[int] = None,
+    op: Optional[OperatorStamp] = None,
+) -> RDD:
+    out = child.distinct(num_partitions)
+    counter = _count_into(op)
+    if counter is not None:
+        out = out.map_partitions(counter, preserves_partitioning=True)
+    return out.set_name("distinct")
 
 
 class SortKey:
@@ -899,6 +1005,7 @@ def sort_rows(
     child: RDD,
     keys: list[tuple[BoundExpr, bool]],
     num_partitions: Optional[int] = None,
+    op: Optional[OperatorStamp] = None,
 ) -> RDD:
     ascendings = tuple(asc for __, asc in keys)
     expressions = [expr for expr, __ in keys]
@@ -908,7 +1015,11 @@ def sort_rows(
             tuple(expr.eval(row) for expr in expressions), ascendings
         )
 
-    return child.sort_by(key_of, True, num_partitions).set_name("sort")
+    out = child.sort_by(key_of, True, num_partitions)
+    counter = _count_into(op)
+    if counter is not None:
+        out = out.map_partitions(counter, preserves_partitioning=True)
+    return out.set_name("sort")
 
 
 # ---------------------------------------------------------------------------
@@ -960,6 +1071,24 @@ def _merge_accumulators(
     return merge
 
 
+def partial_aggregate_rdd(
+    child: RDD,
+    group_exprs: list[BoundExpr],
+    specs: list[AggregateSpec],
+    op: Optional[OperatorStamp] = None,
+) -> RDD:
+    """Phase-1 task-local aggregation producing (group key, accs) pairs."""
+    key = op.key if op is not None else None
+
+    def run(part: list) -> list:
+        out = _partial_aggregate_partition(part, group_exprs, specs)
+        if key is not None:
+            record_operator_rows(key, len(out))
+        return out
+
+    return child.map_partitions(run).set_name("partial_aggregate")
+
+
 def aggregate_rows(
     child: RDD,
     group_exprs: list[BoundExpr],
@@ -969,6 +1098,8 @@ def aggregate_rows(
     coalesce_groups: Optional[list[list[int]]] = None,
     fine_grained_partitions: Optional[int] = None,
     partials: Optional[RDD] = None,
+    partial_op: Optional[OperatorStamp] = None,
+    final_op: Optional[OperatorStamp] = None,
 ) -> RDD:
     """Two-phase hash aggregation.
 
@@ -981,9 +1112,9 @@ def aggregate_rows(
     them via ``partials`` and skips the row-at-a-time phase 1.
     """
     if partials is None:
-        partials = child.map_partitions(
-            lambda part: _partial_aggregate_partition(part, group_exprs, specs)
-        ).set_name("partial_aggregate")
+        partials = partial_aggregate_rdd(
+            child, group_exprs, specs, op=partial_op
+        )
 
     merge = _merge_accumulators(specs)
     reduce_partitions = fine_grained_partitions or num_partitions
@@ -1007,15 +1138,31 @@ def aggregate_rows(
         )
         return tuple(key) + finished
 
-    return merged.map(finish).set_name("final_aggregate")
+    if final_op is None:
+        return merged.map(finish).set_name("final_aggregate")
+    final_key = final_op.key
+
+    def finish_partition(part: list) -> list:
+        out = [finish(pair) for pair in part]
+        record_operator_rows(final_key, len(out))
+        return out
+
+    return merged.map_partitions(finish_partition).set_name(
+        "final_aggregate"
+    )
 
 
 def global_aggregate_rows(
-    child: RDD, specs: list[AggregateSpec], partials: Optional[RDD] = None
+    child: RDD,
+    specs: list[AggregateSpec],
+    partials: Optional[RDD] = None,
+    partial_op: Optional[OperatorStamp] = None,
+    final_op: Optional[OperatorStamp] = None,
 ) -> RDD:
     """Aggregation with no GROUP BY: all partials merge on one reducer."""
     return aggregate_rows(child, [], specs, num_partitions=1,
-                          partials=partials)
+                          partials=partials, partial_op=partial_op,
+                          final_op=final_op)
 
 
 # ---------------------------------------------------------------------------
@@ -1070,6 +1217,23 @@ def _emit_joined(
     return emit
 
 
+def _counted_emit(
+    emit: Callable[[Any], list], op: Optional[OperatorStamp]
+) -> Callable[[Any], list]:
+    """Wrap a flat-map emit so each call credits its output rows to the
+    join's plan-quality stamp."""
+    if op is None:
+        return emit
+    key = op.key
+
+    def emit_counted(item) -> list:
+        out = emit(item)
+        record_operator_rows(key, len(out))
+        return out
+
+    return emit_counted
+
+
 def shuffle_join(
     ctx: "EngineContext",
     left: RDD,
@@ -1083,6 +1247,7 @@ def shuffle_join(
     partitioner: Partitioner,
     pre_shuffled_left: Optional[RDD] = None,
     pre_shuffled_right: Optional[RDD] = None,
+    op: Optional[OperatorStamp] = None,
 ) -> RDD:
     """Repartition both sides by key and join corresponding partitions.
 
@@ -1097,7 +1262,9 @@ def shuffle_join(
     if keyed_right is None:
         keyed_right = right.key_by(_key_function(right_keys))
     grouped = CoGroupedRDD(ctx, [keyed_left, keyed_right], partitioner)
-    emit = _emit_joined(join_type, left_width, right_width, residual)
+    emit = _counted_emit(
+        _emit_joined(join_type, left_width, right_width, residual), op
+    )
     return grouped.flat_map(emit).set_name(f"{join_type}_join")
 
 
@@ -1112,6 +1279,7 @@ def copartitioned_join(
     right_width: int,
     residual: Optional[BoundExpr],
     partitioner: Partitioner,
+    op: Optional[OperatorStamp] = None,
 ) -> RDD:
     """Join two tables co-partitioned on the join key (Section 3.4): both
     keyed RDDs inherit the stored partitioning, so cogroup is all-narrow
@@ -1133,7 +1301,9 @@ def copartitioned_join(
     )
     keyed_right.partitioner = partitioner
     grouped = CoGroupedRDD(ctx, [keyed_left, keyed_right], partitioner)
-    emit = _emit_joined(join_type, left_width, right_width, residual)
+    emit = _counted_emit(
+        _emit_joined(join_type, left_width, right_width, residual), op
+    )
     return grouped.flat_map(emit).set_name("copartitioned_join")
 
 
@@ -1162,6 +1332,7 @@ def broadcast_join(
     stream_width: int,
     build_width: int,
     residual: Optional[BoundExpr],
+    op: Optional[OperatorStamp] = None,
 ) -> RDD:
     """Map join (Section 3.1.1): hash the small side once, broadcast it,
     and join each partition of the large side with only map tasks."""
@@ -1195,7 +1366,9 @@ def broadcast_join(
                 out.append(build_nulls + tuple(row))
         return out
 
-    return stream_side.flat_map(emit).set_name("broadcast_join")
+    return stream_side.flat_map(_counted_emit(emit, op)).set_name(
+        "broadcast_join"
+    )
 
 
 def cross_join(
@@ -1203,6 +1376,7 @@ def cross_join(
     left: RDD,
     right_rows: list[tuple],
     residual: Optional[BoundExpr],
+    op: Optional[OperatorStamp] = None,
 ) -> RDD:
     """Broadcast nested-loop join for key-less joins."""
     broadcast = _charge_build_side(ctx, right_rows)
@@ -1215,7 +1389,7 @@ def cross_join(
                 out.append(combined)
         return out
 
-    return left.flat_map(emit).set_name("cross_join")
+    return left.flat_map(_counted_emit(emit, op)).set_name("cross_join")
 
 
 def pre_shuffle_side(
@@ -1243,13 +1417,18 @@ def repartition_rows(
     child: RDD,
     keys: list[BoundExpr],
     partitioner: Partitioner,
+    op: Optional[OperatorStamp] = None,
 ) -> RDD:
     """DISTRIBUTE BY: hash rows to partitions by key expressions, keeping
     rows (not pairs) as output."""
     key_fn = _key_function(keys)
     keyed = child.map(lambda row: (key_fn(row), row))
     shuffled = keyed.partition_by(partitioner)
-    values = shuffled.values().set_name("distribute_by")
+    values = shuffled.values()
+    counter = _count_into(op)
+    if counter is not None:
+        values = values.map_partitions(counter, preserves_partitioning=True)
+    values = values.set_name("distribute_by")
     values.partitioner = partitioner
     return values
 
@@ -1279,12 +1458,32 @@ def semi_join_probe(
     return keep
 
 
+def _counted_filter(
+    child: RDD, keep: Callable[[tuple], bool], op: Optional[OperatorStamp],
+    name: str,
+) -> RDD:
+    """``child.filter(keep)`` that also credits surviving rows to ``op``."""
+    if op is None:
+        return child.filter(keep).set_name(name)
+    key = op.key
+
+    def run(part: list) -> list:
+        out = [row for row in part if keep(row)]
+        record_operator_rows(key, len(out))
+        return out
+
+    return child.map_partitions(
+        run, preserves_partitioning=True
+    ).set_name(name)
+
+
 def semi_join_filter(
     ctx: "EngineContext",
     child: RDD,
     key: BoundExpr,
     values: list,
     negated: bool,
+    op: Optional[OperatorStamp] = None,
 ) -> RDD:
     """Filter ``child`` by membership of ``key`` in the collected subquery
     result (broadcast to all tasks)."""
@@ -1304,20 +1503,28 @@ def semi_join_filter(
                 return not found and not has_null
             return found
 
-        return child.filter(keep_linear).set_name("semi_join")
+        return _counted_filter(child, keep_linear, op, "semi_join")
     broadcast = _charge_build_side(ctx, value_set)
     keep = semi_join_probe(
         lambda row: key.eval(row), broadcast.value, has_null, negated
     )
-    return child.filter(keep).set_name("semi_join")
+    return _counted_filter(child, keep, op, "semi_join")
 
 
 def values_rdd(ctx: "EngineContext", rows: list[tuple]) -> RDD:
     return ctx.parallelize(rows, num_partitions=1).set_name("values")
 
 
-def union_rdds(ctx: "EngineContext", children: list[RDD]) -> RDD:
-    return ctx.union(children).set_name("union_all")
+def union_rdds(
+    ctx: "EngineContext",
+    children: list[RDD],
+    op: Optional[OperatorStamp] = None,
+) -> RDD:
+    out = ctx.union(children)
+    counter = _count_into(op)
+    if counter is not None:
+        out = out.map_partitions(counter)
+    return out.set_name("union_all")
 
 
 def default_partitioner(

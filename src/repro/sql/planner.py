@@ -32,6 +32,15 @@ from repro.pde import (
     decide_join_strategy,
     pack_partitions,
 )
+from repro.obs.planquality import (
+    SOURCE_CATALOG,
+    SOURCE_GUESS,
+    SOURCE_NONE,
+    SOURCE_PRUNING,
+    OperatorStamp,
+    estimate_filtered_rows,
+    record_operator_rows,
+)
 from repro.pde.decisions import (
     DEFAULT_BROADCAST_THRESHOLD,
     DEFAULT_TARGET_PARTITION_BYTES,
@@ -105,12 +114,33 @@ class ExecutionReport:
     #: some expressions fell back to the elementwise evaluator), "row" for
     #: the tuple-at-a-time operators.  EXPLAIN ANALYZE renders these.
     operator_modes: list[tuple[str, str]] = field(default_factory=list)
+    #: One :class:`OperatorStamp` per ``mode()`` call, carrying the
+    #: planner's cardinality estimate and its statistics source; runtime
+    #: row counts join back on ``stamp.key`` (repro.obs.planquality).
+    operator_stamps: list[OperatorStamp] = field(default_factory=list)
 
     def note(self, message: str) -> None:
         self.notes.append(message)
 
-    def mode(self, operator: str, mode: str) -> None:
+    def mode(
+        self,
+        operator: str,
+        mode: str,
+        est_rows: Optional[int] = None,
+        est_source: str = SOURCE_NONE,
+        detail: str = "",
+    ) -> OperatorStamp:
         self.operator_modes.append((operator, mode))
+        stamp = OperatorStamp(
+            operator=operator,
+            mode=mode,
+            op_id=len(self.operator_stamps),
+            est_rows=est_rows,
+            est_source=est_source,
+            detail=detail,
+        )
+        self.operator_stamps.append(stamp)
+        return stamp
 
     def describe(self) -> str:
         lines = list(self.notes)
@@ -198,15 +228,19 @@ class PhysicalPlanner:
                     node.child, condition=node.condition, no_prune=no_prune
                 )
             child = self._plan(node.child)
-            self.report.mode("filter", "row")
+            est, source = self._estimate_rows(node)
+            op = self.report.mode(
+                "filter", "row", est, source, detail=node.condition.name
+            )
             return physical.filter_rows(
-                child, node.condition, self.config.enable_codegen
+                child, node.condition, self.config.enable_codegen, op=op
             )
         if isinstance(node, logical.Project):
             child = self._plan(node.child, no_prune=no_prune)
-            self.report.mode("project", "row")
+            est, source = self._estimate_rows(node)
+            op = self.report.mode("project", "row", est, source)
             return physical.project_rows(
-                child, node.expressions, self.config.enable_codegen
+                child, node.expressions, self.config.enable_codegen, op=op
             )
         if isinstance(node, logical.Aggregate):
             return self._plan_aggregate(node)
@@ -214,20 +248,31 @@ class PhysicalPlanner:
             return self._plan_join(node)
         if isinstance(node, logical.Sort):
             child = self._plan(node.child)
-            return physical.sort_rows(child, node.keys)
+            est, source = self._estimate_rows(node)
+            op = self.report.mode("sort", "row", est, source)
+            return physical.sort_rows(child, node.keys, op=op)
         if isinstance(node, logical.Limit):
             child = self._plan(node.child)
-            return physical.limit_rows(child, node.count)
+            est, source = self._estimate_rows(node)
+            op = self.report.mode("limit", "row", est, source)
+            return physical.limit_rows(child, node.count, op=op)
         if isinstance(node, logical.Distinct):
             child = self._plan(node.child)
-            return physical.distinct_rows(child)
+            est, source = self._estimate_rows(node)
+            op = self.report.mode("distinct", "row", est, source)
+            return physical.distinct_rows(child, op=op)
         if isinstance(node, logical.UnionAll):
             children = [self._plan(child) for child in node.inputs]
-            return physical.union_rdds(self.ctx, children)
+            est, source = self._estimate_rows(node)
+            op = self.report.mode("union_all", "row", est, source)
+            return physical.union_rdds(self.ctx, children, op=op)
         if isinstance(node, logical.Repartition):
             child = self._plan(node.child)
+            est, source = self._estimate_rows(node)
+            op = self.report.mode("distribute_by", "row", est, source)
             return physical.repartition_rows(
-                child, node.expressions, self._repartition_partitioner()
+                child, node.expressions, self._repartition_partitioner(),
+                op=op,
             )
         if isinstance(node, logical.SemiJoinFilter):
             return self._plan_semi_join_filter(node)
@@ -244,8 +289,12 @@ class PhysicalPlanner:
             f"IN-subquery materialized {len(values)} values for a "
             f"broadcast semi-join"
         )
+        est, source = self._estimate_rows(node)
+        op = self.report.mode(
+            "semi_join", "row", est, source, detail=node.key.name
+        )
         return physical.semi_join_filter(
-            self.ctx, child, node.key, values, node.negated
+            self.ctx, child, node.key, values, node.negated, op=op
         )
 
     def _repartition_partitioner(self) -> Partitioner:
@@ -266,25 +315,47 @@ class PhysicalPlanner:
         if entry.is_cached and entry.cached_rdd is None:
             # Cached table created but never loaded: empty.
             rdd = physical.values_rdd(self.ctx, [])
+            self.report.mode(f"scan({entry.name})", "row", 0, SOURCE_CATALOG)
             if condition is not None:
+                op = self.report.mode(
+                    "filter", "row", 0, SOURCE_CATALOG,
+                    detail=condition.name,
+                )
                 rdd = physical.filter_rows(
-                    rdd, condition, self.config.enable_codegen
+                    rdd, condition, self.config.enable_codegen, op=op
                 )
             return rdd
+        original = condition
         if entry.is_cached:
             kept, vector_filters, condition = self._scan_prep(
                 scan, condition, no_prune
             )
-            self.report.mode(f"scan({entry.name})", "row")
-            if condition is not None:
-                self.report.mode("filter", "row")
+            base_est, base_source = self._scan_estimate(entry, kept)
+            scan_op = self.report.mode(
+                f"scan({entry.name})", "row", base_est, base_source
+            )
+            filter_op = self._stamp_filter(original, base_est, "row")
             rdd = physical.scan_memstore(
                 entry, scan.projected_columns, kept,
                 vector_filters=vector_filters,
+                scan_op=scan_op,
+                # Without a residual the pushed-down vector filters are
+                # the whole predicate: the scan credits the filter's
+                # actual rows itself.
+                filter_op=None if condition is not None else filter_op,
             )
         else:
             from repro.storage import HdfsRDD
 
+            base_est, base_source = (
+                (entry.row_count, SOURCE_CATALOG)
+                if entry.row_count is not None
+                else (None, SOURCE_NONE)
+            )
+            self.report.mode(
+                f"scan({entry.name})", "row", base_est, base_source
+            )
+            filter_op = self._stamp_filter(original, base_est, "row")
             rdd = HdfsRDD(self.ctx, self.store, entry.path, entry.schema)
             if scan.projected_columns is not None:
                 indices = [
@@ -296,9 +367,56 @@ class PhysicalPlanner:
                 ).set_name("project_scan")
         if condition is not None:
             rdd = physical.filter_rows(
-                rdd, condition, self.config.enable_codegen
+                rdd, condition, self.config.enable_codegen, op=filter_op
             )
         return rdd
+
+    def _stamp_filter(
+        self,
+        condition: Optional[BoundExpr],
+        base_est: Optional[int],
+        mode: str,
+    ) -> Optional[OperatorStamp]:
+        """One filter stamp covering a scan's *entire* predicate (vector
+        and residual conjuncts alike), so both execution modes report the
+        same operator with the same estimate."""
+        if condition is None:
+            return None
+        if base_est is not None:
+            est: Optional[int] = estimate_filtered_rows(base_est, condition)
+            source = SOURCE_GUESS
+        else:
+            est, source = None, SOURCE_NONE
+        return self.report.mode(
+            "filter", mode, est, source, detail=condition.name
+        )
+
+    def _scan_estimate(
+        self, entry: TableEntry, kept: Optional[list[int]]
+    ) -> tuple[Optional[int], str]:
+        """Base row estimate for a cached scan: per-partition statistics
+        summed over the kept partitions when map pruning narrowed the
+        scan, the catalog row count otherwise."""
+        if kept is not None and entry.partition_stats:
+            total = 0
+            known = True
+            for index in kept:
+                stats = entry.partition_stats[index]
+                rows = None
+                for name in stats.column_names:
+                    column = stats.column(name)
+                    if column is not None:
+                        rows = column.row_count
+                        break
+                if rows is None:
+                    known = False
+                    break
+                total += rows
+            if known:
+                return total, SOURCE_PRUNING
+        if entry.row_count is not None:
+            return entry.row_count, SOURCE_CATALOG
+        return None, SOURCE_NONE
 
     def _scan_prep(
         self,
@@ -408,6 +526,7 @@ class PhysicalPlanner:
         ops: list,
         no_prune: bool,
         aggregate: Optional[tuple] = None,
+        aggregate_est: Optional[tuple] = None,
     ) -> RDD:
         """Lower a matched chain to one :class:`BatchPipelineRDD`."""
         from repro.sql.codegen import (
@@ -421,29 +540,62 @@ class PhysicalPlanner:
             scan, scan_condition, no_prune
         )
         width = len(scan.schema)
-        self.report.mode(f"scan({entry.name})", "vectorized")
+        base_est, base_source = self._scan_estimate(entry, kept)
+        scan_op = self.report.mode(
+            f"scan({entry.name})", "vectorized", base_est, base_source
+        )
         residual_kernel = None
+        residual_interpreted = 0
         if residual is not None:
-            residual_kernel, interpreted = compile_vector_predicate(
+            residual_kernel, residual_interpreted = compile_vector_predicate(
                 residual, width
             )
-            self.report.mode("filter", self._mode_detail(interpreted))
+        filter_op = self._stamp_filter(
+            scan_condition,
+            base_est,
+            self._mode_detail(residual_interpreted)
+            if residual is not None
+            else "vectorized",
+        )
+        # Running estimate through the fused chain, with its source.
+        running = filter_op.est_rows if filter_op is not None else base_est
+        running_source = (
+            filter_op.est_source if filter_op is not None else base_source
+        )
         chain: list[tuple[str, object]] = []
+        chain_ops: list[OperatorStamp] = []
         for kind, payload in ops:
             if kind == "filter":
                 kernel, interpreted = compile_vector_predicate(
                     payload, width
                 )
                 chain.append(("filter", kernel))
-                self.report.mode("filter", self._mode_detail(interpreted))
+                if running is not None:
+                    running = estimate_filtered_rows(running, payload)
+                    running_source = SOURCE_GUESS
+                chain_ops.append(
+                    self.report.mode(
+                        "filter", self._mode_detail(interpreted),
+                        running,
+                        running_source if running is not None
+                        else SOURCE_NONE,
+                        detail=payload.name,
+                    )
+                )
             else:
                 plans, interpreted = compile_vector_projection(
                     payload, width
                 )
                 chain.append(("project", plans))
                 width = len(payload)
-                self.report.mode("project", self._mode_detail(interpreted))
+                chain_ops.append(
+                    self.report.mode(
+                        "project", self._mode_detail(interpreted),
+                        running, running_source,
+                    )
+                )
         aggregate_factory = None
+        aggregate_op = None
         name = f"batch_scan({entry.name})"
         if aggregate is not None:
             group_exprs, specs = aggregate
@@ -474,9 +626,30 @@ class PhysicalPlanner:
                 )
 
             name = "batch_partial_aggregate"
-            self.report.mode(
-                "aggregate.partial", self._mode_detail(interpreted)
+            map_parts = (
+                len(kept)
+                if kept is not None
+                else entry.cached_rdd.num_partitions
             )
+            groups_est, groups_source = aggregate_est or (None, SOURCE_NONE)
+            partial_est = None
+            partial_source = SOURCE_NONE
+            if groups_est is not None:
+                # Each map task emits at most one partial per group.
+                partial_est = groups_est * max(map_parts, 1)
+                partial_source = groups_source
+                if running is not None:
+                    partial_est = min(partial_est, max(running, 1))
+            aggregate_op = self.report.mode(
+                "aggregate.partial", self._mode_detail(interpreted),
+                partial_est, partial_source,
+            )
+        op_keys: dict = {"scan": scan_op.key}
+        if filter_op is not None:
+            op_keys["filter"] = filter_op.key
+        op_keys["chain"] = tuple(op.key for op in chain_ops)
+        if aggregate_op is not None:
+            op_keys["aggregate"] = aggregate_op.key
         self.ctx.tracer.metrics.inc("batch.pipelines")
         return physical.scan_batch_pipeline(
             entry,
@@ -490,6 +663,7 @@ class PhysicalPlanner:
             chain=chain,
             aggregate_factory=aggregate_factory,
             name=name,
+            op_keys=op_keys,
         )
 
     def _prune_partitions(
@@ -514,6 +688,9 @@ class PhysicalPlanner:
     def _plan_aggregate(self, node: logical.Aggregate) -> RDD:
         partials: Optional[RDD] = None
         child: Optional[RDD] = None
+        partial_op: Optional[OperatorStamp] = None
+        groups_est, groups_source = self._estimate_groups(node)
+        child_est, __ = self._estimate_rows(node.child)
         if self.config.vectorize:
             match = self._match_batch_chain(node.child)
             if match is not None:
@@ -528,13 +705,27 @@ class PhysicalPlanner:
                     ops,
                     no_prune=False,
                     aggregate=(node.group_expressions, node.aggregates),
+                    aggregate_est=(groups_est, groups_source),
                 )
         if partials is None:
             child = self._plan(node.child)
-            self.report.mode("aggregate.partial", "row")
+            partial_est = None
+            partial_source = SOURCE_NONE
+            if groups_est is not None:
+                partial_est = groups_est * max(child.num_partitions, 1)
+                partial_source = groups_source
+                if child_est is not None:
+                    partial_est = min(partial_est, max(child_est, 1))
+            partial_op = self.report.mode(
+                "aggregate.partial", "row", partial_est, partial_source
+            )
+        final_op = self.report.mode(
+            "aggregate.final", "row", groups_est, groups_source
+        )
         if not node.group_expressions:
             return physical.global_aggregate_rows(
-                child, node.aggregates, partials=partials
+                child, node.aggregates, partials=partials,
+                partial_op=partial_op, final_op=final_op,
             )
 
         if self.config.num_reducers is not None:
@@ -544,6 +735,8 @@ class PhysicalPlanner:
                 node.aggregates,
                 num_partitions=self.config.num_reducers,
                 partials=partials,
+                partial_op=partial_op,
+                final_op=final_op,
             )
         if not self.config.enable_pde:
             return physical.aggregate_rows(
@@ -552,6 +745,8 @@ class PhysicalPlanner:
                 node.aggregates,
                 num_partitions=self.ctx.default_parallelism,
                 partials=partials,
+                partial_op=partial_op,
+                final_op=final_op,
             )
 
         # PDE path (Section 3.1.2): shuffle into fine-grained buckets, read
@@ -559,11 +754,10 @@ class PhysicalPlanner:
         # optionally bin-pack buckets into balanced coalesced partitions.
         fine = self.ctx.default_parallelism * self.config.pde_fine_grained_factor
         if partials is None:
-            partials = child.map_partitions(
-                lambda part: physical._partial_aggregate_partition(
-                    part, node.group_expressions, node.aggregates
-                )
-            ).set_name("partial_aggregate")
+            partials = physical.partial_aggregate_rdd(
+                child, node.group_expressions, node.aggregates,
+                op=partial_op,
+            )
         merge = physical._merge_accumulators(node.aggregates)
         merged = partials.combine_by_key(
             create_combiner=lambda accs: accs,
@@ -624,7 +818,16 @@ class PhysicalPlanner:
             )
             return tuple(key) + finished
 
-        return merged.map(finish).set_name("final_aggregate")
+        final_key = final_op.key
+
+        def finish_partition(part: list) -> list:
+            out = [finish(pair) for pair in part]
+            record_operator_rows(final_key, len(out))
+            return out
+
+        return merged.map_partitions(finish_partition).set_name(
+            "final_aggregate"
+        )
 
     # ------------------------------------------------------------------
     # Joins
@@ -632,18 +835,24 @@ class PhysicalPlanner:
     def _plan_join(self, node: logical.Join) -> RDD:
         left_width = len(node.left.schema)
         right_width = len(node.right.schema)
+        join_est, join_source = self._estimate_rows(node)
+        join_op = self.report.mode(
+            "join", "row", join_est, join_source, detail=node.join_type
+        )
 
         if not node.left_keys:
             left = self._plan(node.left)
             right_rows = self._collect(self._plan(node.right))
             self.report.note("cross join: broadcasting right side")
             return physical.cross_join(
-                self.ctx, left, right_rows, node.residual
+                self.ctx, left, right_rows, node.residual, op=join_op
             )
 
         # 1. Co-partitioned join (Section 3.4).
         if self.config.enable_copartition_join and node.join_type == "inner":
-            planned = self._try_copartitioned(node, left_width, right_width)
+            planned = self._try_copartitioned(
+                node, left_width, right_width, join_op
+            )
             if planned is not None:
                 return planned
 
@@ -667,12 +876,14 @@ class PhysicalPlanner:
                 self._record_join_decision(decision, "static")
                 self.report.note(f"static join selection: {decision.reason}")
                 return self._broadcast(node, decision.strategy,
-                                       left_width, right_width)
+                                       left_width, right_width, join_op)
             if left_est is not None and right_est is not None:
                 # Both sides known and big: commit to a shuffle join.
                 self._record_join_decision(decision, "static")
                 self.report.note(f"static join selection: {decision.reason}")
-                return self._shuffle_join(node, left_width, right_width)
+                return self._shuffle_join(
+                    node, left_width, right_width, join_op=join_op
+                )
 
         # 3. Sizes unknown (fresh data / UDF filters): PDE (Section 3.1.1).
         if self.config.enable_pde and (
@@ -682,14 +893,21 @@ class PhysicalPlanner:
                 node, left_width, right_width,
                 left_est, right_est,
                 left_broadcastable, right_broadcastable,
+                join_op,
             )
 
         decision = JoinDecision("shuffle", "fallback: no PDE, no estimates")
         self._record_join_decision(decision, "fallback")
-        return self._shuffle_join(node, left_width, right_width)
+        return self._shuffle_join(
+            node, left_width, right_width, join_op=join_op
+        )
 
     def _try_copartitioned(
-        self, node: logical.Join, left_width: int, right_width: int
+        self,
+        node: logical.Join,
+        left_width: int,
+        right_width: int,
+        join_op: OperatorStamp,
     ) -> Optional[RDD]:
         if len(node.left_keys) != 1 or len(node.right_keys) != 1:
             return None
@@ -722,6 +940,7 @@ class PhysicalPlanner:
             right_width,
             node.residual,
             left_part,
+            op=join_op,
         )
 
     def _broadcast(
@@ -730,6 +949,7 @@ class PhysicalPlanner:
         strategy: str,
         left_width: int,
         right_width: int,
+        join_op: Optional[OperatorStamp] = None,
     ) -> RDD:
         if strategy == "broadcast_right":
             stream = self._plan(node.left)
@@ -738,6 +958,7 @@ class PhysicalPlanner:
                 self.ctx, stream, build_rows,
                 node.left_keys, node.right_keys,
                 node.join_type, True, left_width, right_width, node.residual,
+                op=join_op,
             )
         stream = self._plan(node.right)
         build_rows = self._collect(self._plan(node.left))
@@ -745,6 +966,7 @@ class PhysicalPlanner:
             self.ctx, stream, build_rows,
             node.right_keys, node.left_keys,
             node.join_type, False, right_width, left_width, node.residual,
+            op=join_op,
         )
 
     def _shuffle_join(
@@ -755,6 +977,7 @@ class PhysicalPlanner:
         pre_shuffled_left: Optional[RDD] = None,
         pre_shuffled_right: Optional[RDD] = None,
         partitioner: Optional[Partitioner] = None,
+        join_op: Optional[OperatorStamp] = None,
     ) -> RDD:
         partitioner = partitioner or physical.default_partitioner(self.ctx)
         left = None if pre_shuffled_left is not None else self._plan(node.left)
@@ -774,6 +997,7 @@ class PhysicalPlanner:
             partitioner,
             pre_shuffled_left=pre_shuffled_left,
             pre_shuffled_right=pre_shuffled_right,
+            op=join_op,
         )
 
     def _pde_join(
@@ -785,6 +1009,7 @@ class PhysicalPlanner:
         right_est: Optional[int],
         left_broadcastable: bool,
         right_broadcastable: bool,
+        join_op: Optional[OperatorStamp] = None,
     ) -> RDD:
         """Pre-shuffle the likely-small side, observe, then decide.
 
@@ -843,6 +1068,7 @@ class PhysicalPlanner:
                     node.right_keys, node.left_keys,
                     node.join_type, False, right_width, left_width,
                     node.residual,
+                    op=join_op,
                 )
             stream = self._plan(node.left)
             return physical.broadcast_join(
@@ -850,6 +1076,7 @@ class PhysicalPlanner:
                 node.left_keys, node.right_keys,
                 node.join_type, True, left_width, right_width,
                 node.residual,
+                op=join_op,
             )
 
         # Shuffle join, reusing the already-shuffled side.
@@ -857,11 +1084,133 @@ class PhysicalPlanner:
             return self._shuffle_join(
                 node, left_width, right_width,
                 pre_shuffled_left=pre_shuffled, partitioner=partitioner,
+                join_op=join_op,
             )
         return self._shuffle_join(
             node, left_width, right_width,
             pre_shuffled_right=pre_shuffled, partitioner=partitioner,
+            join_op=join_op,
         )
+
+    # ------------------------------------------------------------------
+    # Cardinality estimation (plan-quality stamps)
+    # ------------------------------------------------------------------
+    def _estimate_rows(
+        self, node: logical.LogicalPlan
+    ) -> tuple[Optional[int], str]:
+        """Estimated output rows for a logical subtree, with the
+        statistics source behind it.  (None, "none") when unknown.
+
+        These estimates feed the plan-quality stamps, not execution
+        decisions: they are deliberately simple (catalog row counts plus
+        System R selectivity constants), and the est-vs-actual audit
+        exists precisely to show where they miss.
+        """
+        if isinstance(node, logical.Values):
+            return len(node.rows), SOURCE_CATALOG
+        if isinstance(node, logical.Scan):
+            if node.table.row_count is not None:
+                return node.table.row_count, SOURCE_CATALOG
+            return None, SOURCE_NONE
+        if isinstance(node, logical.Filter):
+            base, __ = self._estimate_rows(node.child)
+            if base is None:
+                return None, SOURCE_NONE
+            return estimate_filtered_rows(base, node.condition), SOURCE_GUESS
+        if isinstance(node, (logical.Project, logical.Sort,
+                             logical.Repartition)):
+            return self._estimate_rows(node.child)
+        if isinstance(node, logical.Limit):
+            base, source = self._estimate_rows(node.child)
+            if base is None:
+                return node.count, SOURCE_GUESS
+            return min(node.count, base), source
+        if isinstance(node, logical.Distinct):
+            base, __ = self._estimate_rows(node.child)
+            if base is None:
+                return None, SOURCE_NONE
+            return max(1, base // 10), SOURCE_GUESS
+        if isinstance(node, logical.Aggregate):
+            return self._estimate_groups(node)
+        if isinstance(node, logical.Join):
+            left, __ = self._estimate_rows(node.left)
+            right, __ = self._estimate_rows(node.right)
+            if left is None or right is None:
+                return None, SOURCE_NONE
+            if not node.left_keys:
+                return left * right, SOURCE_GUESS
+            # Keyed joins: assume roughly foreign-key shape (each row of
+            # the larger side matches ~once).
+            return max(left, right, 1), SOURCE_GUESS
+        if isinstance(node, logical.UnionAll):
+            total = 0
+            for child in node.inputs:
+                rows, __ = self._estimate_rows(child)
+                if rows is None:
+                    return None, SOURCE_NONE
+                total += rows
+            return total, SOURCE_GUESS
+        if isinstance(node, logical.SemiJoinFilter):
+            base, __ = self._estimate_rows(node.child)
+            if base is None:
+                return None, SOURCE_NONE
+            return max(1, base // 2), SOURCE_GUESS
+        return None, SOURCE_NONE
+
+    def _estimate_groups(
+        self, node: logical.Aggregate
+    ) -> tuple[Optional[int], str]:
+        """Estimated group count for an aggregation."""
+        if not node.group_expressions:
+            return 1, SOURCE_CATALOG
+        ndv = self._group_ndv(node)
+        if ndv is not None:
+            return ndv, SOURCE_CATALOG
+        child_rows, __ = self._estimate_rows(node.child)
+        if child_rows is None:
+            return None, SOURCE_NONE
+        return max(1, child_rows // 10), SOURCE_GUESS
+
+    def _group_ndv(self, node: logical.Aggregate) -> Optional[int]:
+        """Exact distinct-value count for a single-column group key over
+        a cached scan, from the partition statistics' small distinct
+        sets; None when the key is computed, multi-column, or any
+        partition overflowed :data:`~repro.columnar.stats.DISTINCT_LIMIT`.
+        """
+        if len(node.group_expressions) != 1:
+            return None
+        key = node.group_expressions[0]
+        if not isinstance(key, BoundColumn):
+            return None
+        index = key.index
+        current = node.child
+        while True:
+            if isinstance(current, logical.Filter):
+                current = current.child
+                continue
+            if isinstance(current, logical.Project):
+                expr = current.expressions[index]
+                if not isinstance(expr, BoundColumn):
+                    return None
+                index = expr.index
+                current = current.child
+                continue
+            if isinstance(current, logical.Scan):
+                entry = current.table
+                if not entry.partition_stats:
+                    return None
+                column = current.schema.names[index]
+                values: set = set()
+                for stats in entry.partition_stats:
+                    column_stats = stats.column(column)
+                    if (
+                        column_stats is None
+                        or column_stats.distinct_values is None
+                    ):
+                        return None
+                    values |= column_stats.distinct_values
+                return len(values) or None
+            return None
 
     # ------------------------------------------------------------------
     # Size estimation

@@ -336,6 +336,11 @@ class SqlSession:
         event_mark = len(tracer.trace.events)
         counters_before = dict(tracer.metrics.snapshot()["counters"])
         spill_mark = ctx.memory.spill_snapshot()
+        # Shuffle-id watermark: ids are globally monotonic, so every
+        # shuffle this query creates has an id >= the mark.
+        from repro.engine.dependencies import ShuffleDependency
+
+        shuffle_mark = ShuffleDependency._next_shuffle_id
         started = tracer.clock.now()
         query_id = f"q{log.queries_logged:04d}"
         status, error = "ok", None
@@ -374,6 +379,28 @@ class SqlSession:
             if status != "ok":
                 tracer.flight_dump(status, query=query_id)
             report = carrier.get("report")
+            operator_profiles = _operator_profiles(report, profiles)
+            skew_records = ctx.shuffle_manager.skew_records(shuffle_mark)
+            metrics = tracer.metrics
+            if operator_profiles:
+                from repro.obs.planquality import (
+                    DEFAULT_Q_ERROR_THRESHOLD,
+                    audit,
+                )
+
+                metrics.inc(
+                    "plan.operator_profiles", len(operator_profiles)
+                )
+                flagged = audit(
+                    operator_profiles, DEFAULT_Q_ERROR_THRESHOLD
+                )
+                if flagged:
+                    metrics.inc("plan.misestimates", len(flagged))
+                    metrics.set_gauge(
+                        "plan.q_error_max", flagged[0]["q_error"]
+                    )
+            if skew_records:
+                metrics.inc("skew.shuffles", len(skew_records))
             log.write_query(
                 name=name if name is not None else (text or kind).strip(),
                 kind=kind,
@@ -413,6 +440,8 @@ class SqlSession:
                 memory=ctx.memory.watermarks(),
                 spills=ctx.memory.spill_rows_since(spill_mark),
                 cache_lookups=carrier.get("cache_lookups") or None,
+                operator_profiles=operator_profiles or None,
+                shuffle_skew=skew_records or None,
             )
 
     def _explain(self, statement: ast.Statement) -> QueryResult:
@@ -450,6 +479,9 @@ class SqlSession:
         tracer = self.ctx.tracer
         tracer.metrics.inc("queries.executed")
         spill_mark = self.ctx.memory.spill_snapshot()
+        from repro.engine.dependencies import ShuffleDependency
+
+        shuffle_mark = ShuffleDependency._next_shuffle_id
         with self._logged_query(
             "explain-analyze", self._current_text
         ) as logged:
@@ -478,6 +510,12 @@ class SqlSession:
             memory_rows=self.ctx.memory.watermarks(),
             memory_pressure_events=self.ctx.memory.pressure_events,
             memory_spills=self.ctx.memory.spill_rows_since(spill_mark),
+            operator_profiles=_operator_profiles(
+                planned.report, self.ctx.profiles
+            ),
+            shuffle_skew=self.ctx.shuffle_manager.skew_records(
+                shuffle_mark
+            ),
         )
         serving = getattr(self.ctx, "serving", None)
         if serving is not None:
@@ -814,6 +852,23 @@ def _render_literal(expr: ast.Expr) -> str:
     from repro.sql.render import render_expr
 
     return render_expr(expr)
+
+
+def _operator_profiles(
+    report: Optional[ExecutionReport], profiles: list
+) -> list[dict]:
+    """Join a report's planner stamps with the run's actual row counts
+    (empty when the query had no report, e.g. a pure cache hit)."""
+    if report is None or not report.operator_stamps:
+        return []
+    from repro.obs.planquality import (
+        actual_rows_from_profiles,
+        build_operator_profiles,
+    )
+
+    return build_operator_profiles(
+        report.operator_stamps, actual_rows_from_profiles(profiles)
+    )
 
 
 def _wants_cache(properties: dict[str, str]) -> bool:

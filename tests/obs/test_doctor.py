@@ -1,0 +1,267 @@
+"""Query-doctor tests: taxonomy checks, ranking, pairing, and the CLI.
+
+Synthetic :class:`QueryRecord` pairs exercise each root-cause check in
+isolation; a live two-run diff (vectorize on vs off over the same tiny
+corpus) proves the end-to-end contract the CI smoke job greps for — the
+deliberate vectorization regression is attributed to ``mode-flip``
+first, not to the generic stage-slowdown fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SharkContext
+from repro.obs import doctor
+from repro.obs.doctor import (
+    DoctorReport,
+    QueryDiagnosis,
+    diagnose,
+    diagnose_logs,
+    diagnose_pair,
+)
+from repro.obs.history import HistoryStore, QueryRecord
+from repro.sql.planner import PlannerConfig
+from repro.workloads import tpch
+
+
+def _record(**kwargs) -> QueryRecord:
+    base = dict(query_id="q0000", name="q", status="ok", sim_seconds=1.0)
+    base.update(kwargs)
+    return QueryRecord(**base)
+
+
+class TestTaxonomy:
+    def test_mode_flip_detected_and_ranked_first(self):
+        baseline = _record(
+            operator_modes=[
+                ("scan(t)", "vectorized"),
+                ("filter", "vectorized (codegen)"),
+            ],
+            stage_sim=[
+                {"stage_id": 0, "name": "scan", "sim_seconds": 0.1}
+            ],
+        )
+        current = _record(
+            operator_modes=[("scan(t)", "row"), ("filter", "row")],
+            stage_sim=[
+                {"stage_id": 0, "name": "scan", "sim_seconds": 0.4}
+            ],
+        )
+        findings = diagnose_pair(baseline, current)
+        assert findings[0].category == "mode-flip"
+        assert "2 operator(s)" in findings[0].summary
+        # The generic fallback still reports, but ranked below.
+        assert findings[-1].category == "stage-slowdown"
+
+    def test_spill_appeared(self):
+        baseline = _record()
+        current = _record(
+            spills=[{"owner": "sort", "events": 1, "bytes": 4096, "runs": 1}]
+        )
+        findings = diagnose_pair(baseline, current)
+        assert findings[0].category == "spill-appeared"
+        assert "4096" in findings[0].summary
+        # Symmetric runs produce no spill finding.
+        assert diagnose_pair(current, current) == []
+
+    def test_cache_hit_to_miss(self):
+        baseline = _record(
+            cache_lookups=[{"layer": "result", "outcome": "hit"}]
+        )
+        current = _record(
+            cache_lookups=[{"layer": "result", "outcome": "miss"}]
+        )
+        findings = diagnose_pair(baseline, current)
+        assert findings[0].category == "cache-miss"
+        # The opposite direction (miss -> hit) is an improvement, not a
+        # root cause.
+        assert diagnose_pair(current, baseline) == []
+
+    def test_skew_growth(self):
+        baseline = _record(
+            skew_records=[
+                {"shuffle_id": 0, "row_skew": 1.1, "heavy_keys": []}
+            ]
+        )
+        current = _record(
+            skew_records=[
+                {
+                    "shuffle_id": 0,
+                    "row_skew": 3.8,
+                    "straggler_partition": 2,
+                    "heavy_keys": [["'A'", 900]],
+                }
+            ]
+        )
+        findings = diagnose_pair(baseline, current)
+        assert findings[0].category == "skew-growth"
+        assert "straggler partition 2" in findings[0].evidence[0]
+        assert "'A'=900" in findings[0].evidence[0]
+        assert diagnose_pair(baseline, baseline) == []
+
+    def test_plan_shape_change(self):
+        baseline = _record(
+            operator_modes=[("scan(t)", "row"), ("join.broadcast", "row")]
+        )
+        current = _record(
+            operator_modes=[("scan(t)", "row"), ("join.shuffle", "row")]
+        )
+        findings = diagnose_pair(baseline, current)
+        assert findings[0].category == "plan-change"
+        assert "join.broadcast" in findings[0].evidence[0]
+
+    def test_estimate_drift(self):
+        baseline = _record(
+            operator_profiles=[
+                {"operator": "filter", "q_error": 1.5, "est_rows": 10,
+                 "est_source": "guess", "actual_rows": 15}
+            ]
+        )
+        current = _record(
+            operator_profiles=[
+                {"operator": "filter", "q_error": 40.0, "est_rows": 10,
+                 "est_source": "guess", "actual_rows": 400}
+            ]
+        )
+        findings = diagnose_pair(baseline, current)
+        assert findings[0].category == "estimate-drift"
+        assert "x40.0" in findings[0].summary
+
+    def test_stage_slowdown_is_the_fallback(self):
+        baseline = _record(
+            stage_sim=[
+                {"stage_id": 0, "name": "scan", "sim_seconds": 0.1},
+                {"stage_id": 1, "name": "agg", "sim_seconds": 0.1},
+            ]
+        )
+        current = _record(
+            stage_sim=[
+                {"stage_id": 0, "name": "scan", "sim_seconds": 0.1},
+                {"stage_id": 1, "name": "agg", "sim_seconds": 0.9},
+            ]
+        )
+        findings = diagnose_pair(baseline, current)
+        assert [f.category for f in findings] == ["stage-slowdown"]
+        assert "stage 1 (agg)" in findings[0].summary
+
+
+class TestReport:
+    def _store(self, records) -> HistoryStore:
+        store = HistoryStore()
+        store.queries.extend(records)
+        return store
+
+    def test_pairs_by_name_and_reports_unmatched(self):
+        baseline = self._store(
+            [_record(name="a"), _record(name="only-baseline")]
+        )
+        current = self._store(
+            [_record(name="a", sim_seconds=2.0),
+             _record(name="only-current")]
+        )
+        report = diagnose(baseline, current)
+        assert [d.name for d in report.diagnoses] == ["a"]
+        assert set(report.unmatched) == {"only-baseline", "only-current"}
+        assert report.regressed()[0].slowdown == pytest.approx(1.0)
+
+    def test_top_cause_votes_by_regressed_queries(self):
+        report = DoctorReport(
+            baseline_path="a", current_path="b",
+            regression_threshold=0.25,
+        )
+        for index in range(3):
+            diagnosis = QueryDiagnosis(
+                name=f"q{index}", baseline_seconds=1.0,
+                current_seconds=2.0,
+            )
+            diagnosis.findings = diagnose_pair(
+                _record(operator_modes=[("scan(t)", "vectorized")]),
+                _record(operator_modes=[("scan(t)", "row")]),
+            )
+            report.diagnoses.append(diagnosis)
+        # One non-regressed query must not vote.
+        report.diagnoses.append(
+            QueryDiagnosis(
+                name="ok", baseline_seconds=1.0, current_seconds=1.0
+            )
+        )
+        assert report.top_cause() == ("mode-flip", 3)
+        rendered = report.render()
+        assert "top root cause across corpus: mode-flip (3 queries)" in (
+            rendered
+        )
+        assert "[REGRESSED]" in rendered and "[ok]" in rendered
+
+    def test_findings_counter_feeds_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        baseline = self._store(
+            [_record(name="a", operator_modes=[("scan(t)", "vectorized")])]
+        )
+        current = self._store(
+            [_record(name="a", sim_seconds=2.0,
+                     operator_modes=[("scan(t)", "row")])]
+        )
+        metrics = MetricsRegistry()
+        diagnose(baseline, current, metrics=metrics)
+        assert metrics.value("doctor.findings") >= 1
+
+
+class TestLiveDiff:
+    """The CI smoke contract, at unit-test scale: diff a vectorize-on
+    log against a vectorize-off log of the same corpus."""
+
+    QUERIES = (
+        "SELECT COUNT(*) FROM lineitem",
+        tpch.TPCH_QUERIES["Q6"],
+    )
+
+    def _run(self, tmp_path, vectorize: bool):
+        shark = SharkContext(
+            num_workers=2,
+            cores_per_worker=2,
+            config=PlannerConfig(vectorize=vectorize),
+        )
+        data = tpch.generate_lineitem(4000)
+        shark.create_table("lineitem", data.schema, cached=True)
+        shark.load_rows("lineitem", data.rows)
+        path = tmp_path / f"vec_{vectorize}.jsonl"
+        shark.enable_event_log(path, source="test")
+        for text in self.QUERIES:
+            shark.sql(text)
+        shark.close_event_log()
+        return path
+
+    def test_vectorize_flip_is_top_root_cause(self, tmp_path):
+        log_on = self._run(tmp_path, True)
+        log_off = self._run(tmp_path, False)
+        report = diagnose_logs(log_on, log_off, regression_threshold=0.0)
+        assert len(report.diagnoses) == len(self.QUERIES)
+        regressed = report.regressed()
+        assert regressed, "vectorize off must cost simulated seconds"
+        for diagnosis in regressed:
+            assert diagnosis.top_category == "mode-flip"
+        top = report.top_cause()
+        assert top is not None and top[0] == "mode-flip"
+
+    def test_cli_writes_report(self, tmp_path, capsys):
+        log_on = self._run(tmp_path, True)
+        log_off = self._run(tmp_path, False)
+        out = tmp_path / "doctor.txt"
+        code = doctor.main(
+            [str(log_on), str(log_off), "--threshold", "0.0",
+             "--report", str(out)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "query doctor:" in printed
+        assert "mode-flip" in printed
+        assert out.read_text().strip() == printed.strip()
+
+    def test_cli_missing_log_errors(self, tmp_path, capsys):
+        code = doctor.main(
+            [str(tmp_path / "nope.jsonl"), str(tmp_path / "nope2.jsonl")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -375,9 +375,10 @@ class TestServingFieldsV4:
         assert old.tenant is None
         assert old.memory[0]["peak_bytes"] == 64
 
-    def test_current_schema_version_is_v5(self):
-        # v5 added cache_lookup records (query caching stack).
-        assert SCHEMA_VERSION == 5
+    def test_current_schema_version_is_v6(self):
+        # v6 added operator_profile and shuffle_skew records (plan
+        # quality observability).
+        assert SCHEMA_VERSION == 6
 
 
 class TestCacheLookupsV5:
@@ -444,6 +445,32 @@ class TestCacheLookupsV5:
         assert store.query("legacy").cache_lookups == []
         assert "0 probed" in store.cache_report()
 
+    def test_legacy_fixture_logs_still_load(self):
+        """Satellite of PR 10: one committed fixture log per historical
+        schema version.  ``HistoryStore.load`` must keep parsing every
+        one of them as the schema moves forward."""
+        import pathlib
+
+        fixtures = pathlib.Path(__file__).parent / "fixtures"
+        for version in (2, 3, 4, 5):
+            store = HistoryStore.load(fixtures / f"log_v{version}.jsonl")
+            assert store.queries, f"v{version} fixture loaded no queries"
+            first = store.queries[0]
+            assert first.status in ("ok", "shed")
+            # Pre-v6 logs have no plan-quality records — the new
+            # accessors must degrade to empty, not raise.
+            assert store.operator_profiles() == []
+            assert first.skew_records == []
+            assert "predates schema v6" in store.plan_quality_report()
+        # Version-specific signatures survive the trip.
+        v3 = HistoryStore.load(fixtures / "log_v3.jsonl")
+        assert v3.queries[0].spills[0]["owner"] == "sort"
+        v4 = HistoryStore.load(fixtures / "log_v4.jsonl")
+        assert v4.query("v4 fixture").tenant == "analytics"
+        assert v4.query("v4 shed").shed_reason == "brownout"
+        v5 = HistoryStore.load(fixtures / "log_v5.jsonl")
+        assert v5.query("v5 warm").cache_lookups[0]["outcome"] == "hit"
+
     def test_live_query_streams_lookup_outcomes(self, tmp_path):
         path = tmp_path / "live.jsonl"
         shark = _tpch_shark()
@@ -464,3 +491,119 @@ class TestCacheLookupsV5:
             (r["layer"], r["outcome"]) for r in warm.cache_lookups
         }
         assert "result" in store.cache_report()
+
+
+class TestPlanQualityV6:
+    """Schema v6: operator_profile + shuffle_skew records."""
+
+    def test_synthetic_records_round_trip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        profiles = [
+            {
+                "operator": "scan(lineitem)",
+                "op_id": 0,
+                "mode": "vectorized",
+                "est_rows": 2000,
+                "est_source": "catalog",
+                "actual_rows": 2000,
+                "q_error": 1.0,
+            },
+            {
+                "operator": "filter",
+                "op_id": 1,
+                "mode": "vectorized",
+                "est_rows": 600,
+                "est_source": "guess",
+                "actual_rows": 50,
+                "q_error": 12.0,
+                "detail": "(L_QUANTITY < 24)",
+            },
+        ]
+        skew = [
+            {
+                "shuffle_id": 0,
+                "num_maps": 2,
+                "num_reduces": 4,
+                "rows": [90, 4, 3, 3],
+                "bytes": [900, 40, 30, 30],
+                "total_rows": 100,
+                "total_bytes": 1000,
+                "row_skew": 3.6,
+                "byte_skew": 3.6,
+                "straggler_partition": 0,
+                "heavy_keys": [["'A'", 88], ["'B'", 6]],
+            }
+        ]
+        with EventLogWriter(path, 2, 2) as log:
+            log.write_query(
+                name="profiled",
+                operator_profiles=profiles,
+                shuffle_skew=skew,
+            )
+        store = HistoryStore.load(path)
+        record = store.query("profiled")
+        # Loaded records keep the log envelope (type/seq/query_id), like
+        # every other record list; the payload fields round-trip exactly.
+        assert len(record.operator_profiles) == 2
+        for sent, loaded in zip(profiles, record.operator_profiles):
+            assert sent == {
+                key: loaded[key] for key in sent
+            }
+        assert record.skew_records[0]["heavy_keys"] == [["'A'", 88], ["'B'", 6]]
+        assert record.skew_records[0]["rows"] == [90, 4, 3, 3]
+        assert len(store.operator_profiles()) == 2
+        report = store.plan_quality_report()
+        assert "filter" in report and "q-error 12.00" in report
+        priors = store.cardinality_priors()
+        assert {p["operator"] for p in priors} == {
+            "scan(lineitem)", "filter",
+        }
+
+    def test_unprofiled_query_emits_no_v6_records(self, tmp_path):
+        # Byte-identity for plan-quality-free queries: no empty
+        # operator_profile/shuffle_skew records, no empty
+        # operator_rows on tasks.
+        path = tmp_path / "log.jsonl"
+        with EventLogWriter(path, 2, 2) as log:
+            log.write_query(name="plain")
+            log.write_query(
+                name="empty", operator_profiles=[], shuffle_skew=[]
+            )
+        raw = path.read_text()
+        assert '"operator_profile"' not in raw
+        assert '"shuffle_skew"' not in raw
+        assert '"operator_rows"' not in raw
+
+    @pytest.mark.parametrize("vectorize", [True, False])
+    def test_live_query_streams_profiles(self, tmp_path, vectorize):
+        path = tmp_path / "live.jsonl"
+        shark = _tpch_shark(vectorize=vectorize)
+        shark.enable_event_log(path, source="test")
+        shark.sql(tpch.TPCH_QUERIES["Q1"])
+        shark.close_event_log()
+        store = HistoryStore.load(path)
+        record = store.queries[0]
+        operators = [row["operator"] for row in record.operator_profiles]
+        assert any(op.startswith("scan(") for op in operators)
+        expected_mode = "row" if not vectorize else "vectorized"
+        assert any(
+            row["mode"].startswith(expected_mode)
+            for row in record.operator_profiles
+        )
+        for row in record.operator_profiles:
+            assert row["actual_rows"] is not None
+        # Q1 groups by (returnflag, linestatus): one shuffle, skewed
+        # toward the common flag values, with labelled heavy keys.
+        assert record.skew_records
+        first = record.skew_records[0]
+        assert first["shuffle_id"] == 0
+        assert sum(first["rows"]) == first["total_rows"]
+        assert first["heavy_keys"]
+        # Rebuilt task metrics carry the per-operator row counts.
+        rebuilt = record.rebuild_profiles()
+        assert any(
+            task.operator_rows
+            for profile in rebuilt
+            for stage in profile.stages
+            for task in stage.tasks
+        )

@@ -254,3 +254,20 @@ class TestTenantReport:
         assert percentile(values, 100.0) == 100.0
         assert percentile([], 50.0) == 0.0
         assert percentile([7.0], 99.0) == 7.0
+
+    def test_percentile_delegates_to_the_shared_helper(self):
+        """PR 10 satellite: ``history.percentile`` and
+        ``metrics.percentiles_of`` must be the same nearest-rank math —
+        the former is a thin wrapper, not a reimplementation."""
+        from repro.obs.history import percentile
+        from repro.obs.metrics import percentiles_of
+
+        samples = [0.5, 1.5, 1.5, 2.0, 9.0, 42.0, 0.25]
+        for pct in (1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0):
+            assert percentile(sorted(samples), pct) == (
+                percentiles_of(samples, (pct / 100.0,))[0]
+            )
+        # Odd sample counts and ties hit the same ranks in both.
+        assert percentiles_of(samples)[0] == percentile(
+            sorted(samples), 50.0
+        )

@@ -113,3 +113,32 @@ class TestProfileRollups:
         assert "shuffle read 64 B" in text
         assert "shuffle write 256 B" in text
         assert "(2 attempts)" in text
+
+    def test_describe_lists_operator_rows_in_stamp_order(self):
+        """PR 10 satellite: per-operator actual row counts surface in
+        ``describe()`` for row-mode queries, ordered by stamp id (not
+        alphabetically — ``#10`` sorts after ``#9``)."""
+        profile = QueryProfile(job_id=0)
+        stage = StageProfile(stage_id=0, name="s", is_shuffle_map=False)
+        stage.tasks.append(
+            _task(operator_rows={"filter#9": 40, "project#10": 40})
+        )
+        stage.tasks.append(_task(operator_rows={"scan(t)#0": 100}))
+        profile.stages.append(stage)
+        assert stage.operator_rows == {
+            "scan(t)#0": 100, "filter#9": 40, "project#10": 40,
+        }
+        text = profile.describe()
+        assert "operator rows:" in text
+        line = next(
+            l for l in text.splitlines() if "operator rows:" in l
+        )
+        assert line.index("scan(t)#0=100") < line.index("filter#9=40")
+        assert line.index("filter#9=40") < line.index("project#10=40")
+
+    def test_describe_omits_operator_rows_when_absent(self):
+        profile = QueryProfile(job_id=0)
+        stage = StageProfile(stage_id=0, name="s", is_shuffle_map=False)
+        stage.tasks.append(_task(records_in=5))
+        profile.stages.append(stage)
+        assert "operator rows" not in profile.describe()

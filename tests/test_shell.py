@@ -177,6 +177,34 @@ class TestDotCommands:
         drive(shell, ".queries", ".drain")
         assert output.count("(no submitted queries)") == 2
 
+    def test_doctor_usage_and_diff(self, session, tmp_path):
+        shell, output = session
+        drive(shell, ".doctor one-arg")
+        assert any("usage: .doctor" in line for line in output)
+        # Two tiny logs of the same one-query corpus: the second run is
+        # identical, so the doctor reports zero regressions.
+        drive(
+            shell,
+            "CREATE TABLE t (a INT) TBLPROPERTIES ('shark.cache'='true');",
+        )
+        shell.shark.load_rows("t", [(i,) for i in range(20)])
+        paths = []
+        for index in range(2):
+            path = tmp_path / f"run{index}.jsonl"
+            shell.shark.enable_event_log(path, source="shell-test")
+            drive(shell, "SELECT COUNT(*) FROM t;")
+            shell.shark.close_event_log()
+            paths.append(path)
+        drive(shell, f".doctor {paths[0]} {paths[1]}")
+        text = "\n".join(output)
+        assert "query doctor:" in text
+        assert "1 paired query, 0 regressed" in text
+
+    def test_doctor_missing_log_errors(self, session, tmp_path):
+        shell, output = session
+        drive(shell, f".doctor {tmp_path}/a.jsonl {tmp_path}/b.jsonl")
+        assert any(line.startswith("error:") for line in output)
+
 
 class TestRunHelper:
     def test_run_stops_at_quit(self):
